@@ -1,0 +1,186 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//   A1  find_same strategy: row-hash digesting vs the paper's literal
+//       co-occurrence indicator (both exact; how much does hashing buy?)
+//   A2  representation: sparse CSR -> dense conversion cost vs the dense
+//       distance-kernel speedup (§III-B's memory/time trade-off)
+//   A3  DBSCAN region-query parallelism: threads 1/2/4/8
+//   A4  HNSW beam width: recall vs time as ef grows (why query_ef = 128)
+#include <cstring>
+#include <thread>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "cluster/dbscan.hpp"
+#include "cluster/hnsw.hpp"
+#include "core/methods/approx.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "core/methods/minhash_lsh.hpp"
+#include "core/methods/method_common.hpp"
+#include "linalg/convert.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::parse(argc, argv);
+  const std::size_t big_roles = config.quick ? 2000 : 8000;
+
+  gen::MatrixGenParams params;
+  params.roles = big_roles;
+  params.cols = 1000;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.seed = 77;
+  const gen::GeneratedMatrix workload = gen::generate_matrix(params);
+  std::printf("=== Ablations (%zu roles x %zu users, %zu runs per cell) ===\n\n",
+              params.roles, params.cols, config.runs);
+
+  // ---- A1: same-strategy -----------------------------------------------
+  {
+    std::printf("[A1] find_same strategy (both exact, identical output):\n");
+    const core::methods::RoleDietGroupFinder by_hash{};
+    const core::methods::RoleDietGroupFinder by_matrix{
+        {.same_strategy = core::methods::RoleDietGroupFinder::SameStrategy::kCooccurrenceMatrix}};
+    const Cell hash_cell =
+        time_cell(config.runs, [&] { (void)by_hash.find_same(workload.matrix); });
+    const Cell matrix_cell =
+        time_cell(config.runs, [&] { (void)by_matrix.find_same(workload.matrix); });
+    std::printf("  row-hash digest:          %s\n", hash_cell.to_string().c_str());
+    std::printf("  co-occurrence indicator:  %s\n", matrix_cell.to_string().c_str());
+    std::printf("  -> hashing avoids all pairwise co-occurrence work for the\n"
+                "     identical-roles case (x%.1f here).\n\n",
+                matrix_cell.stats.mean_s / std::max(hash_cell.stats.mean_s, 1e-9));
+  }
+
+  // ---- A2: sparse vs dense ----------------------------------------------
+  {
+    std::printf("[A2] representation (%zu x %zu, %.2f%% density):\n", workload.matrix.rows(),
+                workload.matrix.cols(),
+                100.0 * static_cast<double>(workload.matrix.nnz()) /
+                    (static_cast<double>(workload.matrix.rows()) *
+                     static_cast<double>(workload.matrix.cols())));
+    const Cell densify = time_cell(config.runs, [&] { (void)linalg::to_dense(workload.matrix); });
+    const linalg::BitMatrix dense = linalg::to_dense(workload.matrix);
+    // Distance kernel comparison over a fixed pair sample.
+    const std::size_t pairs = 2'000'000;
+    const Cell sparse_kernel = time_cell(config.runs, [&] {
+      std::size_t sink = 0;
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const std::size_t a = (i * 2654435761u) % workload.matrix.rows();
+        const std::size_t b = (i * 40503u + 7) % workload.matrix.rows();
+        sink += workload.matrix.row_hamming(a, b);
+      }
+      if (sink == 0xDEAD) std::puts("");  // keep the loop alive
+    });
+    const Cell dense_kernel = time_cell(config.runs, [&] {
+      std::size_t sink = 0;
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const std::size_t a = (i * 2654435761u) % dense.rows();
+        const std::size_t b = (i * 40503u + 7) % dense.rows();
+        sink += dense.row_hamming(a, b);
+      }
+      if (sink == 0xDEAD) std::puts("");
+    });
+    std::printf("  csr -> dense conversion:  %s\n", densify.to_string().c_str());
+    std::printf("  2M hamming pairs, sparse: %s\n", sparse_kernel.to_string().c_str());
+    std::printf("  2M hamming pairs, dense:  %s\n", dense_kernel.to_string().c_str());
+    std::printf("  -> densify when doing quadratic work (DBSCAN), stay sparse for the\n"
+                "     co-occurrence sweep (it touches only nonzeros).\n\n");
+  }
+
+  // ---- A3: DBSCAN threads -------------------------------------------------
+  {
+    std::printf("[A3] DBSCAN region-query threads (eps = 0, min_pts = 2; "
+                "hardware threads: %u):\n",
+                std::thread::hardware_concurrency());
+    const auto selected = core::methods::nonempty_rows(workload.matrix);
+    const linalg::BitMatrix dense = core::methods::densify_rows(workload.matrix, selected);
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      cluster::DbscanParams dparams;
+      dparams.eps = 0;
+      dparams.min_pts = 2;
+      dparams.threads = threads;
+      const Cell cell = time_cell(config.runs, [&] { (void)cluster::dbscan(dense, dparams); });
+      std::printf("  threads = %zu:  %s\n", threads, cell.to_string().c_str());
+    }
+    std::printf("  -> the quadratic distance phase parallelizes; the expansion phase is\n"
+                "     sequential, bounding the speedup. (No speedup is observable when\n"
+                "     the host exposes a single hardware thread.)\n\n");
+  }
+
+  // ---- A5: brute-force vs inverted-index DBSCAN ---------------------------
+  {
+    std::printf("[A5] DBSCAN region strategy vs role-diet (find_same):\n");
+    const auto selected = core::methods::nonempty_rows(workload.matrix);
+    const linalg::BitMatrix dense = core::methods::densify_rows(workload.matrix, selected);
+
+    cluster::DbscanResult last;
+    const Cell brute = time_cell(config.runs, [&] {
+      last = cluster::dbscan(dense, {.eps = 0, .min_pts = 2});
+    });
+    std::printf("  brute-force regions:      %s  (%zu dist evals)\n",
+                brute.to_string().c_str(), last.distance_evaluations);
+    const Cell indexed = time_cell(config.runs, [&] {
+      last = cluster::dbscan(dense, {.eps = 0, .min_pts = 2,
+                                     .region_strategy = cluster::RegionStrategy::kInvertedIndex});
+    });
+    std::printf("  inverted-index regions:   %s  (%zu dist evals)\n",
+                indexed.to_string().c_str(), last.distance_evaluations);
+    const core::methods::RoleDietGroupFinder ours;
+    const Cell diet = time_cell(config.runs, [&] { (void)ours.find_same(workload.matrix); });
+    std::printf("  role-diet (hash):         %s\n", diet.to_string().c_str());
+    std::printf("  -> indexing rescues DBSCAN from quadratic scans, but it still runs a\n"
+                "     co-occurrence sweep per *query* (twice per point through expansion);\n"
+                "     the role-diet method visits each pair once — or, with hashing, no\n"
+                "     pair at all. Its advantage is algorithmic, not implementation.\n\n");
+  }
+
+  // ---- A6: approximate baselines head-to-head -----------------------------
+  {
+    std::printf("[A6] approximate baselines (find_same; recall vs planted truth):\n");
+    const core::methods::HnswGroupFinder hnsw;
+    const core::methods::MinHashGroupFinder minhash;
+    auto recall_of = [&](const core::RoleGroups& found) {
+      return workload.planted.roles_in_groups() == 0
+                 ? 1.0
+                 : static_cast<double>(found.roles_in_groups()) /
+                       static_cast<double>(workload.planted.roles_in_groups());
+    };
+    core::RoleGroups found;
+    const Cell hnsw_cell =
+        time_cell(config.runs, [&] { found = hnsw.find_same(workload.matrix); });
+    std::printf("  hnsw (graph index):       %s  recall %5.1f%%\n",
+                hnsw_cell.to_string().c_str(), 100.0 * recall_of(found));
+    const Cell mh_cell =
+        time_cell(config.runs, [&] { found = minhash.find_same(workload.matrix); });
+    std::printf("  minhash-lsh (signatures): %s  recall %5.1f%%\n",
+                mh_cell.to_string().c_str(), 100.0 * recall_of(found));
+    std::printf("  -> for pure duplicate detection the signature method is both faster\n"
+                "     and deterministic (identical sets always collide in every band);\n"
+                "     HNSW generalizes to arbitrary-radius queries, which LSH does not.\n\n");
+  }
+
+  // ---- A4: HNSW beam width --------------------------------------------
+  {
+    std::printf("[A4] HNSW beam width (find_same, recall vs planted ground truth):\n");
+    for (std::size_t ef : {16u, 32u, 64u, 128u, 256u}) {
+      core::methods::HnswGroupFinder::Options options;
+      options.query_ef = ef;
+      options.index.ef_search = ef;
+      const core::methods::HnswGroupFinder finder(options);
+      core::RoleGroups found;
+      const Cell cell = time_cell(config.runs, [&] { found = finder.find_same(workload.matrix); });
+      const double recall = workload.planted.roles_in_groups() == 0
+                                ? 1.0
+                                : static_cast<double>(found.roles_in_groups()) /
+                                      static_cast<double>(workload.planted.roles_in_groups());
+      std::printf("  ef = %3zu:  %s  recall %5.1f%%\n", ef, cell.to_string().c_str(),
+                  100.0 * recall);
+    }
+    std::printf("  -> recall saturates around ef = 128 on RBAC-shaped data; narrower beams\n"
+                "     miss whole duplicate groups, which is the approximation the paper\n"
+                "     tolerates via periodic re-runs.\n");
+  }
+  return 0;
+}

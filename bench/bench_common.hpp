@@ -1,0 +1,88 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every figure/table binary follows the paper's measurement protocol
+// (§IV-A): run each configuration `runs` times (default 5), report mean and
+// sample standard deviation of wall time. Output is a plain-text table on
+// stdout — one row per sweep point, one column per method — so the series
+// can be diffed against the paper's figures directly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/group_finder.hpp"
+#include "gen/matrix_generator.hpp"
+#include "util/timer.hpp"
+
+namespace rolediet::bench {
+
+/// Command-line knobs shared by the sweep benches.
+struct BenchConfig {
+  std::size_t runs = 5;   ///< repetitions per configuration (paper: 5)
+  bool quick = false;     ///< --quick: fewer sweep points / runs for smoke tests
+
+  static BenchConfig parse(int argc, char** argv) {
+    BenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.quick = true;
+        config.runs = 2;
+      } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+        config.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--runs N]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// One measured cell: mean +- stdev seconds over `runs` repetitions.
+struct Cell {
+  util::RunStats stats;
+
+  [[nodiscard]] std::string to_string() const {
+    char buf[64];
+    if (stats.mean_s >= 1.0) {
+      std::snprintf(buf, sizeof(buf), "%8.2f +-%5.2f s ", stats.mean_s, stats.stdev_s);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%8.2f +-%5.2f ms", stats.mean_s * 1e3,
+                    stats.stdev_s * 1e3);
+    }
+    return buf;
+  }
+};
+
+/// Times `body` (already bound to a configuration) `runs` times. The
+/// generator part of a configuration is *excluded* from the timing: callers
+/// generate the workload once outside and pass a closure that only runs the
+/// detection.
+template <typename Body>
+[[nodiscard]] Cell time_cell(std::size_t runs, Body&& body) {
+  return {util::time_runs(runs, [&](std::size_t) { body(); })};
+}
+
+/// The three methods in the order the paper's figures list them.
+inline const std::vector<core::Method>& all_methods() {
+  static const std::vector<core::Method> methods{
+      core::Method::kExactDbscan, core::Method::kApproxHnsw, core::Method::kRoleDiet};
+  return methods;
+}
+
+/// Prints the standard sweep-table header.
+inline void print_header(const char* sweep_column) {
+  std::printf("%-10s", sweep_column);
+  for (core::Method method : all_methods()) {
+    std::printf(" | %-19s", std::string(core::to_string(method)).c_str());
+  }
+  std::printf("\n");
+  for (int i = 0; i < 10 + 3 * 22; ++i) std::fputc('-', stdout);
+  std::printf("\n");
+}
+
+}  // namespace rolediet::bench

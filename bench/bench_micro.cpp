@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the inner kernels every detection
+// method runs on: packed Hamming distance, row digesting, CSR set
+// operations, transpose, densification, union-find, and HNSW queries.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hnsw.hpp"
+#include "cluster/union_find.hpp"
+#include "gen/matrix_generator.hpp"
+#include "linalg/convert.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace rolediet;
+
+linalg::BitMatrix random_dense(std::size_t rows, std::size_t cols, std::size_t norm,
+                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  linalg::BitMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = 0; k < norm; ++k) m.set(r, rng.bounded(cols));
+  }
+  return m;
+}
+
+void BM_HammingWords(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const linalg::BitMatrix m = random_dense(2, cols, cols / 16, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.row_hamming(0, 1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.words_per_row() * 16));
+}
+BENCHMARK(BM_HammingWords)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_HammingBoundedEarlyExit(benchmark::State& state) {
+  // Rows differ heavily, so the bounded kernel exits after ~1 word.
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  linalg::BitMatrix m(2, cols);
+  for (std::size_t c = 0; c < cols; c += 2) m.set(0, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.row_hamming_bounded(0, 1, 1));
+  }
+}
+BENCHMARK(BM_HammingBoundedEarlyExit)->Arg(8192)->Arg(65536);
+
+void BM_RowHash(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const linalg::BitMatrix m = random_dense(1, cols, cols / 16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.row_hash(0));
+  }
+}
+BENCHMARK(BM_RowHash)->Arg(1024)->Arg(8192);
+
+void BM_CsrIntersection(benchmark::State& state) {
+  const auto norm = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(3);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    for (std::size_t p : rng.sample_indices(100'000, norm))
+      pairs.emplace_back(r, static_cast<std::uint32_t>(p));
+  }
+  const auto m = linalg::CsrMatrix::from_pairs(2, 100'000, std::move(pairs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.row_intersection(0, 1));
+  }
+}
+BENCHMARK(BM_CsrIntersection)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CsrTranspose(benchmark::State& state) {
+  const gen::GeneratedMatrix g = gen::generate_matrix(
+      {.roles = static_cast<std::size_t>(state.range(0)), .cols = 1000, .seed = 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.matrix.transpose());
+  }
+}
+BENCHMARK(BM_CsrTranspose)->Arg(1000)->Arg(10'000);
+
+void BM_Densify(benchmark::State& state) {
+  const gen::GeneratedMatrix g = gen::generate_matrix(
+      {.roles = static_cast<std::size_t>(state.range(0)), .cols = 1000, .seed = 5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::to_dense(g.matrix));
+  }
+}
+BENCHMARK(BM_Densify)->Arg(1000)->Arg(10'000);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(6);
+  for (auto _ : state) {
+    cluster::UnionFind uf(n);
+    for (std::size_t i = 0; i < n; ++i) uf.unite(rng.bounded(n), rng.bounded(n));
+    benchmark::DoNotOptimize(uf.groups(2));
+  }
+}
+BENCHMARK(BM_UnionFind)->Arg(10'000)->Arg(100'000);
+
+void BM_HnswBuild(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const linalg::BitMatrix m = random_dense(rows, 1024, 12, 7);
+  for (auto _ : state) {
+    cluster::HnswIndex index(m, {});
+    index.add_all();
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_HnswBuild)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_HnswQuery(benchmark::State& state) {
+  const linalg::BitMatrix m = random_dense(5000, 1024, 12, 8);
+  cluster::HnswIndex index(m, {});
+  index.add_all();
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.search(q, 10));
+    q = (q + 1) % m.rows();
+  }
+}
+BENCHMARK(BM_HnswQuery);
+
+void BM_DbscanRegionQueryEquivalentScan(benchmark::State& state) {
+  // The cost of one brute-force region query: n bounded distances.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const linalg::BitMatrix m = random_dense(rows, 1024, 12, 9);
+  for (auto _ : state) {
+    std::size_t within = 0;
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      within += (m.row_hamming_bounded(0, j, 0) == 0);
+    }
+    benchmark::DoNotOptimize(within);
+  }
+}
+BENCHMARK(BM_DbscanRegionQueryEquivalentScan)->Arg(1000)->Arg(10'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

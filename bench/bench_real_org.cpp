@@ -1,0 +1,190 @@
+// §IV-B reproduction: inefficiency detection on the (simulated) real
+// organization — ~90,000 users, ~350,000 permissions, ~60,000 roles.
+//
+// The paper reports, for a >60,000-employee org:
+//   - ~500 standalone users; ~180,000 standalone permissions (half of all);
+//   - ~12,000 roles without users; ~1,000 roles without permissions;
+//   - ~4,000 single-user roles; ~21,000 single-permission roles;
+//   - 8,000 roles sharing the same users; 2,000 sharing the same
+//     permissions -> ~10% of all roles removable by consolidation;
+//   - 6,000 roles sharing all but one user; 4,000 sharing all but one
+//     permission;
+//   - the role-diet method processed the data in ~2 minutes, while both
+//     baselines were HALTED after 24 hours.
+//
+// This bench regenerates each of those rows on the synthetic analog. The
+// baselines are not run on the full matrix (that is the point of the
+// experiment); instead their cost is measured on role-subsampled matrices
+// and extrapolated by log-log slope to the full role count, then compared
+// against a time budget.
+#include <cmath>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "core/consolidation.hpp"
+#include "core/framework.hpp"
+#include "core/methods/approx.hpp"
+#include "core/methods/exact.hpp"
+#include "gen/org_simulator.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+namespace {
+
+/// Evenly subsamples `keep` rows of a matrix (preserving column width).
+linalg::CsrMatrix subsample_rows(const linalg::CsrMatrix& m, std::size_t keep) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  const double stride = static_cast<double>(m.rows()) / static_cast<double>(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto src = static_cast<std::size_t>(static_cast<double>(i) * stride);
+    for (std::uint32_t c : m.row(src)) pairs.emplace_back(static_cast<std::uint32_t>(i), c);
+  }
+  return linalg::CsrMatrix::from_pairs(keep, m.cols(), std::move(pairs));
+}
+
+/// Roles that appear in `all` but not in `subset` — e.g. "similar but not
+/// identical", the way §IV-B reports the type-5 rows.
+std::size_t roles_only_in(const core::RoleGroups& all, const core::RoleGroups& subset) {
+  std::vector<bool> in_subset;
+  for (const auto& group : subset.groups) {
+    for (std::size_t role : group) {
+      if (role >= in_subset.size()) in_subset.resize(role + 1, false);
+      in_subset[role] = true;
+    }
+  }
+  std::size_t count = 0;
+  for (const auto& group : all.groups) {
+    for (std::size_t role : group) {
+      if (role >= in_subset.size() || !in_subset[role]) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  double budget_s = 300.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
+      budget_s = std::strtod(argv[++i], nullptr);
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--budget SECONDS]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const gen::OrgProfile profile =
+      quick ? gen::OrgProfile::small() : gen::OrgProfile::paper_scale();
+  std::printf("=== Real-organization experiment (synthetic analog, seed %llu) ===\n",
+              static_cast<unsigned long long>(profile.seed));
+  util::Stopwatch gen_watch;
+  const gen::OrgDataset org = gen::generate_org(profile);
+  std::printf("generated in %s: %zu users, %zu roles, %zu permissions "
+              "(%zu assignments, %zu grants)\n\n",
+              util::format_duration(gen_watch.seconds()).c_str(), org.dataset.num_users(),
+              org.dataset.num_roles(), org.dataset.num_permissions(),
+              org.dataset.ruam().nnz(), org.dataset.rpam().nnz());
+
+  // ---- the paper's findings table, via the role-diet method ---------------
+  util::Stopwatch audit_watch;
+  const core::AuditReport report =
+      core::audit(org.dataset, {.method = core::Method::kRoleDiet});
+  const double audit_s = audit_watch.seconds();
+
+  const std::size_t similar_users_only =
+      roles_only_in(report.similar_user_groups, report.same_user_groups);
+  const std::size_t similar_perms_only =
+      roles_only_in(report.similar_permission_groups, report.same_permission_groups);
+
+  std::printf("%-44s %12s %14s\n", "finding (paper order)", "paper", "measured");
+  auto row = [&](const char* name, const char* paper, std::size_t measured) {
+    std::printf("%-44s %12s %14zu\n", name, paper, measured);
+  };
+  const bool paper_scale = !quick;
+  row("standalone users", paper_scale ? "~500" : "(scaled)",
+      report.structural.standalone_users.size());
+  row("standalone permissions", paper_scale ? "~180,000" : "(scaled)",
+      report.structural.standalone_permissions.size());
+  row("roles without users", paper_scale ? "~12,000" : "(scaled)",
+      report.structural.roles_without_users.size());
+  row("roles without permissions", paper_scale ? "~1,000" : "(scaled)",
+      report.structural.roles_without_permissions.size());
+  row("single-user roles", paper_scale ? "~4,000" : "(scaled)",
+      report.structural.single_user_roles.size());
+  row("single-permission roles", paper_scale ? "~21,000" : "(scaled)",
+      report.structural.single_permission_roles.size());
+  row("roles sharing the same users", paper_scale ? "~8,000" : "(scaled)",
+      report.same_user_groups.roles_in_groups());
+  row("roles sharing the same permissions", paper_scale ? "~2,000" : "(scaled)",
+      report.same_permission_groups.roles_in_groups());
+  row("roles sharing all but one user", paper_scale ? "~6,000" : "(scaled)",
+      similar_users_only);
+  row("roles sharing all but one permission", paper_scale ? "~4,000" : "(scaled)",
+      similar_perms_only);
+
+  // ---- consolidation: the ~10% headline -----------------------------------
+  core::ConsolidationStats stats;
+  const core::RbacDataset slim = core::consolidate_duplicates(org.dataset, &stats);
+  const bool safe = core::verify_equivalence(org.dataset, slim);
+  std::printf("\nconsolidating type-4 groups: %zu -> %zu roles (-%.1f%%, paper: ~10%%), "
+              "equivalence %s\n",
+              stats.roles_before, stats.roles_after, stats.reduction_ratio() * 100.0,
+              safe ? "verified" : "FAILED");
+
+  std::printf("\nrole-diet full audit time: %s (paper: ~2 minutes on an M1 laptop "
+              "in Python)\n",
+              util::format_duration(audit_s).c_str());
+
+  // ---- baseline feasibility (the paper's 24-hour halt) ---------------------
+  std::printf("\nbaseline feasibility on the full RUAM (%zu roles), budget %.0f s:\n",
+              org.dataset.num_roles(), budget_s);
+  for (core::Method method : {core::Method::kExactDbscan, core::Method::kApproxHnsw}) {
+    // HNSW probe sizes are smaller: its per-row constant on 90k-column dense
+    // vectors is large enough that 4,000-role probes alone take minutes.
+    const std::vector<std::size_t> probes =
+        quick ? std::vector<std::size_t>{200, 400, 800}
+        : method == core::Method::kApproxHnsw ? std::vector<std::size_t>{500, 1000, 2000}
+                                              : std::vector<std::size_t>{1000, 2000, 4000};
+    const auto finder = core::make_group_finder(method);
+    std::vector<double> log_n;
+    std::vector<double> log_t;
+    std::printf("  %-14s probes:", std::string(core::to_string(method)).c_str());
+    for (std::size_t n : probes) {
+      const linalg::CsrMatrix sub = subsample_rows(org.dataset.ruam(), n);
+      util::Stopwatch watch;
+      (void)finder->find_same(sub);
+      const double seconds = watch.seconds();
+      std::printf(" %zu roles=%s", n, util::format_duration(seconds).c_str());
+      log_n.push_back(std::log(static_cast<double>(n)));
+      log_t.push_back(std::log(std::max(seconds, 1e-6)));
+    }
+    // Least-squares slope in log-log space -> t ~ c * n^k.
+    const std::size_t m = log_n.size();
+    double sx = 0;
+    double sy = 0;
+    double sxx = 0;
+    double sxy = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      sx += log_n[i];
+      sy += log_t[i];
+      sxx += log_n[i] * log_n[i];
+      sxy += log_n[i] * log_t[i];
+    }
+    const double k = (static_cast<double>(m) * sxy - sx * sy) /
+                     (static_cast<double>(m) * sxx - sx * sx);
+    const double log_c = (sy - k * sx) / static_cast<double>(m);
+    const double est_full =
+        std::exp(log_c + k * std::log(static_cast<double>(org.dataset.num_roles())));
+    std::printf("\n  %-14s fitted t ~ n^%.2f; estimated full-matrix time: %s -> %s\n",
+                "", k, util::format_duration(est_full).c_str(),
+                est_full > budget_s ? "HALTED (exceeds budget, as in the paper)"
+                                    : "within budget");
+  }
+  std::printf("\n(the paper halted both baselines after 24 h on the real data; the\n"
+              " role-diet method finished in minutes — same qualitative outcome here.)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// method_shootout: run all three detection methods (§III-C) on the same
+// synthetic workload and compare wall time and recall — a miniature,
+// interactive version of the paper's Fig. 2/3 experiments.
+//
+// Usage:
+//   method_shootout [ROLES] [USERS] [THRESHOLD]
+//
+// Defaults: 2000 roles, 1000 users, threshold 0 (same-set detection).
+// Ground truth comes from the generator's planted clusters, so recall is
+// exact, not estimated.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/group_finder.hpp"
+#include "gen/matrix_generator.hpp"
+#include "util/timer.hpp"
+
+using namespace rolediet;
+
+namespace {
+
+/// Fraction of planted-group role slots the method recovered.
+double recall_vs(const core::RoleGroups& truth, const core::RoleGroups& found) {
+  if (truth.roles_in_groups() == 0) return 1.0;
+  std::size_t hit = 0;
+  // A planted role counts as found when some detected group contains it
+  // together with at least one other member of its planted group.
+  for (const auto& planted : truth.groups) {
+    for (std::size_t role : planted) {
+      for (const auto& group : found.groups) {
+        const bool has_role = std::binary_search(group.begin(), group.end(), role);
+        if (!has_role) continue;
+        for (std::size_t partner : planted) {
+          if (partner != role && std::binary_search(group.begin(), group.end(), partner)) {
+            ++hit;
+            goto next_role;
+          }
+        }
+      }
+    next_role:;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.roles_in_groups());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gen::MatrixGenParams params;
+  params.roles = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  params.cols = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1000;
+  const std::size_t threshold = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 0;
+  params.clustered_fraction = 0.2;  // the paper's setting
+  params.max_cluster_size = 10;
+  params.perturb_bits = threshold;  // plant clusters detectable at the threshold
+  params.seed = 42;
+
+  std::printf("workload: %zu roles x %zu users, 20%% clustered, threshold %zu\n",
+              params.roles, params.cols, threshold);
+  const gen::GeneratedMatrix workload = gen::generate_matrix(params);
+  std::printf("planted: %zu clusters / %zu roles\n\n", workload.planted.group_count(),
+              workload.planted.roles_in_groups());
+
+  std::printf("%-14s %12s %10s %10s %8s\n", "method", "time", "groups", "roles", "recall");
+  for (core::Method method :
+       {core::Method::kRoleDiet, core::Method::kExactDbscan, core::Method::kApproxHnsw}) {
+    const std::unique_ptr<core::GroupFinder> finder = core::make_group_finder(method);
+    util::Stopwatch watch;
+    const core::RoleGroups found = threshold == 0
+                                       ? finder->find_same(workload.matrix)
+                                       : finder->find_similar(workload.matrix, threshold);
+    const double seconds = watch.seconds();
+    std::printf("%-14s %12s %10zu %10zu %7.1f%%\n", std::string(finder->name()).c_str(),
+                util::format_duration(seconds).c_str(), found.group_count(),
+                found.roles_in_groups(), 100.0 * recall_vs(workload.planted, found));
+  }
+  std::printf("\nExact methods recover 100%% of planted roles; HNSW may trade recall for\n"
+              "speed at scale (the paper re-runs the cleanup periodically to converge).\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every figure/table of the paper plus the extension benches.
+set -u
+cd /root/repo
+out=/root/repo/bench_output.txt
+: > "$out"
+for b in bench_fig2_users_sweep bench_fig3_roles_sweep bench_similar_sweep \
+         bench_real_org bench_convergence bench_ablation bench_micro; do
+  echo "############ $b ############" >> "$out"
+  ./build/bench/$b >> "$out" 2>&1
+  echo "" >> "$out"
+done
+echo "ALL BENCHES DONE" >> "$out"

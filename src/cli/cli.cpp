@@ -1,0 +1,372 @@
+#include "cli/cli.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "core/consolidation.hpp"
+#include "core/framework.hpp"
+#include "core/remediation.hpp"
+#include "gen/matrix_generator.hpp"
+#include "gen/org_simulator.hpp"
+#include "io/binary.hpp"
+#include "io/csv.hpp"
+#include "io/json_writer.hpp"
+#include "io/report_csv.hpp"
+#include "util/timer.hpp"
+
+namespace rolediet::cli {
+
+namespace {
+
+/// Tiny argument cursor. Owns a copy of the args so flag/option extraction
+/// can splice freely; positional arguments are consumed front-to-back.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  [[nodiscard]] bool done() const noexcept { return index_ >= args_.size(); }
+  [[nodiscard]] const std::string& peek() const { return args_[index_]; }
+  const std::string& take() { return args_[index_++]; }
+
+  /// Consumes `flag` if present anywhere ahead; order-insensitive flags.
+  bool take_flag(const std::string& flag) {
+    for (std::size_t i = index_; i < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Consumes `--key VALUE` if present; returns the value.
+  std::optional<std::string> take_option(const std::string& key) {
+    for (std::size_t i = index_; i + 1 < args_.size(); ++i) {
+      if (args_[i] == key) {
+        std::string value = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                    args_.begin() + static_cast<std::ptrdiff_t>(i + 2));
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::size_t index_ = 0;
+};
+
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+std::size_t parse_size(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long value = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    throw UsageError("invalid " + what + ": '" + text + "'");
+  }
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("invalid " + what + ": '" + text + "'");
+  }
+}
+
+core::Method parse_method(const std::string& name) {
+  if (name == "role-diet") return core::Method::kRoleDiet;
+  if (name == "exact-dbscan") return core::Method::kExactDbscan;
+  if (name == "approx-hnsw") return core::Method::kApproxHnsw;
+  if (name == "approx-minhash") return core::Method::kApproxMinhash;
+  throw UsageError("unknown method '" + name +
+                   "' (expected role-diet, exact-dbscan, approx-hnsw, or approx-minhash)");
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+// ----------------------------------------------------------------- audit ---
+
+int cmd_audit(Args& args, std::ostream& out) {
+  core::AuditOptions options;
+  if (auto method = args.take_option("--method")) options.method = parse_method(*method);
+  if (auto threshold = args.take_option("--threshold"))
+    options.similarity_threshold = parse_size(*threshold, "--threshold");
+  if (auto jaccard = args.take_option("--jaccard")) {
+    options.similarity_mode = core::SimilarityMode::kJaccard;
+    options.jaccard_dissimilarity = parse_double(*jaccard, "--jaccard");
+    if (options.jaccard_dissimilarity < 0.0 || options.jaccard_dissimilarity > 1.0)
+      throw UsageError("--jaccard must be within [0, 1]");
+  }
+  if (auto budget = args.take_option("--budget"))
+    options.time_budget_s = parse_double(*budget, "--budget");
+  const std::optional<std::string> json_path = args.take_option("--json");
+  const std::optional<std::string> csv_path = args.take_option("--csv");
+
+  if (args.done()) throw UsageError("audit: missing dataset directory");
+  const std::string dir = args.take();
+  if (!args.done()) throw UsageError("audit: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset dataset = io::load_dataset(dir);
+  const core::AuditReport report = core::audit(dataset, options);
+  out << report.to_text();
+
+  if (json_path) write_text_file(*json_path, io::report_to_json(report, dataset));
+  if (csv_path) write_text_file(*csv_path, io::report_to_csv(report, dataset));
+  return 0;
+}
+
+// ------------------------------------------------------------------ diet ---
+
+int cmd_diet(Args& args, std::ostream& out) {
+  const bool dry_run = args.take_flag("--dry-run");
+  const bool remove_entities = args.take_flag("--remove-standalone-entities");
+  const bool skip_remediation = args.take_flag("--skip-remediation");
+  const bool skip_consolidation = args.take_flag("--skip-consolidation");
+
+  if (args.done()) throw UsageError("diet: missing dataset directory");
+  const std::string in_dir = args.take();
+  std::string out_dir;
+  if (!dry_run) {
+    if (args.done()) throw UsageError("diet: missing output directory (or use --dry-run)");
+    out_dir = args.take();
+  }
+  if (!args.done()) throw UsageError("diet: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset original = io::load_dataset(in_dir);
+  core::RbacDataset current = original;
+  out << "loaded: " << current.num_users() << " users, " << current.num_roles() << " roles, "
+      << current.num_permissions() << " permissions\n";
+
+  core::RemediationPlan remediation_plan;
+  if (!skip_remediation) {
+    const core::AuditReport report = core::audit(current, {.detect_similar = false});
+    core::RemediationPolicy policy;
+    policy.remove_standalone_users = remove_entities;
+    policy.remove_standalone_permissions = remove_entities;
+    remediation_plan = core::plan_remediation(current, report, policy);
+    out << remediation_plan.to_text(current);
+    if (!dry_run) {
+      core::RbacDataset next = core::apply_remediation(current, remediation_plan);
+      if (!core::verify_remediation(current, next, remediation_plan)) {
+        out << "remediation verification FAILED; aborting\n";
+        return 1;
+      }
+      current = std::move(next);
+    }
+  }
+
+  if (!skip_consolidation) {
+    if (dry_run) {
+      const core::AuditReport report = core::audit(current, {.detect_similar = false});
+      out << "consolidation plan: " << report.same_user_groups.group_count()
+          << " same-users groups + " << report.same_permission_groups.group_count()
+          << " same-permissions groups, up to " << report.reducible_roles()
+          << " roles removable\n";
+    } else {
+      core::ConsolidationStats stats;
+      core::RbacDataset next = core::consolidate_duplicates(current, &stats);
+      if (!core::verify_equivalence(current, next)) {
+        out << "consolidation verification FAILED; aborting\n";
+        return 1;
+      }
+      out << "consolidation: " << stats.roles_before << " -> " << stats.roles_after
+          << " roles (" << stats.removed_same_users << " same-users merges, "
+          << stats.removed_same_permissions << " same-permissions merges)\n";
+      current = std::move(next);
+    }
+  }
+
+  if (dry_run) {
+    out << "dry run: no changes written\n";
+    return 0;
+  }
+  io::save_dataset(current, out_dir);
+  out << "diet complete: " << original.num_roles() << " -> " << current.num_roles()
+      << " roles; written to " << out_dir << "\n";
+  return 0;
+}
+
+// -------------------------------------------------------------- generate ---
+
+int cmd_generate(Args& args, std::ostream& out) {
+  if (args.done()) throw UsageError("generate: expected 'org' or 'matrix'");
+  const std::string kind = args.take();
+
+  if (kind == "org") {
+    gen::OrgProfile profile = gen::OrgProfile::small();
+    if (args.take_flag("--paper-scale")) profile = gen::OrgProfile::paper_scale();
+    if (auto seed = args.take_option("--seed")) profile.seed = parse_size(*seed, "--seed");
+    if (args.done()) throw UsageError("generate org: missing output directory");
+    const std::string dir = args.take();
+    if (!args.done()) throw UsageError("generate org: unexpected argument '" + args.peek() + "'");
+
+    const gen::OrgDataset org = gen::generate_org(profile);
+    io::save_dataset(org.dataset, dir);
+    out << "generated org: " << org.dataset.num_users() << " users, "
+        << org.dataset.num_roles() << " roles, " << org.dataset.num_permissions()
+        << " permissions -> " << dir << "\n";
+    return 0;
+  }
+
+  if (kind == "matrix") {
+    gen::MatrixGenParams params;
+    if (auto roles = args.take_option("--roles")) params.roles = parse_size(*roles, "--roles");
+    if (auto users = args.take_option("--users")) params.cols = parse_size(*users, "--users");
+    if (auto seed = args.take_option("--seed")) params.seed = parse_size(*seed, "--seed");
+    if (args.done()) throw UsageError("generate matrix: missing output directory");
+    const std::string dir = args.take();
+    if (!args.done())
+      throw UsageError("generate matrix: unexpected argument '" + args.peek() + "'");
+
+    const gen::GeneratedMatrix workload = gen::generate_matrix(params);
+    // Emit as an RBAC dataset whose RUAM is the generated matrix.
+    core::RbacDataset dataset;
+    dataset.add_users(params.cols);
+    dataset.add_roles(params.roles);
+    for (std::size_t r = 0; r < workload.matrix.rows(); ++r) {
+      for (std::uint32_t c : workload.matrix.row(r)) {
+        dataset.assign_user(static_cast<core::Id>(r), c);
+      }
+    }
+    io::save_dataset(dataset, dir);
+    out << "generated matrix: " << params.roles << " roles x " << params.cols << " users, "
+        << workload.planted.group_count() << " planted duplicate groups -> " << dir << "\n";
+    return 0;
+  }
+
+  throw UsageError("generate: unknown kind '" + kind + "' (expected org or matrix)");
+}
+
+// --------------------------------------------------------------- compare ---
+
+int cmd_compare(Args& args, std::ostream& out) {
+  std::size_t threshold = 0;
+  if (auto value = args.take_option("--threshold"))
+    threshold = parse_size(*value, "--threshold");
+  if (args.done()) throw UsageError("compare: missing dataset directory");
+  const std::string dir = args.take();
+  if (!args.done()) throw UsageError("compare: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset dataset = io::load_dataset(dir);
+  out << "comparing methods on " << dataset.num_roles() << " roles ("
+      << (threshold == 0 ? "same-set detection" : "similar, t=" + std::to_string(threshold))
+      << ", RUAM)\n";
+
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-14s %14s %10s %10s\n", "method", "time", "groups",
+                "roles");
+  out << line;
+  for (core::Method method : {core::Method::kRoleDiet, core::Method::kExactDbscan,
+                              core::Method::kApproxHnsw}) {
+    const auto finder = core::make_group_finder(method);
+    util::Stopwatch watch;
+    const core::RoleGroups groups = threshold == 0
+                                        ? finder->find_same(dataset.ruam())
+                                        : finder->find_similar(dataset.ruam(), threshold);
+    std::snprintf(line, sizeof(line), "%-14s %14s %10zu %10zu\n",
+                  std::string(finder->name()).c_str(),
+                  util::format_duration(watch.seconds()).c_str(), groups.group_count(),
+                  groups.roles_in_groups());
+    out << line;
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- convert ---
+
+int cmd_convert(Args& args, std::ostream& out) {
+  if (args.done()) throw UsageError("convert: missing input path");
+  const std::string in_path = args.take();
+  if (args.done()) throw UsageError("convert: missing output path");
+  const std::string out_path = args.take();
+  if (!args.done()) throw UsageError("convert: unexpected argument '" + args.peek() + "'");
+
+  // Input format by shape: a directory is a CSV dataset, a file is binary.
+  core::RbacDataset dataset;
+  if (std::filesystem::is_directory(in_path)) {
+    dataset = io::load_dataset(in_path);
+  } else {
+    dataset = io::load_dataset_binary(in_path);
+  }
+  // Output format likewise: paths ending in '/' or existing directories get
+  // CSV; anything else gets the binary format.
+  const bool to_csv = out_path.back() == '/' || std::filesystem::is_directory(out_path);
+  if (to_csv) {
+    io::save_dataset(dataset, out_path);
+  } else {
+    io::save_dataset_binary(dataset, out_path);
+  }
+  out << "converted " << dataset.num_roles() << " roles (" << dataset.ruam().nnz() << "+"
+      << dataset.rpam().nnz() << " edges) to " << (to_csv ? "csv" : "binary") << ": "
+      << out_path << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ help ---
+
+int cmd_help(std::ostream& out) {
+  out << "rolediet - RBAC inefficiency detection and cleanup "
+         "(IAM Role Diet, DSN-S 2025)\n\n"
+         "usage: rolediet SUBCOMMAND [ARGS]\n\n"
+         "subcommands:\n"
+         "  audit DIR      detect all five inefficiency types; options:\n"
+         "                 --method role-diet|exact-dbscan|approx-hnsw\n"
+         "                 --threshold N (hamming) | --jaccard F (relative)\n"
+         "                 --budget SECONDS  --json FILE  --csv FILE\n"
+         "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
+         "                 --dry-run  --remove-standalone-entities\n"
+         "                 --skip-remediation  --skip-consolidation\n"
+         "  generate org DIR     [--paper-scale] [--seed N]\n"
+         "  generate matrix DIR  [--roles N] [--users N] [--seed N]\n"
+         "  compare DIR    [--threshold N]  run all detection methods\n"
+         "  convert IN OUT directory = CSV dataset, file = binary format\n"
+         "  help           this text\n\n"
+         "Datasets are directories of CSV files: entities.csv (kind,name),\n"
+         "assignments.csv (role,user), grants.csv (role,permission).\n";
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    Args cursor(args);
+    if (cursor.done()) {
+      cmd_help(out);
+      return 2;
+    }
+    const std::string command = cursor.take();
+    if (command == "audit") return cmd_audit(cursor, out);
+    if (command == "diet") return cmd_diet(cursor, out);
+    if (command == "generate") return cmd_generate(cursor, out);
+    if (command == "compare") return cmd_compare(cursor, out);
+    if (command == "convert") return cmd_convert(cursor, out);
+    if (command == "help" || command == "--help" || command == "-h") return cmd_help(out);
+    throw UsageError("unknown subcommand '" + command + "'");
+  } catch (const UsageError& e) {
+    err << "usage error: " << e.what() << "\n";
+    err << "run 'rolediet help' for usage\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rolediet::cli

@@ -1,0 +1,42 @@
+// rolediet command-line tool, as a testable library function.
+//
+// Subcommands (all dataset arguments are CSV directories in the io::csv
+// format: entities.csv / assignments.csv / grants.csv):
+//
+//   rolediet audit DIR [--method role-diet|exact-dbscan|approx-hnsw]
+//                      [--threshold N] [--jaccard F] [--budget SECONDS]
+//                      [--json FILE] [--csv FILE]
+//       Run the full inefficiency audit and print the findings summary.
+//
+//   rolediet diet DIR OUT_DIR [--dry-run] [--remove-standalone-entities]
+//                             [--skip-remediation] [--skip-consolidation]
+//       Plan and apply the safe cleanup (remediation + duplicate-role
+//       consolidation), verify equivalence, and write the slimmed dataset.
+//       --dry-run prints the plan without writing anything.
+//
+//   rolediet generate org DIR [--paper-scale] [--seed N]
+//   rolediet generate matrix DIR [--roles N] [--users N] [--seed N]
+//       Produce a synthetic dataset in CSV form.
+//
+//   rolediet compare DIR [--threshold N]
+//       Run all three detection methods on the dataset and print a timing /
+//       agreement table.
+//
+//   rolediet help [SUBCOMMAND]
+//
+// The binary in tools/rolediet.cpp is a thin wrapper; tests drive run()
+// directly with captured streams.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rolediet::cli {
+
+/// Executes the tool. `args` excludes the program name (like argv + 1).
+/// Returns the process exit code: 0 success, 1 operation failure (bad data,
+/// failed verification), 2 usage error.
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace rolediet::cli

@@ -1,0 +1,198 @@
+#include "cluster/dbscan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "linalg/convert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rolediet::cluster {
+
+namespace {
+
+/// Brute-force region query: all points within eps of `center` (inclusive),
+/// including `center` itself — matching the original paper's definition of
+/// the eps-neighborhood.
+std::vector<std::size_t> region_query(const linalg::BitMatrix& points, std::size_t center,
+                                      const DbscanParams& params) {
+  std::vector<std::size_t> neighbors;
+  const auto center_row = points.row(center);
+  for (std::size_t j = 0; j < points.rows(); ++j) {
+    const std::size_t d =
+        params.metric == MetricKind::kJaccard
+            ? distance(params.metric, center_row, points.row(j))
+            : util::hamming_words_bounded(center_row, points.row(j), params.eps);
+    if (d <= params.eps) neighbors.push_back(j);
+  }
+  return neighbors;
+}
+
+/// Precomputes all neighborhoods in parallel. Memory is O(sum of neighborhood
+/// sizes); used when params.threads != 1 to amortize the quadratic distance
+/// phase across cores before the (inherently sequential) expansion phase.
+std::vector<std::vector<std::size_t>> all_region_queries(const linalg::BitMatrix& points,
+                                                         const DbscanParams& params,
+                                                         std::size_t& queries_out) {
+  std::vector<std::vector<std::size_t>> neighborhoods(points.rows());
+  std::atomic<std::size_t> queries{0};
+  util::ThreadPool local_pool(params.threads == 0 ? 0 : params.threads);
+  local_pool.parallel_for(
+      points.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          neighborhoods[i] = region_query(points, i, params);
+        }
+        queries.fetch_add(end - begin, std::memory_order_relaxed);
+      },
+      /*grain=*/64);  // each item is an O(n) scan; fine-grained chunks pay off
+  queries_out = queries.load();
+  return neighborhoods;
+}
+
+/// Inverted-index region queries (Hamming metric): candidates sharing at
+/// least one column are enumerated through the transpose with co-occurrence
+/// counts, then filtered by d = |Ri| + |Rj| - 2g; disjoint rows within eps
+/// (d = |Ri| + |Rj|) come from a norm-sorted sweep. Exact, like brute force.
+class InvertedIndexQuerier {
+ public:
+  InvertedIndexQuerier(const linalg::BitMatrix& points, std::size_t eps)
+      : sparse_(linalg::to_sparse(points)),
+        transpose_(sparse_.transpose()),
+        eps_(eps),
+        count_(points.rows(), 0) {
+    for (std::size_t r = 0; r < sparse_.rows(); ++r) {
+      const std::size_t norm = sparse_.row_size(r);
+      // Disjoint pairs satisfy d = |Ri| + |Rj| <= eps, so any row with
+      // |Rj| <= eps (including empty rows) can qualify.
+      if (norm <= eps_) tiny_.emplace_back(norm, r);
+    }
+    std::sort(tiny_.begin(), tiny_.end());
+  }
+
+  /// Not thread-safe (scratch counters); used from the sequential path.
+  std::vector<std::size_t> query(std::size_t i, std::size_t& evals) {
+    std::vector<std::size_t> neighbors{i};  // the point itself
+    const std::size_t norm_i = sparse_.row_size(i);
+
+    for (std::uint32_t col : sparse_.row(i)) {
+      for (std::uint32_t j : transpose_.row(col)) {
+        if (static_cast<std::size_t>(j) == i) continue;
+        if (count_[j] == 0) touched_.push_back(j);
+        ++count_[j];
+      }
+    }
+    evals += touched_.size();
+    for (std::uint32_t j : touched_) {
+      const std::size_t d = norm_i + sparse_.row_size(j) - 2 * count_[j];
+      if (d <= eps_) neighbors.push_back(j);
+      count_[j] = 0;
+    }
+    touched_.clear();
+
+    // Disjoint rows: d = |Ri| + |Rj| <= eps. Tiny rows are norm-sorted, so
+    // the scan stops at the first row too large to qualify; rows that do
+    // share a column were already added above and must be skipped — they
+    // carry d < |Ri| + |Rj|, so a duplicate entry would be wrong only in
+    // being listed twice; dedup at the end handles it.
+    if (norm_i <= eps_) {
+      for (const auto& [norm_j, j] : tiny_) {
+        if (norm_i + norm_j > eps_) break;
+        if (j != i) neighbors.push_back(j);
+      }
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()), neighbors.end());
+    return neighbors;
+  }
+
+ private:
+  linalg::CsrMatrix sparse_;
+  linalg::CsrMatrix transpose_;
+  std::size_t eps_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::pair<std::size_t, std::size_t>> tiny_;  // (norm, row)
+};
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> DbscanResult::clusters() const {
+  std::vector<std::vector<std::size_t>> out(n_clusters);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != kNoise) out[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  return out;
+}
+
+DbscanResult dbscan(const linalg::BitMatrix& points, const DbscanParams& params) {
+  const std::size_t n = points.rows();
+  constexpr std::int32_t kUnvisited = -2;
+
+  DbscanResult result;
+  result.labels.assign(n, kUnvisited);
+
+  const bool indexed = params.region_strategy == RegionStrategy::kInvertedIndex;
+  if (indexed && params.metric == MetricKind::kJaccard)
+    throw std::invalid_argument("dbscan: inverted-index regions require the Hamming metric");
+
+  // Optional precomputation of all neighborhoods (parallel mode, brute only).
+  std::vector<std::vector<std::size_t>> precomputed;
+  const bool use_precomputed = !indexed && params.threads != 1;
+  if (use_precomputed) precomputed = all_region_queries(points, params, result.region_queries);
+
+  std::optional<InvertedIndexQuerier> index;
+  if (indexed) index.emplace(points, params.eps);
+
+  std::size_t indexed_evals = 0;
+  auto neighbors_of = [&](std::size_t p) -> std::vector<std::size_t> {
+    if (use_precomputed) return precomputed[p];
+    ++result.region_queries;
+    if (indexed) return index->query(p, indexed_evals);
+    return region_query(points, p, params);
+  };
+
+  std::int32_t next_label = 0;
+  std::deque<std::size_t> seeds;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    if (result.labels[p] != kUnvisited) continue;
+
+    std::vector<std::size_t> neighborhood = neighbors_of(p);
+    if (neighborhood.size() < params.min_pts) {
+      result.labels[p] = DbscanResult::kNoise;
+      continue;
+    }
+
+    // p is a core point: start a new cluster and expand it.
+    const std::int32_t cluster = next_label++;
+    result.labels[p] = cluster;
+    seeds.assign(neighborhood.begin(), neighborhood.end());
+
+    while (!seeds.empty()) {
+      const std::size_t q = seeds.front();
+      seeds.pop_front();
+
+      if (result.labels[q] == DbscanResult::kNoise) {
+        result.labels[q] = cluster;  // former noise becomes a border point
+        continue;
+      }
+      if (result.labels[q] != kUnvisited) continue;
+
+      result.labels[q] = cluster;
+      std::vector<std::size_t> q_neighborhood = neighbors_of(q);
+      if (q_neighborhood.size() >= params.min_pts) {
+        // q is itself core: its neighborhood is density-reachable.
+        seeds.insert(seeds.end(), q_neighborhood.begin(), q_neighborhood.end());
+      }
+    }
+  }
+
+  result.n_clusters = static_cast<std::size_t>(next_label);
+  result.distance_evaluations = indexed ? indexed_evals : result.region_queries * n;
+  return result;
+}
+
+}  // namespace rolediet::cluster

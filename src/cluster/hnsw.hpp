@@ -1,0 +1,158 @@
+// HNSW — Hierarchical Navigable Small World graphs for approximate nearest
+// neighbor search (Malkov & Yashunin, 2018).
+//
+// This is the paper's *approximate clustering* baseline (§III-C): build an
+// index over all role rows with Manhattan distance (== Hamming on binary
+// data), then query each role for near neighbors. Approximate search trades
+// recall for speed — the paper argues missed group members are acceptable
+// because the cleanup job re-runs periodically.
+//
+// Full implementation of the published algorithm:
+//  - exponentially distributed level assignment, mult = 1/ln(M);
+//  - greedy single-entry descent through the upper layers (Alg. 2 with ef=1);
+//  - beam search with dynamic candidate list of width ef at the target layer
+//    (SEARCH-LAYER, Alg. 2);
+//  - neighbor selection by the distance heuristic (SELECT-NEIGHBORS-HEURISTIC,
+//    Alg. 4) which keeps diverse edges, with keep-pruned-connections;
+//  - bidirectional linking with per-layer degree caps (M at layers >= 1,
+//    2M at layer 0), pruned by the same heuristic.
+//
+// Determinism: level draws come from a seeded xoshiro PRNG, so index
+// construction and therefore search results are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/metric.hpp"
+#include "linalg/bit_matrix.hpp"
+#include "util/prng.hpp"
+
+namespace rolediet::cluster {
+
+struct HnswParams {
+  std::size_t m = 16;                ///< max out-degree per node on layers >= 1
+  std::size_t ef_construction = 200; ///< beam width during insertion
+  std::size_t ef_search = 64;        ///< beam width during queries
+  std::uint64_t seed = 42;           ///< level-assignment PRNG seed
+  /// Distance between rows. Hamming (== Manhattan on 0/1 data, the paper's
+  /// setting) or scaled Jaccard for relative similarity.
+  MetricKind metric = MetricKind::kHamming;
+};
+
+/// A search hit: point id and its distance to the query.
+struct Neighbor {
+  std::size_t id = 0;
+  std::size_t dist = 0;
+
+  [[nodiscard]] bool operator==(const Neighbor&) const noexcept = default;
+};
+
+/// HNSW index over the rows of a bit matrix. The matrix must outlive the
+/// index (rows are referenced, not copied).
+class HnswIndex {
+ public:
+  HnswIndex(const linalg::BitMatrix& points, HnswParams params);
+
+  /// Inserts point `id` (a row of the matrix). Each id may be added once.
+  void add(std::size_t id);
+
+  /// Builds the index over all rows in index order.
+  void add_all();
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// k approximate nearest neighbors of row `query_id`, nearest first.
+  /// The query point itself is included if indexed (distance 0).
+  [[nodiscard]] std::vector<Neighbor> search(std::size_t query_id, std::size_t k) const;
+
+  /// k approximate nearest neighbors of an external packed vector (must have
+  /// the same word width as the matrix rows).
+  [[nodiscard]] std::vector<Neighbor> search_vector(std::span<const std::uint64_t> query,
+                                                    std::size_t k) const;
+
+  /// All indexed points within `radius` of row `query_id` that the beam of
+  /// width max(ef_search, min_ef) reaches. Approximate: recall < 1 possible.
+  [[nodiscard]] std::vector<Neighbor> range_search(std::size_t query_id, std::size_t radius,
+                                                   std::size_t min_ef = 0) const;
+
+  /// Current top layer of the hierarchy (for diagnostics/tests).
+  [[nodiscard]] int max_level() const noexcept { return max_level_; }
+
+  /// Row id of the current entry point; nullopt while the index is empty.
+  [[nodiscard]] std::optional<std::size_t> entry_id() const noexcept;
+
+  /// Out-neighbors (row ids) of `id` at `layer`. Diagnostic/test hook.
+  [[nodiscard]] std::vector<std::size_t> neighbors_of(std::size_t id, int layer) const;
+
+  /// Total pairwise distance evaluations since construction (build + all
+  /// queries). Not synchronized: meaningful only for single-threaded use,
+  /// which is how the finders drive the index. Contrast with DBSCAN's
+  /// n-squared count to see where the Fig. 3 crossover comes from.
+  [[nodiscard]] std::size_t distance_evaluations() const noexcept { return distance_evals_; }
+
+ private:
+  struct Node {
+    std::size_t id = 0;
+    int level = 0;
+    /// links[l] = neighbor slots at layer l, 0 <= l <= level.
+    std::vector<std::vector<std::uint32_t>> links;
+    /// Layer-0 anchor edges: one per adjacent spanning-tree edge. Anchors are
+    /// permanent — shrink_links() never removes them — so the layer-0 graph
+    /// always contains a spanning tree of bidirectional edges and every node
+    /// stays reachable from the entry point. Without this, heavy distance
+    /// ties (binary RBAC rows) let the diversity heuristic erode all in-links
+    /// of non-hub nodes and whole regions become unsearchable.
+    std::vector<std::uint32_t> anchors;
+  };
+
+  [[nodiscard]] std::size_t dist(std::size_t a, std::size_t b) const noexcept {
+    ++distance_evals_;
+    return distance(params_.metric, points_.row(a), points_.row(b));
+  }
+  [[nodiscard]] std::size_t dist_to(std::span<const std::uint64_t> q,
+                                    std::size_t b) const noexcept {
+    ++distance_evals_;
+    return distance(params_.metric, q, points_.row(b));
+  }
+
+  /// Greedy descent at one layer from `entry`, moving to any strictly closer
+  /// neighbor until a local minimum (Alg. 2 specialized to ef = 1).
+  [[nodiscard]] Neighbor greedy_step(std::span<const std::uint64_t> q, Neighbor entry,
+                                     int layer) const;
+
+  /// Beam search (SEARCH-LAYER): returns up to `ef` nearest candidates found
+  /// from `entry` at `layer`, sorted nearest first.
+  [[nodiscard]] std::vector<Neighbor> search_layer(std::span<const std::uint64_t> q,
+                                                   Neighbor entry, std::size_t ef,
+                                                   int layer) const;
+
+  /// SELECT-NEIGHBORS-HEURISTIC: picks up to `m` diverse neighbors from
+  /// `candidates` (sorted nearest first).
+  [[nodiscard]] std::vector<std::uint32_t> select_neighbors(std::size_t node_id,
+                                                            std::vector<Neighbor> candidates,
+                                                            std::size_t m) const;
+
+  /// Re-prunes `node`'s link list at `layer` when it exceeds the cap.
+  /// Anchor edges (layer 0) are always retained, even above the cap.
+  void shrink_links(std::uint32_t node, int layer);
+
+  [[nodiscard]] int draw_level() noexcept;
+  [[nodiscard]] std::size_t layer_capacity(int layer) const noexcept {
+    return layer == 0 ? 2 * params_.m : params_.m;
+  }
+
+  const linalg::BitMatrix& points_;
+  HnswParams params_;
+  double level_mult_;
+  util::Xoshiro256 rng_;
+
+  std::vector<Node> nodes_;               // dense, slot == insertion order
+  std::vector<std::int32_t> slot_of_id_;  // row id -> node slot, -1 if absent
+  std::int32_t entry_point_ = -1;         // slot of the top-layer entry node
+  int max_level_ = -1;
+  mutable std::size_t distance_evals_ = 0;
+};
+
+}  // namespace rolediet::cluster

@@ -1,0 +1,71 @@
+// Distance metrics over packed binary row vectors.
+//
+// The paper's parameterization (§III-C):
+//  - roles sharing the *same* users coincide in space, so any metric works
+//    with eps = 0;
+//  - roles sharing *similar* users need a metric that counts differing
+//    coordinates — Hamming distance. On 0/1 vectors Manhattan (L1) distance
+//    equals Hamming distance, which is why the paper's HNSW baseline uses
+//    Manhattan; we expose both names over the same kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/bitops.hpp"
+
+namespace rolediet::cluster {
+
+enum class MetricKind {
+  kHamming,    ///< number of differing coordinates
+  kManhattan,  ///< L1; identical to Hamming on binary vectors
+  kJaccard,    ///< 1 - |a∩b| / |a∪b|, scaled — see jaccard_scaled()
+};
+
+/// Hamming distance between packed rows.
+[[nodiscard]] inline std::size_t hamming(std::span<const std::uint64_t> a,
+                                         std::span<const std::uint64_t> b) noexcept {
+  return util::hamming_words(a, b);
+}
+
+/// Fixed-point scale for Jaccard dissimilarity: distances are integers in
+/// [0, kJaccardScale], where kJaccardScale means "disjoint sets".
+inline constexpr std::size_t kJaccardScale = 1'000'000;
+
+/// Jaccard dissimilarity from set sizes: kJaccardScale * (1 - g / union)
+/// with union = |a| + |b| - g. Exposed so the sparse co-occurrence method
+/// computes bit-identical values to the dense kernel below (both use the
+/// same integer division).
+[[nodiscard]] constexpr std::size_t jaccard_scaled_from_counts(std::size_t size_a,
+                                                               std::size_t size_b,
+                                                               std::size_t g) noexcept {
+  const std::size_t uni = size_a + size_b - g;
+  if (uni == 0) return 0;  // two empty sets are identical
+  return kJaccardScale - (g * kJaccardScale) / uni;
+}
+
+/// Jaccard *dissimilarity* scaled to integer space over packed rows.
+/// Integer-valued so all metrics share one comparison type.
+[[nodiscard]] inline std::size_t jaccard_scaled(std::span<const std::uint64_t> a,
+                                                std::span<const std::uint64_t> b) noexcept {
+  const std::size_t inter = util::intersection_words(a, b);
+  const std::size_t pop_a = util::popcount_span(a);
+  const std::size_t pop_b = util::popcount_span(b);
+  return jaccard_scaled_from_counts(pop_a, pop_b, inter);
+}
+
+/// Dispatches on the metric kind. Hamming and Manhattan share the kernel.
+[[nodiscard]] inline std::size_t distance(MetricKind kind, std::span<const std::uint64_t> a,
+                                          std::span<const std::uint64_t> b) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      return hamming(a, b);
+    case MetricKind::kJaccard:
+      return jaccard_scaled(a, b);
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace rolediet::cluster

@@ -1,0 +1,91 @@
+#include "cluster/minhash.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rolediet::cluster {
+
+namespace {
+
+constexpr std::uint64_t kEmptySlot = std::numeric_limits<std::uint64_t>::max();
+
+/// h_i(x): one draw from a 2-independent-ish family keyed per slot.
+std::uint64_t slot_hash(std::uint64_t slot_key, std::uint32_t element) noexcept {
+  return util::mix64(slot_key ^ util::mix64(element + 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace
+
+MinHashLsh::MinHashLsh(const linalg::CsrMatrix& rows, MinHashParams params)
+    : params_(params) {
+  const std::size_t k = params_.signature_size();
+
+  // Per-slot keys derived from the seed.
+  std::vector<std::uint64_t> slot_keys(k);
+  util::Xoshiro256 rng(params_.seed);
+  for (auto& key : slot_keys) key = rng();
+
+  signatures_.resize(rows.rows());
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    auto& sig = signatures_[r];
+    sig.assign(k, kEmptySlot);
+    for (std::uint32_t element : rows.row(r)) {
+      for (std::size_t i = 0; i < k; ++i) {
+        sig[i] = std::min(sig[i], slot_hash(slot_keys[i], element));
+      }
+    }
+  }
+
+  // Band buckets: digest each band's slot run. Empty rows (all slots are the
+  // sentinel) are excluded — empty roles are type-2 findings, not duplicates.
+  band_buckets_.resize(params_.bands);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    if (rows.row_size(r) == 0) continue;
+    const auto& sig = signatures_[r];
+    for (std::size_t band = 0; band < params_.bands; ++band) {
+      std::uint64_t digest = 0x243F6A8885A308D3ULL ^ util::mix64(band);
+      for (std::size_t i = 0; i < params_.rows_per_band; ++i) {
+        digest ^= util::mix64(sig[band * params_.rows_per_band + i] + i);
+        digest *= 0x100000001B3ULL;
+      }
+      band_buckets_[band].emplace_back(digest, static_cast<std::uint32_t>(r));
+    }
+  }
+  for (auto& bucket : band_buckets_) {
+    std::sort(bucket.begin(), bucket.end());
+  }
+}
+
+double MinHashLsh::estimate_similarity(std::size_t a, std::size_t b) const {
+  const auto& sa = signatures_.at(a);
+  const auto& sb = signatures_.at(b);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i) matches += (sa[i] == sb[i]);
+  return sa.empty() ? 1.0 : static_cast<double>(matches) / static_cast<double>(sa.size());
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> MinHashLsh::candidate_pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& bucket : band_buckets_) {
+    // Equal digests are adjacent after sorting; emit all pairs per run.
+    std::size_t run_begin = 0;
+    for (std::size_t i = 1; i <= bucket.size(); ++i) {
+      if (i == bucket.size() || bucket[i].first != bucket[run_begin].first) {
+        for (std::size_t x = run_begin; x < i; ++x) {
+          for (std::size_t y = x + 1; y < i; ++y) {
+            pairs.emplace_back(bucket[x].second, bucket[y].second);
+          }
+        }
+        run_begin = i;
+      }
+    }
+  }
+  for (auto& [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace rolediet::cluster

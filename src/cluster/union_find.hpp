@@ -1,0 +1,76 @@
+// Disjoint-set forest with union by size and path halving.
+//
+// Groups of equivalent/similar roles are built by unioning pairwise matches;
+// near-constant amortized find keeps grouping linear in the number of
+// matched pairs.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace rolediet::cluster {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Representative of x's set, with path halving.
+  [[nodiscard]] std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool unite(std::size_t a, std::size_t b) noexcept {
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  /// Size of the set containing x.
+  [[nodiscard]] std::size_t set_size(std::size_t x) noexcept { return size_[find(x)]; }
+
+  /// All sets with at least `min_size` members. Each group lists member
+  /// indices in increasing order; groups are ordered by their smallest member.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> groups(std::size_t min_size = 2);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+inline std::vector<std::vector<std::size_t>> UnionFind::groups(std::size_t min_size) {
+  // Map each root to a dense group slot in order of first appearance, which
+  // (scanning indices in increasing order) orders groups by smallest member.
+  std::vector<std::size_t> slot(parent_.size(), static_cast<std::size_t>(-1));
+  std::vector<std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const std::size_t root = find(i);
+    if (size_[root] < min_size) continue;
+    if (slot[root] == static_cast<std::size_t>(-1)) {
+      slot[root] = out.size();
+      out.emplace_back();
+      out.back().reserve(size_[root]);
+    }
+    out[slot[root]].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rolediet::cluster

@@ -1,0 +1,116 @@
+#include "core/consolidation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/methods/cooccurrence.hpp"
+
+namespace rolediet::core {
+
+ConsolidationPlan plan_consolidation(const RbacDataset& dataset, const RoleGroups& groups,
+                                     MergeKind kind) {
+  ConsolidationPlan plan;
+  plan.kind = kind;
+  std::vector<bool> seen(dataset.num_roles(), false);
+
+  for (const auto& group : groups.groups) {
+    if (group.size() < 2)
+      throw std::invalid_argument("plan_consolidation: group with fewer than two members");
+    MergeGroup merge;
+    merge.survivor = static_cast<Id>(group.front());  // members ascend; keep smallest id
+    merge.absorbed.reserve(group.size() - 1);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group[i] >= dataset.num_roles())
+        throw std::out_of_range("plan_consolidation: group member is not a role id");
+      if (seen[group[i]])
+        throw std::invalid_argument("plan_consolidation: role appears in two groups");
+      seen[group[i]] = true;
+      if (i > 0) merge.absorbed.push_back(static_cast<Id>(group[i]));
+    }
+    plan.merges.push_back(std::move(merge));
+  }
+  return plan;
+}
+
+RbacDataset apply_consolidation(const RbacDataset& dataset, const ConsolidationPlan& plan) {
+  // redirect[r] = role that r's edges should land on; absorbed[r] = removed.
+  std::vector<Id> redirect(dataset.num_roles());
+  for (std::size_t r = 0; r < redirect.size(); ++r) redirect[r] = static_cast<Id>(r);
+  std::vector<bool> absorbed(dataset.num_roles(), false);
+
+  for (const MergeGroup& merge : plan.merges) {
+    if (merge.survivor >= dataset.num_roles())
+      throw std::out_of_range("apply_consolidation: survivor is not a role id");
+    for (Id role : merge.absorbed) {
+      if (role >= dataset.num_roles())
+        throw std::out_of_range("apply_consolidation: absorbed member is not a role id");
+      if (role == merge.survivor)
+        throw std::invalid_argument("apply_consolidation: survivor listed as absorbed");
+      if (absorbed[role])
+        throw std::invalid_argument("apply_consolidation: role absorbed twice");
+      absorbed[role] = true;
+      redirect[role] = merge.survivor;
+    }
+  }
+  for (const MergeGroup& merge : plan.merges) {
+    if (absorbed[merge.survivor])
+      throw std::invalid_argument("apply_consolidation: survivor absorbed by another merge");
+  }
+
+  RbacDataset out;
+  for (std::size_t u = 0; u < dataset.num_users(); ++u)
+    out.add_user(dataset.user_name(static_cast<Id>(u)));
+  for (std::size_t p = 0; p < dataset.num_permissions(); ++p)
+    out.add_permission(dataset.permission_name(static_cast<Id>(p)));
+
+  // Surviving roles keep their names; ids compact in original order.
+  std::vector<Id> new_role_id(dataset.num_roles(), 0);
+  for (std::size_t r = 0; r < dataset.num_roles(); ++r) {
+    if (!absorbed[r]) new_role_id[r] = out.add_role(dataset.role_name(static_cast<Id>(r)));
+  }
+
+  for (const auto& [role, user] : dataset.role_user_edges())
+    out.assign_user(new_role_id[redirect[role]], user);
+  for (const auto& [role, perm] : dataset.role_permission_edges())
+    out.grant_permission(new_role_id[redirect[role]], perm);
+
+  return out;
+}
+
+RbacDataset consolidate_duplicates(const RbacDataset& dataset, ConsolidationStats* stats) {
+  const methods::RoleDietGroupFinder finder;
+
+  // Phase 1: same-users merges (survivor unions the permissions).
+  const RoleGroups same_users = finder.find_same(dataset.ruam());
+  const ConsolidationPlan plan_users =
+      plan_consolidation(dataset, same_users, MergeKind::kSameUsers);
+  RbacDataset mid = apply_consolidation(dataset, plan_users);
+
+  // Phase 2: same-permissions merges, recomputed on the phase-1 output so
+  // unions created in phase 1 participate.
+  const RoleGroups same_perms = finder.find_same(mid.rpam());
+  const ConsolidationPlan plan_perms =
+      plan_consolidation(mid, same_perms, MergeKind::kSamePermissions);
+  RbacDataset out = apply_consolidation(mid, plan_perms);
+
+  if (stats != nullptr) {
+    stats->roles_before = dataset.num_roles();
+    stats->removed_same_users = plan_users.roles_removed();
+    stats->removed_same_permissions = plan_perms.roles_removed();
+    stats->roles_after = out.num_roles();
+  }
+  return out;
+}
+
+bool verify_equivalence(const RbacDataset& before, const RbacDataset& after) {
+  if (before.num_users() != after.num_users()) return false;
+  if (before.num_permissions() != after.num_permissions()) return false;
+  for (std::size_t u = 0; u < before.num_users(); ++u) {
+    if (before.permissions_of_user(static_cast<Id>(u)) !=
+        after.permissions_of_user(static_cast<Id>(u)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace rolediet::core

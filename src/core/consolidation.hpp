@@ -1,0 +1,97 @@
+// Role consolidation — turning type-4 findings into an actual "role diet".
+//
+// The paper reports that merging roles sharing the same users or the same
+// permissions would remove about 10% of all roles in the studied org
+// (§IV-B). This module plans those merges, applies them to produce a new
+// dataset, and verifies that the merge preserves the effective access-control
+// semantics: every user keeps exactly the same set of reachable permissions.
+//
+// Safety argument (also checked by verify_equivalence):
+//  - merging roles with identical *permission* sets re-points their users to
+//    one surviving role granting the same permissions — no user's permission
+//    set changes;
+//  - merging roles with identical *user* sets gives the surviving role the
+//    union of the group's permissions, and every affected user already held
+//    all merged roles, hence already reached the whole union.
+//
+// The two kinds must NOT be coalesced transitively: if A shares users with B
+// and B shares permissions with C, collapsing {A, B, C} would hand C's users
+// A's permissions. Hence a plan is built from groups of a single kind, and
+// consolidate_duplicates() runs the two kinds as sequential phases,
+// recomputing groups between them — the paper's requirement of combining
+// roles "without granting extra permissions".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/group_finder.hpp"
+#include "core/model.hpp"
+#include "core/taxonomy.hpp"
+
+namespace rolediet::core {
+
+/// Which sharing relation justified a merge plan.
+enum class MergeKind { kSameUsers, kSamePermissions };
+
+/// One planned merge: every role in `absorbed` collapses into `survivor`
+/// (the smallest role id of the group, for determinism).
+struct MergeGroup {
+  Id survivor = 0;
+  std::vector<Id> absorbed;  ///< roles removed by this merge, ascending ids
+};
+
+struct ConsolidationPlan {
+  MergeKind kind = MergeKind::kSameUsers;
+  std::vector<MergeGroup> merges;
+
+  /// Number of roles the plan removes.
+  [[nodiscard]] std::size_t roles_removed() const noexcept {
+    std::size_t total = 0;
+    for (const auto& merge : merges) total += merge.absorbed.size();
+    return total;
+  }
+};
+
+/// Builds a merge plan from groups of one kind. Groups must be disjoint
+/// (equality classes from find_same are); each group's smallest member
+/// survives. Member indices must be valid role ids.
+[[nodiscard]] ConsolidationPlan plan_consolidation(const RbacDataset& dataset,
+                                                   const RoleGroups& groups, MergeKind kind);
+
+/// Applies a plan, producing a new dataset with absorbed roles removed.
+/// Surviving roles keep their names; the survivor of each merge carries the
+/// union of user assignments and permission grants of its group. Users and
+/// permissions are preserved verbatim (standalone cleanup is a separate,
+/// human-approved action per the paper).
+[[nodiscard]] RbacDataset apply_consolidation(const RbacDataset& dataset,
+                                              const ConsolidationPlan& plan);
+
+/// Outcome of the full two-phase duplicate-role diet.
+struct ConsolidationStats {
+  std::size_t roles_before = 0;
+  std::size_t removed_same_users = 0;        ///< phase 1
+  std::size_t removed_same_permissions = 0;  ///< phase 2 (on phase-1 output)
+  std::size_t roles_after = 0;
+
+  [[nodiscard]] double reduction_ratio() const noexcept {
+    return roles_before == 0
+               ? 0.0
+               : static_cast<double>(roles_before - roles_after) /
+                     static_cast<double>(roles_before);
+  }
+};
+
+/// Full duplicate-role consolidation: merge same-user groups, recompute on
+/// the result, merge same-permission groups. Exact detection via the
+/// role-diet finder. Returns the consolidated dataset and fills `stats` if
+/// non-null. Postcondition: verify_equivalence(input, result) holds.
+[[nodiscard]] RbacDataset consolidate_duplicates(const RbacDataset& dataset,
+                                                 ConsolidationStats* stats = nullptr);
+
+/// True when every user reaches exactly the same permission set in both
+/// datasets. Exact comparison (sorted sets), O(total grants); used by tests
+/// and as a final safety gate before adopting a consolidated dataset.
+[[nodiscard]] bool verify_equivalence(const RbacDataset& before, const RbacDataset& after);
+
+}  // namespace rolediet::core

@@ -1,0 +1,155 @@
+#include "core/framework.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/methods/approx.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "core/methods/exact.hpp"
+#include "core/methods/minhash_lsh.hpp"
+#include "util/logger.hpp"
+#include "util/timer.hpp"
+
+namespace rolediet::core {
+
+std::unique_ptr<GroupFinder> make_group_finder(Method method) {
+  switch (method) {
+    case Method::kExactDbscan:
+      return std::make_unique<methods::DbscanGroupFinder>();
+    case Method::kApproxHnsw:
+      return std::make_unique<methods::HnswGroupFinder>();
+    case Method::kApproxMinhash:
+      return std::make_unique<methods::MinHashGroupFinder>();
+    case Method::kRoleDiet:
+      return std::make_unique<methods::RoleDietGroupFinder>();
+  }
+  return nullptr;
+}
+
+double AuditReport::total_seconds() const noexcept {
+  double total = structural_time.seconds;
+  for (const PhaseTiming* phase :
+       {&same_users_time, &same_permissions_time, &similar_users_time,
+        &similar_permissions_time}) {
+    if (!phase->timed_out) total += phase->seconds;
+  }
+  return total;
+}
+
+std::string AuditReport::to_text() const {
+  std::ostringstream out;
+  auto phase_note = [](const PhaseTiming& t) {
+    return t.timed_out ? std::string(" [skipped: time budget exhausted]")
+                       : " (" + util::format_duration(t.seconds) + ")";
+  };
+
+  out << "RBAC inefficiency audit (method: " << method_name << ")\n";
+  out << "  dataset: " << num_users << " users, " << num_roles << " roles, "
+      << num_permissions << " permissions; " << num_user_assignments
+      << " user assignments, " << num_permission_grants << " permission grants\n";
+  out << "  [type 1] standalone users:        " << structural.standalone_users.size() << "\n";
+  out << "  [type 1] standalone roles:        " << structural.standalone_roles.size() << "\n";
+  out << "  [type 1] standalone permissions:  " << structural.standalone_permissions.size()
+      << "\n";
+  out << "  [type 2] roles without users:     " << structural.roles_without_users.size() << "\n";
+  out << "  [type 2] roles without perms:     " << structural.roles_without_permissions.size()
+      << "\n";
+  out << "  [type 3] single-user roles:       " << structural.single_user_roles.size() << "\n";
+  out << "  [type 3] single-permission roles: " << structural.single_permission_roles.size()
+      << "\n";
+  out << "  [type 4] same-users groups:       " << same_user_groups.group_count() << " groups / "
+      << same_user_groups.roles_in_groups() << " roles" << phase_note(same_users_time) << "\n";
+  out << "  [type 4] same-permissions groups: " << same_permission_groups.group_count()
+      << " groups / " << same_permission_groups.roles_in_groups() << " roles"
+      << phase_note(same_permissions_time) << "\n";
+  std::string threshold_label;
+  if (similarity_mode == SimilarityMode::kHamming) {
+    threshold_label = "t=" + std::to_string(similarity_threshold);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "j<=%.2f", jaccard_dissimilarity);
+    threshold_label = buf;
+  }
+  out << "  [type 5] similar-users (" << threshold_label
+      << "):     " << similar_user_groups.group_count() << " groups / "
+      << similar_user_groups.roles_in_groups() << " roles" << phase_note(similar_users_time)
+      << "\n";
+  out << "  [type 5] similar-perms (" << threshold_label
+      << "):     " << similar_permission_groups.group_count() << " groups / "
+      << similar_permission_groups.roles_in_groups() << " roles"
+      << phase_note(similar_permissions_time) << "\n";
+  out << "  consolidating type-4 groups would remove " << reducible_roles() << " of "
+      << num_roles << " roles\n";
+  out << "  total detection time: " << util::format_duration(total_seconds()) << "\n";
+  return out.str();
+}
+
+AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
+  AuditReport report;
+  report.num_users = dataset.num_users();
+  report.num_roles = dataset.num_roles();
+  report.num_permissions = dataset.num_permissions();
+  report.similarity_threshold = options.similarity_threshold;
+  report.similarity_mode = options.similarity_mode;
+  report.jaccard_dissimilarity = options.jaccard_dissimilarity;
+
+  const std::unique_ptr<GroupFinder> finder = make_group_finder(options.method);
+  report.method_name = finder->name();
+
+  util::Stopwatch total_watch;
+
+  {
+    util::Stopwatch watch;
+    // Compiling RUAM/RPAM (duplicate-edge collapse) is part of this phase.
+    const auto& ruam = dataset.ruam();
+    const auto& rpam = dataset.rpam();
+    report.num_user_assignments = ruam.nnz();
+    report.num_permission_grants = rpam.nnz();
+    report.structural = detect_structural(dataset);
+    report.structural_time.seconds = watch.seconds();
+  }
+
+  // Group-finding phases. A phase runs only while the total budget is not
+  // yet exhausted; once exceeded, remaining phases are marked timed-out
+  // (the paper halted the baselines after 24 h on the real dataset).
+  auto budget_left = [&] {
+    return options.time_budget_s <= 0.0 || total_watch.seconds() < options.time_budget_s;
+  };
+  auto run_phase = [&](PhaseTiming& timing, RoleGroups& out, auto&& compute) {
+    if (!budget_left()) {
+      timing.timed_out = true;
+      return;
+    }
+    util::Stopwatch watch;
+    out = compute();
+    timing.seconds = watch.seconds();
+  };
+
+  run_phase(report.same_users_time, report.same_user_groups,
+            [&] { return finder->find_same(dataset.ruam()); });
+  run_phase(report.same_permissions_time, report.same_permission_groups,
+            [&] { return finder->find_same(dataset.rpam()); });
+
+  if (options.detect_similar) {
+    auto find_similar_in = [&](const linalg::CsrMatrix& matrix) {
+      if (options.similarity_mode == SimilarityMode::kJaccard) {
+        return finder->find_similar_jaccard(matrix,
+                                            jaccard_threshold(options.jaccard_dissimilarity));
+      }
+      return finder->find_similar(matrix, options.similarity_threshold);
+    };
+    run_phase(report.similar_users_time, report.similar_user_groups,
+              [&] { return find_similar_in(dataset.ruam()); });
+    run_phase(report.similar_permissions_time, report.similar_permission_groups,
+              [&] { return find_similar_in(dataset.rpam()); });
+  } else {
+    report.similar_users_time.timed_out = false;
+    report.similar_permissions_time.timed_out = false;
+  }
+
+  ROLEDIET_LOG_INFO("audit finished in %.3f s (method %s)", report.total_seconds(),
+                    report.method_name.c_str());
+  return report;
+}
+
+}  // namespace rolediet::core

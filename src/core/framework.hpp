@@ -1,0 +1,101 @@
+// One-call inefficiency-detection framework (§III).
+//
+// audit() runs the complete taxonomy over a dataset:
+//   types 1-3 via the linear-time structural detectors,
+//   type 4 (same users / same permissions) and
+//   type 5 (similar users / similar permissions, threshold t)
+// via the configured group-finder method, timing each phase. The result is a
+// structured report that examples and benches render as text, CSV, or JSON.
+//
+// Nothing is fixed automatically: findings are advisory (the paper's
+// CEO-role example), and consolidation is a separate explicit step
+// (consolidation.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/detector.hpp"
+#include "core/group_finder.hpp"
+#include "core/model.hpp"
+
+namespace rolediet::core {
+
+/// How type-5 similarity is measured.
+enum class SimilarityMode {
+  kHamming,  ///< absolute: at most N differing users/permissions (the paper)
+  kJaccard,  ///< relative: at most a fraction of the union differing
+};
+
+struct AuditOptions {
+  Method method = Method::kRoleDiet;
+  /// Run type-5 detection (can dominate runtime for the baselines).
+  bool detect_similar = true;
+  /// Hamming threshold for type 5; 1 = "all but one user/permission"
+  /// (the paper's real-data setting). Used when similarity_mode == kHamming.
+  std::size_t similarity_threshold = 1;
+  SimilarityMode similarity_mode = SimilarityMode::kHamming;
+  /// Dissimilarity fraction in [0, 1] used when similarity_mode == kJaccard:
+  /// 0.1 groups roles whose user/permission sets overlap by >= 90%.
+  double jaccard_dissimilarity = 0.1;
+  /// Wall-clock budget in seconds for each group-finding phase; the phase is
+  /// skipped (marked timed-out) when a *previous* phase of the same audit
+  /// already exceeded the budget. 0 = unlimited. Models the paper's 24-hour
+  /// halt of the baselines on the real dataset.
+  double time_budget_s = 0.0;
+};
+
+/// Timing of one audit phase, seconds. `timed_out` phases were skipped.
+struct PhaseTiming {
+  double seconds = 0.0;
+  bool timed_out = false;
+};
+
+struct AuditReport {
+  // Dataset shape.
+  std::size_t num_users = 0;
+  std::size_t num_roles = 0;
+  std::size_t num_permissions = 0;
+  std::size_t num_user_assignments = 0;   ///< distinct RUAM edges
+  std::size_t num_permission_grants = 0;  ///< distinct RPAM edges
+
+  // Types 1-3.
+  StructuralFindings structural;
+
+  // Type 4.
+  RoleGroups same_user_groups;
+  RoleGroups same_permission_groups;
+
+  // Type 5 (empty when detect_similar == false or timed out).
+  RoleGroups similar_user_groups;
+  RoleGroups similar_permission_groups;
+  std::size_t similarity_threshold = 1;
+  SimilarityMode similarity_mode = SimilarityMode::kHamming;
+  double jaccard_dissimilarity = 0.1;  ///< meaningful when mode is kJaccard
+
+  // Bookkeeping.
+  std::string method_name;
+  PhaseTiming structural_time;
+  PhaseTiming same_users_time;
+  PhaseTiming same_permissions_time;
+  PhaseTiming similar_users_time;
+  PhaseTiming similar_permissions_time;
+
+  /// Total wall time of all executed phases.
+  [[nodiscard]] double total_seconds() const noexcept;
+
+  /// Roles removable by consolidating type-4 groups (sum of |group|-1 over
+  /// both matrices; an upper bound — overlapping roles counted once per
+  /// kind, as in the paper's "about 10%" estimate).
+  [[nodiscard]] std::size_t reducible_roles() const noexcept {
+    return same_user_groups.reducible_roles() + same_permission_groups.reducible_roles();
+  }
+
+  /// Multi-line human-readable summary (the §IV-B style table).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Runs the full detection framework over `dataset`.
+[[nodiscard]] AuditReport audit(const RbacDataset& dataset, const AuditOptions& options = {});
+
+}  // namespace rolediet::core

@@ -1,0 +1,82 @@
+// Common interface for the three role-group detection methods (§III-C).
+//
+// Each method consumes one assignment matrix — RUAM to group roles by users,
+// RPAM to group roles by permissions; the algorithm is identical either way
+// ("feed RPAM instead of RUAM into them") — and returns canonical RoleGroups.
+//
+// Semantics shared by all methods:
+//  - find_same: groups of >= 2 roles whose row sets are identical;
+//  - find_similar(t): groups of >= 2 roles connected by pairwise Hamming
+//    distance <= t (transitive closure, as produced by density-based
+//    clustering; t = 0 degenerates to find_same);
+//  - rows with no entries are excluded: an empty role is a type-2 finding
+//    (role without users/permissions), not a duplicate-role finding, and
+//    grouping thousands of empty rows together would only restate it.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/taxonomy.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::core {
+
+class GroupFinder {
+ public:
+  virtual ~GroupFinder() = default;
+
+  /// Human-readable method name for reports and benchmark tables.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Groups of roles with identical (non-empty) row sets.
+  [[nodiscard]] virtual RoleGroups find_same(const linalg::CsrMatrix& matrix) const = 0;
+
+  /// Groups of roles whose row sets are within Hamming distance
+  /// `max_hamming` of another group member (transitively closed).
+  [[nodiscard]] virtual RoleGroups find_similar(const linalg::CsrMatrix& matrix,
+                                                std::size_t max_hamming) const = 0;
+
+  /// Relative variant of type-5 detection: groups of roles within scaled
+  /// Jaccard dissimilarity `max_scaled` (0 = identical sets,
+  /// cluster::kJaccardScale = disjoint sets) of another member, transitively
+  /// closed. An absolute Hamming threshold treats a 3-user role and a
+  /// 300-user role alike; the relative threshold ("at least 90% overlapping
+  /// users" == max_scaled 100'000) is the natural generalization for large
+  /// roles. All three methods compute bit-identical scaled distances, so the
+  /// exact methods agree exactly here too.
+  [[nodiscard]] virtual RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                        std::size_t max_scaled) const = 0;
+};
+
+/// Converts a human-friendly dissimilarity fraction in [0, 1] to the scaled
+/// integer threshold find_similar_jaccard expects.
+[[nodiscard]] constexpr std::size_t jaccard_threshold(double dissimilarity) noexcept {
+  if (dissimilarity <= 0.0) return 0;
+  if (dissimilarity >= 1.0) return 1'000'000;
+  return static_cast<std::size_t>(dissimilarity * 1'000'000.0);
+}
+
+/// Detection method selector used by the framework and benchmarks.
+enum class Method {
+  kExactDbscan,    ///< exact clustering baseline (DBSCAN, Hamming metric)
+  kApproxHnsw,     ///< approximate baseline (HNSW range queries)
+  kApproxMinhash,  ///< approximate baseline (MinHash-LSH candidates)
+  kRoleDiet,       ///< the paper's custom co-occurrence algorithm
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Method method) noexcept {
+  switch (method) {
+    case Method::kExactDbscan: return "exact-dbscan";
+    case Method::kApproxHnsw: return "approx-hnsw";
+    case Method::kApproxMinhash: return "approx-minhash";
+    case Method::kRoleDiet: return "role-diet";
+  }
+  return "?";
+}
+
+/// Creates a finder with each method's default parameters. For tuned
+/// parameters construct the concrete classes in core/methods/ directly.
+[[nodiscard]] std::unique_ptr<GroupFinder> make_group_finder(Method method);
+
+}  // namespace rolediet::core

@@ -1,0 +1,174 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace rolediet::core {
+
+// ----------------------------------------------------------- AxisIndex ---
+
+void IncrementalAuditor::AxisIndex::insert(std::size_t role, std::uint64_t digest) {
+  buckets_[digest].push_back(role);
+}
+
+void IncrementalAuditor::AxisIndex::erase(std::size_t role, std::uint64_t digest) {
+  auto it = buckets_.find(digest);
+  if (it == buckets_.end()) return;
+  std::erase(it->second, role);
+  if (it->second.empty()) buckets_.erase(it);
+}
+
+// ---------------------------------------------------------- constructor ---
+
+IncrementalAuditor::IncrementalAuditor(const RbacDataset& snapshot) {
+  for (std::size_t u = 0; u < snapshot.num_users(); ++u)
+    add_user(snapshot.user_name(static_cast<Id>(u)));
+  for (std::size_t p = 0; p < snapshot.num_permissions(); ++p)
+    add_permission(snapshot.permission_name(static_cast<Id>(p)));
+  for (std::size_t r = 0; r < snapshot.num_roles(); ++r)
+    add_role(snapshot.role_name(static_cast<Id>(r)));
+  for (std::size_t r = 0; r < snapshot.num_roles(); ++r) {
+    for (std::uint32_t u : snapshot.users_of_role(static_cast<Id>(r)))
+      assign_user(static_cast<Id>(r), u);
+    for (std::uint32_t p : snapshot.permissions_of_role(static_cast<Id>(r)))
+      grant_permission(static_cast<Id>(r), p);
+  }
+}
+
+// -------------------------------------------------------------- entities ---
+
+namespace {
+
+Id intern(std::string name, auto& names, auto& ids) {
+  if (auto it = ids.find(name); it != ids.end()) return it->second;
+  const Id id = static_cast<Id>(names.size());
+  ids.emplace(name, id);
+  names.push_back(std::move(name));
+  return id;
+}
+
+}  // namespace
+
+Id IncrementalAuditor::add_user(std::string name) {
+  const Id id = intern(std::move(name), user_names_, user_ids_);
+  if (id == user_degree_.size()) user_degree_.push_back(0);
+  return id;
+}
+
+Id IncrementalAuditor::add_permission(std::string name) {
+  const Id id = intern(std::move(name), perm_names_, perm_ids_);
+  if (id == perm_degree_.size()) perm_degree_.push_back(0);
+  return id;
+}
+
+Id IncrementalAuditor::add_role(std::string name) {
+  if (auto it = role_ids_.find(name); it != role_ids_.end()) return it->second;
+  const Id id = static_cast<Id>(roles_.size());
+  role_ids_.emplace(name, id);
+  roles_.push_back(RoleState{.name = std::move(name), .users = {}, .perms = {}});
+  return id;
+}
+
+// ----------------------------------------------------------------- edges ---
+
+std::uint64_t IncrementalAuditor::digest_of(const std::vector<Id>& sorted_ids) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (Id c : sorted_ids) {
+    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+  }
+  return h ^ util::mix64(sorted_ids.size());
+}
+
+bool IncrementalAuditor::mutate(Id role, Id entity, std::vector<Id> RoleState::* axis,
+                                AxisIndex& index, std::vector<std::size_t>& degrees,
+                                bool add) {
+  if (role >= roles_.size()) throw std::out_of_range("IncrementalAuditor: unknown role id");
+  if (entity >= degrees.size())
+    throw std::out_of_range("IncrementalAuditor: unknown user/permission id");
+
+  std::vector<Id>& ids = roles_[role].*axis;
+  const auto pos = std::lower_bound(ids.begin(), ids.end(), entity);
+  const bool present = pos != ids.end() && *pos == entity;
+  if (add == present) return false;  // already in the requested state
+
+  // Re-index: empty sets are not indexed (empty roles are type-2 findings).
+  if (!ids.empty()) index.erase(role, digest_of(ids));
+  if (add) {
+    ids.insert(pos, entity);
+    degrees[entity] += 1;
+  } else {
+    ids.erase(pos);
+    degrees[entity] -= 1;
+  }
+  if (!ids.empty()) index.insert(role, digest_of(ids));
+  return true;
+}
+
+bool IncrementalAuditor::assign_user(Id role, Id user) {
+  return mutate(role, user, &RoleState::users, user_axis_, user_degree_, /*add=*/true);
+}
+
+bool IncrementalAuditor::revoke_user(Id role, Id user) {
+  return mutate(role, user, &RoleState::users, user_axis_, user_degree_, /*add=*/false);
+}
+
+bool IncrementalAuditor::grant_permission(Id role, Id perm) {
+  return mutate(role, perm, &RoleState::perms, perm_axis_, perm_degree_, /*add=*/true);
+}
+
+bool IncrementalAuditor::revoke_permission(Id role, Id perm) {
+  return mutate(role, perm, &RoleState::perms, perm_axis_, perm_degree_, /*add=*/false);
+}
+
+// -------------------------------------------------------------- findings ---
+
+StructuralFindings IncrementalAuditor::structural() const {
+  StructuralFindings f;
+  for (std::size_t u = 0; u < user_degree_.size(); ++u) {
+    if (user_degree_[u] == 0) f.standalone_users.push_back(static_cast<Id>(u));
+  }
+  for (std::size_t p = 0; p < perm_degree_.size(); ++p) {
+    if (perm_degree_[p] == 0) f.standalone_permissions.push_back(static_cast<Id>(p));
+  }
+  for (std::size_t r = 0; r < roles_.size(); ++r) {
+    const RoleState& role = roles_[r];
+    const Id id = static_cast<Id>(r);
+    if (role.users.empty() && role.perms.empty()) {
+      f.standalone_roles.push_back(id);
+    } else if (role.users.empty()) {
+      f.roles_without_users.push_back(id);
+    } else if (role.perms.empty()) {
+      f.roles_without_permissions.push_back(id);
+    }
+    if (role.users.size() == 1) f.single_user_roles.push_back(id);
+    if (role.perms.size() == 1) f.single_permission_roles.push_back(id);
+  }
+  return f;
+}
+
+RoleGroups IncrementalAuditor::same_user_groups() const {
+  return user_axis_.groups(
+      [this](std::size_t a, std::size_t b) { return roles_[a].users == roles_[b].users; });
+}
+
+RoleGroups IncrementalAuditor::same_permission_groups() const {
+  return perm_axis_.groups(
+      [this](std::size_t a, std::size_t b) { return roles_[a].perms == roles_[b].perms; });
+}
+
+RbacDataset IncrementalAuditor::snapshot() const {
+  RbacDataset out;
+  for (const std::string& name : user_names_) out.add_user(name);
+  for (const std::string& name : perm_names_) out.add_permission(name);
+  for (const RoleState& role : roles_) out.add_role(role.name);
+  for (std::size_t r = 0; r < roles_.size(); ++r) {
+    for (Id u : roles_[r].users) out.assign_user(static_cast<Id>(r), u);
+    for (Id p : roles_[r].perms) out.grant_permission(static_cast<Id>(r), p);
+  }
+  return out;
+}
+
+}  // namespace rolediet::core

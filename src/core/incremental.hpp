@@ -1,0 +1,148 @@
+// Incremental auditing — maintaining inefficiency findings under live
+// assignment changes.
+//
+// The paper's motivation is operational: "authorization checks persist
+// throughout the year" and the cleanup job re-runs periodically. Between
+// full audits, an IAM system keeps mutating (hires, transfers, permission
+// grants). This module keeps the cheap findings *continuously* up to date so
+// operators see inefficiency drift without re-running the full pipeline:
+//
+//  - taxonomy types 1-3 (standalone / one-sided / single-assignment) are
+//    maintained exactly, O(log row) per edge mutation;
+//  - type 4 (same users / same permissions) is maintained exactly via the
+//    same digest-bucket structure the role-diet finder uses, O(log row) per
+//    mutation + O(bucket) on group queries;
+//  - type 5 (similar) is intentionally NOT maintained incrementally — a
+//    single edge flip can restructure similarity groups globally, so the
+//    framework's batch detection remains the tool for that (run it on
+//    snapshot()).
+//
+// Consistency contract (tested property): after any mutation sequence, the
+// incremental results equal a fresh batch audit of snapshot().
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/model.hpp"
+#include "core/taxonomy.hpp"
+
+namespace rolediet::core {
+
+class IncrementalAuditor {
+ public:
+  /// Starts from an existing dataset (copies its structure).
+  explicit IncrementalAuditor(const RbacDataset& snapshot);
+
+  /// Starts empty.
+  IncrementalAuditor() = default;
+
+  // ---- entity management (ids are dense, append-only) --------------------
+  Id add_user(std::string name);
+  Id add_role(std::string name);
+  Id add_permission(std::string name);
+
+  [[nodiscard]] std::size_t num_users() const noexcept { return user_names_.size(); }
+  [[nodiscard]] std::size_t num_roles() const noexcept { return roles_.size(); }
+  [[nodiscard]] std::size_t num_permissions() const noexcept { return perm_names_.size(); }
+
+  /// Current sorted user / permission set of a role (live view; invalidated
+  /// by the next mutation of that role).
+  [[nodiscard]] const std::vector<Id>& users_of_role(Id role) const {
+    return roles_.at(role).users;
+  }
+  [[nodiscard]] const std::vector<Id>& permissions_of_role(Id role) const {
+    return roles_.at(role).perms;
+  }
+  /// Number of roles currently assigned to `user`.
+  [[nodiscard]] std::size_t user_degree(Id user) const { return user_degree_.at(user); }
+  [[nodiscard]] std::size_t permission_degree(Id perm) const { return perm_degree_.at(perm); }
+
+  // ---- edge mutations ------------------------------------------------------
+  /// Adds the edge; returns false when it already existed (no-op).
+  bool assign_user(Id role, Id user);
+  bool grant_permission(Id role, Id perm);
+  /// Removes the edge; returns false when it did not exist (no-op).
+  bool revoke_user(Id role, Id user);
+  bool revoke_permission(Id role, Id perm);
+
+  // ---- maintained findings -------------------------------------------------
+  /// Types 1-3, identical to detect_structural() on snapshot().
+  [[nodiscard]] StructuralFindings structural() const;
+
+  /// Type 4, identical to the role-diet finder on snapshot()'s RUAM/RPAM.
+  [[nodiscard]] RoleGroups same_user_groups() const;
+  [[nodiscard]] RoleGroups same_permission_groups() const;
+
+  /// Materializes the current state as an immutable dataset (for batch
+  /// type-5 detection, consolidation, or export).
+  [[nodiscard]] RbacDataset snapshot() const;
+
+ private:
+  struct RoleState {
+    std::string name;
+    std::vector<Id> users;  ///< sorted
+    std::vector<Id> perms;  ///< sorted
+  };
+
+  /// Digest-bucket index over one axis of all roles.
+  class AxisIndex {
+   public:
+    void insert(std::size_t role, std::uint64_t digest);
+    void erase(std::size_t role, std::uint64_t digest);
+    /// Groups of >= 2 roles with equal digests, split by exact equality via
+    /// `equal(a, b)`; canonical form.
+    template <typename Equal>
+    [[nodiscard]] RoleGroups groups(Equal&& equal) const {
+      RoleGroups out;
+      for (const auto& [digest, members] : buckets_) {
+        if (members.size() < 2) continue;
+        std::vector<std::vector<std::size_t>> classes;
+        for (std::size_t role : members) {
+          bool placed = false;
+          for (auto& cls : classes) {
+            if (equal(cls.front(), role)) {
+              cls.push_back(role);
+              placed = true;
+              break;
+            }
+          }
+          if (!placed) classes.push_back({role});
+        }
+        for (auto& cls : classes) {
+          if (cls.size() >= 2) out.groups.push_back(std::move(cls));
+        }
+      }
+      out.normalize();
+      return out;
+    }
+
+   private:
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  };
+
+  [[nodiscard]] static std::uint64_t digest_of(const std::vector<Id>& sorted_ids);
+
+  /// Applies a sorted-vector insert/erase and reindexes the role's digest on
+  /// the given axis. Returns false when the edge state was already as
+  /// requested.
+  bool mutate(Id role, Id entity, std::vector<Id> RoleState::* axis, AxisIndex& index,
+              std::vector<std::size_t>& degrees, bool add);
+
+  std::vector<RoleState> roles_;
+  std::vector<std::string> user_names_;
+  std::vector<std::string> perm_names_;
+  std::unordered_map<std::string, Id> user_ids_;
+  std::unordered_map<std::string, Id> role_ids_;
+  std::unordered_map<std::string, Id> perm_ids_;
+
+  std::vector<std::size_t> user_degree_;  ///< roles per user
+  std::vector<std::size_t> perm_degree_;  ///< roles per permission
+
+  AxisIndex user_axis_;  ///< digests of non-empty user sets
+  AxisIndex perm_axis_;  ///< digests of non-empty permission sets
+};
+
+}  // namespace rolediet::core

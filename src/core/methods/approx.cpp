@@ -1,0 +1,42 @@
+#include "core/methods/approx.hpp"
+
+#include "cluster/union_find.hpp"
+#include "core/methods/method_common.hpp"
+
+namespace rolediet::core::methods {
+
+RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t radius,
+                                cluster::MetricKind metric) const {
+  const std::vector<std::size_t> selected = nonempty_rows(matrix);
+  const linalg::BitMatrix dense = densify_rows(matrix, selected);
+
+  cluster::HnswParams params = options_.index;
+  params.metric = metric;
+  params.ef_search = std::max(params.ef_search, options_.query_ef);
+  cluster::HnswIndex index(dense, params);
+  index.add_all();
+
+  cluster::UnionFind forest(dense.rows());
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (const cluster::Neighbor& hit : index.range_search(i, radius)) {
+      if (hit.id != i) forest.unite(i, hit.id);
+    }
+  }
+  return remap_groups(forest.groups(2), selected);
+}
+
+RoleGroups HnswGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
+  return run(matrix, 0, cluster::MetricKind::kHamming);
+}
+
+RoleGroups HnswGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
+                                         std::size_t max_hamming) const {
+  return run(matrix, max_hamming, cluster::MetricKind::kHamming);
+}
+
+RoleGroups HnswGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                 std::size_t max_scaled) const {
+  return run(matrix, max_scaled, cluster::MetricKind::kJaccard);
+}
+
+}  // namespace rolediet::core::methods

@@ -1,0 +1,185 @@
+#include "core/methods/cooccurrence.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/metric.hpp"
+#include "cluster/union_find.hpp"
+#include "core/methods/method_common.hpp"
+
+namespace rolediet::core::methods {
+
+RoleGroups RoleDietGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
+  switch (options_.same_strategy) {
+    case SameStrategy::kRowHash:
+      return find_same_hash(matrix);
+    case SameStrategy::kCooccurrenceMatrix:
+      return find_same_cooccurrence(matrix);
+  }
+  return {};
+}
+
+RoleGroups RoleDietGroupFinder::find_same_hash(const linalg::CsrMatrix& matrix) const {
+  // Bucket rows by digest, then split buckets by exact set equality so a
+  // digest collision can never merge distinct roles.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(matrix.rows());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    if (matrix.row_size(r) == 0) continue;
+    buckets[matrix.row_hash(r)].push_back(r);
+  }
+
+  std::vector<std::vector<std::size_t>> groups;
+  for (auto& [digest, members] : buckets) {
+    if (members.size() < 2) continue;
+    // Partition the bucket into equality classes. Buckets are almost always
+    // a single class; the loop is quadratic only in the bucket size.
+    std::vector<std::vector<std::size_t>> classes;
+    for (std::size_t row : members) {
+      bool placed = false;
+      for (auto& cls : classes) {
+        if (matrix.rows_equal(cls.front(), row)) {
+          cls.push_back(row);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) classes.push_back({row});
+    }
+    for (auto& cls : classes) {
+      if (cls.size() >= 2) groups.push_back(std::move(cls));
+    }
+  }
+
+  RoleGroups out;
+  out.groups = std::move(groups);
+  out.normalize();
+  return out;
+}
+
+namespace {
+
+/// Sweeps the inverted index accumulating g(i, j) for all j > i that share at
+/// least one column with row i, invoking `on_pair(i, j, g)` once per pair.
+///
+/// Cost: sum over columns of degree(column)^2 / 2 counter increments — the
+/// sparse equivalent of forming the nonzero upper triangle of C = A A^T.
+template <typename OnPair>
+void sweep_cooccurrences(const linalg::CsrMatrix& matrix, const linalg::CsrMatrix& transpose,
+                         OnPair&& on_pair) {
+  std::vector<std::uint32_t> count(matrix.rows(), 0);
+  std::vector<std::uint32_t> touched;
+
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    for (std::uint32_t col : matrix.row(i)) {
+      for (std::uint32_t j : transpose.row(col)) {
+        if (j <= i) continue;
+        if (count[j] == 0) touched.push_back(j);
+        ++count[j];
+      }
+    }
+    for (std::uint32_t j : touched) {
+      on_pair(i, static_cast<std::size_t>(j), static_cast<std::size_t>(count[j]));
+      count[j] = 0;
+    }
+    touched.clear();
+  }
+}
+
+}  // namespace
+
+RoleGroups RoleDietGroupFinder::find_same_cooccurrence(const linalg::CsrMatrix& matrix) const {
+  const linalg::CsrMatrix transpose = matrix.transpose();
+  cluster::UnionFind forest(matrix.rows());
+
+  // The paper's indicator: |Ri| = g = |Rj| (empty rows never co-occur, so
+  // they are naturally excluded here).
+  sweep_cooccurrences(matrix, transpose, [&](std::size_t i, std::size_t j, std::size_t g) {
+    if (matrix.row_size(i) == g && matrix.row_size(j) == g) forest.unite(i, j);
+  });
+
+  RoleGroups out;
+  out.groups = forest.groups(2);
+  out.normalize();
+  return out;
+}
+
+RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
+                                             std::size_t max_hamming) const {
+  if (max_hamming == 0) return find_same(matrix);
+
+  const linalg::CsrMatrix transpose = matrix.transpose();
+  cluster::UnionFind forest(matrix.rows());
+
+  // Pairs sharing at least one column: hamming = |Ri| + |Rj| - 2g.
+  sweep_cooccurrences(matrix, transpose, [&](std::size_t i, std::size_t j, std::size_t g) {
+    const std::size_t d = matrix.row_size(i) + matrix.row_size(j) - 2 * g;
+    if (d <= max_hamming) forest.unite(i, j);
+  });
+
+  // Pairs sharing no column have hamming = |Ri| + |Rj|, which can still be
+  // within threshold when both norms are tiny (|Ri|, |Rj| >= 1, so only
+  // roles with |R| < max_hamming qualify). A norm-sorted sweep unites every
+  // such pair without computing any distance.
+  std::vector<std::pair<std::size_t, std::size_t>> tiny;  // (norm, row)
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const std::size_t norm = matrix.row_size(r);
+    if (norm >= 1 && norm < max_hamming) tiny.emplace_back(norm, r);
+  }
+  std::sort(tiny.begin(), tiny.end());
+  for (std::size_t a = 0; a < tiny.size(); ++a) {
+    for (std::size_t b = a + 1; b < tiny.size(); ++b) {
+      if (tiny[a].first + tiny[b].first > max_hamming) break;  // norms ascending
+      forest.unite(tiny[a].second, tiny[b].second);
+    }
+  }
+
+  RoleGroups out;
+  out.groups = forest.groups(2);
+  // Empty rows are excluded by definition; drop any group polluted by them.
+  // (Empty rows never co-occur and have norm 0 < 1, so they are never united;
+  // groups() can only contain rows touched by unite calls plus singletons,
+  // and singletons are filtered by min_size = 2 — nothing to drop. Kept as
+  // an invariant comment rather than code.)
+  out.normalize();
+  return out;
+}
+
+RoleGroups RoleDietGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                     std::size_t max_scaled) const {
+  if (max_scaled == 0) return find_same(matrix);
+
+  cluster::UnionFind forest(matrix.rows());
+
+  if (max_scaled >= cluster::kJaccardScale) {
+    // Threshold admits fully disjoint sets: every non-empty row groups with
+    // every other (Jaccard distance is at most kJaccardScale by definition).
+    std::ptrdiff_t first = -1;
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+      if (matrix.row_size(r) == 0) continue;
+      if (first < 0) {
+        first = static_cast<std::ptrdiff_t>(r);
+      } else {
+        forest.unite(static_cast<std::size_t>(first), r);
+      }
+    }
+  } else {
+    // Below the ceiling a qualifying pair needs g >= 1, i.e. at least one
+    // shared column — exactly the pairs the sweep enumerates. The scaled
+    // distance uses the same integer formula as the dense kernel, so the
+    // exact methods stay bit-identical.
+    const linalg::CsrMatrix transpose = matrix.transpose();
+    sweep_cooccurrences(matrix, transpose, [&](std::size_t i, std::size_t j, std::size_t g) {
+      const std::size_t d =
+          cluster::jaccard_scaled_from_counts(matrix.row_size(i), matrix.row_size(j), g);
+      if (d <= max_scaled) forest.unite(i, j);
+    });
+  }
+
+  RoleGroups out;
+  out.groups = forest.groups(2);
+  out.normalize();
+  return out;
+}
+
+}  // namespace rolediet::core::methods

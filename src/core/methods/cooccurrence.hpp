@@ -1,0 +1,70 @@
+// "Our algorithm" — the paper's custom co-occurrence group finder (§III-C).
+//
+// The paper defines g(Ri, Rj) as the number of user co-occurrences between
+// roles Ri and Rj, assembles the co-occurrence matrix C (diagonal = role
+// norms |Ri|), and declares roles combinable when the indicator
+//     I(i,j) = 1  iff  |Ri| = g(i,j) = |Rj|,  i != j
+// holds — i.e. the rows are identical sets. The similar-roles extension uses
+// the set identity  hamming(Ri, Rj) = |Ri| + |Rj| - 2 g(i,j).
+//
+// The implementation never materializes the dense r x r matrix C. Instead:
+//
+//  find_same  (kRowHash, default): one 64-bit digest per row, bucket by
+//    digest, verify buckets by exact set comparison. O(nnz) time, zero
+//    pairwise work — this is what makes the method linear and the reason it
+//    finishes the paper's 50k-role org in minutes while both baselines blow
+//    a 24-hour budget.
+//
+//  find_same  (kCooccurrenceMatrix, ablation): computes the nonzero entries
+//    of C via the inverted user -> roles index and applies the paper's
+//    indicator literally. Exact but does pairwise work proportional to
+//    sum over users of degree(user)^2 — kept to quantify how much the hash
+//    shortcut buys (bench_ablation).
+//
+//  find_similar(t): sparse co-occurrence accumulation — for every role i,
+//    count g(i, j) for all j > i sharing at least one user (one sweep of the
+//    inverted index), then unite pairs with |Ri| + |Rj| - 2 g <= t. Pairs
+//    sharing *no* user have hamming = |Ri| + |Rj|; a norm-sorted sweep over
+//    the (rare) roles with |R| < t unites those too, so the result is exact:
+//    identical groups to DBSCAN on every input, deterministic, no recall
+//    loss.
+#pragma once
+
+#include "core/group_finder.hpp"
+
+namespace rolediet::core::methods {
+
+class RoleDietGroupFinder final : public GroupFinder {
+ public:
+  enum class SameStrategy {
+    kRowHash,             ///< digest + verify (default; linear)
+    kCooccurrenceMatrix,  ///< the paper's indicator, computed sparsely
+  };
+
+  struct Options {
+    SameStrategy same_strategy = SameStrategy::kRowHash;
+  };
+
+  RoleDietGroupFinder() = default;
+  explicit RoleDietGroupFinder(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "role-diet"; }
+
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
+                                        std::size_t max_hamming) const override;
+  /// Relative similarity via the same sparse sweep: Jaccard dissimilarity is
+  /// a function of (|Ri|, |Rj|, g) only, and any pair below the
+  /// kJaccardScale ceiling shares at least one column, so the inverted-index
+  /// sweep finds every qualifying pair — exact, like the Hamming variant.
+  [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                std::size_t max_scaled) const override;
+
+ private:
+  [[nodiscard]] RoleGroups find_same_hash(const linalg::CsrMatrix& matrix) const;
+  [[nodiscard]] RoleGroups find_same_cooccurrence(const linalg::CsrMatrix& matrix) const;
+
+  Options options_{};
+};
+
+}  // namespace rolediet::core::methods

@@ -1,0 +1,37 @@
+#include "core/methods/exact.hpp"
+
+#include "cluster/dbscan.hpp"
+#include "core/methods/method_common.hpp"
+
+namespace rolediet::core::methods {
+
+RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t eps,
+                                  cluster::MetricKind metric) const {
+  const std::vector<std::size_t> selected = nonempty_rows(matrix);
+  const linalg::BitMatrix dense = densify_rows(matrix, selected);
+
+  cluster::DbscanParams params;
+  params.eps = eps;
+  params.min_pts = 2;
+  params.metric = metric;
+  params.threads = options_.threads;
+
+  const cluster::DbscanResult result = cluster::dbscan(dense, params);
+  return remap_groups(result.clusters(), selected);
+}
+
+RoleGroups DbscanGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
+  return run(matrix, 0, cluster::MetricKind::kHamming);
+}
+
+RoleGroups DbscanGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
+                                           std::size_t max_hamming) const {
+  return run(matrix, max_hamming, cluster::MetricKind::kHamming);
+}
+
+RoleGroups DbscanGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                   std::size_t max_scaled) const {
+  return run(matrix, max_scaled, cluster::MetricKind::kJaccard);
+}
+
+}  // namespace rolediet::core::methods

@@ -1,0 +1,39 @@
+// Exact-clustering group finder — the paper's DBSCAN baseline (§III-C).
+//
+// Parameterization follows the paper exactly: min_pts = 2 (two akin roles
+// already form a group), Hamming metric, eps = 0 for identical sets and
+// eps = t for similar sets. The quadratic brute-force region queries make
+// this the slow-but-exact reference that Fig. 3 shows growing fastest.
+#pragma once
+
+#include "cluster/metric.hpp"
+#include "core/group_finder.hpp"
+
+namespace rolediet::core::methods {
+
+class DbscanGroupFinder final : public GroupFinder {
+ public:
+  struct Options {
+    /// Worker threads for region queries; 1 = sequential (paper setup).
+    std::size_t threads = 1;
+  };
+
+  DbscanGroupFinder() = default;
+  explicit DbscanGroupFinder(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "exact-dbscan"; }
+
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
+                                        std::size_t max_hamming) const override;
+  [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                std::size_t max_scaled) const override;
+
+ private:
+  [[nodiscard]] RoleGroups run(const linalg::CsrMatrix& matrix, std::size_t eps,
+                               cluster::MetricKind metric) const;
+
+  Options options_{};
+};
+
+}  // namespace rolediet::core::methods

@@ -1,0 +1,55 @@
+// Shared helpers for the group-finder implementations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+#include "linalg/bit_matrix.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::core::methods {
+
+/// Indices of rows with at least one entry. Group finders operate on these
+/// only (empty roles are type-2 findings, see group_finder.hpp).
+[[nodiscard]] inline std::vector<std::size_t> nonempty_rows(const linalg::CsrMatrix& matrix) {
+  std::vector<std::size_t> rows;
+  rows.reserve(matrix.rows());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    if (matrix.row_size(r) > 0) rows.push_back(r);
+  }
+  return rows;
+}
+
+/// Densifies only the selected rows into a packed matrix whose row i holds
+/// original row selected[i]. Lets the dense-kernel methods skip empty rows
+/// without copying the whole matrix.
+[[nodiscard]] inline linalg::BitMatrix densify_rows(const linalg::CsrMatrix& matrix,
+                                                    const std::vector<std::size_t>& selected) {
+  linalg::BitMatrix dense(selected.size(), matrix.cols());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    auto words = dense.row_mut(i);
+    for (std::uint32_t c : matrix.row(selected[i])) {
+      words[c / 64] |= std::uint64_t{1} << (c % 64);
+    }
+  }
+  return dense;
+}
+
+/// Maps groups over filtered indices back to original role ids and puts them
+/// in canonical form.
+[[nodiscard]] inline RoleGroups remap_groups(std::vector<std::vector<std::size_t>> filtered_groups,
+                                             const std::vector<std::size_t>& selected) {
+  RoleGroups out;
+  out.groups.reserve(filtered_groups.size());
+  for (auto& group : filtered_groups) {
+    std::vector<std::size_t> mapped;
+    mapped.reserve(group.size());
+    for (std::size_t idx : group) mapped.push_back(selected[idx]);
+    out.groups.push_back(std::move(mapped));
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace rolediet::core::methods

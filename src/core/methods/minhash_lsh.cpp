@@ -1,0 +1,71 @@
+#include "core/methods/minhash_lsh.hpp"
+
+#include <algorithm>
+
+#include "cluster/metric.hpp"
+#include "cluster/union_find.hpp"
+
+namespace rolediet::core::methods {
+
+template <typename KeepPair>
+RoleGroups MinHashGroupFinder::run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const {
+  const cluster::MinHashLsh index(matrix, options_.lsh);
+  cluster::UnionFind forest(matrix.rows());
+  for (const auto& [a, b] : index.candidate_pairs()) {
+    // Exact verification: candidate generation is approximate, membership
+    // is not — no false merges.
+    const std::size_t g = matrix.row_intersection(a, b);
+    if (keep(a, b, g)) forest.unite(a, b);
+  }
+  RoleGroups out;
+  out.groups = forest.groups(2);
+  out.normalize();
+  return out;
+}
+
+RoleGroups MinHashGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
+  return run(matrix, [&](std::size_t a, std::size_t b, std::size_t g) {
+    return matrix.row_size(a) == g && matrix.row_size(b) == g;  // the paper's indicator
+  });
+}
+
+RoleGroups MinHashGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
+                                            std::size_t max_hamming) const {
+  RoleGroups lsh_groups = run(matrix, [&](std::size_t a, std::size_t b, std::size_t g) {
+    return matrix.row_size(a) + matrix.row_size(b) - 2 * g <= max_hamming;
+  });
+  if (max_hamming == 0) return lsh_groups;
+
+  // Disjoint tiny pairs are invisible to LSH (no shared element -> no shared
+  // min-hash); the norm-sorted sweep covers them exactly.
+  cluster::UnionFind forest(matrix.rows());
+  for (const auto& group : lsh_groups.groups) {
+    for (std::size_t member : group) forest.unite(group.front(), member);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> tiny;  // (norm, row)
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const std::size_t norm = matrix.row_size(r);
+    if (norm >= 1 && norm < max_hamming) tiny.emplace_back(norm, r);
+  }
+  std::sort(tiny.begin(), tiny.end());
+  for (std::size_t a = 0; a < tiny.size(); ++a) {
+    for (std::size_t b = a + 1; b < tiny.size(); ++b) {
+      if (tiny[a].first + tiny[b].first > max_hamming) break;
+      forest.unite(tiny[a].second, tiny[b].second);
+    }
+  }
+  RoleGroups out;
+  out.groups = forest.groups(2);
+  out.normalize();
+  return out;
+}
+
+RoleGroups MinHashGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                    std::size_t max_scaled) const {
+  return run(matrix, [&](std::size_t a, std::size_t b, std::size_t g) {
+    return cluster::jaccard_scaled_from_counts(matrix.row_size(a), matrix.row_size(b), g) <=
+           max_scaled;
+  });
+}
+
+}  // namespace rolediet::core::methods

@@ -1,0 +1,49 @@
+// MinHash-LSH group finder — a second approximate baseline built on the
+// signature machinery of the paper's datasketch library (§III-D picked that
+// library's HNSW index; this is its other, more traditional set-similarity
+// method).
+//
+// Semantics:
+//  - find_same: deterministic recall 1 — identical sets yield identical
+//    signatures, so duplicates always share every band bucket; candidates
+//    are verified exactly (precision 1);
+//  - find_similar(t): candidate pairs from LSH banding are verified with the
+//    exact Hamming identity; disjoint tiny pairs (|Ri| + |Rj| <= t) come
+//    from the same norm-sorted pass the role-diet method uses (LSH cannot
+//    see sets with zero overlap). Low-Jaccard pairs within the threshold
+//    may be missed — the classic LSH recall trade-off;
+//  - find_similar_jaccard: the home game — the banding threshold
+//    ~ (1/bands)^(1/rows_per_band) should sit at or below the requested
+//    similarity for good recall.
+#pragma once
+
+#include "cluster/minhash.hpp"
+#include "core/group_finder.hpp"
+
+namespace rolediet::core::methods {
+
+class MinHashGroupFinder final : public GroupFinder {
+ public:
+  struct Options {
+    cluster::MinHashParams lsh{};
+  };
+
+  MinHashGroupFinder() = default;
+  explicit MinHashGroupFinder(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "approx-minhash"; }
+
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
+                                        std::size_t max_hamming) const override;
+  [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                std::size_t max_scaled) const override;
+
+ private:
+  template <typename KeepPair>
+  [[nodiscard]] RoleGroups run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const;
+
+  Options options_{};
+};
+
+}  // namespace rolediet::core::methods

@@ -1,0 +1,140 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rolediet::core {
+
+std::string_view to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kUser: return "user";
+    case NodeKind::kRole: return "role";
+    case NodeKind::kPermission: return "permission";
+  }
+  return "?";
+}
+
+namespace {
+
+Id intern(std::string name, std::vector<std::string>& names,
+          std::unordered_map<std::string, Id>& ids) {
+  if (auto it = ids.find(name); it != ids.end()) return it->second;
+  const Id id = static_cast<Id>(names.size());
+  ids.emplace(name, id);
+  names.push_back(std::move(name));
+  return id;
+}
+
+Id bulk_add(std::size_t n, std::string_view prefix, std::vector<std::string>& names,
+            std::unordered_map<std::string, Id>& ids) {
+  const Id first = static_cast<Id>(names.size());
+  names.reserve(names.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = std::string(prefix) + std::to_string(first + i);
+    const Id id = static_cast<Id>(names.size());
+    auto [it, inserted] = ids.emplace(std::move(name), id);
+    if (!inserted)
+      throw std::invalid_argument("bulk add collides with existing entity: " + it->first);
+    names.push_back(it->first);
+  }
+  return first;
+}
+
+template <typename Map>
+std::optional<Id> lookup(const Map& ids, std::string_view name) {
+  // Transparent lookup would avoid the copy; string keys keep the map simple.
+  if (auto it = ids.find(std::string(name)); it != ids.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Id RbacDataset::add_user(std::string name) {
+  const std::size_t before = user_names_.size();
+  const Id id = intern(std::move(name), user_names_, user_ids_);
+  if (user_names_.size() != before) invalidate();
+  return id;
+}
+
+Id RbacDataset::add_role(std::string name) {
+  const std::size_t before = role_names_.size();
+  const Id id = intern(std::move(name), role_names_, role_ids_);
+  if (role_names_.size() != before) invalidate();
+  return id;
+}
+
+Id RbacDataset::add_permission(std::string name) {
+  const std::size_t before = perm_names_.size();
+  const Id id = intern(std::move(name), perm_names_, perm_ids_);
+  if (perm_names_.size() != before) invalidate();
+  return id;
+}
+
+Id RbacDataset::add_users(std::size_t n, std::string_view prefix) {
+  invalidate();
+  return bulk_add(n, prefix, user_names_, user_ids_);
+}
+
+Id RbacDataset::add_roles(std::size_t n, std::string_view prefix) {
+  invalidate();
+  return bulk_add(n, prefix, role_names_, role_ids_);
+}
+
+Id RbacDataset::add_permissions(std::size_t n, std::string_view prefix) {
+  invalidate();
+  return bulk_add(n, prefix, perm_names_, perm_ids_);
+}
+
+std::optional<Id> RbacDataset::find_user(std::string_view name) const {
+  return lookup(user_ids_, name);
+}
+std::optional<Id> RbacDataset::find_role(std::string_view name) const {
+  return lookup(role_ids_, name);
+}
+std::optional<Id> RbacDataset::find_permission(std::string_view name) const {
+  return lookup(perm_ids_, name);
+}
+
+void RbacDataset::assign_user(Id role, Id user) {
+  if (role >= num_roles()) throw std::out_of_range("assign_user: unknown role id");
+  if (user >= num_users()) throw std::out_of_range("assign_user: unknown user id");
+  role_user_edges_.emplace_back(role, user);
+  invalidate();
+}
+
+void RbacDataset::grant_permission(Id role, Id perm) {
+  if (role >= num_roles()) throw std::out_of_range("grant_permission: unknown role id");
+  if (perm >= num_permissions()) throw std::out_of_range("grant_permission: unknown permission id");
+  role_perm_edges_.emplace_back(role, perm);
+  invalidate();
+}
+
+const linalg::CsrMatrix& RbacDataset::ruam() const {
+  if (!ruam_cache_) {
+    ruam_cache_ = linalg::CsrMatrix::from_pairs(num_roles(), num_users(), role_user_edges_);
+  }
+  return *ruam_cache_;
+}
+
+const linalg::CsrMatrix& RbacDataset::rpam() const {
+  if (!rpam_cache_) {
+    rpam_cache_ = linalg::CsrMatrix::from_pairs(num_roles(), num_permissions(), role_perm_edges_);
+  }
+  return *rpam_cache_;
+}
+
+std::vector<Id> RbacDataset::permissions_of_user(Id user) const {
+  if (user >= num_users()) throw std::out_of_range("permissions_of_user: unknown user id");
+  if (!user_roles_cache_) user_roles_cache_ = ruam().transpose();
+
+  std::vector<Id> perms;
+  for (std::uint32_t role : user_roles_cache_->row(user)) {
+    const auto grants = rpam().row(role);
+    perms.insert(perms.end(), grants.begin(), grants.end());
+  }
+  std::sort(perms.begin(), perms.end());
+  perms.erase(std::unique(perms.begin(), perms.end()), perms.end());
+  return perms;
+}
+
+}  // namespace rolediet::core

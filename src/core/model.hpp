@@ -1,0 +1,136 @@
+// RBAC data model: the tripartite graph of users, roles, and permissions.
+//
+// Mirrors §III of the paper: the access-control state is a tripartite graph
+// whose edges connect roles to users (assignments) and roles to permissions
+// (grants). Because edges never connect users to permissions directly, the
+// full adjacency matrix is never materialized; the graph is stored as the two
+// sub-matrices RUAM (roles x users) and RPAM (roles x permissions), needing
+// r*(u+p) cells instead of (r+u+p)^2 — and sparse storage shrinks that
+// further.
+//
+// The dataset interns entity names to dense ids (users, roles, permissions
+// each get their own id space, 0-based) and compiles edge lists into sparse
+// matrices on demand. Mutation invalidates the compiled matrices; compilation
+// is cached until the next mutation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::core {
+
+using Id = std::uint32_t;
+
+/// Node categories of the tripartite graph.
+enum class NodeKind { kUser, kRole, kPermission };
+
+[[nodiscard]] std::string_view to_string(NodeKind kind) noexcept;
+
+class RbacDataset {
+ public:
+  RbacDataset() = default;
+
+  // ---- entity management -------------------------------------------------
+
+  /// Interns a user by name; returns the existing id if already present.
+  Id add_user(std::string name);
+  /// Interns a role by name; returns the existing id if already present.
+  Id add_role(std::string name);
+  /// Interns a permission by name; returns the existing id if already present.
+  Id add_permission(std::string name);
+
+  /// Creates `n` anonymous entities named "<prefix><index>"; returns the id
+  /// of the first. Used by generators to bulk-create entities cheaply.
+  Id add_users(std::size_t n, std::string_view prefix = "U");
+  Id add_roles(std::size_t n, std::string_view prefix = "R");
+  Id add_permissions(std::size_t n, std::string_view prefix = "P");
+
+  [[nodiscard]] std::size_t num_users() const noexcept { return user_names_.size(); }
+  [[nodiscard]] std::size_t num_roles() const noexcept { return role_names_.size(); }
+  [[nodiscard]] std::size_t num_permissions() const noexcept { return perm_names_.size(); }
+
+  [[nodiscard]] const std::string& user_name(Id user) const { return user_names_.at(user); }
+  [[nodiscard]] const std::string& role_name(Id role) const { return role_names_.at(role); }
+  [[nodiscard]] const std::string& permission_name(Id perm) const { return perm_names_.at(perm); }
+
+  /// Id lookup by name; nullopt if unknown.
+  [[nodiscard]] std::optional<Id> find_user(std::string_view name) const;
+  [[nodiscard]] std::optional<Id> find_role(std::string_view name) const;
+  [[nodiscard]] std::optional<Id> find_permission(std::string_view name) const;
+
+  // ---- edge management ---------------------------------------------------
+
+  /// Assigns `user` to `role` (RUAM edge). Duplicate edges collapse at
+  /// compile time. Throws std::out_of_range on unknown ids.
+  void assign_user(Id role, Id user);
+  /// Grants `perm` to `role` (RPAM edge).
+  void grant_permission(Id role, Id perm);
+
+  [[nodiscard]] std::size_t num_user_assignments() const noexcept {
+    return role_user_edges_.size();
+  }
+  [[nodiscard]] std::size_t num_permission_grants() const noexcept {
+    return role_perm_edges_.size();
+  }
+
+  /// Raw edge lists (may contain duplicates until compiled).
+  [[nodiscard]] std::span<const std::pair<Id, Id>> role_user_edges() const noexcept {
+    return role_user_edges_;
+  }
+  [[nodiscard]] std::span<const std::pair<Id, Id>> role_permission_edges() const noexcept {
+    return role_perm_edges_;
+  }
+
+  // ---- compiled matrices -------------------------------------------------
+
+  /// Role-User Assignment Matrix: rows = roles, cols = users.
+  /// Compiles (and caches) on first call after a mutation.
+  [[nodiscard]] const linalg::CsrMatrix& ruam() const;
+
+  /// Role-Permission Assignment Matrix: rows = roles, cols = permissions.
+  [[nodiscard]] const linalg::CsrMatrix& rpam() const;
+
+  /// Users assigned to `role` (sorted ids).
+  [[nodiscard]] std::span<const std::uint32_t> users_of_role(Id role) const {
+    return ruam().row(role);
+  }
+  /// Permissions granted to `role` (sorted ids).
+  [[nodiscard]] std::span<const std::uint32_t> permissions_of_role(Id role) const {
+    return rpam().row(role);
+  }
+
+  /// The exact permission set reachable by `user` — union over its roles —
+  /// as a sorted unique vector. O(total grants of the user's roles).
+  [[nodiscard]] std::vector<Id> permissions_of_user(Id user) const;
+
+ private:
+  void invalidate() noexcept {
+    ruam_cache_.reset();
+    rpam_cache_.reset();
+    user_roles_cache_.reset();
+  }
+
+  std::vector<std::string> user_names_;
+  std::vector<std::string> role_names_;
+  std::vector<std::string> perm_names_;
+  std::unordered_map<std::string, Id> user_ids_;
+  std::unordered_map<std::string, Id> role_ids_;
+  std::unordered_map<std::string, Id> perm_ids_;
+
+  std::vector<std::pair<Id, Id>> role_user_edges_;  // (role, user)
+  std::vector<std::pair<Id, Id>> role_perm_edges_;  // (role, permission)
+
+  mutable std::optional<linalg::CsrMatrix> ruam_cache_;
+  mutable std::optional<linalg::CsrMatrix> rpam_cache_;
+  mutable std::optional<linalg::CsrMatrix> user_roles_cache_;  // transpose of RUAM
+};
+
+}  // namespace rolediet::core

@@ -1,0 +1,77 @@
+#include "core/periodic.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "cluster/union_find.hpp"
+
+namespace rolediet::core {
+
+namespace {
+
+void unite_groups(cluster::UnionFind& forest, const RoleGroups& groups) {
+  for (const auto& group : groups.groups) {
+    for (std::size_t member : group) {
+      if (member >= forest.size())
+        throw std::out_of_range("merge_role_groups: member outside the role universe");
+      forest.unite(group.front(), member);
+    }
+  }
+}
+
+/// Maps each role to its group index in a canonical grouping (-1 = ungrouped).
+std::unordered_map<std::size_t, std::size_t> group_of(const RoleGroups& groups) {
+  std::unordered_map<std::size_t, std::size_t> map;
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    for (std::size_t member : groups.groups[g]) map.emplace(member, g);
+  }
+  return map;
+}
+
+/// Number of co-grouped pairs of `a` that are also co-grouped in `b`, plus
+/// the total pair count of `a`.
+std::pair<std::size_t, std::size_t> shared_pairs(const RoleGroups& a, const RoleGroups& b) {
+  const auto b_group = group_of(b);
+  std::size_t shared = 0;
+  std::size_t total = 0;
+  for (const auto& group : a.groups) {
+    total += group.size() * (group.size() - 1) / 2;
+    // Pairs within an a-group are co-grouped in b iff they land in the same
+    // b-group; count same-b-group members pairwise via a local histogram.
+    std::unordered_map<std::size_t, std::size_t> histogram;
+    for (std::size_t member : group) {
+      if (auto it = b_group.find(member); it != b_group.end()) histogram[it->second] += 1;
+    }
+    for (const auto& [b_index, count] : histogram) shared += count * (count - 1) / 2;
+  }
+  return {shared, total};
+}
+
+}  // namespace
+
+RoleGroups merge_role_groups(std::size_t num_roles, const RoleGroups& a, const RoleGroups& b) {
+  cluster::UnionFind forest(num_roles);
+  unite_groups(forest, a);
+  unite_groups(forest, b);
+  RoleGroups out;
+  out.groups = forest.groups(2);
+  out.normalize();
+  return out;
+}
+
+void PeriodicAccumulator::absorb(const RoleGroups& run) {
+  merged_ = merge_role_groups(num_roles_, merged_, run);
+  ++runs_;
+}
+
+double pairwise_recall(const RoleGroups& truth, const RoleGroups& found) {
+  const auto [shared, total] = shared_pairs(truth, found);
+  return total == 0 ? 1.0 : static_cast<double>(shared) / static_cast<double>(total);
+}
+
+double pairwise_precision(const RoleGroups& truth, const RoleGroups& found) {
+  const auto [shared, total] = shared_pairs(found, truth);
+  return total == 0 ? 1.0 : static_cast<double>(shared) / static_cast<double>(total);
+}
+
+}  // namespace rolediet::core

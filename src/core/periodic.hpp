@@ -1,0 +1,61 @@
+// Periodic-run accumulation and recall measurement.
+//
+// The paper justifies the approximate (HNSW) method by noting the cleanup
+// job runs periodically: "not being able to identify all roles in a group
+// does not hurt, as they will be identified during the next run … enabling
+// the results to converge gradually to the optimal solution over time"
+// (§III-C, §IV-A). This module makes that workflow concrete:
+//
+//  - PeriodicAccumulator folds the groups found by successive runs into a
+//    single transitively-closed grouping (safe because every method only
+//    reports true positives: distances are exact even in the approximate
+//    method, so unioning across runs never over-merges beyond what a single
+//    exact run would produce);
+//  - pairwise_recall() scores a grouping against ground truth at the
+//    role-pair level, the standard metric for clustering recall.
+//
+// bench_convergence uses both to reproduce the convergence claim
+// quantitatively.
+#pragma once
+
+#include "core/taxonomy.hpp"
+
+namespace rolediet::core {
+
+/// Merges two canonical groupings over the same role universe: roles are
+/// co-grouped in the result iff they are connected through co-membership in
+/// either input (transitive closure). `num_roles` bounds the role indices.
+[[nodiscard]] RoleGroups merge_role_groups(std::size_t num_roles, const RoleGroups& a,
+                                           const RoleGroups& b);
+
+/// Accumulates group findings across periodic runs.
+class PeriodicAccumulator {
+ public:
+  explicit PeriodicAccumulator(std::size_t num_roles) : num_roles_(num_roles) {}
+
+  /// Folds one run's findings in. Group member indices must be < num_roles.
+  void absorb(const RoleGroups& run);
+
+  /// The merged grouping after all absorbed runs (canonical form).
+  [[nodiscard]] const RoleGroups& current() const noexcept { return merged_; }
+
+  [[nodiscard]] std::size_t runs_absorbed() const noexcept { return runs_; }
+
+ private:
+  std::size_t num_roles_;
+  std::size_t runs_ = 0;
+  RoleGroups merged_;
+};
+
+/// Pair-level recall of `found` against `truth`: the fraction of role pairs
+/// co-grouped in `truth` that are also co-grouped in `found`. 1.0 when truth
+/// has no pairs. Both inputs must be canonical (normalized) groupings.
+[[nodiscard]] double pairwise_recall(const RoleGroups& truth, const RoleGroups& found);
+
+/// Pair-level precision of `found` against `truth`: the fraction of role
+/// pairs co-grouped in `found` that are also co-grouped in `truth`. For the
+/// detection methods in this library precision is 1.0 by construction
+/// (distances are exact); the metric exists to let tests assert exactly that.
+[[nodiscard]] double pairwise_precision(const RoleGroups& truth, const RoleGroups& found);
+
+}  // namespace rolediet::core

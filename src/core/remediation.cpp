@@ -1,0 +1,220 @@
+#include "core/remediation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rolediet::core {
+
+namespace {
+
+/// Groups `roles` (each with exactly one entry in `axis_matrix`) by that
+/// single entry; emits a merge group per pivot with >= 2 roles. Roles listed
+/// in `excluded` (already removed by the plan) are skipped.
+std::vector<AxisMergeGroup> group_by_single_axis(const linalg::CsrMatrix& axis_matrix,
+                                                 const std::vector<Id>& roles,
+                                                 const std::vector<bool>& excluded) {
+  std::map<Id, std::vector<Id>> by_pivot;  // ordered: deterministic output
+  for (Id role : roles) {
+    if (excluded[role]) continue;
+    const auto row = axis_matrix.row(role);
+    if (row.size() != 1)
+      throw std::invalid_argument("remediation: role in single-assignment list has " +
+                                  std::to_string(row.size()) + " entries");
+    by_pivot[row.front()].push_back(role);
+  }
+
+  std::vector<AxisMergeGroup> groups;
+  for (auto& [pivot, members] : by_pivot) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    AxisMergeGroup group;
+    group.pivot = pivot;
+    group.survivor = members.front();
+    group.absorbed.assign(members.begin() + 1, members.end());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace
+
+RemediationPlan plan_remediation(const RbacDataset& dataset, const AuditReport& report,
+                                 const RemediationPolicy& policy) {
+  RemediationPlan plan;
+  plan.policy = policy;
+
+  std::vector<bool> removed(dataset.num_roles(), false);
+  auto mark_roles = [&](const std::vector<Id>& roles) {
+    for (Id role : roles) {
+      if (role >= dataset.num_roles())
+        throw std::out_of_range("plan_remediation: report role id outside dataset");
+      if (!removed[role]) {
+        removed[role] = true;
+        plan.remove_roles.push_back(role);
+      }
+    }
+  };
+  if (policy.remove_standalone_roles) mark_roles(report.structural.standalone_roles);
+  if (policy.remove_roles_without_users) mark_roles(report.structural.roles_without_users);
+  if (policy.remove_roles_without_permissions)
+    mark_roles(report.structural.roles_without_permissions);
+  std::sort(plan.remove_roles.begin(), plan.remove_roles.end());
+
+  if (policy.remove_standalone_users)
+    plan.remove_users = report.structural.standalone_users;
+  if (policy.remove_standalone_permissions)
+    plan.remove_permissions = report.structural.standalone_permissions;
+
+  if (policy.merge_single_permission_roles) {
+    plan.merge_by_permission = group_by_single_axis(
+        dataset.rpam(), report.structural.single_permission_roles, removed);
+    // A role absorbed by a permission-axis merge must not also join a
+    // user-axis merge: mark the whole group as consumed.
+    for (const auto& group : plan.merge_by_permission) {
+      removed[group.survivor] = true;
+      for (Id role : group.absorbed) removed[role] = true;
+    }
+  }
+  if (policy.merge_single_user_roles) {
+    plan.merge_by_user =
+        group_by_single_axis(dataset.ruam(), report.structural.single_user_roles, removed);
+  }
+  return plan;
+}
+
+RbacDataset apply_remediation(const RbacDataset& dataset, const RemediationPlan& plan) {
+  constexpr Id kDropped = static_cast<Id>(-1);
+
+  // Role fate: dropped, absorbed (redirect), or kept.
+  std::vector<Id> redirect(dataset.num_roles());
+  for (std::size_t r = 0; r < redirect.size(); ++r) redirect[r] = static_cast<Id>(r);
+  std::vector<bool> role_gone(dataset.num_roles(), false);
+
+  for (Id role : plan.remove_roles) {
+    if (role >= dataset.num_roles())
+      throw std::out_of_range("apply_remediation: removed role outside dataset");
+    role_gone[role] = true;
+    redirect[role] = kDropped;
+  }
+  auto absorb = [&](const std::vector<AxisMergeGroup>& groups) {
+    for (const AxisMergeGroup& group : groups) {
+      if (group.survivor >= dataset.num_roles())
+        throw std::out_of_range("apply_remediation: survivor outside dataset");
+      if (role_gone[group.survivor])
+        throw std::invalid_argument("apply_remediation: survivor already removed");
+      for (Id role : group.absorbed) {
+        if (role >= dataset.num_roles())
+          throw std::out_of_range("apply_remediation: absorbed role outside dataset");
+        if (role_gone[role])
+          throw std::invalid_argument("apply_remediation: role consumed twice");
+        role_gone[role] = true;
+        redirect[role] = group.survivor;
+      }
+    }
+  };
+  absorb(plan.merge_by_permission);
+  absorb(plan.merge_by_user);
+
+  std::vector<bool> user_gone(dataset.num_users(), false);
+  for (Id user : plan.remove_users) user_gone.at(user) = true;
+  std::vector<bool> perm_gone(dataset.num_permissions(), false);
+  for (Id perm : plan.remove_permissions) perm_gone.at(perm) = true;
+
+  RbacDataset out;
+  std::vector<Id> new_user_id(dataset.num_users(), kDropped);
+  for (std::size_t u = 0; u < dataset.num_users(); ++u) {
+    if (!user_gone[u]) new_user_id[u] = out.add_user(dataset.user_name(static_cast<Id>(u)));
+  }
+  std::vector<Id> new_perm_id(dataset.num_permissions(), kDropped);
+  for (std::size_t p = 0; p < dataset.num_permissions(); ++p) {
+    if (!perm_gone[p])
+      new_perm_id[p] = out.add_permission(dataset.permission_name(static_cast<Id>(p)));
+  }
+  std::vector<Id> new_role_id(dataset.num_roles(), kDropped);
+  for (std::size_t r = 0; r < dataset.num_roles(); ++r) {
+    if (!role_gone[r]) new_role_id[r] = out.add_role(dataset.role_name(static_cast<Id>(r)));
+  }
+
+  for (const auto& [role, user] : dataset.role_user_edges()) {
+    const Id target = redirect[role];
+    if (target == kDropped || user_gone[user]) continue;
+    out.assign_user(new_role_id[target], new_user_id[user]);
+  }
+  for (const auto& [role, perm] : dataset.role_permission_edges()) {
+    const Id target = redirect[role];
+    if (target == kDropped || perm_gone[perm]) continue;
+    out.grant_permission(new_role_id[target], new_perm_id[perm]);
+  }
+  return out;
+}
+
+bool verify_remediation(const RbacDataset& before, const RbacDataset& after,
+                        const RemediationPlan& plan) {
+  // Planned entity removals, by name.
+  std::unordered_set<std::string> removed_users;
+  for (Id user : plan.remove_users) removed_users.insert(before.user_name(user));
+  std::unordered_set<std::string> removed_perms;
+  for (Id perm : plan.remove_permissions) removed_perms.insert(before.permission_name(perm));
+
+  // Universe check: after = before minus planned removals, nothing new.
+  if (after.num_users() + removed_users.size() != before.num_users()) return false;
+  if (after.num_permissions() + removed_perms.size() != before.num_permissions()) return false;
+
+  for (std::size_t u = 0; u < before.num_users(); ++u) {
+    const Id before_id = static_cast<Id>(u);
+    const std::string& name = before.user_name(before_id);
+    const std::optional<Id> after_id = after.find_user(name);
+    if (removed_users.contains(name)) {
+      if (after_id.has_value()) return false;  // planned removal not applied
+      continue;
+    }
+    if (!after_id.has_value()) return false;  // user vanished without a plan
+
+    // Compare effective permission sets by name.
+    const std::vector<Id> before_perms = before.permissions_of_user(before_id);
+    const std::vector<Id> after_perms = after.permissions_of_user(*after_id);
+    std::vector<std::string> before_names;
+    for (Id p : before_perms) {
+      // A permission the plan removes was standalone, hence cannot appear in
+      // any user's effective set; seeing one here means the plan was unsafe.
+      if (removed_perms.contains(before.permission_name(p))) return false;
+      before_names.push_back(before.permission_name(p));
+    }
+    std::vector<std::string> after_names;
+    for (Id p : after_perms) after_names.push_back(after.permission_name(p));
+    std::sort(before_names.begin(), before_names.end());
+    std::sort(after_names.begin(), after_names.end());
+    if (before_names != after_names) return false;
+  }
+  return true;
+}
+
+std::string RemediationPlan::to_text(const RbacDataset& dataset) const {
+  std::ostringstream out;
+  out << "remediation plan:\n";
+  out << "  remove " << remove_roles.size() << " roles (standalone / one-sided)\n";
+  if (policy.remove_standalone_users)
+    out << "  remove " << remove_users.size() << " standalone users\n";
+  if (policy.remove_standalone_permissions)
+    out << "  remove " << remove_permissions.size() << " standalone permissions\n";
+  out << "  merge " << merge_by_permission.size()
+      << " groups of single-permission roles (same permission)\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(merge_by_permission.size(), 5); ++i) {
+    const auto& g = merge_by_permission[i];
+    out << "    [" << dataset.permission_name(g.pivot) << "] keep "
+        << dataset.role_name(g.survivor) << ", absorb " << g.absorbed.size() << "\n";
+  }
+  out << "  merge " << merge_by_user.size() << " groups of single-user roles (same user)\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(merge_by_user.size(), 5); ++i) {
+    const auto& g = merge_by_user[i];
+    out << "    [" << dataset.user_name(g.pivot) << "] keep " << dataset.role_name(g.survivor)
+        << ", absorb " << g.absorbed.size() << "\n";
+  }
+  out << "  total roles removed: " << roles_removed() << " of " << dataset.num_roles() << "\n";
+  return out.str();
+}
+
+}  // namespace rolediet::core

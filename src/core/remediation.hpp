@@ -1,0 +1,102 @@
+// Remediation planning — turning the full audit into an actionable, safe
+// cleanup plan.
+//
+// The paper stops at *detection* ("these inefficiencies must not be fixed
+// automatically... the administrator must carefully consider and approve
+// every instance") and names the consolidation of type-3 roles as future
+// work ("the approach for consolidating roles related to the previous
+// inefficiency still needs to be developed"). This module develops exactly
+// that, under a strict safety rule: an action is eligible only if applying
+// it provably changes no user's effective permission set.
+//
+// Safe actions and why they are safe:
+//  - remove a standalone role (no edges): touches nothing;
+//  - remove a role without users: its grants reach nobody;
+//  - remove a role without permissions: it grants nothing;
+//  - remove a standalone user / permission: it participates in no
+//    assignment, so no mapping entry exists (OFF by default — a brand-new
+//    user or freshly provisioned permission looks identical to a stale one;
+//    the administrator must opt in);
+//  - merge single-permission roles that grant the SAME permission: the
+//    merged role carries the union of their users and that one permission —
+//    every affected user still reaches exactly that permission from it;
+//  - merge single-user roles assigned to the SAME user: the merged role
+//    carries that user and the union of their permissions — the user
+//    already reached that union.
+//
+// Duplicate-role merging (type 4) lives in consolidation.hpp; a full diet is
+// remediation + consolidation, both verified by the same equivalence check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "core/model.hpp"
+
+namespace rolediet::core {
+
+/// Which classes of safe action the plan may include.
+struct RemediationPolicy {
+  bool remove_standalone_roles = true;
+  bool remove_roles_without_users = true;
+  bool remove_roles_without_permissions = true;
+  /// Entity removal is opt-in: staleness cannot be inferred from structure
+  /// alone (the paper's new-hire / new-permission caveat).
+  bool remove_standalone_users = false;
+  bool remove_standalone_permissions = false;
+  /// Type-3 consolidation (the paper's future work).
+  bool merge_single_permission_roles = true;
+  bool merge_single_user_roles = true;
+};
+
+/// A single-axis merge: roles sharing one pivot entity collapse into the
+/// group's smallest role id.
+struct AxisMergeGroup {
+  Id pivot = 0;              ///< the shared permission (or user)
+  Id survivor = 0;           ///< smallest role id in the group
+  std::vector<Id> absorbed;  ///< remaining roles, ascending
+};
+
+struct RemediationPlan {
+  RemediationPolicy policy;
+
+  std::vector<Id> remove_roles;        ///< standalone + one-sided roles
+  std::vector<Id> remove_users;        ///< standalone users (if enabled)
+  std::vector<Id> remove_permissions;  ///< standalone permissions (if enabled)
+  std::vector<AxisMergeGroup> merge_by_permission;  ///< single-perm roles, same perm
+  std::vector<AxisMergeGroup> merge_by_user;        ///< single-user roles, same user
+
+  [[nodiscard]] std::size_t roles_removed() const noexcept {
+    std::size_t total = remove_roles.size();
+    for (const auto& g : merge_by_permission) total += g.absorbed.size();
+    for (const auto& g : merge_by_user) total += g.absorbed.size();
+    return total;
+  }
+
+  /// Human-readable action summary for administrator review.
+  [[nodiscard]] std::string to_text(const RbacDataset& dataset) const;
+};
+
+/// Builds a plan from an audit report. The report must come from an audit of
+/// `dataset` (ids are interpreted against it). Roles already slated for
+/// removal are excluded from the merge groups, and a role is absorbed at
+/// most once across the whole plan.
+[[nodiscard]] RemediationPlan plan_remediation(const RbacDataset& dataset,
+                                               const AuditReport& report,
+                                               const RemediationPolicy& policy = {});
+
+/// Applies the plan, producing a new dataset. Surviving entities and roles
+/// keep their names; ids are compacted. Edges of removed roles are dropped;
+/// edges of absorbed roles are redirected to the group survivor.
+[[nodiscard]] RbacDataset apply_remediation(const RbacDataset& dataset,
+                                            const RemediationPlan& plan);
+
+/// Safety gate: true when every user present in both datasets reaches the
+/// same permission set (compared BY NAME, so id compaction is transparent),
+/// users/permissions present only in `before` are exactly the planned
+/// removals, and `after` introduces nothing new.
+[[nodiscard]] bool verify_remediation(const RbacDataset& before, const RbacDataset& after,
+                                      const RemediationPlan& plan);
+
+}  // namespace rolediet::core

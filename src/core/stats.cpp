@@ -1,0 +1,97 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rolediet::core {
+
+DegreeSummary DegreeSummary::from(std::vector<std::size_t> degrees) {
+  DegreeSummary s;
+  if (degrees.empty()) return s;
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  std::size_t sum = 0;
+  for (std::size_t d : degrees) {
+    sum += d;
+    if (d == 0) ++s.zeros;
+  }
+  s.mean = static_cast<double>(sum) / static_cast<double>(degrees.size());
+  s.p50 = degrees[degrees.size() / 2];
+  s.p90 = degrees[(degrees.size() * 9) / 10];
+  return s;
+}
+
+DatasetStats compute_stats(const RbacDataset& dataset) {
+  const auto& ruam = dataset.ruam();
+  const auto& rpam = dataset.rpam();
+
+  DatasetStats stats;
+  stats.users = dataset.num_users();
+  stats.roles = dataset.num_roles();
+  stats.permissions = dataset.num_permissions();
+  stats.user_assignments = ruam.nnz();
+  stats.permission_grants = rpam.nnz();
+  if (stats.roles > 0 && stats.users > 0) {
+    stats.ruam_density = static_cast<double>(ruam.nnz()) /
+                         (static_cast<double>(stats.roles) * static_cast<double>(stats.users));
+  }
+  if (stats.roles > 0 && stats.permissions > 0) {
+    stats.rpam_density =
+        static_cast<double>(rpam.nnz()) /
+        (static_cast<double>(stats.roles) * static_cast<double>(stats.permissions));
+  }
+  stats.users_per_role = DegreeSummary::from(ruam.row_sums());
+  stats.perms_per_role = DegreeSummary::from(rpam.row_sums());
+  stats.roles_per_user = DegreeSummary::from(ruam.column_sums());
+  stats.roles_per_permission = DegreeSummary::from(rpam.column_sums());
+  stats.footprint = linalg::representation_footprint(stats.roles, stats.users,
+                                                     stats.permissions, ruam.nnz(), rpam.nnz());
+  return stats;
+}
+
+namespace {
+
+std::string human_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= std::size_t{1} << 30) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", static_cast<double>(bytes) / (1ULL << 30));
+  } else if (bytes >= std::size_t{1} << 20) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", static_cast<double>(bytes) / (1ULL << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bytes) / (1ULL << 10));
+  }
+  return buf;
+}
+
+void write_summary(std::ostringstream& out, const char* name, const DegreeSummary& s) {
+  out << "  " << name << ": min " << s.min << ", p50 " << s.p50 << ", mean ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", s.mean);
+  out << buf << ", p90 " << s.p90 << ", max " << s.max << " (" << s.zeros << " with none)\n";
+}
+
+}  // namespace
+
+std::string DatasetStats::to_text() const {
+  std::ostringstream out;
+  out << "dataset statistics:\n";
+  out << "  entities: " << users << " users, " << roles << " roles, " << permissions
+      << " permissions\n";
+  out << "  edges: " << user_assignments << " assignments, " << permission_grants
+      << " grants\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  density: RUAM %.4f%%, RPAM %.4f%%\n",
+                ruam_density * 100.0, rpam_density * 100.0);
+  out << buf;
+  write_summary(out, "users/role ", users_per_role);
+  write_summary(out, "perms/role ", perms_per_role);
+  write_summary(out, "roles/user ", roles_per_user);
+  write_summary(out, "roles/perm ", roles_per_permission);
+  out << "  memory: full adjacency " << human_bytes(footprint.full_adjacency_bytes)
+      << ", RUAM+RPAM dense " << human_bytes(footprint.sub_matrices_bytes) << ", sparse "
+      << human_bytes(footprint.sparse_bytes) << "\n";
+  return out.str();
+}
+
+}  // namespace rolediet::core

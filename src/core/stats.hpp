@@ -1,0 +1,51 @@
+// Dataset shape statistics — the numbers an administrator looks at before
+// deciding audit parameters (similarity thresholds, method choice, time
+// budgets), and the context EXPERIMENTS.md reports alongside timings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/footprint.hpp"
+
+namespace rolediet::core {
+
+/// Summary of a degree distribution (e.g. users per role).
+struct DegreeSummary {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  std::size_t p50 = 0;  ///< median
+  std::size_t p90 = 0;
+  std::size_t zeros = 0;  ///< entities with no edges at all
+
+  /// Computes the summary; the input need not be sorted.
+  [[nodiscard]] static DegreeSummary from(std::vector<std::size_t> degrees);
+};
+
+struct DatasetStats {
+  std::size_t users = 0;
+  std::size_t roles = 0;
+  std::size_t permissions = 0;
+  std::size_t user_assignments = 0;   ///< distinct RUAM edges
+  std::size_t permission_grants = 0;  ///< distinct RPAM edges
+
+  double ruam_density = 0.0;  ///< nnz / (roles * users)
+  double rpam_density = 0.0;
+
+  DegreeSummary users_per_role;
+  DegreeSummary perms_per_role;
+  DegreeSummary roles_per_user;
+  DegreeSummary roles_per_permission;
+
+  linalg::RepresentationFootprint footprint;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// One pass over the compiled matrices.
+[[nodiscard]] DatasetStats compute_stats(const RbacDataset& dataset);
+
+}  // namespace rolediet::core

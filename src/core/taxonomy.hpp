@@ -1,0 +1,113 @@
+// Taxonomy of RBAC data inefficiencies (§III-A of the paper).
+//
+// Five groups, each detectable from the RUAM/RPAM structure alone:
+//   1. standalone nodes — users/roles/permissions with no edges at all;
+//   2. roles not connected to users (only permissions) or not connected to
+//      permissions (only users);
+//   3. roles connected to exactly one user / exactly one permission;
+//   4. roles sharing the *same* set of users / permissions;
+//   5. roles sharing a *similar* set (within an administrator-chosen
+//      Hamming threshold) of users / permissions.
+//
+// The paper stresses that findings are advisory: a single-user role may be
+// legitimate (e.g. the CEO's role), so the framework reports candidates and
+// never auto-fixes. Consolidation (consolidation.hpp) is a separate,
+// explicitly invoked step.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace rolediet::core {
+
+enum class InefficiencyType {
+  kStandaloneUser,          ///< type 1: user with no role
+  kStandaloneRole,          ///< type 1: role with neither users nor permissions
+  kStandalonePermission,    ///< type 1: permission granted to no role
+  kRoleWithoutUsers,        ///< type 2: role with permissions but no users
+  kRoleWithoutPermissions,  ///< type 2: role with users but no permissions
+  kSingleUserRole,          ///< type 3: role assigned to exactly one user
+  kSinglePermissionRole,    ///< type 3: role granting exactly one permission
+  kSameUserRoles,           ///< type 4: roles with identical user sets
+  kSamePermissionRoles,     ///< type 4: roles with identical permission sets
+  kSimilarUserRoles,        ///< type 5: roles with user sets within threshold
+  kSimilarPermissionRoles,  ///< type 5: roles with permission sets within threshold
+};
+
+[[nodiscard]] constexpr std::string_view to_string(InefficiencyType type) noexcept {
+  switch (type) {
+    case InefficiencyType::kStandaloneUser: return "standalone-user";
+    case InefficiencyType::kStandaloneRole: return "standalone-role";
+    case InefficiencyType::kStandalonePermission: return "standalone-permission";
+    case InefficiencyType::kRoleWithoutUsers: return "role-without-users";
+    case InefficiencyType::kRoleWithoutPermissions: return "role-without-permissions";
+    case InefficiencyType::kSingleUserRole: return "single-user-role";
+    case InefficiencyType::kSinglePermissionRole: return "single-permission-role";
+    case InefficiencyType::kSameUserRoles: return "same-user-roles";
+    case InefficiencyType::kSamePermissionRoles: return "same-permission-roles";
+    case InefficiencyType::kSimilarUserRoles: return "similar-user-roles";
+    case InefficiencyType::kSimilarPermissionRoles: return "similar-permission-roles";
+  }
+  return "?";
+}
+
+/// Coarse taxonomy group (1-5) of a finding type.
+[[nodiscard]] constexpr int taxonomy_group(InefficiencyType type) noexcept {
+  switch (type) {
+    case InefficiencyType::kStandaloneUser:
+    case InefficiencyType::kStandaloneRole:
+    case InefficiencyType::kStandalonePermission: return 1;
+    case InefficiencyType::kRoleWithoutUsers:
+    case InefficiencyType::kRoleWithoutPermissions: return 2;
+    case InefficiencyType::kSingleUserRole:
+    case InefficiencyType::kSinglePermissionRole: return 3;
+    case InefficiencyType::kSameUserRoles:
+    case InefficiencyType::kSamePermissionRoles: return 4;
+    case InefficiencyType::kSimilarUserRoles:
+    case InefficiencyType::kSimilarPermissionRoles: return 5;
+  }
+  return 0;
+}
+
+/// Groups of role indices produced by type-4/type-5 detection. Each group has
+/// at least two members, members are in increasing order, and groups are
+/// ordered by their smallest member — the canonical form used when comparing
+/// the output of different detection methods.
+struct RoleGroups {
+  std::vector<std::vector<std::size_t>> groups;
+
+  [[nodiscard]] std::size_t group_count() const noexcept { return groups.size(); }
+
+  /// Total roles appearing in any group.
+  [[nodiscard]] std::size_t roles_in_groups() const noexcept {
+    std::size_t total = 0;
+    for (const auto& g : groups) total += g.size();
+    return total;
+  }
+
+  /// Roles that could be removed if every group collapsed to one role:
+  /// sum over groups of (|group| - 1).
+  [[nodiscard]] std::size_t reducible_roles() const noexcept {
+    std::size_t total = 0;
+    for (const auto& g : groups) total += g.size() - 1;
+    return total;
+  }
+
+  /// Sorts members within groups and groups by smallest member, producing the
+  /// canonical form. Call after building groups from unordered unions.
+  void normalize();
+
+  [[nodiscard]] bool operator==(const RoleGroups&) const noexcept = default;
+};
+
+inline void RoleGroups::normalize() {
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+}
+
+}  // namespace rolediet::core

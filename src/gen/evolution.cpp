@@ -1,0 +1,247 @@
+#include "gen/evolution.hpp"
+
+#include <array>
+#include <string>
+
+namespace rolediet::gen {
+
+using core::Id;
+
+std::string_view to_string(OrgEvent event) noexcept {
+  switch (event) {
+    case OrgEvent::kHire: return "hire";
+    case OrgEvent::kDeparture: return "departure";
+    case OrgEvent::kTransfer: return "transfer";
+    case OrgEvent::kProvision: return "provision";
+    case OrgEvent::kDecommission: return "decommission";
+    case OrgEvent::kCloneRole: return "clone-role";
+    case OrgEvent::kForkRole: return "fork-role";
+    case OrgEvent::kShadowRole: return "shadow-role";
+  }
+  return "?";
+}
+
+OrgEvolution::OrgEvolution(core::IncrementalAuditor& auditor, std::uint64_t seed,
+                           std::size_t initial_users, std::size_t initial_roles,
+                           std::size_t initial_permissions, EvolutionMix mix)
+    : auditor_(auditor), rng_(seed), mix_(mix) {
+  for (std::size_t u = 0; u < initial_users; ++u) {
+    auditor_.add_user("emp" + std::to_string(next_user_++));
+  }
+  for (std::size_t p = 0; p < initial_permissions; ++p) {
+    auditor_.add_permission("perm" + std::to_string(next_perm_++));
+  }
+  for (std::size_t r = 0; r < initial_roles; ++r) {
+    const Id role = auditor_.add_role("role" + std::to_string(next_role_++));
+    const std::size_t users = 3 + rng_.bounded(6);
+    for (std::size_t k = 0; k < users; ++k) {
+      auditor_.assign_user(role, static_cast<Id>(rng_.bounded(initial_users)));
+    }
+    const std::size_t perms = 3 + rng_.bounded(4);
+    for (std::size_t k = 0; k < perms; ++k) {
+      auditor_.grant_permission(role, static_cast<Id>(rng_.bounded(initial_permissions)));
+    }
+  }
+}
+
+OrgEvent OrgEvolution::draw_event() {
+  const std::array<std::pair<OrgEvent, double>, 8> weighted{{
+      {OrgEvent::kHire, mix_.hire},
+      {OrgEvent::kDeparture, mix_.departure},
+      {OrgEvent::kTransfer, mix_.transfer},
+      {OrgEvent::kProvision, mix_.provision},
+      {OrgEvent::kDecommission, mix_.decommission},
+      {OrgEvent::kCloneRole, mix_.clone_role},
+      {OrgEvent::kForkRole, mix_.fork_role},
+      {OrgEvent::kShadowRole, mix_.shadow_role},
+  }};
+  double total = 0.0;
+  for (const auto& [event, weight] : weighted) total += weight;
+  double roll = rng_.uniform01() * total;
+  for (const auto& [event, weight] : weighted) {
+    roll -= weight;
+    if (roll <= 0.0) return event;
+  }
+  return OrgEvent::kHire;
+}
+
+OrgEvent OrgEvolution::step() {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const OrgEvent event = draw_event();
+    if (apply(event)) {
+      ++events_;
+      return event;
+    }
+  }
+  (void)do_hire();  // always succeeds
+  ++events_;
+  return OrgEvent::kHire;
+}
+
+bool OrgEvolution::apply(OrgEvent event) {
+  switch (event) {
+    case OrgEvent::kHire: return do_hire();
+    case OrgEvent::kDeparture: return do_departure();
+    case OrgEvent::kTransfer: return do_transfer();
+    case OrgEvent::kProvision: return do_provision();
+    case OrgEvent::kDecommission: return do_decommission();
+    case OrgEvent::kCloneRole: return do_clone_role();
+    case OrgEvent::kForkRole: return do_fork_role();
+    case OrgEvent::kShadowRole: return do_shadow_role();
+  }
+  return false;
+}
+
+std::optional<Id> OrgEvolution::pick_role(std::size_t min_users, std::size_t min_perms) {
+  const std::size_t n = auditor_.num_roles();
+  if (n == 0) return std::nullopt;
+  const std::size_t start = rng_.bounded(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Id role = static_cast<Id>((start + k) % n);
+    if (auditor_.users_of_role(role).size() >= min_users &&
+        auditor_.permissions_of_role(role).size() >= min_perms) {
+      return role;
+    }
+  }
+  return std::nullopt;
+}
+
+bool OrgEvolution::do_hire() {
+  const Id user = auditor_.add_user("emp" + std::to_string(next_user_++));
+  // New hires land in one or two existing roles.
+  const std::size_t memberships = 1 + rng_.bounded(2);
+  for (std::size_t k = 0; k < memberships; ++k) {
+    if (const auto role = pick_role(1, 0)) auditor_.assign_user(*role, user);
+  }
+  return true;
+}
+
+bool OrgEvolution::do_departure() {
+  // Pick an assigned user and revoke everything; the user entity remains —
+  // exactly the paper's "user no longer working in the organization" case.
+  const std::size_t n = auditor_.num_users();
+  if (n == 0) return false;
+  const std::size_t start = rng_.bounded(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Id user = static_cast<Id>((start + k) % n);
+    if (auditor_.user_degree(user) == 0) continue;
+    for (std::size_t r = 0; r < auditor_.num_roles(); ++r) {
+      auditor_.revoke_user(static_cast<Id>(r), user);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool OrgEvolution::do_transfer() {
+  const auto from = pick_role(2, 0);  // keep at least one user behind
+  const auto to = pick_role(1, 0);
+  if (!from || !to || *from == *to) return false;
+  const auto& users = auditor_.users_of_role(*from);
+  const Id user = users[rng_.bounded(users.size())];
+  auditor_.revoke_user(*from, user);
+  auditor_.assign_user(*to, user);
+  return true;
+}
+
+bool OrgEvolution::do_provision() {
+  const Id perm = auditor_.add_permission("perm" + std::to_string(next_perm_++));
+  if (const auto role = pick_role(0, 1)) {
+    auditor_.grant_permission(*role, perm);
+    return true;
+  }
+  // No role to attach to: the new permission is born standalone.
+  return true;
+}
+
+bool OrgEvolution::do_decommission() {
+  const std::size_t n = auditor_.num_permissions();
+  if (n == 0) return false;
+  const std::size_t start = rng_.bounded(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Id perm = static_cast<Id>((start + k) % n);
+    if (auditor_.permission_degree(perm) == 0) continue;
+    for (std::size_t r = 0; r < auditor_.num_roles(); ++r) {
+      auditor_.revoke_permission(static_cast<Id>(r), perm);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool OrgEvolution::do_clone_role() {
+  const auto source = pick_role(1, 1);
+  if (!source) return false;
+  const Id clone = auditor_.add_role("role" + std::to_string(next_role_++));
+  // Half the clones copy the user set (same-users duplicate), half the
+  // permission set (same-permissions duplicate); the other axis gets a
+  // partial copy, mimicking an admin adapting a template.
+  const bool copy_users = rng_.bernoulli(0.5);
+  const auto users = auditor_.users_of_role(*source);
+  const auto perms = auditor_.permissions_of_role(*source);
+  if (copy_users) {
+    for (Id u : users) auditor_.assign_user(clone, u);
+    for (Id p : perms) {
+      if (rng_.bernoulli(0.7)) auditor_.grant_permission(clone, p);
+    }
+    if (auditor_.permissions_of_role(clone).empty() && !perms.empty())
+      auditor_.grant_permission(clone, perms.front());
+  } else {
+    for (Id p : perms) auditor_.grant_permission(clone, p);
+    for (Id u : users) {
+      if (rng_.bernoulli(0.7)) auditor_.assign_user(clone, u);
+    }
+    if (auditor_.users_of_role(clone).empty() && !users.empty())
+      auditor_.assign_user(clone, users.front());
+  }
+  return true;
+}
+
+bool OrgEvolution::do_fork_role() {
+  const auto source = pick_role(2, 1);
+  if (!source) return false;
+  const Id fork = auditor_.add_role("role" + std::to_string(next_role_++));
+  // Copy the user set, then drop exactly one member: a similar-users pair.
+  const std::vector<Id> users = auditor_.users_of_role(*source);
+  const std::size_t skip = rng_.bounded(users.size());
+  for (std::size_t k = 0; k < users.size(); ++k) {
+    if (k != skip) auditor_.assign_user(fork, users[k]);
+  }
+  for (Id p : auditor_.permissions_of_role(*source)) {
+    if (rng_.bernoulli(0.5)) auditor_.grant_permission(fork, p);
+  }
+  if (auditor_.permissions_of_role(fork).empty()) {
+    const Id perm = auditor_.add_permission("perm" + std::to_string(next_perm_++));
+    auditor_.grant_permission(fork, perm);
+  }
+  return true;
+}
+
+bool OrgEvolution::do_shadow_role() {
+  const Id role = auditor_.add_role("role" + std::to_string(next_role_++));
+  // One third fully disconnected, one third permissions-only, one third
+  // users-only — the three flavours of type-1/2 role findings.
+  switch (rng_.bounded(3)) {
+    case 0:
+      break;
+    case 1: {
+      if (const auto donor = pick_role(0, 1)) {
+        for (Id p : auditor_.permissions_of_role(*donor)) {
+          if (rng_.bernoulli(0.5)) auditor_.grant_permission(role, p);
+        }
+      }
+      break;
+    }
+    case 2: {
+      if (const auto donor = pick_role(1, 0)) {
+        for (Id u : auditor_.users_of_role(*donor)) {
+          if (rng_.bernoulli(0.5)) auditor_.assign_user(role, u);
+        }
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace rolediet::gen

@@ -1,0 +1,109 @@
+// Organization evolution — simulating how RBAC inefficiencies accumulate.
+//
+// The paper's premise is temporal: "the primarily manual nature of data
+// management in RBAC systems, coupled with a lack of oversight, can lead to
+// various inefficiencies over time" (§I). This module simulates that decay:
+// starting from a healthy org, a stream of realistic administrative events
+// mutates the dataset through an IncrementalAuditor —
+//
+//   hire            new user assigned to existing roles
+//   departure       user's assignments revoked (the user entity lingers ->
+//                   standalone user, the paper's exact example)
+//   transfer        user swapped from one role's user set to another's
+//   provision       new permission granted to a role
+//   decommission    permission's grants revoked (entity lingers -> standalone
+//                   permission, "permissions linked to decommissioned assets")
+//   clone_role      admin copies an existing role instead of reusing it
+//                   (-> same-users or same-permissions duplicates, the
+//                   "fragmented landscape of independent role owners")
+//   fork_role       copy then tweak one entry (-> similar roles)
+//   shadow_role     new role created but never wired up (-> type 1/2 roles)
+//
+// Event mix is configurable; each event draws from the PRNG so histories are
+// reproducible. The drift_monitor example and evolution tests use this to
+// show inefficiency counts rising monotonically under neglect and being
+// reset by a diet.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/incremental.hpp"
+#include "util/prng.hpp"
+
+namespace rolediet::gen {
+
+enum class OrgEvent {
+  kHire,
+  kDeparture,
+  kTransfer,
+  kProvision,
+  kDecommission,
+  kCloneRole,
+  kForkRole,
+  kShadowRole,
+};
+
+[[nodiscard]] std::string_view to_string(OrgEvent event) noexcept;
+
+/// Relative weights of the event mix (need not sum to anything particular).
+struct EvolutionMix {
+  double hire = 4.0;
+  double departure = 2.0;
+  double transfer = 6.0;
+  double provision = 3.0;
+  double decommission = 2.0;
+  double clone_role = 1.0;
+  double fork_role = 1.0;
+  double shadow_role = 0.5;
+};
+
+/// Drives an IncrementalAuditor through a stream of administrative events.
+class OrgEvolution {
+ public:
+  /// Seeds a small healthy organization directly into `auditor` (roles with
+  /// 3-8 users and 3-6 permissions each) and prepares the event stream.
+  OrgEvolution(core::IncrementalAuditor& auditor, std::uint64_t seed,
+               std::size_t initial_users = 200, std::size_t initial_roles = 60,
+               std::size_t initial_permissions = 150, EvolutionMix mix = {});
+
+  /// Applies one random event; returns which kind ran. Events that need a
+  /// precondition (e.g. a departure needs an assigned user) retry with a
+  /// different draw a few times and fall back to kHire.
+  OrgEvent step();
+
+  /// Applies `n` events.
+  void run(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) (void)step();
+  }
+
+  [[nodiscard]] std::size_t events_applied() const noexcept { return events_; }
+
+ private:
+  [[nodiscard]] OrgEvent draw_event();
+  bool apply(OrgEvent event);
+
+  // Event implementations; return false when preconditions failed.
+  bool do_hire();
+  bool do_departure();
+  bool do_transfer();
+  bool do_provision();
+  bool do_decommission();
+  bool do_clone_role();
+  bool do_fork_role();
+  bool do_shadow_role();
+
+  /// Random existing role with at least `min_users` users (or nullopt).
+  [[nodiscard]] std::optional<core::Id> pick_role(std::size_t min_users,
+                                                  std::size_t min_perms);
+
+  core::IncrementalAuditor& auditor_;
+  util::Xoshiro256 rng_;
+  EvolutionMix mix_;
+  std::size_t events_ = 0;
+  std::size_t next_user_ = 0;
+  std::size_t next_role_ = 0;
+  std::size_t next_perm_ = 0;
+};
+
+}  // namespace rolediet::gen

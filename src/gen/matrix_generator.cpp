@@ -1,0 +1,173 @@
+#include "gen/matrix_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rolediet::gen {
+
+namespace {
+
+/// Sorted set of `norm` distinct column indices in [0, cols).
+std::vector<std::uint32_t> random_row(util::Xoshiro256& rng, std::size_t cols, std::size_t norm) {
+  std::vector<std::size_t> picks = rng.sample_indices(cols, norm);
+  std::vector<std::uint32_t> row(picks.begin(), picks.end());
+  std::sort(row.begin(), row.end());
+  return row;
+}
+
+/// Order-independent digest of a sorted row, for uniqueness checks.
+std::uint64_t row_digest(const std::vector<std::uint32_t>& row) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (std::uint32_t c : row) {
+    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+  }
+  return h ^ util::mix64(row.size());
+}
+
+/// Copy of `base` with exactly `flips` random bit flips (set->clear or
+/// clear->set, chosen uniformly among all positions), kept non-empty.
+std::vector<std::uint32_t> perturb_row(util::Xoshiro256& rng, std::vector<std::uint32_t> base,
+                                       std::size_t cols, std::size_t flips) {
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::uint32_t pos = static_cast<std::uint32_t>(rng.bounded(cols));
+    auto it = std::lower_bound(base.begin(), base.end(), pos);
+    const bool present = it != base.end() && *it == pos;
+    if (present && base.size() > 1) {
+      base.erase(it);
+    } else if (!present) {
+      base.insert(it, pos);
+    }
+    // present && size == 1: skip the flip rather than empty the row; the
+    // member stays within `flips` of the base either way.
+  }
+  return base;
+}
+
+}  // namespace
+
+GeneratedMatrix generate_matrix(const MatrixGenParams& params) {
+  if (params.roles == 0 || params.cols == 0)
+    throw std::invalid_argument("generate_matrix: roles and cols must be positive");
+  if (params.min_row_norm == 0 || params.min_row_norm > params.max_row_norm ||
+      params.max_row_norm > params.cols)
+    throw std::invalid_argument("generate_matrix: need 1 <= min_row_norm <= max_row_norm <= cols");
+  if (params.clustered_fraction < 0.0 || params.clustered_fraction > 1.0)
+    throw std::invalid_argument("generate_matrix: clustered_fraction outside [0, 1]");
+  if (params.max_cluster_size < 2)
+    throw std::invalid_argument("generate_matrix: max_cluster_size must be >= 2");
+
+  util::Xoshiro256 rng(params.seed);
+  std::unordered_set<std::uint64_t> seen_digests;
+
+  auto draw_unique_row = [&](std::size_t norm) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<std::uint32_t> row = random_row(rng, params.cols, norm);
+      if (!params.ensure_unique_rows) return row;
+      if (seen_digests.insert(row_digest(row)).second) return row;
+    }
+    throw std::runtime_error(
+        "generate_matrix: could not draw a unique row; matrix too dense for uniqueness");
+  };
+  auto draw_norm = [&]() -> std::size_t {
+    const std::size_t span = params.max_row_norm - params.min_row_norm + 1;
+    if (params.norm_distribution == NormDistribution::kUniform || span == 1) {
+      return params.min_row_norm + rng.bounded(span);
+    }
+    // Zipf over the offsets 1..span via inverse-CDF rejection on the
+    // continuous Pareto envelope (exponent s), clamped to the range.
+    constexpr double kExponent = 1.5;
+    for (;;) {
+      const double u = std::max(rng.uniform01(), 1e-12);
+      const double draw = std::pow(u, -1.0 / (kExponent - 1.0));  // Pareto(1, s-1)
+      if (draw <= static_cast<double>(span)) {
+        return params.min_row_norm + static_cast<std::size_t>(draw) - 1;
+      }
+    }
+  };
+
+  // Plan clusters until the clustered-role quota is met. The final cluster
+  // is clamped so the total never exceeds the quota (minimum size 2 still
+  // holds because the quota itself is >= 2 whenever any cluster is planned).
+  const auto quota = static_cast<std::size_t>(
+      static_cast<double>(params.roles) * params.clustered_fraction + 0.5);
+  std::vector<std::size_t> cluster_sizes;
+  std::size_t planned = 0;
+  while (planned + 2 <= quota) {
+    std::size_t size = 2 + rng.bounded(params.max_cluster_size - 1);  // [2, max]
+    size = std::min(size, quota - planned);
+    if (size < 2) break;
+    cluster_sizes.push_back(size);
+    planned += size;
+  }
+
+  // Build all rows (cluster members first, then noise), tracking which
+  // pre-shuffle slot belongs to which cluster.
+  std::vector<std::vector<std::uint32_t>> rows;
+  rows.reserve(params.roles);
+  std::vector<std::vector<std::size_t>> cluster_slots;
+  cluster_slots.reserve(cluster_sizes.size());
+
+  for (std::size_t size : cluster_sizes) {
+    std::vector<std::uint32_t> base = draw_unique_row(draw_norm());
+    std::vector<std::size_t>& slots = cluster_slots.emplace_back();
+    slots.push_back(rows.size());
+    rows.push_back(base);
+    for (std::size_t member = 1; member < size; ++member) {
+      slots.push_back(rows.size());
+      if (params.perturb_bits == 0) {
+        rows.push_back(base);
+      } else {
+        std::vector<std::uint32_t> perturbed =
+            perturb_row(rng, base, params.cols, params.perturb_bits);
+        // Register the member's digest too, so later noise rows cannot
+        // accidentally duplicate a perturbed member.
+        if (params.ensure_unique_rows) seen_digests.insert(row_digest(perturbed));
+        rows.push_back(std::move(perturbed));
+      }
+    }
+  }
+  while (rows.size() < params.roles) {
+    rows.push_back(draw_unique_row(draw_norm()));
+  }
+
+  // Shuffle row order via a random permutation; slot s lands at position[s].
+  std::vector<std::size_t> position(params.roles);
+  for (std::size_t i = 0; i < position.size(); ++i) position[i] = i;
+  rng.shuffle(std::span<std::size_t>(position));
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  for (std::size_t slot = 0; slot < rows.size(); ++slot) {
+    const auto r = static_cast<std::uint32_t>(position[slot]);
+    for (std::uint32_t c : rows[slot]) entries.emplace_back(r, c);
+  }
+
+  GeneratedMatrix out;
+  out.matrix = linalg::CsrMatrix::from_pairs(params.roles, params.cols, std::move(entries));
+
+  // Canonicalize groups while keeping each group's base row aligned:
+  // members sorted ascending, groups ordered by smallest member.
+  std::vector<std::pair<std::vector<std::size_t>, std::size_t>> tagged;
+  tagged.reserve(cluster_slots.size());
+  for (const auto& slots : cluster_slots) {
+    std::vector<std::size_t> group;
+    group.reserve(slots.size());
+    for (std::size_t slot : slots) group.push_back(position[slot]);
+    const std::size_t base = position[slots.front()];  // slot 0 held the base row
+    std::sort(group.begin(), group.end());
+    tagged.emplace_back(std::move(group), base);
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first.front() < b.first.front(); });
+  out.planted.groups.reserve(tagged.size());
+  out.planted_bases.reserve(tagged.size());
+  for (auto& [group, base] : tagged) {
+    out.planted.groups.push_back(std::move(group));
+    out.planted_bases.push_back(base);
+  }
+  return out;
+}
+
+}  // namespace rolediet::gen

@@ -1,0 +1,71 @@
+// Synthetic assignment-matrix generator (§IV-A).
+//
+// Reproduces the paper's workload generator: "creates a matrix resembling
+// RUAM/RPAM with predefined properties … the number of roles (rows), the
+// number of users (columns), the proportion of the number of roles in
+// clusters relative to the total number of roles, and the maximum number of
+// identical roles within a cluster." The paper's evaluation fixes the
+// proportion at 0.2 and the maximum cluster size at 10.
+//
+// Extension for type-5 evaluation: `perturb_bits` > 0 plants *similar*
+// clusters instead of identical ones — every member lies within Hamming
+// distance perturb_bits of the cluster's base row (the base row is member 0),
+// so the whole cluster is one connected group at threshold t >= perturb_bits.
+//
+// Ground truth: the planted clusters are returned in canonical RoleGroups
+// order so tests and benches can check recall exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "core/taxonomy.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "util/prng.hpp"
+
+namespace rolediet::gen {
+
+/// Row-size (role-norm) distribution.
+enum class NormDistribution {
+  kUniform,  ///< uniform over [min_row_norm, max_row_norm]
+  kZipf,     ///< power law (exponent ~1.5) over the same range — real orgs
+             ///< have many small roles and a heavy tail of large ones
+};
+
+struct MatrixGenParams {
+  std::size_t roles = 1000;  ///< rows
+  std::size_t cols = 1000;   ///< users (RUAM) or permissions (RPAM)
+  /// Fraction of rows that belong to planted clusters (paper: 0.2).
+  double clustered_fraction = 0.2;
+  /// Cluster sizes are drawn uniformly from [2, max_cluster_size] (paper: 10).
+  std::size_t max_cluster_size = 10;
+  /// Per-row entry count, drawn from [min_row_norm, max_row_norm].
+  std::size_t min_row_norm = 1;
+  std::size_t max_row_norm = 16;
+  NormDistribution norm_distribution = NormDistribution::kUniform;
+  /// 0 = identical cluster members (type-4 workload); k > 0 = members within
+  /// Hamming distance k of the base row (type-5 workload).
+  std::size_t perturb_bits = 0;
+  /// Re-draw noise/base rows whose content collides with an existing row, so
+  /// the planted clusters are the only identical-row groups.
+  bool ensure_unique_rows = true;
+  std::uint64_t seed = 1;
+};
+
+struct GeneratedMatrix {
+  linalg::CsrMatrix matrix;
+  /// Planted clusters in canonical form (row indices after shuffling).
+  core::RoleGroups planted;
+  /// planted_bases[i] = the base row of planted.groups[i]. With
+  /// perturb_bits = 0 every member equals the base; with perturb_bits = k
+  /// every member is within Hamming distance k of the base (so members may
+  /// be up to 2k apart from each other).
+  std::vector<std::size_t> planted_bases;
+};
+
+/// Generates a matrix per the parameters. Row order is shuffled so planted
+/// cluster members are not adjacent. Deterministic in `seed`.
+/// Throws std::invalid_argument on inconsistent parameters (norms > cols,
+/// max_cluster_size < 2, fraction outside [0, 1]).
+[[nodiscard]] GeneratedMatrix generate_matrix(const MatrixGenParams& params);
+
+}  // namespace rolediet::gen

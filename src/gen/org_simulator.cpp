@@ -1,0 +1,317 @@
+#include "gen/org_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/prng.hpp"
+
+namespace rolediet::gen {
+
+OrgProfile OrgProfile::small(std::uint64_t seed) {
+  OrgProfile p;
+  p.seed = seed;
+  p.departments = 8;
+  p.connected_users = 900;
+  p.standalone_users = 5;
+  p.connected_permissions = 1'700;
+  p.standalone_permissions = 1'800;
+  p.healthy_roles = 120;
+  p.roles_without_users = 120;
+  p.roles_without_permissions = 10;
+  p.standalone_roles = 4;
+  p.single_user_roles = 40;
+  p.single_permission_roles = 210;
+  p.same_user_pairs = 40;
+  p.same_permission_pairs = 10;
+  p.similar_user_pairs = 30;
+  p.similar_permission_pairs = 20;
+  p.min_users_per_role = 4;
+  p.max_users_per_role = 12;
+  p.min_perms_per_role = 4;
+  p.max_perms_per_role = 8;
+  return p;
+}
+
+namespace {
+
+using core::Id;
+using core::RbacDataset;
+
+/// Order-independent digest of a sorted id set (same scheme as the matrix
+/// generator; used to keep unintended duplicate sets out of the org).
+std::uint64_t set_digest(const std::vector<Id>& ids) {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (Id c : ids) {
+    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+  }
+  return h ^ util::mix64(ids.size());
+}
+
+/// Builder state shared by the per-class construction routines.
+struct OrgBuilder {
+  const OrgProfile& profile;
+  util::Xoshiro256 rng;
+  RbacDataset data;
+  std::unordered_set<std::uint64_t> user_set_digests;
+  std::unordered_set<std::uint64_t> perm_set_digests;
+  std::size_t next_dept = 0;
+
+  explicit OrgBuilder(const OrgProfile& p) : profile(p), rng(p.seed) {}
+
+  [[nodiscard]] std::size_t dept_user_span() const {
+    return profile.connected_users / profile.departments;
+  }
+  [[nodiscard]] std::size_t dept_perm_span() const {
+    return profile.connected_permissions / profile.departments;
+  }
+
+  /// Next department in round-robin order.
+  std::size_t take_dept() { return next_dept++ % profile.departments; }
+
+  /// `count` distinct ids from [base, base + span), sorted.
+  std::vector<Id> draw_from(std::size_t base, std::size_t span, std::size_t count) {
+    std::vector<std::size_t> picks = rng.sample_indices(span, count);
+    std::vector<Id> ids;
+    ids.reserve(count);
+    for (std::size_t p : picks) ids.push_back(static_cast<Id>(base + p));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Draws a user set of random size in [lo, hi] from `dept`'s pool whose
+  /// digest is not yet taken; registers the digest.
+  std::vector<Id> unique_user_set(std::size_t dept, std::size_t lo, std::size_t hi) {
+    return unique_set(dept * dept_user_span(), dept_user_span(), lo, hi, user_set_digests);
+  }
+  std::vector<Id> unique_perm_set(std::size_t dept, std::size_t lo, std::size_t hi) {
+    return unique_set(dept * dept_perm_span(), dept_perm_span(), lo, hi, perm_set_digests);
+  }
+
+  std::vector<Id> unique_set(std::size_t base, std::size_t span, std::size_t lo, std::size_t hi,
+                             std::unordered_set<std::uint64_t>& digests) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t count = lo + rng.bounded(hi - lo + 1);
+      std::vector<Id> ids = draw_from(base, span, count);
+      if (digests.insert(set_digest(ids)).second) return ids;
+    }
+    throw std::runtime_error("generate_org: department pool too small for unique sets");
+  }
+
+  void assign_users(Id role, const std::vector<Id>& users) {
+    for (Id u : users) data.assign_user(role, u);
+  }
+  void grant_perms(Id role, const std::vector<Id>& perms) {
+    for (Id p : perms) data.grant_permission(role, p);
+  }
+};
+
+void validate(const OrgProfile& p) {
+  auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("generate_org: ") + what);
+  };
+  if (p.departments == 0) fail("departments must be positive");
+  if (p.min_users_per_role < 4)
+    fail("min_users_per_role must be >= 4 (similar variants keep >= 3 users)");
+  if (p.min_perms_per_role < 4)
+    fail("min_perms_per_role must be >= 4 (similar variants keep >= 3 permissions)");
+  if (p.min_users_per_role > p.max_users_per_role) fail("user norms inverted");
+  if (p.min_perms_per_role > p.max_perms_per_role) fail("permission norms inverted");
+  if (p.connected_users / p.departments < p.max_users_per_role * 2)
+    fail("department user pools too small for the role shapes");
+  if (p.connected_permissions / p.departments < p.max_perms_per_role * 2)
+    fail("department permission pools too small for the role shapes");
+  if (p.single_user_roles > p.connected_users)
+    fail("more single-user roles than connected users");
+  if (p.single_permission_roles > p.connected_permissions)
+    fail("more single-permission roles than connected permissions");
+  const std::size_t bases_needed = p.same_user_pairs + p.same_permission_pairs +
+                                   p.similar_user_pairs + p.similar_permission_pairs;
+  if (bases_needed > p.healthy_roles)
+    fail("healthy_roles must cover all duplicate/similar pair bases");
+}
+
+}  // namespace
+
+OrgDataset generate_org(const OrgProfile& profile) {
+  validate(profile);
+  OrgBuilder b(profile);
+
+  // Entity pools. Connected entities come first; the standalone tail is never
+  // referenced by any edge, which is precisely what makes it standalone.
+  b.data.add_users(profile.connected_users + profile.standalone_users, "U");
+  b.data.add_permissions(profile.connected_permissions + profile.standalone_permissions, "P");
+
+  // -- healthy roles (also the base pool for planted pairs) -----------------
+  struct HealthyRole {
+    Id id;
+    std::size_t dept;
+    std::vector<Id> users;
+    std::vector<Id> perms;
+  };
+  std::vector<HealthyRole> healthy;
+  healthy.reserve(profile.healthy_roles);
+  for (std::size_t i = 0; i < profile.healthy_roles; ++i) {
+    const std::size_t dept = b.take_dept();
+    const Id role = b.data.add_role("R_healthy_" + std::to_string(i));
+    HealthyRole h{role, dept,
+                  b.unique_user_set(dept, profile.min_users_per_role, profile.max_users_per_role),
+                  b.unique_perm_set(dept, profile.min_perms_per_role, profile.max_perms_per_role)};
+    b.assign_users(role, h.users);
+    b.grant_perms(role, h.perms);
+    healthy.push_back(std::move(h));
+  }
+
+  // -- type 2: roles with only one side connected ---------------------------
+  std::vector<Id> nousers_ids;
+  for (std::size_t i = 0; i < profile.roles_without_users; ++i) {
+    const std::size_t dept = b.take_dept();
+    const Id role = b.data.add_role("R_nousers_" + std::to_string(i));
+    b.grant_perms(role, b.unique_perm_set(dept, profile.min_perms_per_role,
+                                          profile.max_perms_per_role));
+    nousers_ids.push_back(role);
+  }
+  std::vector<Id> noperms_ids;
+  for (std::size_t i = 0; i < profile.roles_without_permissions; ++i) {
+    const std::size_t dept = b.take_dept();
+    const Id role = b.data.add_role("R_noperms_" + std::to_string(i));
+    b.assign_users(role, b.unique_user_set(dept, profile.min_users_per_role,
+                                           profile.max_users_per_role));
+    noperms_ids.push_back(role);
+  }
+
+  // -- type 1: fully disconnected roles -------------------------------------
+  for (std::size_t i = 0; i < profile.standalone_roles; ++i) {
+    b.data.add_role("R_standalone_" + std::to_string(i));
+  }
+
+  // -- type 3: single-user / single-permission roles ------------------------
+  // Each single-user role gets a *distinct* user so no two of them share the
+  // same {u} set (which would leak into the type-4 counts); same for
+  // single-permission roles and their permission.
+  std::vector<Id> oneuser_ids;
+  for (std::size_t i = 0; i < profile.single_user_roles; ++i) {
+    const std::size_t dept = b.take_dept();
+    const Id role = b.data.add_role("R_oneuser_" + std::to_string(i));
+    b.data.assign_user(role, static_cast<Id>(i));
+    b.grant_perms(role, b.unique_perm_set(dept, profile.min_perms_per_role,
+                                          profile.max_perms_per_role));
+    oneuser_ids.push_back(role);
+  }
+  std::vector<Id> oneperm_ids;
+  for (std::size_t i = 0; i < profile.single_permission_roles; ++i) {
+    const std::size_t dept = b.take_dept();
+    const Id role = b.data.add_role("R_oneperm_" + std::to_string(i));
+    b.assign_users(role, b.unique_user_set(dept, profile.min_users_per_role,
+                                           profile.max_users_per_role));
+    b.data.grant_permission(role, static_cast<Id>(i));
+    oneperm_ids.push_back(role);
+  }
+
+  // -- type 4: duplicate pairs ----------------------------------------------
+  // Bases are taken from disjoint slices of the healthy pool so no healthy
+  // role anchors two planted pairs.
+  std::size_t next_base = 0;
+  for (std::size_t i = 0; i < profile.same_user_pairs; ++i) {
+    const HealthyRole& base = healthy[next_base++];
+    const Id dup = b.data.add_role("R_dupusers_" + std::to_string(i));
+    b.assign_users(dup, base.users);  // identical user set — the finding
+    b.grant_perms(dup, b.unique_perm_set(base.dept, profile.min_perms_per_role,
+                                         profile.max_perms_per_role));
+  }
+  for (std::size_t i = 0; i < profile.same_permission_pairs; ++i) {
+    const HealthyRole& base = healthy[next_base++];
+    const Id dup = b.data.add_role("R_dupperms_" + std::to_string(i));
+    b.assign_users(dup, b.unique_user_set(base.dept, profile.min_users_per_role,
+                                          profile.max_users_per_role));
+    b.grant_perms(dup, base.perms);  // identical permission set
+  }
+
+  // -- type 5: similar pairs (Hamming distance exactly 1) -------------------
+  auto drop_one = [&](const std::vector<Id>& set,
+                      std::unordered_set<std::uint64_t>& digests) {
+    // Remove one element such that the reduced set is not already taken;
+    // try every position starting from a random one.
+    const std::size_t n = set.size();
+    const std::size_t start = b.rng.bounded(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      std::vector<Id> reduced = set;
+      reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>((start + k) % n));
+      if (digests.insert(set_digest(reduced)).second) return reduced;
+    }
+    throw std::runtime_error("generate_org: cannot build a unique similar variant");
+  };
+  for (std::size_t i = 0; i < profile.similar_user_pairs; ++i) {
+    const HealthyRole& base = healthy[next_base++];
+    const Id variant = b.data.add_role("R_simusers_" + std::to_string(i));
+    b.assign_users(variant, drop_one(base.users, b.user_set_digests));
+    b.grant_perms(variant, b.unique_perm_set(base.dept, profile.min_perms_per_role,
+                                             profile.max_perms_per_role));
+  }
+  for (std::size_t i = 0; i < profile.similar_permission_pairs; ++i) {
+    const HealthyRole& base = healthy[next_base++];
+    const Id variant = b.data.add_role("R_simperms_" + std::to_string(i));
+    b.assign_users(variant, b.unique_user_set(base.dept, profile.min_users_per_role,
+                                              profile.max_users_per_role));
+    b.grant_perms(variant, drop_one(base.perms, b.perm_set_digests));
+  }
+
+  // -- coverage pass ---------------------------------------------------------
+  // Random draws leave some connected users/permissions untouched; without
+  // edges they would surface as extra standalone nodes and distort the
+  // type-1 counts. Attach each leftover to a sink role of a class whose
+  // membership the extra edge cannot change: single-permission roles (extra
+  // *user* keeps the permission count at 1), roles-without-permissions, or
+  // unused healthy roles — and symmetrically for permissions.
+  {
+    std::vector<Id> user_sinks = oneperm_ids;
+    user_sinks.insert(user_sinks.end(), noperms_ids.begin(), noperms_ids.end());
+    for (std::size_t h = next_base; h < healthy.size(); ++h)
+      user_sinks.push_back(healthy[h].id);
+    std::vector<Id> perm_sinks = nousers_ids;
+    perm_sinks.insert(perm_sinks.end(), oneuser_ids.begin(), oneuser_ids.end());
+    for (std::size_t h = next_base; h < healthy.size(); ++h)
+      perm_sinks.push_back(healthy[h].id);
+
+    const std::vector<std::size_t> user_degree = b.data.ruam().column_sums();
+    std::size_t next_user_sink = 0;
+    for (std::size_t u = 0; u < profile.connected_users; ++u) {
+      if (user_degree[u] != 0) continue;
+      if (user_sinks.empty())
+        throw std::invalid_argument(
+            "generate_org: leftover connected users but no sink roles "
+            "(need single-permission, no-permission, or spare healthy roles)");
+      b.data.assign_user(user_sinks[next_user_sink++ % user_sinks.size()],
+                         static_cast<Id>(u));
+    }
+    const std::vector<std::size_t> perm_degree = b.data.rpam().column_sums();
+    std::size_t next_perm_sink = 0;
+    for (std::size_t p = 0; p < profile.connected_permissions; ++p) {
+      if (perm_degree[p] != 0) continue;
+      if (perm_sinks.empty())
+        throw std::invalid_argument(
+            "generate_org: leftover connected permissions but no sink roles "
+            "(need no-user, single-user, or spare healthy roles)");
+      b.data.grant_permission(perm_sinks[next_perm_sink++ % perm_sinks.size()],
+                              static_cast<Id>(p));
+    }
+  }
+
+  OrgDataset out;
+  out.dataset = std::move(b.data);
+  out.truth.standalone_users = profile.standalone_users;
+  out.truth.standalone_permissions = profile.standalone_permissions;
+  out.truth.standalone_roles = profile.standalone_roles;
+  out.truth.roles_without_users = profile.roles_without_users;
+  out.truth.roles_without_permissions = profile.roles_without_permissions;
+  out.truth.single_user_roles = profile.single_user_roles;
+  out.truth.single_permission_roles = profile.single_permission_roles;
+  out.truth.roles_in_same_user_groups = 2 * profile.same_user_pairs;
+  out.truth.roles_in_same_permission_groups = 2 * profile.same_permission_pairs;
+  out.truth.roles_in_similar_user_groups = 2 * profile.similar_user_pairs;
+  out.truth.roles_in_similar_permission_groups = 2 * profile.similar_permission_pairs;
+  return out;
+}
+
+}  // namespace rolediet::gen

@@ -1,0 +1,181 @@
+#include "io/binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace rolediet::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'D', 'I', 'E', 'T', '1', '\n', '\0'};
+
+/// Streaming FNV-1a over the payload (everything after the magic).
+class Checksum {
+ public:
+  void feed(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= 0x100000001B3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(const std::filesystem::path& path) : out_(path, std::ios::binary) {
+    if (!out_) throw BinaryError("cannot write " + path.string());
+  }
+
+  void raw(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  }
+  void payload(const void* data, std::size_t size) {
+    raw(data, size);
+    checksum_.feed(data, size);
+  }
+  void u64(std::uint64_t v) { payload(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { payload(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    payload(s.data(), s.size());
+  }
+  void finish() {
+    const std::uint64_t digest = checksum_.value();
+    raw(&digest, sizeof(digest));
+    out_.flush();
+    if (!out_) throw BinaryError("write failure while finishing binary dataset");
+  }
+
+ private:
+  std::ofstream out_;
+  Checksum checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::filesystem::path& path) : in_(path, std::ios::binary) {
+    if (!in_) throw BinaryError("cannot open " + path.string());
+  }
+
+  void raw(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (in_.gcount() != static_cast<std::streamsize>(size))
+      throw BinaryError("unexpected end of file (truncated binary dataset)");
+  }
+  void payload(void* data, std::size_t size) {
+    raw(data, size);
+    checksum_.feed(data, size);
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    payload(&v, sizeof(v));
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    payload(&v, sizeof(v));
+    return v;
+  }
+  std::string str(std::size_t sane_limit = 1 << 20) {
+    const std::uint32_t size = u32();
+    if (size > sane_limit) throw BinaryError("corrupt name length in binary dataset");
+    std::string s(size, '\0');
+    payload(s.data(), size);
+    return s;
+  }
+  void verify_checksum() {
+    const std::uint64_t expected = checksum_.value();
+    std::uint64_t stored = 0;
+    raw(&stored, sizeof(stored));
+    if (stored != expected) throw BinaryError("checksum mismatch (corrupt binary dataset)");
+  }
+
+ private:
+  std::ifstream in_;
+  Checksum checksum_;
+};
+
+}  // namespace
+
+void save_dataset_binary(const core::RbacDataset& dataset,
+                         const std::filesystem::path& path) {
+  Writer w(path);
+  w.raw(kMagic, sizeof(kMagic));
+  w.u64(dataset.num_users());
+  w.u64(dataset.num_roles());
+  w.u64(dataset.num_permissions());
+  // Persist the compiled (deduplicated) edges, not the raw edge log.
+  const auto& ruam = dataset.ruam();
+  const auto& rpam = dataset.rpam();
+  w.u64(ruam.nnz());
+  w.u64(rpam.nnz());
+  for (std::size_t u = 0; u < dataset.num_users(); ++u)
+    w.str(dataset.user_name(static_cast<core::Id>(u)));
+  for (std::size_t r = 0; r < dataset.num_roles(); ++r)
+    w.str(dataset.role_name(static_cast<core::Id>(r)));
+  for (std::size_t p = 0; p < dataset.num_permissions(); ++p)
+    w.str(dataset.permission_name(static_cast<core::Id>(p)));
+  for (std::size_t r = 0; r < ruam.rows(); ++r) {
+    for (std::uint32_t u : ruam.row(r)) {
+      w.u32(static_cast<std::uint32_t>(r));
+      w.u32(u);
+    }
+  }
+  for (std::size_t r = 0; r < rpam.rows(); ++r) {
+    for (std::uint32_t p : rpam.row(r)) {
+      w.u32(static_cast<std::uint32_t>(r));
+      w.u32(p);
+    }
+  }
+  w.finish();
+}
+
+core::RbacDataset load_dataset_binary(const std::filesystem::path& path) {
+  Reader r(path);
+  char magic[sizeof(kMagic)];
+  r.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw BinaryError(path.string() + " is not a rolediet binary dataset");
+
+  const std::uint64_t users = r.u64();
+  const std::uint64_t roles = r.u64();
+  const std::uint64_t perms = r.u64();
+  const std::uint64_t assignments = r.u64();
+  const std::uint64_t grants = r.u64();
+  constexpr std::uint64_t kSaneEntityLimit = 1ULL << 32;
+  if (users > kSaneEntityLimit || roles > kSaneEntityLimit || perms > kSaneEntityLimit)
+    throw BinaryError("corrupt entity counts in binary dataset");
+
+  core::RbacDataset dataset;
+  for (std::uint64_t i = 0; i < users; ++i) dataset.add_user(r.str());
+  for (std::uint64_t i = 0; i < roles; ++i) dataset.add_role(r.str());
+  for (std::uint64_t i = 0; i < perms; ++i) dataset.add_permission(r.str());
+  if (dataset.num_users() != users || dataset.num_roles() != roles ||
+      dataset.num_permissions() != perms)
+    throw BinaryError("duplicate entity names in binary dataset");
+
+  for (std::uint64_t i = 0; i < assignments; ++i) {
+    const std::uint32_t role = r.u32();
+    const std::uint32_t user = r.u32();
+    if (role >= roles || user >= users)
+      throw BinaryError("assignment edge outside entity range in binary dataset");
+    dataset.assign_user(role, user);
+  }
+  for (std::uint64_t i = 0; i < grants; ++i) {
+    const std::uint32_t role = r.u32();
+    const std::uint32_t perm = r.u32();
+    if (role >= roles || perm >= perms)
+      throw BinaryError("grant edge outside entity range in binary dataset");
+    dataset.grant_permission(role, perm);
+  }
+  r.verify_checksum();
+  return dataset;
+}
+
+}  // namespace rolediet::io

@@ -1,0 +1,174 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+
+namespace rolediet::io {
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\r' && i + 1 == line.size()) {
+      ++i;  // tolerate CRLF line endings
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (quoted) throw CsvError("unterminated quoted field: " + line);
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string escape_csv_field(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+/// Applies `consume(fields, line_no)` to every non-empty data row of `path`,
+/// after validating the header. Missing file is a no-op when `optional`.
+template <typename Consume>
+void for_each_row(const std::filesystem::path& path, const std::string& expected_header,
+                  bool optional, Consume&& consume) {
+  std::ifstream in(path);
+  if (!in) {
+    if (optional) return;
+    throw CsvError("cannot open " + path.string());
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> fields = parse_csv_line(line);
+    if (!saw_header) {
+      saw_header = true;
+      std::string header;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) header.push_back(',');
+        header += fields[f];
+      }
+      if (header != expected_header)
+        throw CsvError(path.string() + ":" + std::to_string(line_no) + ": expected header '" +
+                       expected_header + "', got '" + header + "'");
+      continue;
+    }
+    if (fields.size() != 2)
+      throw CsvError(path.string() + ":" + std::to_string(line_no) + ": expected 2 fields, got " +
+                     std::to_string(fields.size()));
+    consume(std::move(fields), line_no);
+  }
+}
+
+}  // namespace
+
+core::RbacDataset load_dataset(const std::filesystem::path& dir) {
+  core::RbacDataset data;
+
+  for_each_row(dir / "entities.csv", "kind,name", /*optional=*/true,
+               [&](std::vector<std::string> fields, std::size_t line_no) {
+                 const std::string& kind = fields[0];
+                 if (kind == "user") {
+                   data.add_user(std::move(fields[1]));
+                 } else if (kind == "role") {
+                   data.add_role(std::move(fields[1]));
+                 } else if (kind == "permission") {
+                   data.add_permission(std::move(fields[1]));
+                 } else {
+                   throw CsvError((dir / "entities.csv").string() + ":" +
+                                  std::to_string(line_no) + ": unknown entity kind '" + kind +
+                                  "'");
+                 }
+               });
+
+  for_each_row(dir / "assignments.csv", "role,user", /*optional=*/true,
+               [&](std::vector<std::string> fields, std::size_t) {
+                 const core::Id role = data.add_role(std::move(fields[0]));
+                 const core::Id user = data.add_user(std::move(fields[1]));
+                 data.assign_user(role, user);
+               });
+
+  for_each_row(dir / "grants.csv", "role,permission", /*optional=*/true,
+               [&](std::vector<std::string> fields, std::size_t) {
+                 const core::Id role = data.add_role(std::move(fields[0]));
+                 const core::Id perm = data.add_permission(std::move(fields[1]));
+                 data.grant_permission(role, perm);
+               });
+
+  return data;
+}
+
+void save_dataset(const core::RbacDataset& dataset, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  auto open = [](const std::filesystem::path& path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw CsvError("cannot write " + path.string());
+    return out;
+  };
+
+  {
+    std::ofstream out = open(dir / "entities.csv");
+    out << "kind,name\n";
+    for (std::size_t u = 0; u < dataset.num_users(); ++u)
+      out << "user," << escape_csv_field(dataset.user_name(static_cast<core::Id>(u))) << "\n";
+    for (std::size_t r = 0; r < dataset.num_roles(); ++r)
+      out << "role," << escape_csv_field(dataset.role_name(static_cast<core::Id>(r))) << "\n";
+    for (std::size_t p = 0; p < dataset.num_permissions(); ++p)
+      out << "permission,"
+          << escape_csv_field(dataset.permission_name(static_cast<core::Id>(p))) << "\n";
+  }
+  {
+    std::ofstream out = open(dir / "assignments.csv");
+    out << "role,user\n";
+    for (const auto& [role, user] : dataset.role_user_edges())
+      out << escape_csv_field(dataset.role_name(role)) << ","
+          << escape_csv_field(dataset.user_name(user)) << "\n";
+  }
+  {
+    std::ofstream out = open(dir / "grants.csv");
+    out << "role,permission\n";
+    for (const auto& [role, perm] : dataset.role_permission_edges())
+      out << escape_csv_field(dataset.role_name(role)) << ","
+          << escape_csv_field(dataset.permission_name(perm)) << "\n";
+  }
+}
+
+}  // namespace rolediet::io

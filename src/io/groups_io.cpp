@@ -1,0 +1,67 @@
+#include "io/groups_io.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "io/csv.hpp"
+
+namespace rolediet::io {
+
+void save_groups(const core::RoleGroups& groups, const core::RbacDataset& dataset,
+                 const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw CsvError("cannot write " + path.string());
+  out << "group,role\n";
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    for (std::size_t member : groups.groups[g]) {
+      out << g << "," << escape_csv_field(dataset.role_name(static_cast<core::Id>(member)))
+          << "\n";
+    }
+  }
+}
+
+core::RoleGroups load_groups(const core::RbacDataset& dataset,
+                             const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw CsvError("cannot open " + path.string());
+
+  std::map<std::size_t, std::vector<std::size_t>> by_ordinal;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> fields = parse_csv_line(line);
+    if (!saw_header) {
+      saw_header = true;
+      if (fields.size() != 2 || fields[0] != "group" || fields[1] != "role")
+        throw CsvError(path.string() + ":1: expected header 'group,role'");
+      continue;
+    }
+    if (fields.size() != 2)
+      throw CsvError(path.string() + ":" + std::to_string(line_no) + ": expected 2 fields");
+    std::size_t ordinal = 0;
+    try {
+      ordinal = std::stoull(fields[0]);
+    } catch (const std::exception&) {
+      throw CsvError(path.string() + ":" + std::to_string(line_no) + ": bad group ordinal '" +
+                     fields[0] + "'");
+    }
+    const std::optional<core::Id> role = dataset.find_role(fields[1]);
+    if (!role.has_value())
+      throw CsvError(path.string() + ":" + std::to_string(line_no) + ": unknown role '" +
+                     fields[1] + "'");
+    by_ordinal[ordinal].push_back(*role);
+  }
+
+  core::RoleGroups out;
+  for (auto& [ordinal, members] : by_ordinal) {
+    if (members.size() < 2) continue;
+    out.groups.push_back(std::move(members));
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace rolediet::io

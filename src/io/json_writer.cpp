@@ -1,0 +1,223 @@
+#include "io/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rolediet::io {
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Frame::kObjectExpectKey)
+    throw std::logic_error("JsonWriter: value emitted where a key is required");
+  if (needs_comma_) raw(",");
+  if (!stack_.empty() && stack_.back() == Frame::kObjectExpectValue)
+    stack_.back() = Frame::kObjectExpectKey;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Frame::kObjectExpectKey);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() == Frame::kArray)
+    throw std::logic_error("JsonWriter: end_object outside an object");
+  if (stack_.back() == Frame::kObjectExpectValue)
+    throw std::logic_error("JsonWriter: end_object after a dangling key");
+  stack_.pop_back();
+  raw("}");
+  needs_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Frame::kArray);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray)
+    throw std::logic_error("JsonWriter: end_array outside an array");
+  stack_.pop_back();
+  raw("]");
+  needs_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Frame::kObjectExpectKey)
+    throw std::logic_error("JsonWriter: key outside an object or after another key");
+  if (needs_comma_) raw(",");
+  std::ostringstream tmp;
+  write_escaped(tmp, name);
+  out_ << tmp.str() << ":";
+  stack_.back() = Frame::kObjectExpectValue;
+  needs_comma_ = false;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  std::ostringstream tmp;
+  write_escaped(tmp, s);
+  out_ << tmp.str();
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t n) {
+  before_value();
+  out_ << n;
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t n) {
+  before_value();
+  out_ << n;
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    raw("null");  // JSON has no NaN/Inf
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", d);
+    raw(buf);
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  raw(b ? "true" : "false");
+  needs_comma_ = true;
+}
+
+void JsonWriter::null() {
+  before_value();
+  raw("null");
+  needs_comma_ = true;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) throw std::logic_error("JsonWriter: unclosed containers");
+  return out_.str();
+}
+
+void JsonWriter::write_escaped(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+namespace {
+
+void write_id_list(JsonWriter& w, const char* name, const std::vector<core::Id>& ids) {
+  w.key(name);
+  w.begin_array();
+  for (core::Id id : ids) w.value(static_cast<std::uint64_t>(id));
+  w.end_array();
+}
+
+void write_groups(JsonWriter& w, const char* name, const core::RoleGroups& groups,
+                  const core::RbacDataset& dataset) {
+  w.key(name);
+  w.begin_array();
+  for (const auto& group : groups.groups) {
+    w.begin_array();
+    for (std::size_t role : group) w.value(dataset.role_name(static_cast<core::Id>(role)));
+    w.end_array();
+  }
+  w.end_array();
+}
+
+void write_phase(JsonWriter& w, const char* name, const core::PhaseTiming& timing) {
+  w.key(name);
+  w.begin_object();
+  w.key("seconds");
+  w.value(timing.seconds);
+  w.key("timed_out");
+  w.value(timing.timed_out);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_to_json(const core::AuditReport& report, const core::RbacDataset& dataset) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("method");
+  w.value(report.method_name);
+
+  w.key("dataset");
+  w.begin_object();
+  w.key("users");
+  w.value(report.num_users);
+  w.key("roles");
+  w.value(report.num_roles);
+  w.key("permissions");
+  w.value(report.num_permissions);
+  w.key("user_assignments");
+  w.value(report.num_user_assignments);
+  w.key("permission_grants");
+  w.value(report.num_permission_grants);
+  w.end_object();
+
+  w.key("structural");
+  w.begin_object();
+  write_id_list(w, "standalone_users", report.structural.standalone_users);
+  write_id_list(w, "standalone_roles", report.structural.standalone_roles);
+  write_id_list(w, "standalone_permissions", report.structural.standalone_permissions);
+  write_id_list(w, "roles_without_users", report.structural.roles_without_users);
+  write_id_list(w, "roles_without_permissions", report.structural.roles_without_permissions);
+  write_id_list(w, "single_user_roles", report.structural.single_user_roles);
+  write_id_list(w, "single_permission_roles", report.structural.single_permission_roles);
+  w.end_object();
+
+  w.key("similarity_mode");
+  w.value(report.similarity_mode == core::SimilarityMode::kJaccard ? "jaccard" : "hamming");
+  w.key("similarity_threshold");
+  w.value(report.similarity_threshold);
+  w.key("jaccard_dissimilarity");
+  w.value(report.jaccard_dissimilarity);
+  write_groups(w, "same_user_groups", report.same_user_groups, dataset);
+  write_groups(w, "same_permission_groups", report.same_permission_groups, dataset);
+  write_groups(w, "similar_user_groups", report.similar_user_groups, dataset);
+  write_groups(w, "similar_permission_groups", report.similar_permission_groups, dataset);
+
+  w.key("timing");
+  w.begin_object();
+  write_phase(w, "structural", report.structural_time);
+  write_phase(w, "same_users", report.same_users_time);
+  write_phase(w, "same_permissions", report.same_permissions_time);
+  write_phase(w, "similar_users", report.similar_users_time);
+  write_phase(w, "similar_permissions", report.similar_permissions_time);
+  w.key("total_seconds");
+  w.value(report.total_seconds());
+  w.end_object();
+
+  w.key("reducible_roles");
+  w.value(report.reducible_roles());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace rolediet::io

@@ -1,0 +1,65 @@
+#include "io/report_csv.hpp"
+
+#include <sstream>
+
+#include "core/taxonomy.hpp"
+#include "io/csv.hpp"
+
+namespace rolediet::io {
+
+namespace {
+
+using core::InefficiencyType;
+
+void write_entity_rows(std::ostringstream& out, InefficiencyType type,
+                       const std::vector<core::Id>& ids,
+                       const std::string& (core::RbacDataset::*name_of)(core::Id) const,
+                       const core::RbacDataset& dataset) {
+  for (core::Id id : ids) {
+    out << to_string(type) << ",," << escape_csv_field((dataset.*name_of)(id)) << "\n";
+  }
+}
+
+void write_group_rows(std::ostringstream& out, InefficiencyType type,
+                      const core::RoleGroups& groups, const core::RbacDataset& dataset) {
+  for (std::size_t g = 0; g < groups.groups.size(); ++g) {
+    for (std::size_t member : groups.groups[g]) {
+      out << to_string(type) << "," << g << ","
+          << escape_csv_field(dataset.role_name(static_cast<core::Id>(member))) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string report_to_csv(const core::AuditReport& report, const core::RbacDataset& dataset) {
+  std::ostringstream out;
+  out << "type,group,entity\n";
+
+  const auto& s = report.structural;
+  write_entity_rows(out, InefficiencyType::kStandaloneUser, s.standalone_users,
+                    &core::RbacDataset::user_name, dataset);
+  write_entity_rows(out, InefficiencyType::kStandaloneRole, s.standalone_roles,
+                    &core::RbacDataset::role_name, dataset);
+  write_entity_rows(out, InefficiencyType::kStandalonePermission, s.standalone_permissions,
+                    &core::RbacDataset::permission_name, dataset);
+  write_entity_rows(out, InefficiencyType::kRoleWithoutUsers, s.roles_without_users,
+                    &core::RbacDataset::role_name, dataset);
+  write_entity_rows(out, InefficiencyType::kRoleWithoutPermissions,
+                    s.roles_without_permissions, &core::RbacDataset::role_name, dataset);
+  write_entity_rows(out, InefficiencyType::kSingleUserRole, s.single_user_roles,
+                    &core::RbacDataset::role_name, dataset);
+  write_entity_rows(out, InefficiencyType::kSinglePermissionRole, s.single_permission_roles,
+                    &core::RbacDataset::role_name, dataset);
+
+  write_group_rows(out, InefficiencyType::kSameUserRoles, report.same_user_groups, dataset);
+  write_group_rows(out, InefficiencyType::kSamePermissionRoles, report.same_permission_groups,
+                   dataset);
+  write_group_rows(out, InefficiencyType::kSimilarUserRoles, report.similar_user_groups,
+                   dataset);
+  write_group_rows(out, InefficiencyType::kSimilarPermissionRoles,
+                   report.similar_permission_groups, dataset);
+  return out.str();
+}
+
+}  // namespace rolediet::io

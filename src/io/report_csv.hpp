@@ -1,0 +1,25 @@
+// CSV rendering of audit findings — one row per finding, the format audit
+// and ticketing pipelines ingest (one reviewable work item per line, per the
+// paper's "the administrator must consider and approve every instance").
+//
+// Schema (header included):
+//   type,group,entity
+//     type   - taxonomy slug (see core/taxonomy.hpp), e.g. "single-user-role"
+//     group  - group ordinal for type-4/5 findings ("" for per-entity types)
+//     entity - the user/role/permission name the row refers to
+//
+// Group findings expand to one row per member role, sharing the group
+// ordinal, so spreadsheet pivots reconstruct the groups.
+#pragma once
+
+#include <string>
+
+#include "core/framework.hpp"
+
+namespace rolediet::io {
+
+/// Serializes every finding in `report` (resolved against `dataset`) as CSV.
+[[nodiscard]] std::string report_to_csv(const core::AuditReport& report,
+                                        const core::RbacDataset& dataset);
+
+}  // namespace rolediet::io

@@ -1,0 +1,50 @@
+#include "linalg/bit_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace rolediet::linalg {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(util::words_for_bits(cols)),
+      data_(rows * words_per_row_, 0) {}
+
+std::uint64_t BitMatrix::row_hash(std::size_t r) const noexcept {
+  // FNV-style fold of splitmix-mixed words: cheap, and collisions are
+  // harmless because callers verify candidate buckets with rows_equal().
+  std::uint64_t h = 0x243F6A8885A308D3ULL;  // pi fractional bits
+  for (std::uint64_t w : row(r)) {
+    h ^= util::mix64(w + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::vector<std::size_t> BitMatrix::column_sums() const {
+  std::vector<std::size_t> sums(cols_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto words = row(r);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        sums[w * 64 + static_cast<std::size_t>(bit)] += 1;
+        bits &= bits - 1;
+      }
+    }
+  }
+  return sums;
+}
+
+std::vector<std::size_t> BitMatrix::row_sums() const {
+  std::vector<std::size_t> sums(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) sums[r] = row_popcount(r);
+  return sums;
+}
+
+void BitMatrix::clear() noexcept { std::fill(data_.begin(), data_.end(), 0); }
+
+}  // namespace rolediet::linalg

@@ -1,0 +1,110 @@
+// Dense packed boolean matrix.
+//
+// This is the in-memory form of the paper's RUAM (Role-User Assignment
+// Matrix) and RPAM (Role-Permission Assignment Matrix): rows are roles,
+// columns are users (or permissions), entry (i, j) == 1 iff role i is
+// assigned user/permission j (§III-B of the paper).
+//
+// Rows are packed 64 bits per word, so Hamming distance / co-occurrence
+// between two roles costs ceil(cols/64) XOR/AND+popcount operations — the
+// kernel on which all three detection methods run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace rolediet::linalg {
+
+class BitMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  BitMatrix() = default;
+
+  /// rows x cols matrix of zeros.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t words_per_row() const noexcept { return words_per_row_; }
+
+  /// Read entry (r, c). Preconditions: r < rows(), c < cols().
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const noexcept {
+    return (data_[r * words_per_row_ + c / 64] >> (c % 64)) & 1U;
+  }
+
+  /// Set entry (r, c) to `value`. Preconditions: r < rows(), c < cols().
+  void set(std::size_t r, std::size_t c, bool value = true) noexcept {
+    std::uint64_t& word = data_[r * words_per_row_ + c / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (c % 64);
+    if (value) {
+      word |= bit;
+    } else {
+      word &= ~bit;
+    }
+  }
+
+  /// Packed words of row r (read-only view).
+  [[nodiscard]] std::span<const std::uint64_t> row(std::size_t r) const noexcept {
+    return {data_.data() + r * words_per_row_, words_per_row_};
+  }
+
+  /// Packed words of row r (mutable view). Bits >= cols() in the final word
+  /// must stay zero — use set() unless bulk-filling whole words.
+  [[nodiscard]] std::span<std::uint64_t> row_mut(std::size_t r) noexcept {
+    return {data_.data() + r * words_per_row_, words_per_row_};
+  }
+
+  /// Number of set bits in row r — the role "norm" |R^i| from the paper.
+  [[nodiscard]] std::size_t row_popcount(std::size_t r) const noexcept {
+    return util::popcount_span(row(r));
+  }
+
+  /// Hamming distance between rows a and b.
+  [[nodiscard]] std::size_t row_hamming(std::size_t a, std::size_t b) const noexcept {
+    return util::hamming_words(row(a), row(b));
+  }
+
+  /// Hamming distance with early exit past `limit` (see bitops.hpp).
+  [[nodiscard]] std::size_t row_hamming_bounded(std::size_t a, std::size_t b,
+                                                std::size_t limit) const noexcept {
+    return util::hamming_words_bounded(row(a), row(b), limit);
+  }
+
+  /// Co-occurrence count g(Ra, Rb): positions set in both rows.
+  [[nodiscard]] std::size_t row_intersection(std::size_t a, std::size_t b) const noexcept {
+    return util::intersection_words(row(a), row(b));
+  }
+
+  /// True when rows a and b are identical.
+  [[nodiscard]] bool rows_equal(std::size_t a, std::size_t b) const noexcept {
+    return util::equal_words(row(a), row(b));
+  }
+
+  /// 64-bit digest of row r. Equal rows hash equal; used as a grouping
+  /// prefilter (buckets are verified bit-for-bit afterwards).
+  [[nodiscard]] std::uint64_t row_hash(std::size_t r) const noexcept;
+
+  /// Column sums — per-column popcounts. A zero entry marks a standalone
+  /// user/permission node (inefficiency type 1 in the taxonomy).
+  [[nodiscard]] std::vector<std::size_t> column_sums() const;
+
+  /// Row sums — per-role norms in one pass.
+  [[nodiscard]] std::vector<std::size_t> row_sums() const;
+
+  /// Clears all bits, keeping the shape.
+  void clear() noexcept;
+
+  [[nodiscard]] bool operator==(const BitMatrix& other) const noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace rolediet::linalg

@@ -1,0 +1,35 @@
+#include "linalg/convert.hpp"
+
+#include <bit>
+
+namespace rolediet::linalg {
+
+BitMatrix to_dense(const CsrMatrix& sparse) {
+  BitMatrix dense(sparse.rows(), sparse.cols());
+  for (std::size_t r = 0; r < sparse.rows(); ++r) {
+    auto words = dense.row_mut(r);
+    for (std::uint32_t c : sparse.row(r)) {
+      words[c / 64] |= std::uint64_t{1} << (c % 64);
+    }
+  }
+  return dense;
+}
+
+CsrMatrix to_sparse(const BitMatrix& dense) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    const auto words = dense.row(r);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const auto c = static_cast<std::uint32_t>(w * 64 +
+                                                  static_cast<std::size_t>(std::countr_zero(bits)));
+        pairs.emplace_back(static_cast<std::uint32_t>(r), c);
+        bits &= bits - 1;
+      }
+    }
+  }
+  return CsrMatrix::from_pairs(dense.rows(), dense.cols(), std::move(pairs));
+}
+
+}  // namespace rolediet::linalg

@@ -1,0 +1,20 @@
+// Conversions between the dense and sparse assignment-matrix forms.
+//
+// The framework keeps datasets sparse; methods that need packed rows
+// (DBSCAN / HNSW distance kernels) densify on entry. §III-B notes that the
+// choice of representation should weigh conversion time — the ablation bench
+// measures exactly this trade-off.
+#pragma once
+
+#include "linalg/bit_matrix.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::linalg {
+
+/// Densifies a sparse matrix. Memory: rows * ceil(cols/64) * 8 bytes.
+[[nodiscard]] BitMatrix to_dense(const CsrMatrix& sparse);
+
+/// Sparsifies a dense matrix (entries in row-major order).
+[[nodiscard]] CsrMatrix to_sparse(const BitMatrix& dense);
+
+}  // namespace rolediet::linalg

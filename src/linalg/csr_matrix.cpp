@@ -1,0 +1,112 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace rolediet::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
+    : cols_(cols), row_ptr_(rows + 1, 0) {}
+
+CsrMatrix CsrMatrix::from_pairs(std::size_t rows, std::size_t cols,
+                                std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs) {
+  for (const auto& [r, c] : pairs) {
+    if (r >= rows || c >= cols)
+      throw std::out_of_range("CsrMatrix::from_pairs: entry (" + std::to_string(r) + ", " +
+                              std::to_string(c) + ") outside " + std::to_string(rows) + "x" +
+                              std::to_string(cols));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  CsrMatrix m(rows, cols);
+  m.cols_idx_.reserve(pairs.size());
+  std::size_t next_pair = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (next_pair < pairs.size() && pairs[next_pair].first == r) {
+      m.cols_idx_.push_back(pairs[next_pair].second);
+      ++next_pair;
+    }
+    m.row_ptr_[r + 1] = m.cols_idx_.size();
+  }
+  return m;
+}
+
+bool CsrMatrix::get(std::size_t r, std::size_t c) const noexcept {
+  const auto cells = row(r);
+  return std::binary_search(cells.begin(), cells.end(), static_cast<std::uint32_t>(c));
+}
+
+std::size_t CsrMatrix::row_intersection(std::size_t a, std::size_t b) const noexcept {
+  const auto ra = row(a);
+  const auto rb = row(b);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ra.size() && j < rb.size()) {
+    if (ra[i] < rb[j]) {
+      ++i;
+    } else if (ra[i] > rb[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool CsrMatrix::rows_equal(std::size_t a, std::size_t b) const noexcept {
+  const auto ra = row(a);
+  const auto rb = row(b);
+  return ra.size() == rb.size() && std::equal(ra.begin(), ra.end(), rb.begin());
+}
+
+std::uint64_t CsrMatrix::row_hash(std::size_t r) const noexcept {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (std::uint32_t c : row(r)) {
+    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+  }
+  // Fold the length so prefix sets do not collide trivially.
+  h ^= util::mix64(row_size(r));
+  return h;
+}
+
+std::vector<std::size_t> CsrMatrix::column_sums() const {
+  std::vector<std::size_t> sums(cols_, 0);
+  for (std::uint32_t c : cols_idx_) sums[c] += 1;
+  return sums;
+}
+
+std::vector<std::size_t> CsrMatrix::row_sums() const {
+  std::vector<std::size_t> sums(rows());
+  for (std::size_t r = 0; r < rows(); ++r) sums[r] = row_size(r);
+  return sums;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  const std::size_t n_rows = rows();
+  CsrMatrix t(cols_, n_rows);
+  t.cols_idx_.resize(nnz());
+
+  // Counting pass: entries per output row (= input column).
+  std::vector<std::size_t> counts(cols_, 0);
+  for (std::uint32_t c : cols_idx_) counts[c] += 1;
+  for (std::size_t c = 0; c < cols_; ++c) t.row_ptr_[c + 1] = t.row_ptr_[c] + counts[c];
+
+  // Scatter pass; input rows are visited in increasing order, so the column
+  // indices written into each output row come out already sorted.
+  std::vector<std::size_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::uint32_t c : row(r)) {
+      t.cols_idx_[cursor[c]++] = static_cast<std::uint32_t>(r);
+    }
+  }
+  return t;
+}
+
+}  // namespace rolediet::linalg

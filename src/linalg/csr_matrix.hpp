@@ -1,0 +1,93 @@
+// Sparse boolean matrix in Compressed Sparse Row form.
+//
+// Real-world RUAM/RPAM matrices are extremely sparse (the paper's real org
+// has ~50,000 roles x ~90,000 users but each role carries only a handful of
+// users), so the framework stores assignments sparsely and only densifies
+// when a method needs packed rows (DBSCAN/HNSW distance kernels on small
+// synthetic matrices). §III-B explicitly calls out sparse representation as
+// the memory optimization for the two sub-matrices.
+//
+// Invariants:
+//  - row_ptr.size() == rows()+1, row_ptr.front() == 0, row_ptr.back() == nnz;
+//  - column indices within each row are strictly increasing (set semantics —
+//    duplicate assignment edges collapse to one entry);
+//  - every column index < cols().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rolediet::linalg {
+
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// rows x cols matrix with no stored entries.
+  CsrMatrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from (row, col) pairs. Duplicates are collapsed; out-of-range
+  /// pairs throw std::out_of_range. The input need not be sorted.
+  [[nodiscard]] static CsrMatrix from_pairs(std::size_t rows, std::size_t cols,
+                                            std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return cols_idx_.size(); }
+
+  /// Column indices of row r, strictly increasing.
+  [[nodiscard]] std::span<const std::uint32_t> row(std::size_t r) const noexcept {
+    return {cols_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+  }
+
+  /// Number of stored entries in row r — the role norm |R^i|.
+  [[nodiscard]] std::size_t row_size(std::size_t r) const noexcept {
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Membership test via binary search: O(log row_size).
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const noexcept;
+
+  /// Co-occurrence count g(Ra, Rb) via sorted-merge intersection.
+  [[nodiscard]] std::size_t row_intersection(std::size_t a, std::size_t b) const noexcept;
+
+  /// Hamming distance between rows a and b: |Ra| + |Rb| - 2 g(Ra, Rb).
+  [[nodiscard]] std::size_t row_hamming(std::size_t a, std::size_t b) const noexcept {
+    const std::size_t g = row_intersection(a, b);
+    return row_size(a) + row_size(b) - 2 * g;
+  }
+
+  /// True when rows a and b store identical column sets.
+  [[nodiscard]] bool rows_equal(std::size_t a, std::size_t b) const noexcept;
+
+  /// 64-bit digest of row r's column set (order-sensitive fold of the sorted
+  /// indices, so equal sets hash equal).
+  [[nodiscard]] std::uint64_t row_hash(std::size_t r) const noexcept;
+
+  /// Per-column entry counts (degree of each user/permission node).
+  [[nodiscard]] std::vector<std::size_t> column_sums() const;
+
+  /// Per-row entry counts.
+  [[nodiscard]] std::vector<std::size_t> row_sums() const;
+
+  /// Transpose (cols x rows). Used to build the inverted user -> roles index
+  /// that drives the co-occurrence method.
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Raw CSR arrays, for algorithms that iterate the structure directly.
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const std::uint32_t> col_idx() const noexcept { return cols_idx_; }
+
+  [[nodiscard]] bool operator==(const CsrMatrix& other) const noexcept = default;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::uint32_t> cols_idx_;
+};
+
+}  // namespace rolediet::linalg

@@ -1,0 +1,53 @@
+// Memory-footprint accounting for the representation claim in §III-B:
+// storing RUAM + RPAM needs r*(u+p) cells instead of the (r+u+p)^2 cells of
+// the full tripartite adjacency matrix, and sparse storage shrinks that
+// further. These helpers make the claim checkable and let the ablation bench
+// print real numbers.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/bit_matrix.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::linalg {
+
+/// Bytes of heap payload a dense packed matrix of the given shape needs.
+[[nodiscard]] constexpr std::size_t dense_bytes(std::size_t rows, std::size_t cols) noexcept {
+  return rows * util::words_for_bits(cols) * sizeof(std::uint64_t);
+}
+
+/// Bytes of heap payload a CSR matrix with the given shape and nnz needs
+/// (row_ptr of size_t + column indices of uint32).
+[[nodiscard]] constexpr std::size_t csr_bytes(std::size_t rows, std::size_t nnz) noexcept {
+  return (rows + 1) * sizeof(std::size_t) + nnz * sizeof(std::uint32_t);
+}
+
+/// The three representations §III-B compares, for a dataset with `roles`,
+/// `users`, `permissions`, and the given edge counts.
+struct RepresentationFootprint {
+  std::size_t full_adjacency_bytes = 0;  ///< (r+u+p)^2 bits, packed
+  std::size_t sub_matrices_bytes = 0;    ///< r*(u+p) bits, packed (RUAM + RPAM)
+  std::size_t sparse_bytes = 0;          ///< CSR RUAM + CSR RPAM
+};
+
+[[nodiscard]] constexpr RepresentationFootprint
+representation_footprint(std::size_t roles, std::size_t users, std::size_t permissions,
+                         std::size_t ruam_nnz, std::size_t rpam_nnz) noexcept {
+  RepresentationFootprint f;
+  const std::size_t all_nodes = roles + users + permissions;
+  f.full_adjacency_bytes = dense_bytes(all_nodes, all_nodes);
+  f.sub_matrices_bytes = dense_bytes(roles, users) + dense_bytes(roles, permissions);
+  f.sparse_bytes = csr_bytes(roles, ruam_nnz) + csr_bytes(roles, rpam_nnz);
+  return f;
+}
+
+/// Actual heap payload of a live matrix.
+[[nodiscard]] inline std::size_t memory_bytes(const BitMatrix& m) noexcept {
+  return dense_bytes(m.rows(), m.cols());
+}
+[[nodiscard]] inline std::size_t memory_bytes(const CsrMatrix& m) noexcept {
+  return csr_bytes(m.rows(), m.nnz());
+}
+
+}  // namespace rolediet::linalg

@@ -1,0 +1,80 @@
+// Bit-manipulation helpers shared by the dense matrix and distance kernels.
+//
+// All role-similarity detection in this library ultimately reduces to popcount
+// operations over packed 64-bit words (Hamming distance, row norms), so these
+// helpers are the innermost kernel of the whole system.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace rolediet::util {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+[[nodiscard]] constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+/// Population count of a single word.
+[[nodiscard]] constexpr int popcount(std::uint64_t w) noexcept {
+  return std::popcount(w);
+}
+
+/// Total number of set bits across a word span.
+[[nodiscard]] inline std::size_t popcount_span(std::span<const std::uint64_t> words) noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+/// Hamming distance between two equally sized word spans (number of
+/// differing bits). Precondition: a.size() == b.size().
+[[nodiscard]] inline std::size_t hamming_words(std::span<const std::uint64_t> a,
+                                               std::span<const std::uint64_t> b) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+/// Hamming distance with early exit: returns a value > `limit` as soon as the
+/// running distance exceeds `limit`. Used by DBSCAN region queries where only
+/// "within eps" matters, not the exact distance.
+[[nodiscard]] inline std::size_t hamming_words_bounded(std::span<const std::uint64_t> a,
+                                                       std::span<const std::uint64_t> b,
+                                                       std::size_t limit) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+    if (total > limit) return total;
+  }
+  return total;
+}
+
+/// Number of positions set in both spans (the co-occurrence count g(Ri, Rj)
+/// from the paper, computed densely).
+[[nodiscard]] inline std::size_t intersection_words(std::span<const std::uint64_t> a,
+                                                    std::span<const std::uint64_t> b) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+/// True when the two spans are bit-for-bit identical.
+[[nodiscard]] inline bool equal_words(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+/// Mask selecting the low `bits % 64` bits of the last word of a row
+/// (all-ones when the row length is a multiple of 64).
+[[nodiscard]] constexpr std::uint64_t tail_mask(std::size_t bits) noexcept {
+  const std::size_t rem = bits % 64;
+  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+}  // namespace rolediet::util

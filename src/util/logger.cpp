@@ -1,0 +1,21 @@
+#include "util/logger.hpp"
+
+namespace rolediet::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+const char* Logger::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off";
+  }
+  return "?";
+}
+
+}  // namespace rolediet::util

@@ -1,0 +1,56 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library itself logs sparingly (progress of long-running audits, timing
+// of framework phases); examples and benches raise the level for narration.
+// Thread-safe: concurrent log calls serialize on an internal mutex.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace rolediet::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger. Writes to stderr so benchmark table output on stdout
+/// stays machine-parseable.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// printf-style logging; the format string is a literal by convention.
+  template <typename... Args>
+  void log(LogLevel level, const char* fmt, Args&&... args) {
+    if (static_cast<int>(level) < static_cast<int>(level_)) return;
+    std::scoped_lock lock(mutex_);
+    std::fprintf(stderr, "[%s] ", level_name(level));
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    }
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  Logger() = default;
+  [[nodiscard]] static const char* level_name(LogLevel level) noexcept;
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+#define ROLEDIET_LOG_DEBUG(...) \
+  ::rolediet::util::Logger::instance().log(::rolediet::util::LogLevel::kDebug, __VA_ARGS__)
+#define ROLEDIET_LOG_INFO(...) \
+  ::rolediet::util::Logger::instance().log(::rolediet::util::LogLevel::kInfo, __VA_ARGS__)
+#define ROLEDIET_LOG_WARN(...) \
+  ::rolediet::util::Logger::instance().log(::rolediet::util::LogLevel::kWarn, __VA_ARGS__)
+#define ROLEDIET_LOG_ERROR(...) \
+  ::rolediet::util::Logger::instance().log(::rolediet::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace rolediet::util

@@ -1,0 +1,61 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace rolediet::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t state = x;
+  return splitmix64(state);
+}
+
+void Xoshiro256::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+  // A theoretically possible all-zero state would lock the generator at zero.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply-shift with rejection of the biased low range.
+  __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<__uint128_t>((*this)()) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::exponential(double lambda) noexcept {
+  // Inverse transform; 1 - uniform01() is in (0, 1] so log() is finite.
+  return -std::log(1.0 - uniform01()) / lambda;
+}
+
+std::vector<std::size_t> Xoshiro256::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  // Floyd's algorithm: k iterations, each adding exactly one new element.
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = bounded(j + 1);
+    const std::size_t pick = chosen.contains(t) ? j : t;
+    chosen.insert(pick);
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace rolediet::util

@@ -1,0 +1,69 @@
+// Fixed-size worker pool with a blocking task queue plus a `parallel_for`
+// helper used by the DBSCAN region-query phase and the dense generators.
+//
+// Design notes:
+//  - tasks are type-erased std::function<void()>; submit() returns no future —
+//    callers that need results capture output slots (one per task, disjoint)
+//    and call wait_idle(), which is cheaper than per-task futures and
+//    sufficient for the fork-join patterns in this library;
+//  - exceptions escaping a task are latched and rethrown from wait_idle() so
+//    failures in worker threads are not silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rolediet::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after destruction has begun.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle. Rethrows the
+  /// first exception raised by any task since the previous wait_idle().
+  void wait_idle();
+
+  /// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
+  /// pool, blocking until done. Falls back to inline execution when n < grain
+  /// or the pool has a single thread. `grain` is the minimum chunk size —
+  /// lower it for expensive per-item bodies (e.g. 64 for DBSCAN region
+  /// queries), keep the default for cheap ones. `body` must be safe to run
+  /// concurrently on disjoint ranges.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 2048);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Shared default pool (sized to hardware concurrency), created on first use.
+ThreadPool& default_pool();
+
+}  // namespace rolediet::util

@@ -1,0 +1,58 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rolediet::util {
+
+RunStats RunStats::from_samples(const std::vector<double>& samples) {
+  RunStats stats;
+  stats.runs = samples.size();
+  if (samples.empty()) return stats;
+
+  double sum = 0.0;
+  stats.min_s = samples.front();
+  stats.max_s = samples.front();
+  for (double s : samples) {
+    sum += s;
+    stats.min_s = std::min(stats.min_s, s);
+    stats.max_s = std::max(stats.max_s, s);
+  }
+  stats.mean_s = sum / static_cast<double>(samples.size());
+
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (double s : samples) {
+      const double d = s - stats.mean_s;
+      sq += d * d;
+    }
+    stats.stdev_s = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return stats;
+}
+
+RunStats time_runs(std::size_t runs, const std::function<void(std::size_t)>& fn) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    Stopwatch watch;
+    fn(i);
+    samples.push_back(watch.seconds());
+  }
+  return RunStats::from_samples(samples);
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace rolediet::util

@@ -1,0 +1,52 @@
+// Wall-clock measurement utilities matching the paper's protocol:
+// "We ran each experiment five times, recording the execution duration, and
+// calculated the average and standard deviation of the measured variable."
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rolediet::util {
+
+/// Monotonic stopwatch. Construction starts it; `seconds()` reads without
+/// stopping so a single watch can take multiple split readings.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Aggregate of repeated duration measurements.
+struct RunStats {
+  double mean_s = 0.0;    ///< arithmetic mean of the samples, seconds
+  double stdev_s = 0.0;   ///< sample standard deviation (n-1), seconds
+  double min_s = 0.0;
+  double max_s = 0.0;
+  std::size_t runs = 0;
+
+  /// Computes stats from raw samples. Empty input yields all-zero stats.
+  [[nodiscard]] static RunStats from_samples(const std::vector<double>& samples);
+};
+
+/// Runs `fn` `runs` times, timing each call, and aggregates the durations.
+/// `fn` receives the 0-based run index so callers can vary seeds per run.
+[[nodiscard]] RunStats time_runs(std::size_t runs, const std::function<void(std::size_t)>& fn);
+
+/// Formats seconds for human-readable tables: "1.234 s", "12.3 ms", "456 us".
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace rolediet::util

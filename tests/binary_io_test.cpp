@@ -1,0 +1,131 @@
+// Tests for the binary dataset format, including corruption injection.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/org_simulator.hpp"
+#include "io/binary.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BinDir {
+ public:
+  BinDir() {
+    dir_ = fs::temp_directory_path() /
+           ("rolediet_bin_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~BinDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] fs::path file(const std::string& name = "data.rdb") const {
+    return dir_ / name;
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+std::vector<char> slurp_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const fs::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(BinaryIo, RoundTripFigure1) {
+  const core::RbacDataset original = rolediet::testing::figure1_dataset();
+  BinDir dir;
+  save_dataset_binary(original, dir.file());
+  const core::RbacDataset loaded = load_dataset_binary(dir.file());
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_EQ(loaded.num_roles(), original.num_roles());
+  EXPECT_EQ(loaded.num_permissions(), original.num_permissions());
+  EXPECT_EQ(loaded.ruam(), original.ruam());
+  EXPECT_EQ(loaded.rpam(), original.rpam());
+  EXPECT_EQ(loaded.role_name(3), "R04");
+}
+
+TEST(BinaryIo, RoundTripGeneratedOrg) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small());
+  BinDir dir;
+  save_dataset_binary(org.dataset, dir.file());
+  const core::RbacDataset loaded = load_dataset_binary(dir.file());
+  EXPECT_EQ(loaded.ruam(), org.dataset.ruam());
+  EXPECT_EQ(loaded.rpam(), org.dataset.rpam());
+}
+
+TEST(BinaryIo, EmptyDataset) {
+  BinDir dir;
+  save_dataset_binary(core::RbacDataset{}, dir.file());
+  const core::RbacDataset loaded = load_dataset_binary(dir.file());
+  EXPECT_EQ(loaded.num_roles(), 0u);
+}
+
+TEST(BinaryIo, DuplicateRawEdgesCollapseOnSave) {
+  core::RbacDataset d;
+  const core::Id role = d.add_role("r");
+  const core::Id user = d.add_user("u");
+  d.assign_user(role, user);
+  d.assign_user(role, user);
+  BinDir dir;
+  save_dataset_binary(d, dir.file());
+  EXPECT_EQ(load_dataset_binary(dir.file()).num_user_assignments(), 1u);
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(load_dataset_binary("/nonexistent/rolediet.rdb"), BinaryError);
+}
+
+TEST(BinaryIo, WrongMagicRejected) {
+  BinDir dir;
+  write_bytes(dir.file(), {'N', 'O', 'P', 'E', '1', '2', '3', '4', 0, 0, 0, 0});
+  EXPECT_THROW(load_dataset_binary(dir.file()), BinaryError);
+}
+
+TEST(BinaryIo, TruncationRejected) {
+  const core::RbacDataset original = rolediet::testing::figure1_dataset();
+  BinDir dir;
+  save_dataset_binary(original, dir.file());
+  std::vector<char> bytes = slurp_bytes(dir.file());
+  // Cut at several points: header, names, edges, checksum.
+  for (std::size_t keep : {10u, 40u, static_cast<unsigned>(bytes.size() - 3)}) {
+    std::vector<char> cut(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    write_bytes(dir.file("cut.rdb"), cut);
+    EXPECT_THROW(load_dataset_binary(dir.file("cut.rdb")), BinaryError) << "keep=" << keep;
+  }
+}
+
+TEST(BinaryIo, BitFlipCaughtByChecksum) {
+  const core::RbacDataset original = rolediet::testing::figure1_dataset();
+  BinDir dir;
+  save_dataset_binary(original, dir.file());
+  std::vector<char> bytes = slurp_bytes(dir.file());
+  // Flip one payload byte near the middle (name/edge region).
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  write_bytes(dir.file("flip.rdb"), bytes);
+  EXPECT_THROW(load_dataset_binary(dir.file("flip.rdb")), BinaryError);
+}
+
+TEST(BinaryIo, CsvFileRejectedGracefully) {
+  BinDir dir;
+  {
+    std::ofstream out(dir.file("fake.rdb"));
+    out << "role,user\nadmin,alice\n";
+  }
+  EXPECT_THROW(load_dataset_binary(dir.file("fake.rdb")), BinaryError);
+}
+
+}  // namespace
+}  // namespace rolediet::io

@@ -1,0 +1,149 @@
+// Unit tests for the dense packed bit matrix.
+#include <gtest/gtest.h>
+
+#include "linalg/bit_matrix.hpp"
+
+namespace rolediet::linalg {
+namespace {
+
+TEST(BitMatrix, DefaultIsEmpty) {
+  const BitMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(BitMatrix, ConstructedZeroed) {
+  const BitMatrix m(3, 70);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 70u);
+  EXPECT_EQ(m.words_per_row(), 2u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 70; ++c) EXPECT_FALSE(m.get(r, c));
+  }
+}
+
+TEST(BitMatrix, SetAndGetAcrossWordBoundary) {
+  BitMatrix m(2, 130);
+  m.set(0, 0);
+  m.set(0, 63);
+  m.set(0, 64);
+  m.set(1, 129);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 63));
+  EXPECT_TRUE(m.get(0, 64));
+  EXPECT_TRUE(m.get(1, 129));
+  EXPECT_FALSE(m.get(1, 0));
+  EXPECT_FALSE(m.get(0, 129));
+}
+
+TEST(BitMatrix, ClearBit) {
+  BitMatrix m(1, 10);
+  m.set(0, 5);
+  EXPECT_TRUE(m.get(0, 5));
+  m.set(0, 5, false);
+  EXPECT_FALSE(m.get(0, 5));
+}
+
+TEST(BitMatrix, RowPopcount) {
+  BitMatrix m(2, 200);
+  for (std::size_t c = 0; c < 200; c += 3) m.set(0, c);
+  EXPECT_EQ(m.row_popcount(0), 67u);
+  EXPECT_EQ(m.row_popcount(1), 0u);
+}
+
+TEST(BitMatrix, RowHammingAndEquality) {
+  BitMatrix m(3, 100);
+  m.set(0, 10);
+  m.set(0, 90);
+  m.set(1, 10);
+  m.set(1, 90);
+  m.set(2, 10);
+  m.set(2, 91);
+  EXPECT_EQ(m.row_hamming(0, 1), 0u);
+  EXPECT_TRUE(m.rows_equal(0, 1));
+  EXPECT_EQ(m.row_hamming(0, 2), 2u);
+  EXPECT_FALSE(m.rows_equal(0, 2));
+}
+
+TEST(BitMatrix, RowHammingBounded) {
+  BitMatrix m(2, 256);
+  for (std::size_t c = 0; c < 256; c += 2) m.set(0, c);
+  // Row 1 empty: true distance 128; bounded at 5 must exceed 5.
+  EXPECT_GT(m.row_hamming_bounded(0, 1, 5), 5u);
+  EXPECT_EQ(m.row_hamming_bounded(0, 0, 5), 0u);
+}
+
+TEST(BitMatrix, RowIntersection) {
+  BitMatrix m(2, 64);
+  m.set(0, 1);
+  m.set(0, 2);
+  m.set(0, 3);
+  m.set(1, 2);
+  m.set(1, 3);
+  m.set(1, 4);
+  EXPECT_EQ(m.row_intersection(0, 1), 2u);
+}
+
+TEST(BitMatrix, RowHashEqualRowsMatch) {
+  BitMatrix m(3, 500);
+  for (std::size_t c : {7u, 77u, 477u}) {
+    m.set(0, c);
+    m.set(1, c);
+  }
+  m.set(2, 7);
+  EXPECT_EQ(m.row_hash(0), m.row_hash(1));
+  EXPECT_NE(m.row_hash(0), m.row_hash(2));
+}
+
+TEST(BitMatrix, ColumnSums) {
+  BitMatrix m(3, 70);
+  m.set(0, 0);
+  m.set(1, 0);
+  m.set(2, 0);
+  m.set(1, 69);
+  const auto sums = m.column_sums();
+  ASSERT_EQ(sums.size(), 70u);
+  EXPECT_EQ(sums[0], 3u);
+  EXPECT_EQ(sums[69], 1u);
+  EXPECT_EQ(sums[35], 0u);
+}
+
+TEST(BitMatrix, RowSums) {
+  BitMatrix m(2, 10);
+  m.set(0, 1);
+  m.set(0, 2);
+  const auto sums = m.row_sums();
+  EXPECT_EQ(sums, (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(BitMatrix, ClearResetsAllBits) {
+  BitMatrix m(2, 64);
+  m.set(0, 3);
+  m.set(1, 60);
+  m.clear();
+  EXPECT_EQ(m.row_popcount(0), 0u);
+  EXPECT_EQ(m.row_popcount(1), 0u);
+}
+
+TEST(BitMatrix, EqualityOperator) {
+  BitMatrix a(2, 10);
+  BitMatrix b(2, 10);
+  EXPECT_EQ(a, b);
+  a.set(0, 5);
+  EXPECT_NE(a, b);
+  b.set(0, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitMatrix, RowMutBulkWrite) {
+  BitMatrix m(1, 64);
+  auto words = m.row_mut(0);
+  words[0] = 0xFF;
+  EXPECT_EQ(m.row_popcount(0), 8u);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 7));
+  EXPECT_FALSE(m.get(0, 8));
+}
+
+}  // namespace
+}  // namespace rolediet::linalg

@@ -1,0 +1,176 @@
+// Tests for merge planning, application, and the equivalence guarantee.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/consolidation.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core {
+namespace {
+
+TEST(Consolidation, PlanPicksSmallestIdAsSurvivor) {
+  RbacDataset d;
+  d.add_roles(5);
+  RoleGroups groups;
+  groups.groups = {{1, 3, 4}};
+  const ConsolidationPlan plan = plan_consolidation(d, groups, MergeKind::kSameUsers);
+  ASSERT_EQ(plan.merges.size(), 1u);
+  EXPECT_EQ(plan.merges[0].survivor, 1u);
+  EXPECT_EQ(plan.merges[0].absorbed, (std::vector<Id>{3, 4}));
+  EXPECT_EQ(plan.roles_removed(), 2u);
+}
+
+TEST(Consolidation, PlanRejectsBadGroups) {
+  RbacDataset d;
+  d.add_roles(3);
+  RoleGroups undersized;
+  undersized.groups = {{1}};
+  EXPECT_THROW(plan_consolidation(d, undersized, MergeKind::kSameUsers), std::invalid_argument);
+
+  RoleGroups out_of_range;
+  out_of_range.groups = {{1, 9}};
+  EXPECT_THROW(plan_consolidation(d, out_of_range, MergeKind::kSameUsers), std::out_of_range);
+
+  RoleGroups overlapping;
+  overlapping.groups = {{0, 1}, {1, 2}};
+  EXPECT_THROW(plan_consolidation(d, overlapping, MergeKind::kSameUsers), std::invalid_argument);
+}
+
+TEST(Consolidation, ApplyMergesSameUserRoles) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  // R02 (1) and R04 (3) share users. Merge them.
+  RoleGroups groups;
+  groups.groups = {{1, 3}};
+  const ConsolidationPlan plan = plan_consolidation(d, groups, MergeKind::kSameUsers);
+  const RbacDataset merged = apply_consolidation(d, plan);
+
+  EXPECT_EQ(merged.num_roles(), 4u);
+  EXPECT_EQ(merged.num_users(), d.num_users());
+  EXPECT_EQ(merged.num_permissions(), d.num_permissions());
+  EXPECT_EQ(merged.find_role("R04"), std::nullopt);  // absorbed
+  ASSERT_TRUE(merged.find_role("R02").has_value());
+
+  // Survivor carries the union: R02 had no perms, R04 had {P04, P05}.
+  const Id survivor = *merged.find_role("R02");
+  EXPECT_EQ(merged.permissions_of_role(survivor).size(), 2u);
+
+  EXPECT_TRUE(verify_equivalence(d, merged));
+}
+
+TEST(Consolidation, ApplyMergesSamePermissionRoles) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  // R04 (3) and R05 (4) share permissions {P04, P05}.
+  RoleGroups groups;
+  groups.groups = {{3, 4}};
+  const ConsolidationPlan plan = plan_consolidation(d, groups, MergeKind::kSamePermissions);
+  const RbacDataset merged = apply_consolidation(d, plan);
+
+  EXPECT_EQ(merged.num_roles(), 4u);
+  // Survivor R04 now carries R05's user too.
+  const Id survivor = *merged.find_role("R04");
+  EXPECT_EQ(merged.users_of_role(survivor).size(), 3u);
+  EXPECT_TRUE(verify_equivalence(d, merged));
+}
+
+TEST(Consolidation, ApplyValidatesPlan) {
+  RbacDataset d;
+  d.add_roles(3);
+  ConsolidationPlan plan;
+  plan.merges = {{.survivor = 0, .absorbed = {0}}};
+  EXPECT_THROW(apply_consolidation(d, plan), std::invalid_argument);
+
+  plan.merges = {{.survivor = 0, .absorbed = {1}}, {.survivor = 2, .absorbed = {1}}};
+  EXPECT_THROW(apply_consolidation(d, plan), std::invalid_argument);
+
+  plan.merges = {{.survivor = 0, .absorbed = {1}}, {.survivor = 1, .absorbed = {2}}};
+  EXPECT_THROW(apply_consolidation(d, plan), std::invalid_argument);  // survivor absorbed
+
+  plan.merges = {{.survivor = 5, .absorbed = {1}}};
+  EXPECT_THROW(apply_consolidation(d, plan), std::out_of_range);
+}
+
+TEST(Consolidation, EmptyPlanIsIdentity) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const RbacDataset same = apply_consolidation(d, {});
+  EXPECT_EQ(same.num_roles(), d.num_roles());
+  EXPECT_TRUE(verify_equivalence(d, same));
+}
+
+TEST(Consolidation, TwoPhaseDietOnFigure1) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  ConsolidationStats stats;
+  const RbacDataset slim = consolidate_duplicates(d, &stats);
+
+  EXPECT_EQ(stats.roles_before, 5u);
+  EXPECT_EQ(stats.removed_same_users, 1u);  // R04 into R02
+  // After phase 1, the merged R02 has perms {P04, P05} — the same set as
+  // R05, so phase 2 merges them as well.
+  EXPECT_EQ(stats.removed_same_permissions, 1u);
+  EXPECT_EQ(stats.roles_after, 3u);
+  EXPECT_DOUBLE_EQ(stats.reduction_ratio(), 2.0 / 5.0);
+  EXPECT_TRUE(verify_equivalence(d, slim));
+}
+
+TEST(Consolidation, DietIsIdempotent) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const RbacDataset once = consolidate_duplicates(d);
+  ConsolidationStats again;
+  const RbacDataset twice = consolidate_duplicates(once, &again);
+  EXPECT_EQ(again.roles_before, again.roles_after);
+  EXPECT_EQ(twice.num_roles(), once.num_roles());
+}
+
+TEST(Consolidation, VerifyEquivalenceDetectsChanges) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+
+  RbacDataset tampered = d;
+  tampered.grant_permission(*tampered.find_role("R01"), *tampered.find_permission("P03"));
+  EXPECT_FALSE(verify_equivalence(d, tampered));
+
+  RbacDataset shrunk = d;
+  // A fresh user changes the user universe.
+  shrunk.add_user("new-hire");
+  EXPECT_FALSE(verify_equivalence(d, shrunk));
+}
+
+TEST(Consolidation, LargerSyntheticDietPreservesAccess) {
+  // 30 base roles, 3 duplicate-user clones each of the first 5, plus 3
+  // duplicate-permission clones of the next 5.
+  RbacDataset d;
+  d.add_users(60);
+  d.add_permissions(80);
+  for (int r = 0; r < 30; ++r) {
+    const Id role = d.add_role("base" + std::to_string(r));
+    for (int k = 0; k < 4; ++k) {
+      d.assign_user(role, static_cast<Id>((r * 7 + k * 3) % 60));
+      d.grant_permission(role, static_cast<Id>((r * 11 + k * 5) % 80));
+    }
+  }
+  for (int r = 0; r < 5; ++r) {
+    const Id clone = d.add_role("uclone" + std::to_string(r));
+    // Copy the user list before assigning: assign_user invalidates the
+    // compiled matrix the span points into.
+    const auto span = d.users_of_role(static_cast<Id>(r));
+    const std::vector<Id> users(span.begin(), span.end());
+    for (Id u : users) d.assign_user(clone, u);
+    d.grant_permission(clone, static_cast<Id>(70 + r));
+  }
+  for (int r = 5; r < 10; ++r) {
+    const Id clone = d.add_role("pclone" + std::to_string(r));
+    std::vector<Id> perms(d.permissions_of_role(static_cast<Id>(r)).begin(),
+                          d.permissions_of_role(static_cast<Id>(r)).end());
+    for (Id p : perms) d.grant_permission(clone, p);
+    d.assign_user(clone, static_cast<Id>(55 + (r - 5)));
+  }
+
+  ConsolidationStats stats;
+  const RbacDataset slim = consolidate_duplicates(d, &stats);
+  EXPECT_GE(stats.removed_same_users, 5u);
+  EXPECT_GE(stats.removed_same_permissions, 5u);
+  EXPECT_TRUE(verify_equivalence(d, slim));
+}
+
+}  // namespace
+}  // namespace rolediet::core

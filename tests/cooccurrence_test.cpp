@@ -1,0 +1,126 @@
+// Tests specific to the paper's custom algorithm: the two find_same
+// strategies, the co-occurrence arithmetic, and the tiny-norm corner cases
+// of the similar-role sweep.
+#include <gtest/gtest.h>
+
+#include "core/methods/cooccurrence.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core::methods {
+namespace {
+
+using rolediet::testing::csr_from_rows;
+
+RoleDietGroupFinder hash_finder() { return RoleDietGroupFinder{}; }
+RoleDietGroupFinder matrix_finder() {
+  return RoleDietGroupFinder{
+      {.same_strategy = RoleDietGroupFinder::SameStrategy::kCooccurrenceMatrix}};
+}
+
+TEST(RoleDiet, StrategiesAgreeOnFigure1) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  EXPECT_EQ(hash_finder().find_same(d.ruam()), matrix_finder().find_same(d.ruam()));
+  EXPECT_EQ(hash_finder().find_same(d.rpam()), matrix_finder().find_same(d.rpam()));
+}
+
+TEST(RoleDiet, PaperIndicatorSemantics) {
+  // The paper's worked co-occurrence matrix: |R01|=1, |R02|=2, |R03|=0,
+  // |R04|=2, |R05|=1, g(R02,R04)=2 => only I(R02,R04)=1.
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const auto& ruam = d.ruam();
+  EXPECT_EQ(ruam.row_size(0), 1u);
+  EXPECT_EQ(ruam.row_size(1), 2u);
+  EXPECT_EQ(ruam.row_size(2), 0u);
+  EXPECT_EQ(ruam.row_size(3), 2u);
+  EXPECT_EQ(ruam.row_size(4), 1u);
+  EXPECT_EQ(ruam.row_intersection(1, 3), 2u);
+  EXPECT_EQ(ruam.row_intersection(0, 1), 0u);
+
+  const RoleGroups groups = matrix_finder().find_same(ruam);
+  ASSERT_EQ(groups.group_count(), 1u);
+  EXPECT_EQ(groups.groups[0], (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(RoleDiet, IndicatorRejectsSubsets) {
+  // g = |Ri| but |Rj| > g: subset, not equal — indicator must be 0.
+  const auto m = csr_from_rows(10, {{1, 2}, {1, 2, 3}});
+  EXPECT_TRUE(matrix_finder().find_same(m).groups.empty());
+  EXPECT_TRUE(hash_finder().find_same(m).groups.empty());
+}
+
+TEST(RoleDiet, StrategiesAgreeOnManyGroups) {
+  // 60 rows in 12 planted groups of 5 + 40 distinct rows.
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (std::uint32_t g = 0; g < 12; ++g) {
+    for (int k = 0; k < 5; ++k) rows.push_back({g * 7, g * 7 + 1, g * 7 + 2});
+  }
+  for (std::uint32_t i = 0; i < 40; ++i) rows.push_back({100 + i, 200 + i});
+  const auto m = csr_from_rows(300, rows);
+
+  const RoleGroups by_hash = hash_finder().find_same(m);
+  const RoleGroups by_matrix = matrix_finder().find_same(m);
+  EXPECT_EQ(by_hash, by_matrix);
+  EXPECT_EQ(by_hash.group_count(), 12u);
+  EXPECT_EQ(by_hash.roles_in_groups(), 60u);
+}
+
+TEST(RoleDiet, SimilarHammingIdentity) {
+  // d(Ri, Rj) = |Ri| + |Rj| - 2 g: {1,2,3} vs {2,3,4,5} -> 3 + 4 - 2*2 = 3.
+  const auto m = csr_from_rows(10, {{1, 2, 3}, {2, 3, 4, 5}});
+  EXPECT_EQ(m.row_hamming(0, 1), 3u);
+  const RoleDietGroupFinder finder;
+  EXPECT_TRUE(finder.find_similar(m, 2).groups.empty());
+  EXPECT_EQ(finder.find_similar(m, 3).group_count(), 1u);
+}
+
+TEST(RoleDiet, SimilarTinyNormPassOnlyForDisjointRows) {
+  // {1} and {2}: disjoint, d=2. {1} and {1,5}: share a column, d=1.
+  const auto m = csr_from_rows(10, {{1}, {2}, {1, 5}});
+  const RoleDietGroupFinder finder;
+
+  const RoleGroups at1 = finder.find_similar(m, 1);
+  ASSERT_EQ(at1.group_count(), 1u);
+  EXPECT_EQ(at1.groups[0], (std::vector<std::size_t>{0, 2}));
+
+  const RoleGroups at2 = finder.find_similar(m, 2);
+  ASSERT_EQ(at2.group_count(), 1u);
+  EXPECT_EQ(at2.groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RoleDiet, TinyNormSweepDoesNotOvermerge) {
+  // Norm-1 + norm-2 disjoint rows: d = 3 > 2, must NOT group at t=2.
+  const auto m = csr_from_rows(10, {{1}, {2, 3}});
+  const RoleDietGroupFinder finder;
+  EXPECT_TRUE(finder.find_similar(m, 2).groups.empty());
+  EXPECT_EQ(finder.find_similar(m, 3).group_count(), 1u);
+}
+
+TEST(RoleDiet, SingleColumnMatrix) {
+  // All non-empty rows in a 1-column matrix are identical {0}.
+  const auto m = csr_from_rows(1, {{0}, {}, {0}, {0}});
+  const RoleGroups groups = hash_finder().find_same(m);
+  ASSERT_EQ(groups.group_count(), 1u);
+  EXPECT_EQ(groups.groups[0], (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(RoleDiet, HighDegreeColumnCorrectness) {
+  // One column shared by every row (a "global" user) plus one distinguishing
+  // column per row pair: stresses the inverted-index sweep.
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (std::uint32_t i = 0; i < 30; ++i) rows.push_back({0, 1 + i / 2});
+  const auto m = csr_from_rows(40, rows);
+  const RoleGroups groups = hash_finder().find_same(m);
+  EXPECT_EQ(groups.group_count(), 15u);  // consecutive pairs
+  EXPECT_EQ(groups.roles_in_groups(), 30u);
+  EXPECT_EQ(groups, matrix_finder().find_same(m));
+}
+
+TEST(RoleDiet, DeterministicAcrossCalls) {
+  const auto m = csr_from_rows(50, {{1, 2}, {1, 2}, {9}, {9}, {20, 21, 22}});
+  const RoleDietGroupFinder finder;
+  EXPECT_EQ(finder.find_same(m), finder.find_same(m));
+  EXPECT_EQ(finder.find_similar(m, 1), finder.find_similar(m, 1));
+}
+
+}  // namespace
+}  // namespace rolediet::core::methods

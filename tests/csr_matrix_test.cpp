@@ -1,0 +1,168 @@
+// Unit tests for the sparse CSR matrix and dense<->sparse conversions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "linalg/convert.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::linalg {
+namespace {
+
+CsrMatrix sample() {
+  // 4x6:
+  //   row 0: {1, 3, 5}
+  //   row 1: {}               (empty role)
+  //   row 2: {1, 3, 5}        (duplicate of row 0)
+  //   row 3: {0, 1}
+  return CsrMatrix::from_pairs(
+      4, 6, {{0, 3}, {0, 1}, {0, 5}, {2, 5}, {2, 1}, {2, 3}, {3, 0}, {3, 1}});
+}
+
+TEST(CsrMatrix, DefaultIsEmpty) {
+  const CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(CsrMatrix, FromPairsSortsWithinRows) {
+  const CsrMatrix m = sample();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 6u);
+  EXPECT_EQ(m.nnz(), 8u);
+  const auto r0 = m.row(0);
+  ASSERT_EQ(r0.size(), 3u);
+  EXPECT_EQ(r0[0], 1u);
+  EXPECT_EQ(r0[1], 3u);
+  EXPECT_EQ(r0[2], 5u);
+  EXPECT_EQ(m.row_size(1), 0u);
+}
+
+TEST(CsrMatrix, FromPairsCollapsesDuplicates) {
+  const CsrMatrix m = CsrMatrix::from_pairs(1, 4, {{0, 2}, {0, 2}, {0, 2}, {0, 1}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_EQ(m.row_size(0), 2u);
+}
+
+TEST(CsrMatrix, FromPairsRejectsOutOfRange) {
+  EXPECT_THROW(CsrMatrix::from_pairs(2, 2, {{2, 0}}), std::out_of_range);
+  EXPECT_THROW(CsrMatrix::from_pairs(2, 2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(CsrMatrix, Get) {
+  const CsrMatrix m = sample();
+  EXPECT_TRUE(m.get(0, 3));
+  EXPECT_FALSE(m.get(0, 2));
+  EXPECT_FALSE(m.get(1, 0));
+  EXPECT_TRUE(m.get(3, 0));
+}
+
+TEST(CsrMatrix, RowIntersection) {
+  const CsrMatrix m = sample();
+  EXPECT_EQ(m.row_intersection(0, 2), 3u);  // identical rows
+  EXPECT_EQ(m.row_intersection(0, 3), 1u);  // share column 1
+  EXPECT_EQ(m.row_intersection(0, 1), 0u);  // empty row
+}
+
+TEST(CsrMatrix, RowHammingViaSetIdentity) {
+  const CsrMatrix m = sample();
+  EXPECT_EQ(m.row_hamming(0, 2), 0u);
+  EXPECT_EQ(m.row_hamming(0, 3), 3u + 2u - 2u);  // |A|+|B|-2g = 3
+  EXPECT_EQ(m.row_hamming(0, 1), 3u);            // vs empty row
+}
+
+TEST(CsrMatrix, RowsEqual) {
+  const CsrMatrix m = sample();
+  EXPECT_TRUE(m.rows_equal(0, 2));
+  EXPECT_FALSE(m.rows_equal(0, 3));
+  EXPECT_TRUE(m.rows_equal(1, 1));
+}
+
+TEST(CsrMatrix, RowHashMatchesEquality) {
+  const CsrMatrix m = sample();
+  EXPECT_EQ(m.row_hash(0), m.row_hash(2));
+  EXPECT_NE(m.row_hash(0), m.row_hash(3));
+}
+
+TEST(CsrMatrix, ColumnSums) {
+  const CsrMatrix m = sample();
+  const auto sums = m.column_sums();
+  EXPECT_EQ(sums, (std::vector<std::size_t>{1, 3, 0, 2, 0, 2}));
+}
+
+TEST(CsrMatrix, RowSums) {
+  const CsrMatrix m = sample();
+  EXPECT_EQ(m.row_sums(), (std::vector<std::size_t>{3, 0, 3, 2}));
+}
+
+TEST(CsrMatrix, TransposeShapeAndContent) {
+  const CsrMatrix m = sample();
+  const CsrMatrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 6u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(m.get(r, c), t.get(c, r)) << "(" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(CsrMatrix, TransposeRowsAreSorted) {
+  const CsrMatrix t = sample().transpose();
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const auto row = t.row(r);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+TEST(CsrMatrix, DoubleTransposeIsIdentity) {
+  const CsrMatrix m = sample();
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(CsrMatrix, EmptyMatrixTranspose) {
+  const CsrMatrix m(3, 5);
+  const CsrMatrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+// ---------------------------------------------------------- conversions ---
+
+TEST(Convert, DenseRoundTrip) {
+  const CsrMatrix m = sample();
+  const BitMatrix dense = to_dense(m);
+  EXPECT_EQ(dense.rows(), m.rows());
+  EXPECT_EQ(dense.cols(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(dense.get(r, c), m.get(r, c));
+    }
+  }
+  EXPECT_EQ(to_sparse(dense), m);
+}
+
+TEST(Convert, WideMatrixRoundTrip) {
+  // Columns spanning several words exercise the bit packing.
+  CsrMatrix m = CsrMatrix::from_pairs(2, 300, {{0, 0}, {0, 63}, {0, 64}, {0, 299}, {1, 128}});
+  const BitMatrix dense = to_dense(m);
+  EXPECT_TRUE(dense.get(0, 299));
+  EXPECT_TRUE(dense.get(1, 128));
+  EXPECT_EQ(dense.row_popcount(0), 4u);
+  EXPECT_EQ(to_sparse(dense), m);
+}
+
+TEST(Convert, EmptyMatrices) {
+  const CsrMatrix m(0, 0);
+  EXPECT_EQ(to_dense(m).rows(), 0u);
+  const BitMatrix dense(4, 10);
+  const CsrMatrix sparse = to_sparse(dense);
+  EXPECT_EQ(sparse.rows(), 4u);
+  EXPECT_EQ(sparse.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace rolediet::linalg

@@ -1,0 +1,197 @@
+// Unit tests for the DBSCAN substrate: classic core/border/noise behaviour
+// plus the paper's parameterization (min_pts = 2, Hamming, eps = 0 or t).
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.hpp"
+
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace rolediet::cluster {
+namespace {
+
+/// Builds a matrix whose rows are the given column-index sets.
+linalg::BitMatrix points_from_rows(std::size_t cols,
+                                   const std::vector<std::vector<std::size_t>>& rows) {
+  linalg::BitMatrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c : rows[r]) m.set(r, c);
+  }
+  return m;
+}
+
+TEST(Dbscan, EmptyInput) {
+  const linalg::BitMatrix m(0, 10);
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.n_clusters, 0u);
+}
+
+TEST(Dbscan, AllDistinctPointsAreNoiseAtEpsZero) {
+  const auto m = points_from_rows(100, {{1}, {2}, {3}, {4}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 0u);
+  for (auto label : result.labels) EXPECT_EQ(label, DbscanResult::kNoise);
+}
+
+TEST(Dbscan, IdenticalRowsClusterAtEpsZero) {
+  const auto m = points_from_rows(100, {{1, 5}, {2}, {1, 5}, {7, 9}, {1, 5}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 1u);
+  const auto clusters = result.clusters();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(result.labels[1], DbscanResult::kNoise);
+  EXPECT_EQ(result.labels[3], DbscanResult::kNoise);
+}
+
+TEST(Dbscan, TwoSeparateClusters) {
+  const auto m = points_from_rows(100, {{1, 2}, {1, 2}, {50, 60}, {50, 60}, {99}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[2], result.labels[3]);
+  EXPECT_NE(result.labels[0], result.labels[2]);
+  EXPECT_EQ(result.labels[4], DbscanResult::kNoise);
+}
+
+TEST(Dbscan, ChainExpansionAtPositiveEps) {
+  // Rows at Hamming distance 2 from their neighbors: {1},{2},{3} chain.
+  // With eps = 2, min_pts = 2 all three are density-connected.
+  const auto m = points_from_rows(10, {{1}, {2}, {3}, {8}});
+  const DbscanResult result = dbscan(m, {.eps = 2, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 1u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[1], result.labels[2]);
+  // {8} is at distance 2 from {3}... it is actually within eps of {3}.
+  // Re-check: all single-bit rows are pairwise at distance 2, so all join.
+  EXPECT_EQ(result.labels[3], result.labels[0]);
+}
+
+TEST(Dbscan, EpsOneGroupsOffByOneRows) {
+  // {1,2} vs {1,2,3}: distance 1. {7} unrelated (distance 3 resp. 4).
+  const auto m = points_from_rows(10, {{1, 2}, {1, 2, 3}, {7}});
+  const DbscanResult result = dbscan(m, {.eps = 1, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 1u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[2], DbscanResult::kNoise);
+}
+
+TEST(Dbscan, MinPtsThreeRequiresTriple) {
+  // A pair of identical rows is NOT enough when min_pts = 3.
+  const auto m = points_from_rows(10, {{1}, {1}, {5}, {5}, {5}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 3});
+  EXPECT_EQ(result.n_clusters, 1u);
+  EXPECT_EQ(result.labels[0], DbscanResult::kNoise);
+  EXPECT_EQ(result.labels[1], DbscanResult::kNoise);
+  EXPECT_EQ(result.labels[2], result.labels[3]);
+  EXPECT_EQ(result.labels[3], result.labels[4]);
+}
+
+TEST(Dbscan, BorderPointJoinsFirstReachingCluster) {
+  // Classic border case: B is within eps of core A-side and core C-side
+  // would need B, but with min_pts = 3: {0,1},{1},{1,2} — row 1 is within
+  // eps=1 of both neighbors; rows 0 and 2 have neighborhoods of size 2 only,
+  // so only row 1 can be core (neighborhood = all three).
+  const auto m = points_from_rows(10, {{0, 1}, {1}, {1, 2}});
+  const DbscanResult result = dbscan(m, {.eps = 1, .min_pts = 3});
+  EXPECT_EQ(result.n_clusters, 1u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[1], result.labels[2]);
+}
+
+TEST(Dbscan, DeterministicLabels) {
+  const auto m = points_from_rows(50, {{1, 2}, {30}, {1, 2}, {40, 41}, {40, 41}});
+  const DbscanResult a = dbscan(m, {.eps = 0, .min_pts = 2});
+  const DbscanResult b = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_EQ(a.labels, b.labels);
+  // First cluster seeded from the lowest index.
+  EXPECT_EQ(a.labels[0], 0);
+  EXPECT_EQ(a.labels[3], 1);
+}
+
+TEST(Dbscan, ParallelMatchesSequential) {
+  // 200 rows, several duplicate groups.
+  std::vector<std::vector<std::size_t>> rows;
+  for (std::size_t i = 0; i < 200; ++i) {
+    rows.push_back({i % 37, (i % 37) + 40});  // 37 distinct contents
+  }
+  const auto m = points_from_rows(100, rows);
+  const DbscanResult seq = dbscan(m, {.eps = 0, .min_pts = 2, .threads = 1});
+  const DbscanResult par = dbscan(m, {.eps = 0, .min_pts = 2, .threads = 4});
+  EXPECT_EQ(seq.labels, par.labels);
+  EXPECT_EQ(seq.n_clusters, par.n_clusters);
+}
+
+TEST(Dbscan, ClustersAccessorMatchesLabels) {
+  const auto m = points_from_rows(10, {{1}, {1}, {2}, {2}, {3}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  const auto clusters = result.clusters();
+  ASSERT_EQ(clusters.size(), result.n_clusters);
+  for (std::size_t g = 0; g < clusters.size(); ++g) {
+    for (std::size_t member : clusters[g]) {
+      EXPECT_EQ(result.labels[member], static_cast<std::int32_t>(g));
+    }
+  }
+}
+
+TEST(Dbscan, InvertedIndexMatchesBruteForce) {
+  // Random-ish structured rows including duplicates, near-duplicates, empty
+  // rows, and tiny disjoint rows — the corners the index must handle.
+  const auto m = points_from_rows(
+      60, {{1, 2, 3}, {1, 2, 3}, {1, 2, 4}, {}, {}, {7}, {8}, {20, 21, 22, 23}, {20, 21}});
+  for (std::size_t eps : {0u, 1u, 2u, 3u}) {
+    const DbscanResult brute = dbscan(m, {.eps = eps, .min_pts = 2});
+    const DbscanResult indexed =
+        dbscan(m, {.eps = eps, .min_pts = 2,
+                   .region_strategy = RegionStrategy::kInvertedIndex});
+    EXPECT_EQ(brute.labels, indexed.labels) << "eps = " << eps;
+  }
+}
+
+TEST(Dbscan, InvertedIndexLargerRandomAgreement) {
+  util::Xoshiro256 rng(77);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::size_t> row;
+    const std::size_t norm = rng.bounded(6);  // includes empty rows
+    for (std::size_t k = 0; k < norm; ++k) row.push_back(rng.bounded(120));
+    rows.push_back(row);
+    if (i % 5 == 0) rows.push_back(row);  // plant duplicates
+  }
+  const auto m = points_from_rows(120, rows);
+  for (std::size_t eps : {0u, 1u, 2u}) {
+    const DbscanResult brute = dbscan(m, {.eps = eps, .min_pts = 2});
+    const DbscanResult indexed =
+        dbscan(m, {.eps = eps, .min_pts = 2,
+                   .region_strategy = RegionStrategy::kInvertedIndex});
+    EXPECT_EQ(brute.labels, indexed.labels) << "eps = " << eps;
+    // And the index must do less distance work on sparse data.
+    EXPECT_LT(indexed.distance_evaluations, brute.distance_evaluations);
+  }
+}
+
+TEST(Dbscan, InvertedIndexRejectsJaccard) {
+  const auto m = points_from_rows(10, {{1}, {2}});
+  EXPECT_THROW(dbscan(m, {.eps = 1, .min_pts = 2, .metric = MetricKind::kJaccard,
+                          .region_strategy = RegionStrategy::kInvertedIndex}),
+               std::invalid_argument);
+}
+
+TEST(Dbscan, SingleRowIsNoise) {
+  const auto m = points_from_rows(10, {{1, 2, 3}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 0u);
+  EXPECT_EQ(result.labels[0], DbscanResult::kNoise);
+}
+
+TEST(Dbscan, AllRowsIdentical) {
+  const auto m = points_from_rows(10, {{4, 5}, {4, 5}, {4, 5}, {4, 5}});
+  const DbscanResult result = dbscan(m, {.eps = 0, .min_pts = 2});
+  EXPECT_EQ(result.n_clusters, 1u);
+  EXPECT_EQ(result.clusters()[0].size(), 4u);
+}
+
+}  // namespace
+}  // namespace rolediet::cluster

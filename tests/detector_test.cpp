@@ -1,0 +1,103 @@
+// Unit tests for the linear-time structural detectors (taxonomy types 1-3),
+// centered on the paper's Fig. 1 worked example.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core {
+namespace {
+
+TEST(Detector, Figure1Example) {
+  const RbacDataset d = testing::figure1_dataset();
+  const StructuralFindings f = detect_structural(d);
+
+  // P01 (id 0) is the standalone permission the figure highlights.
+  EXPECT_EQ(f.standalone_permissions, (std::vector<Id>{0}));
+  // All four users are assigned somewhere.
+  EXPECT_TRUE(f.standalone_users.empty());
+  EXPECT_TRUE(f.standalone_roles.empty());
+  // R03 (id 2) has no users; R02 (id 1) has no permissions.
+  EXPECT_EQ(f.roles_without_users, (std::vector<Id>{2}));
+  EXPECT_EQ(f.roles_without_permissions, (std::vector<Id>{1}));
+  // R01 (id 0) and R05 (id 4) are the single-user roles.
+  EXPECT_EQ(f.single_user_roles, (std::vector<Id>{0, 4}));
+  // R01 is also the only single-permission role.
+  EXPECT_EQ(f.single_permission_roles, (std::vector<Id>{0}));
+}
+
+TEST(Detector, StandaloneRoleRequiresBothSidesEmpty) {
+  RbacDataset d;
+  d.add_role("empty");
+  const Id connected = d.add_role("connected");
+  const Id u = d.add_user("u");
+  d.assign_user(connected, u);
+
+  const StructuralFindings f = detect_structural(d);
+  EXPECT_EQ(f.standalone_roles, (std::vector<Id>{0}));
+  // The standalone role is NOT repeated in the type-2 lists.
+  EXPECT_TRUE(f.roles_without_users.empty());
+  EXPECT_EQ(f.roles_without_permissions, (std::vector<Id>{connected}));
+}
+
+TEST(Detector, StandaloneUsers) {
+  RbacDataset d;
+  const Id r = d.add_role("r");
+  const Id active = d.add_user("active");
+  d.add_user("ghost1");
+  d.add_user("ghost2");
+  d.assign_user(r, active);
+  d.grant_permission(r, d.add_permission("p"));
+
+  const StructuralFindings f = detect_structural(d);
+  EXPECT_EQ(f.standalone_users, (std::vector<Id>{1, 2}));
+}
+
+TEST(Detector, SingleAssignmentIndependentOfOtherTypes) {
+  // A role with one user and zero permissions is both single-user (type 3)
+  // and without-permissions (type 2) — the paper notes type overlap.
+  RbacDataset d;
+  const Id r = d.add_role("r");
+  d.assign_user(r, d.add_user("u"));
+
+  const StructuralFindings f = detect_structural(d);
+  EXPECT_EQ(f.single_user_roles, (std::vector<Id>{r}));
+  EXPECT_EQ(f.roles_without_permissions, (std::vector<Id>{r}));
+}
+
+TEST(Detector, EmptyDataset) {
+  const RbacDataset d;
+  const StructuralFindings f = detect_structural(d);
+  EXPECT_TRUE(f.standalone_users.empty());
+  EXPECT_TRUE(f.standalone_roles.empty());
+  EXPECT_TRUE(f.standalone_permissions.empty());
+  EXPECT_TRUE(f.single_user_roles.empty());
+}
+
+TEST(Detector, ZeroColumns) {
+  const auto m = testing::csr_from_rows(5, {{0, 2}, {2, 4}});
+  EXPECT_EQ(zero_columns(m), (std::vector<Id>{1, 3}));
+}
+
+TEST(Detector, RowsWithSum) {
+  const auto m = testing::csr_from_rows(5, {{0, 2}, {}, {4}, {1, 2, 3}});
+  EXPECT_EQ(rows_with_sum(m, 0), (std::vector<Id>{1}));
+  EXPECT_EQ(rows_with_sum(m, 1), (std::vector<Id>{2}));
+  EXPECT_EQ(rows_with_sum(m, 2), (std::vector<Id>{0}));
+  EXPECT_EQ(rows_with_sum(m, 3), (std::vector<Id>{3}));
+  EXPECT_TRUE(rows_with_sum(m, 4).empty());
+}
+
+TEST(Detector, AllUsersStandaloneWhenNoEdges) {
+  RbacDataset d;
+  d.add_users(10);
+  d.add_roles(3);
+  d.add_permissions(5);
+  const StructuralFindings f = detect_structural(d);
+  EXPECT_EQ(f.standalone_users.size(), 10u);
+  EXPECT_EQ(f.standalone_roles.size(), 3u);
+  EXPECT_EQ(f.standalone_permissions.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rolediet::core

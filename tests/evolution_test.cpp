@@ -1,0 +1,138 @@
+// Tests for the org-evolution simulator: event semantics, determinism, and
+// the paper's core premise that inefficiencies accumulate over time.
+#include <gtest/gtest.h>
+
+#include "core/consolidation.hpp"
+#include "core/detector.hpp"
+#include "core/framework.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "gen/evolution.hpp"
+
+namespace rolediet::gen {
+namespace {
+
+std::size_t total_findings(const core::IncrementalAuditor& auditor) {
+  const core::StructuralFindings f = auditor.structural();
+  return f.standalone_users.size() + f.standalone_roles.size() +
+         f.standalone_permissions.size() + f.roles_without_users.size() +
+         f.roles_without_permissions.size() + auditor.same_user_groups().roles_in_groups() +
+         auditor.same_permission_groups().roles_in_groups();
+}
+
+TEST(Evolution, SeedsHealthyOrg) {
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 1);
+  EXPECT_EQ(auditor.num_users(), 200u);
+  EXPECT_EQ(auditor.num_roles(), 60u);
+  EXPECT_EQ(auditor.num_permissions(), 150u);
+  // Every seeded role has both users and permissions.
+  const core::StructuralFindings f = auditor.structural();
+  EXPECT_TRUE(f.standalone_roles.empty());
+  EXPECT_TRUE(f.roles_without_users.empty());
+  EXPECT_TRUE(f.roles_without_permissions.empty());
+}
+
+TEST(Evolution, DeterministicHistories) {
+  core::IncrementalAuditor a;
+  core::IncrementalAuditor b;
+  OrgEvolution ea(a, 42);
+  OrgEvolution eb(b, 42);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(ea.step(), eb.step()) << "diverged at event " << i;
+  }
+  EXPECT_EQ(a.snapshot().ruam(), b.snapshot().ruam());
+  EXPECT_EQ(a.snapshot().rpam(), b.snapshot().rpam());
+}
+
+TEST(Evolution, EventNames) {
+  EXPECT_EQ(to_string(OrgEvent::kHire), "hire");
+  EXPECT_EQ(to_string(OrgEvent::kShadowRole), "shadow-role");
+  EXPECT_EQ(to_string(OrgEvent::kDecommission), "decommission");
+}
+
+TEST(Evolution, InefficienciesAccumulateOverTime) {
+  // The paper's premise, measured: findings grow as the org churns.
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 7);
+  const std::size_t at_start = total_findings(auditor);
+  evolution.run(500);
+  const std::size_t mid = total_findings(auditor);
+  evolution.run(1'500);
+  const std::size_t late = total_findings(auditor);
+  EXPECT_GT(mid, at_start);
+  EXPECT_GT(late, mid);
+  EXPECT_EQ(evolution.events_applied(), 2'000u);
+}
+
+TEST(Evolution, DepartureCreatesStandaloneUser) {
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 3, /*initial_users=*/20, /*initial_roles=*/5,
+                         /*initial_permissions=*/30,
+                         // Force departures only.
+                         EvolutionMix{.hire = 0, .departure = 1, .transfer = 0, .provision = 0,
+                                      .decommission = 0, .clone_role = 0, .fork_role = 0,
+                                      .shadow_role = 0});
+  const std::size_t before = auditor.structural().standalone_users.size();
+  evolution.run(5);
+  EXPECT_GT(auditor.structural().standalone_users.size(), before);
+}
+
+TEST(Evolution, CloneCreatesDuplicateGroups) {
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 11, 50, 10, 40,
+                         EvolutionMix{.hire = 0, .departure = 0, .transfer = 0, .provision = 0,
+                                      .decommission = 0, .clone_role = 1, .fork_role = 0,
+                                      .shadow_role = 0});
+  evolution.run(20);
+  EXPECT_GT(auditor.same_user_groups().roles_in_groups() +
+                auditor.same_permission_groups().roles_in_groups(),
+            0u);
+}
+
+TEST(Evolution, ForkCreatesSimilarPair) {
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 13, 50, 10, 40,
+                         EvolutionMix{.hire = 0, .departure = 0, .transfer = 0, .provision = 0,
+                                      .decommission = 0, .clone_role = 0, .fork_role = 1,
+                                      .shadow_role = 0});
+  evolution.run(10);
+  const core::methods::RoleDietGroupFinder finder;
+  const core::RoleGroups similar = finder.find_similar(auditor.snapshot().ruam(), 1);
+  EXPECT_GT(similar.roles_in_groups(), 0u);
+}
+
+TEST(Evolution, TransferPreservesTotalAssignments) {
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 17, 40, 8, 30,
+                         EvolutionMix{.hire = 0, .departure = 0, .transfer = 1, .provision = 0,
+                                      .decommission = 0, .clone_role = 0, .fork_role = 0,
+                                      .shadow_role = 0});
+  const std::size_t before = auditor.snapshot().ruam().nnz();
+  evolution.run(30);
+  const std::size_t after = auditor.snapshot().ruam().nnz();
+  // Transfers move one edge at a time; an edge can vanish when the target
+  // role already holds the user, so nnz never grows.
+  EXPECT_LE(after, before);
+  EXPECT_GE(after + 30, before);
+}
+
+TEST(Evolution, DietResetsAccumulatedDuplicates) {
+  // Churn, then run the diet: duplicate findings drop to zero while access
+  // is preserved — the full lifecycle the library exists for.
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 23);
+  evolution.run(1'000);
+  const core::RbacDataset decayed = auditor.snapshot();
+  const core::AuditReport before = core::audit(decayed, {.detect_similar = false});
+  ASSERT_GT(before.reducible_roles(), 0u);
+
+  core::ConsolidationStats stats;
+  const core::RbacDataset slim = core::consolidate_duplicates(decayed, &stats);
+  EXPECT_TRUE(core::verify_equivalence(decayed, slim));
+  const core::AuditReport after = core::audit(slim, {.detect_similar = false});
+  EXPECT_EQ(after.same_user_groups.group_count(), 0u);
+  EXPECT_LT(slim.num_roles(), decayed.num_roles());
+}
+
+}  // namespace
+}  // namespace rolediet::gen

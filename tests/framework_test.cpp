@@ -1,0 +1,148 @@
+// Integration tests of the audit framework over full datasets.
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core {
+namespace {
+
+TEST(Framework, Figure1FullAudit) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const AuditReport report = audit(d);
+
+  EXPECT_EQ(report.num_users, 4u);
+  EXPECT_EQ(report.num_roles, 5u);
+  EXPECT_EQ(report.num_permissions, 6u);
+  EXPECT_EQ(report.method_name, "role-diet");
+
+  EXPECT_EQ(report.structural.standalone_permissions, (std::vector<Id>{0}));
+  EXPECT_EQ(report.structural.roles_without_users, (std::vector<Id>{2}));
+  EXPECT_EQ(report.structural.roles_without_permissions, (std::vector<Id>{1}));
+  EXPECT_EQ(report.structural.single_user_roles, (std::vector<Id>{0, 4}));
+
+  ASSERT_EQ(report.same_user_groups.group_count(), 1u);
+  EXPECT_EQ(report.same_user_groups.groups[0], (std::vector<std::size_t>{1, 3}));
+  ASSERT_EQ(report.same_permission_groups.group_count(), 1u);
+  EXPECT_EQ(report.same_permission_groups.groups[0], (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(report.reducible_roles(), 2u);
+
+  // t = 1 similar groups include the same-set groups (distance 0 <= 1).
+  EXPECT_GE(report.similar_user_groups.roles_in_groups(), 2u);
+}
+
+TEST(Framework, AllMethodsAgreeOnFigure1) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const AuditReport base = audit(d, {.method = Method::kRoleDiet});
+  for (Method method : {Method::kExactDbscan, Method::kApproxHnsw}) {
+    const AuditReport other = audit(d, {.method = method});
+    EXPECT_EQ(other.same_user_groups, base.same_user_groups) << to_string(method);
+    EXPECT_EQ(other.same_permission_groups, base.same_permission_groups) << to_string(method);
+    EXPECT_EQ(other.similar_user_groups, base.similar_user_groups) << to_string(method);
+  }
+}
+
+TEST(Framework, DisableSimilarSkipsPhases) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const AuditReport report = audit(d, {.detect_similar = false});
+  EXPECT_TRUE(report.similar_user_groups.groups.empty());
+  EXPECT_TRUE(report.similar_permission_groups.groups.empty());
+  EXPECT_FALSE(report.similar_users_time.timed_out);
+  EXPECT_EQ(report.similar_users_time.seconds, 0.0);
+}
+
+TEST(Framework, TimeBudgetSkipsLaterPhases) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  AuditOptions options;
+  options.time_budget_s = 1e-9;  // exhausted immediately after structural
+  const AuditReport report = audit(d, options);
+  EXPECT_TRUE(report.same_users_time.timed_out);
+  EXPECT_TRUE(report.similar_permissions_time.timed_out);
+  EXPECT_TRUE(report.same_user_groups.groups.empty());
+  // Structural detection always runs.
+  EXPECT_EQ(report.structural.standalone_permissions.size(), 1u);
+}
+
+TEST(Framework, SimilarityThresholdPropagates) {
+  RbacDataset d;
+  d.add_users(10);
+  d.add_permissions(4);
+  const Id r0 = d.add_role("a");
+  const Id r1 = d.add_role("b");
+  for (Id u : {0u, 1u, 2u}) d.assign_user(r0, u);
+  for (Id u : {0u, 1u, 3u, 4u}) d.assign_user(r1, u);  // distance 3
+  d.grant_permission(r0, 0);
+  d.grant_permission(r1, 1);
+
+  const AuditReport at1 = audit(d, {.similarity_threshold = 1});
+  EXPECT_TRUE(at1.similar_user_groups.groups.empty());
+  const AuditReport at3 = audit(d, {.similarity_threshold = 3});
+  EXPECT_EQ(at3.similar_user_groups.group_count(), 1u);
+  EXPECT_EQ(at3.similarity_threshold, 3u);
+}
+
+TEST(Framework, JaccardModeUsesRelativeThreshold) {
+  // Two 10-user roles overlapping in 9 (jaccard distance ~0.18, hamming 2)
+  // and two 2-user roles overlapping in 1 (jaccard ~0.67, hamming 2).
+  RbacDataset d;
+  d.add_users(40);
+  d.add_permissions(2);
+  const Id big_a = d.add_role("big_a");
+  const Id big_b = d.add_role("big_b");
+  for (Id u = 0; u < 10; ++u) d.assign_user(big_a, u);
+  for (Id u = 0; u < 9; ++u) d.assign_user(big_b, u);
+  d.assign_user(big_b, 20);
+  const Id small_a = d.add_role("small_a");
+  const Id small_b = d.add_role("small_b");
+  d.assign_user(small_a, 30);
+  d.assign_user(small_a, 31);
+  d.assign_user(small_b, 31);
+  d.assign_user(small_b, 32);
+  for (Id r = 0; r < 4; ++r) d.grant_permission(r, r % 2);
+
+  AuditOptions options;
+  options.similarity_mode = SimilarityMode::kJaccard;
+  options.jaccard_dissimilarity = 0.25;
+  const AuditReport report = audit(d, options);
+  ASSERT_EQ(report.similar_user_groups.group_count(), 1u);
+  EXPECT_EQ(report.similar_user_groups.groups[0],
+            (std::vector<std::size_t>{big_a, big_b}));
+  EXPECT_EQ(report.similarity_mode, SimilarityMode::kJaccard);
+
+  // Hamming mode with t = 2 cannot tell the two pairs apart.
+  const AuditReport hamming = audit(d, {.similarity_threshold = 2});
+  EXPECT_EQ(hamming.similar_user_groups.group_count(), 2u);
+
+  // Report text carries the jaccard label.
+  EXPECT_NE(report.to_text().find("j<=0.25"), std::string::npos);
+}
+
+TEST(Framework, EmptyDatasetAudit) {
+  const RbacDataset d;
+  const AuditReport report = audit(d);
+  EXPECT_EQ(report.num_roles, 0u);
+  EXPECT_EQ(report.reducible_roles(), 0u);
+  EXPECT_TRUE(report.same_user_groups.groups.empty());
+}
+
+TEST(Framework, ReportTextContainsHeadlines) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const std::string text = audit(d).to_text();
+  EXPECT_NE(text.find("method: role-diet"), std::string::npos);
+  EXPECT_NE(text.find("standalone permissions:  1"), std::string::npos);
+  EXPECT_NE(text.find("same-users groups:       1 groups / 2 roles"), std::string::npos);
+  EXPECT_NE(text.find("would remove 2 of 5 roles"), std::string::npos);
+}
+
+TEST(Framework, DistinctEdgeCountsAreDeduplicated) {
+  RbacDataset d;
+  const Id r = d.add_role("r");
+  const Id u = d.add_user("u");
+  d.assign_user(r, u);
+  d.assign_user(r, u);
+  const AuditReport report = audit(d);
+  EXPECT_EQ(report.num_user_assignments, 1u);
+}
+
+}  // namespace
+}  // namespace rolediet::core

@@ -1,0 +1,221 @@
+// Unit tests for the HNSW approximate nearest-neighbor substrate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/hnsw.hpp"
+#include "util/prng.hpp"
+
+namespace rolediet::cluster {
+namespace {
+
+linalg::BitMatrix points_from_rows(std::size_t cols,
+                                   const std::vector<std::vector<std::size_t>>& rows) {
+  linalg::BitMatrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c : rows[r]) m.set(r, c);
+  }
+  return m;
+}
+
+TEST(Hnsw, EmptyIndexSearchReturnsNothing) {
+  const linalg::BitMatrix m(3, 10);
+  const HnswIndex index(m, {});
+  EXPECT_TRUE(index.search(0, 5).empty());
+  EXPECT_TRUE(index.range_search(0, 3).empty());
+}
+
+TEST(Hnsw, SingleElement) {
+  const auto m = points_from_rows(10, {{1, 2}});
+  HnswIndex index(m, {});
+  index.add(0);
+  const auto hits = index.search(0, 3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[0].dist, 0u);
+}
+
+TEST(Hnsw, RejectsDuplicateAddAndBadIds) {
+  const auto m = points_from_rows(10, {{1}, {2}});
+  HnswIndex index(m, {});
+  index.add(0);
+  EXPECT_THROW(index.add(0), std::invalid_argument);
+  EXPECT_THROW(index.add(7), std::out_of_range);
+  EXPECT_THROW(index.search(9, 1), std::out_of_range);
+  EXPECT_THROW(index.range_search(9, 1), std::out_of_range);
+}
+
+TEST(Hnsw, RejectsTooSmallM) {
+  const auto m = points_from_rows(10, {{1}});
+  EXPECT_THROW(HnswIndex(m, {.m = 1}), std::invalid_argument);
+}
+
+TEST(Hnsw, NearestFirstOrdering) {
+  const auto m = points_from_rows(50, {{1, 2, 3}, {1, 2, 3, 4}, {1, 2}, {30, 31, 32}});
+  HnswIndex index(m, {});
+  index.add_all();
+  const auto hits = index.search(0, 4);
+  ASSERT_GE(hits.size(), 3u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[0].dist, 0u);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i].dist, hits[i - 1].dist);
+  }
+}
+
+TEST(Hnsw, ExactDistancesReported) {
+  const auto m = points_from_rows(20, {{1, 2}, {1, 2, 5}, {8, 9}});
+  HnswIndex index(m, {});
+  index.add_all();
+  for (const auto& hit : index.search(0, 3)) {
+    EXPECT_EQ(hit.dist, util::hamming_words(m.row(0), m.row(hit.id)));
+  }
+}
+
+TEST(Hnsw, RangeSearchFiltersRadius) {
+  const auto m = points_from_rows(20, {{1, 2}, {1, 2}, {1, 2, 3}, {10, 11, 12}});
+  HnswIndex index(m, {});
+  index.add_all();
+  const auto within0 = index.range_search(0, 0);
+  for (const auto& hit : within0) EXPECT_EQ(hit.dist, 0u);
+  // Duplicates of row 0 are rows {0, 1}.
+  ASSERT_EQ(within0.size(), 2u);
+
+  const auto within1 = index.range_search(0, 1);
+  EXPECT_EQ(within1.size(), 3u);  // + row 2 at distance 1
+
+  for (const auto& hit : index.range_search(0, 2)) {
+    EXPECT_NE(hit.id, 3u);  // row 3 is far away
+  }
+}
+
+TEST(Hnsw, SearchVectorExternalQuery) {
+  const auto m = points_from_rows(64, {{3, 4}, {10, 11}});
+  HnswIndex index(m, {});
+  index.add_all();
+  linalg::BitMatrix query(1, 64);
+  query.set(0, 3);
+  query.set(0, 4);
+  const auto hits = index.search_vector(query.row(0), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[0].dist, 0u);
+}
+
+TEST(Hnsw, DeterministicForFixedSeed) {
+  util::Xoshiro256 rng(5);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::size_t> row;
+    for (int b = 0; b < 8; ++b) row.push_back(rng.bounded(512));
+    rows.push_back(row);
+  }
+  const auto m = points_from_rows(512, rows);
+  HnswIndex a(m, {.seed = 99});
+  HnswIndex b(m, {.seed = 99});
+  a.add_all();
+  b.add_all();
+  for (std::size_t q = 0; q < 20; ++q) {
+    EXPECT_EQ(a.search(q, 5), b.search(q, 5));
+  }
+}
+
+TEST(Hnsw, HighRecallOnPlantedDuplicates) {
+  // 500 random rows + 50 planted duplicate pairs; recall of the duplicate
+  // partner under range_search(0) should be near-perfect at default ef.
+  util::Xoshiro256 rng(17);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::size_t> row;
+    for (int b = 0; b < 10; ++b) row.push_back(rng.bounded(1024));
+    rows.push_back(row);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (int i = 0; i < 50; ++i) {
+    pairs.emplace_back(static_cast<std::size_t>(i * 10), rows.size());
+    rows.push_back(rows[static_cast<std::size_t>(i * 10)]);
+  }
+  const auto m = points_from_rows(1024, rows);
+  HnswIndex index(m, {});
+  index.add_all();
+
+  std::size_t found = 0;
+  for (const auto& [a, b] : pairs) {
+    for (const auto& hit : index.range_search(a, 0)) {
+      if (hit.id == b) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(found, 45u) << "recall collapsed: " << found << "/50";
+}
+
+TEST(Hnsw, LayerZeroStaysFullyReachable) {
+  // Regression for the spanning-tree anchors: department-clustered binary
+  // data with many norm-1 hub rows used to erode the in-links of non-hub
+  // nodes until whole regions became unreachable from the entry point
+  // (observed 94/200 orphaned nodes, duplicate recall 5%). Every node must
+  // stay reachable via directed layer-0 links.
+  util::Xoshiro256 rng(99);
+  linalg::BitMatrix m(240, 900);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const std::size_t dept = i % 8;
+    if (i % 5 == 4) {
+      m.set(i, dept * 100 + rng.bounded(100));  // norm-1 hub row
+      continue;
+    }
+    const std::size_t norm = 4 + rng.bounded(9);
+    for (std::size_t k = 0; k < norm; ++k) m.set(i, dept * 100 + rng.bounded(100));
+  }
+  for (std::size_t i = 200; i < 240; ++i) {  // exact duplicates of earlier rows
+    const std::size_t src = (i - 200) * 4;
+    for (std::size_t c = 0; c < 900; ++c) m.set(i, c, m.get(src, c));
+  }
+
+  HnswIndex index(m, {});
+  index.add_all();
+
+  std::vector<bool> seen(m.rows(), false);
+  std::vector<std::size_t> queue{*index.entry_id()};
+  seen[queue.front()] = true;
+  std::size_t reached = 0;
+  while (!queue.empty()) {
+    const std::size_t node = queue.back();
+    queue.pop_back();
+    ++reached;
+    for (std::size_t nb : index.neighbors_of(node, 0)) {
+      if (!seen[nb]) {
+        seen[nb] = true;
+        queue.push_back(nb);
+      }
+    }
+  }
+  EXPECT_EQ(reached, m.rows()) << "layer-0 graph is directionally disconnected";
+
+  // And the practical consequence: every planted duplicate is found.
+  std::size_t found = 0;
+  for (std::size_t i = 200; i < 240; ++i) {
+    for (const auto& hit : index.range_search(i, 0, /*min_ef=*/500)) {
+      if (hit.id == (i - 200) * 4) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, 40u);
+}
+
+TEST(Hnsw, MaxLevelGrowsWithSize) {
+  util::Xoshiro256 rng(23);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 2'000; ++i) rows.push_back({rng.bounded(4096), rng.bounded(4096)});
+  const auto m = points_from_rows(4096, rows);
+  HnswIndex index(m, {});
+  index.add_all();
+  EXPECT_EQ(index.size(), 2'000u);
+  EXPECT_GE(index.max_level(), 1);
+}
+
+}  // namespace
+}  // namespace rolediet::cluster

@@ -1,0 +1,128 @@
+// End-to-end integration tests: generated org -> CSV -> reload -> audit ->
+// consolidate -> verify, i.e. the full pipeline a deployment would run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/consolidation.hpp"
+#include "core/framework.hpp"
+#include "gen/org_simulator.hpp"
+#include "io/csv.hpp"
+#include "io/json_writer.hpp"
+
+namespace rolediet {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScopedDir {
+ public:
+  ScopedDir() {
+    dir_ = fs::temp_directory_path() / ("rolediet_integ_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  ~ScopedDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+};
+
+TEST(Integration, OrgCsvRoundTripPreservesAudit) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small());
+  ScopedDir dir;
+  io::save_dataset(org.dataset, dir.path());
+  const core::RbacDataset reloaded = io::load_dataset(dir.path());
+
+  const core::AuditReport before = core::audit(org.dataset);
+  const core::AuditReport after = core::audit(reloaded);
+  EXPECT_EQ(before.structural.standalone_users.size(),
+            after.structural.standalone_users.size());
+  EXPECT_EQ(before.structural.standalone_permissions.size(),
+            after.structural.standalone_permissions.size());
+  EXPECT_EQ(before.same_user_groups.roles_in_groups(),
+            after.same_user_groups.roles_in_groups());
+  EXPECT_EQ(before.similar_permission_groups.roles_in_groups(),
+            after.similar_permission_groups.roles_in_groups());
+}
+
+TEST(Integration, FullDietPipelineOnOrg) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small(99));
+  const core::RbacDataset& d = org.dataset;
+
+  core::ConsolidationStats stats;
+  const core::RbacDataset slim = core::consolidate_duplicates(d, &stats);
+
+  // Every planted duplicate pair should collapse: one role per same-user
+  // pair plus one per same-permission pair (phase-2 merges can only add).
+  EXPECT_GE(stats.removed_same_users, org.truth.roles_in_same_user_groups / 2);
+  EXPECT_GE(stats.removed_same_permissions, org.truth.roles_in_same_permission_groups / 2);
+  EXPECT_TRUE(core::verify_equivalence(d, slim));
+
+  // The diet leaves no same-user duplicates behind.
+  const core::AuditReport post = core::audit(slim, {.detect_similar = false});
+  EXPECT_EQ(post.same_user_groups.group_count(), 0u);
+}
+
+TEST(Integration, ReductionRatioIsPaperOrderOfMagnitude) {
+  // The paper reports ~10% of roles removable via type-4 consolidation;
+  // the small profile plants the same proportions.
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small());
+  core::ConsolidationStats stats;
+  (void)core::consolidate_duplicates(org.dataset, &stats);
+  EXPECT_GT(stats.reduction_ratio(), 0.05);
+  EXPECT_LT(stats.reduction_ratio(), 0.20);
+}
+
+TEST(Integration, AuditReportSerializesForOrg) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small());
+  const core::AuditReport report = core::audit(org.dataset);
+  const std::string json = io::report_to_json(report, org.dataset);
+  EXPECT_NE(json.find("\"method\":\"role-diet\""), std::string::npos);
+  EXPECT_NE(json.find("R_dupusers_0"), std::string::npos);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("standalone users"), std::string::npos);
+}
+
+TEST(Integration, MethodsAgreeOnSmallOrg) {
+  // Cross-method agreement on a realistic (not adversarial) dataset: the
+  // exact methods must coincide; HNSW must find at least 95% of the roles.
+  gen::OrgProfile tiny = gen::OrgProfile::small();
+  tiny.healthy_roles = 60;
+  tiny.roles_without_users = 20;
+  tiny.single_permission_roles = 40;
+  tiny.same_user_pairs = 20;
+  tiny.same_permission_pairs = 10;
+  tiny.similar_user_pairs = 10;
+  tiny.similar_permission_pairs = 10;
+  const gen::OrgDataset org = gen::generate_org(tiny);
+
+  const core::AuditReport ours = core::audit(org.dataset, {.method = core::Method::kRoleDiet});
+  const core::AuditReport exact =
+      core::audit(org.dataset, {.method = core::Method::kExactDbscan});
+  EXPECT_EQ(ours.same_user_groups, exact.same_user_groups);
+  EXPECT_EQ(ours.same_permission_groups, exact.same_permission_groups);
+  EXPECT_EQ(ours.similar_user_groups, exact.similar_user_groups);
+  EXPECT_EQ(ours.similar_permission_groups, exact.similar_permission_groups);
+
+  const core::AuditReport approx =
+      core::audit(org.dataset, {.method = core::Method::kApproxHnsw});
+  EXPECT_GE(approx.same_user_groups.roles_in_groups() * 100,
+            ours.same_user_groups.roles_in_groups() * 80);
+}
+
+TEST(Integration, RepeatedAuditsAreStable) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small(5));
+  const core::AuditReport a = core::audit(org.dataset);
+  const core::AuditReport b = core::audit(org.dataset);
+  EXPECT_EQ(a.same_user_groups, b.same_user_groups);
+  EXPECT_EQ(a.similar_user_groups, b.similar_user_groups);
+  EXPECT_EQ(a.structural.single_user_roles, b.structural.single_user_roles);
+}
+
+}  // namespace
+}  // namespace rolediet

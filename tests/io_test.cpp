@@ -1,0 +1,329 @@
+// Tests for CSV dataset I/O and the JSON writer, including failure injection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <fstream>
+
+#include "core/framework.hpp"
+#include "io/csv.hpp"
+#include "io/json_writer.hpp"
+#include "io/groups_io.hpp"
+#include "io/report_csv.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("rolediet_test_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+// -------------------------------------------------------------- csv parse ---
+
+TEST(CsvParse, SimpleFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_line("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(parse_csv_line(",x,"), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvParse, QuotedFields) {
+  EXPECT_EQ(parse_csv_line("\"a,b\",c"), (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(CsvParse, CrlfTolerated) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"oops,b"), CsvError);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(escape_csv_field("plain"), "plain");
+  EXPECT_EQ(escape_csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+// --------------------------------------------------------------- dataset ---
+
+TEST(CsvDataset, RoundTripFigure1) {
+  const core::RbacDataset original = rolediet::testing::figure1_dataset();
+  TempDir dir;
+  save_dataset(original, dir.path());
+  const core::RbacDataset loaded = load_dataset(dir.path());
+
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_EQ(loaded.num_roles(), original.num_roles());
+  EXPECT_EQ(loaded.num_permissions(), original.num_permissions());
+  EXPECT_EQ(loaded.ruam(), original.ruam());
+  EXPECT_EQ(loaded.rpam(), original.rpam());
+  // Standalone P01 survives the round trip via entities.csv.
+  EXPECT_TRUE(loaded.find_permission("P01").has_value());
+}
+
+TEST(CsvDataset, NamesWithCommasRoundTrip) {
+  core::RbacDataset d;
+  const core::Id r = d.add_role("role, with comma");
+  const core::Id u = d.add_user("user \"quoted\"");
+  d.assign_user(r, u);
+  TempDir dir;
+  save_dataset(d, dir.path());
+  const core::RbacDataset loaded = load_dataset(dir.path());
+  EXPECT_TRUE(loaded.find_role("role, with comma").has_value());
+  EXPECT_TRUE(loaded.find_user("user \"quoted\"").has_value());
+  EXPECT_EQ(loaded.ruam().nnz(), 1u);
+}
+
+TEST(CsvDataset, LoadWithoutOptionalFiles) {
+  TempDir dir;
+  write_file(dir.path() / "assignments.csv", "role,user\nadmin,alice\n");
+  const core::RbacDataset d = load_dataset(dir.path());
+  EXPECT_EQ(d.num_roles(), 1u);
+  EXPECT_EQ(d.num_users(), 1u);
+  EXPECT_EQ(d.num_permissions(), 0u);
+}
+
+TEST(CsvDataset, EmptyDirectoryLoadsEmptyDataset) {
+  TempDir dir;
+  const core::RbacDataset d = load_dataset(dir.path());
+  EXPECT_EQ(d.num_roles(), 0u);
+}
+
+TEST(CsvDataset, BadHeaderThrows) {
+  TempDir dir;
+  write_file(dir.path() / "assignments.csv", "user,role\nalice,admin\n");
+  EXPECT_THROW(load_dataset(dir.path()), CsvError);
+}
+
+TEST(CsvDataset, WrongFieldCountThrowsWithLineNumber) {
+  TempDir dir;
+  write_file(dir.path() / "grants.csv", "role,permission\nadmin,read,extra\n");
+  try {
+    load_dataset(dir.path());
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CsvDataset, UnknownEntityKindThrows) {
+  TempDir dir;
+  write_file(dir.path() / "entities.csv", "kind,name\ndragon,smaug\n");
+  EXPECT_THROW(load_dataset(dir.path()), CsvError);
+}
+
+TEST(CsvDataset, DuplicateEdgesTolerated) {
+  TempDir dir;
+  write_file(dir.path() / "assignments.csv", "role,user\nr,u\nr,u\nr,u\n");
+  const core::RbacDataset d = load_dataset(dir.path());
+  EXPECT_EQ(d.ruam().nnz(), 1u);
+}
+
+TEST(CsvDataset, BlankLinesSkipped) {
+  TempDir dir;
+  write_file(dir.path() / "assignments.csv", "role,user\n\nr,u\n\n");
+  EXPECT_EQ(load_dataset(dir.path()).ruam().nnz(), 1u);
+}
+
+// ------------------------------------------------------------------ json ---
+
+TEST(JsonWriter, BasicDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("role \"x\"\n");
+  w.key("count");
+  w.value(std::uint64_t{42});
+  w.key("ratio");
+  w.value(0.5);
+  w.key("ok");
+  w.value(true);
+  w.key("missing");
+  w.null();
+  w.key("items");
+  w.begin_array();
+  w.value(std::int64_t{-1});
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"role \\\"x\\\"\\n\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"missing\":null,\"items\":[-1,2]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value("no key"), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("key in array"), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("dangling");
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // unclosed
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+}
+
+TEST(JsonWriter, ControlCharactersEscaped) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::string_view("a\x01"
+                           "b\tc"));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"a\\u0001b\\tc\"]");
+}
+
+TEST(ReportCsv, OneRowPerFinding) {
+  const core::RbacDataset d = rolediet::testing::figure1_dataset();
+  const core::AuditReport report = core::audit(d);
+  const std::string csv = report_to_csv(report, d);
+
+  EXPECT_NE(csv.find("type,group,entity\n"), std::string::npos);
+  EXPECT_NE(csv.find("standalone-permission,,P01\n"), std::string::npos);
+  EXPECT_NE(csv.find("role-without-users,,R03\n"), std::string::npos);
+  EXPECT_NE(csv.find("single-user-role,,R01\n"), std::string::npos);
+  EXPECT_NE(csv.find("single-user-role,,R05\n"), std::string::npos);
+  // Group findings: both members share group ordinal 0.
+  EXPECT_NE(csv.find("same-user-roles,0,R02\n"), std::string::npos);
+  EXPECT_NE(csv.find("same-user-roles,0,R04\n"), std::string::npos);
+  EXPECT_NE(csv.find("same-permission-roles,0,R04\n"), std::string::npos);
+  EXPECT_NE(csv.find("same-permission-roles,0,R05\n"), std::string::npos);
+}
+
+TEST(ReportCsv, EscapesAwkwardNames) {
+  core::RbacDataset d;
+  d.add_role("lonely, but quoted \"role\"");  // standalone role with a comma
+  const core::AuditReport report = core::audit(d);
+  const std::string csv = report_to_csv(report, d);
+  EXPECT_NE(csv.find("standalone-role,,\"lonely, but quoted \"\"role\"\"\"\n"),
+            std::string::npos);
+}
+
+TEST(ReportCsv, EmptyReportIsJustHeader) {
+  const core::RbacDataset d;
+  const std::string csv = report_to_csv(core::audit(d), d);
+  EXPECT_EQ(csv, "type,group,entity\n");
+}
+
+// ---------------------------------------------------------- groups state ---
+
+TEST(GroupsIo, RoundTrip) {
+  const core::RbacDataset d = rolediet::testing::figure1_dataset();
+  core::RoleGroups groups;
+  groups.groups = {{1, 3}, {2, 4}};
+  groups.normalize();
+  TempDir dir;
+  save_groups(groups, d, dir.path() / "state.csv");
+  EXPECT_EQ(load_groups(d, dir.path() / "state.csv"), groups);
+}
+
+TEST(GroupsIo, SurvivesRoleIdReshuffle) {
+  // Names are the durable key: a dataset with the same roles interned in a
+  // different order must resolve to the corresponding new indices.
+  const core::RbacDataset original = rolediet::testing::figure1_dataset();
+  core::RoleGroups groups;
+  groups.groups = {{1, 3}};  // R02, R04 in the original
+  TempDir dir;
+  save_groups(groups, original, dir.path() / "state.csv");
+
+  core::RbacDataset reshuffled;
+  for (const char* name : {"R05", "R04", "R03", "R02", "R01"}) reshuffled.add_role(name);
+  const core::RoleGroups loaded = load_groups(reshuffled, dir.path() / "state.csv");
+  ASSERT_EQ(loaded.group_count(), 1u);
+  EXPECT_EQ(loaded.groups[0],
+            (std::vector<std::size_t>{*reshuffled.find_role("R04"),
+                                      *reshuffled.find_role("R02")}) )
+      << "expected name-based resolution";
+}
+
+TEST(GroupsIo, UnknownRoleThrows) {
+  const core::RbacDataset d = rolediet::testing::figure1_dataset();
+  TempDir dir;
+  write_file(dir.path() / "state.csv", "group,role\n0,R01\n0,R99\n");
+  EXPECT_THROW(load_groups(d, dir.path() / "state.csv"), CsvError);
+}
+
+TEST(GroupsIo, BadHeaderOrOrdinalThrows) {
+  const core::RbacDataset d = rolediet::testing::figure1_dataset();
+  TempDir dir;
+  write_file(dir.path() / "state.csv", "role,group\nR01,0\n");
+  EXPECT_THROW(load_groups(d, dir.path() / "state.csv"), CsvError);
+  write_file(dir.path() / "state2.csv", "group,role\nxyz,R01\n");
+  EXPECT_THROW(load_groups(d, dir.path() / "state2.csv"), CsvError);
+  EXPECT_THROW(load_groups(d, dir.path() / "missing.csv"), CsvError);
+}
+
+TEST(GroupsIo, SingletonGroupsDropped) {
+  const core::RbacDataset d = rolediet::testing::figure1_dataset();
+  TempDir dir;
+  write_file(dir.path() / "state.csv", "group,role\n0,R01\n1,R02\n1,R03\n");
+  const core::RoleGroups loaded = load_groups(d, dir.path() / "state.csv");
+  ASSERT_EQ(loaded.group_count(), 1u);
+  EXPECT_EQ(loaded.groups[0], (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(ReportJson, ContainsExpectedStructure) {
+  const core::RbacDataset d = rolediet::testing::figure1_dataset();
+  const core::AuditReport report = core::audit(d);
+  const std::string json = report_to_json(report, d);
+
+  EXPECT_NE(json.find("\"method\":\"role-diet\""), std::string::npos);
+  EXPECT_NE(json.find("\"roles\":5"), std::string::npos);
+  // Same-user group of R02/R04 listed by role name.
+  EXPECT_NE(json.find("[\"R02\",\"R04\"]"), std::string::npos);
+  EXPECT_NE(json.find("[\"R04\",\"R05\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"reducible_roles\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"timed_out\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rolediet::io

@@ -1,0 +1,176 @@
+// Tests for the synthetic RUAM/RPAM generator (§IV-A workload).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/methods/cooccurrence.hpp"
+#include "gen/matrix_generator.hpp"
+
+namespace rolediet::gen {
+namespace {
+
+TEST(MatrixGenerator, ShapeMatchesParams) {
+  const GeneratedMatrix g = generate_matrix({.roles = 200, .cols = 300, .seed = 3});
+  EXPECT_EQ(g.matrix.rows(), 200u);
+  EXPECT_EQ(g.matrix.cols(), 300u);
+}
+
+TEST(MatrixGenerator, DeterministicInSeed) {
+  const MatrixGenParams params{.roles = 150, .cols = 100, .seed = 11};
+  const GeneratedMatrix a = generate_matrix(params);
+  const GeneratedMatrix b = generate_matrix(params);
+  EXPECT_EQ(a.matrix, b.matrix);
+  EXPECT_EQ(a.planted, b.planted);
+
+  MatrixGenParams other = params;
+  other.seed = 12;
+  EXPECT_NE(generate_matrix(other).matrix, a.matrix);
+}
+
+TEST(MatrixGenerator, RowNormsWithinBounds) {
+  const GeneratedMatrix g = generate_matrix(
+      {.roles = 300, .cols = 200, .min_row_norm = 4, .max_row_norm = 9, .seed = 5});
+  for (std::size_t r = 0; r < g.matrix.rows(); ++r) {
+    // Perturbation is off, so every row norm is within the configured range.
+    EXPECT_GE(g.matrix.row_size(r), 4u);
+    EXPECT_LE(g.matrix.row_size(r), 9u);
+  }
+}
+
+TEST(MatrixGenerator, ClusterQuotaApproximatelyMet) {
+  const GeneratedMatrix g = generate_matrix(
+      {.roles = 1000, .cols = 500, .clustered_fraction = 0.2, .max_cluster_size = 10, .seed = 7});
+  const std::size_t planted_roles = g.planted.roles_in_groups();
+  // Quota is 200; the planner stops within one cluster of it.
+  EXPECT_GE(planted_roles, 190u);
+  EXPECT_LE(planted_roles, 200u);
+  for (const auto& group : g.planted.groups) {
+    EXPECT_GE(group.size(), 2u);
+    EXPECT_LE(group.size(), 10u);
+  }
+}
+
+TEST(MatrixGenerator, PlantedGroupsAreExactlyTheDuplicates) {
+  const GeneratedMatrix g = generate_matrix({.roles = 500, .cols = 400, .seed = 13});
+  const core::methods::RoleDietGroupFinder finder;
+  // ensure_unique_rows makes planted clusters the only identical-row groups.
+  EXPECT_EQ(finder.find_same(g.matrix), g.planted);
+}
+
+TEST(MatrixGenerator, ZeroClusteredFraction) {
+  const GeneratedMatrix g =
+      generate_matrix({.roles = 300, .cols = 300, .clustered_fraction = 0.0, .seed = 17});
+  EXPECT_TRUE(g.planted.groups.empty());
+  const core::methods::RoleDietGroupFinder finder;
+  EXPECT_TRUE(finder.find_same(g.matrix).groups.empty());
+}
+
+TEST(MatrixGenerator, FullClusteredFraction) {
+  const GeneratedMatrix g =
+      generate_matrix({.roles = 100, .cols = 200, .clustered_fraction = 1.0, .seed = 19});
+  EXPECT_GE(g.planted.roles_in_groups(), 98u);
+}
+
+TEST(MatrixGenerator, PerturbedClustersWithinThreshold) {
+  const GeneratedMatrix g = generate_matrix({.roles = 400,
+                                             .cols = 600,
+                                             .min_row_norm = 5,
+                                             .max_row_norm = 12,
+                                             .perturb_bits = 1,
+                                             .seed = 23});
+  ASSERT_FALSE(g.planted.groups.empty());
+  ASSERT_EQ(g.planted_bases.size(), g.planted.groups.size());
+  // Every member is within Hamming distance 1 of its group's base row.
+  for (std::size_t i = 0; i < g.planted.groups.size(); ++i) {
+    for (std::size_t member : g.planted.groups[i]) {
+      EXPECT_LE(g.matrix.row_hamming(g.planted_bases[i], member), 1u);
+    }
+  }
+  // Perturbed members are mostly distinct from the base — a same-set search
+  // must find strictly fewer duplicate roles than the planted similar roles.
+  const core::methods::RoleDietGroupFinder finder;
+  EXPECT_LT(finder.find_same(g.matrix).roles_in_groups(), g.planted.roles_in_groups());
+  // A similar search at t = 1 recovers every planted group (each planted
+  // group is contained in one detected group).
+  const core::RoleGroups detected = finder.find_similar(g.matrix, 1);
+  for (const auto& planted_group : g.planted.groups) {
+    bool contained = false;
+    for (const auto& found : detected.groups) {
+      if (std::includes(found.begin(), found.end(), planted_group.begin(),
+                        planted_group.end())) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "planted group starting at role " << planted_group.front()
+                           << " not recovered";
+  }
+}
+
+TEST(MatrixGenerator, ZipfNormsAreHeavyTailed) {
+  MatrixGenParams params{.roles = 3'000, .cols = 500, .clustered_fraction = 0.0,
+                         .min_row_norm = 1, .max_row_norm = 64, .seed = 41};
+  // A heavy tail of norm-1 rows cannot all be distinct over 500 columns.
+  params.ensure_unique_rows = false;
+  params.norm_distribution = NormDistribution::kZipf;
+  const GeneratedMatrix zipf = generate_matrix(params);
+  params.norm_distribution = NormDistribution::kUniform;
+  const GeneratedMatrix uniform = generate_matrix(params);
+
+  auto median_and_max = [](const linalg::CsrMatrix& m) {
+    std::vector<std::size_t> norms = m.row_sums();
+    std::sort(norms.begin(), norms.end());
+    return std::pair{norms[norms.size() / 2], norms.back()};
+  };
+  const auto [zipf_median, zipf_max] = median_and_max(zipf.matrix);
+  const auto [uniform_median, uniform_max] = median_and_max(uniform.matrix);
+  // Power law: most rows tiny, but the tail still reaches the cap.
+  EXPECT_LE(zipf_median, 3u);
+  EXPECT_GE(uniform_median, 20u);
+  EXPECT_GE(zipf_max, 32u);
+  EXPECT_EQ(uniform_max, 64u);
+  // Norms stay within the configured bounds.
+  for (std::size_t r = 0; r < zipf.matrix.rows(); ++r) {
+    EXPECT_GE(zipf.matrix.row_size(r), 1u);
+    EXPECT_LE(zipf.matrix.row_size(r), 64u);
+  }
+}
+
+TEST(MatrixGenerator, ZipfDetectionStillExact) {
+  // min norm 4 over 2,000 columns keeps unique noise rows feasible even
+  // with the mass of the distribution at the minimum.
+  MatrixGenParams params{.roles = 600, .cols = 2'000, .min_row_norm = 4,
+                         .max_row_norm = 32, .seed = 43};
+  params.norm_distribution = NormDistribution::kZipf;
+  const GeneratedMatrix g = generate_matrix(params);
+  const core::methods::RoleDietGroupFinder finder;
+  EXPECT_EQ(finder.find_same(g.matrix), g.planted);
+}
+
+TEST(MatrixGenerator, ParameterValidation) {
+  EXPECT_THROW(generate_matrix({.roles = 0}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.cols = 0}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.min_row_norm = 0}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.min_row_norm = 9, .max_row_norm = 3}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.cols = 10, .max_row_norm = 20}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.clustered_fraction = 1.5}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.clustered_fraction = -0.1}), std::invalid_argument);
+  EXPECT_THROW(generate_matrix({.max_cluster_size = 1}), std::invalid_argument);
+}
+
+TEST(MatrixGenerator, GroupsInCanonicalForm) {
+  const GeneratedMatrix g = generate_matrix({.roles = 400, .cols = 300, .seed = 29});
+  core::RoleGroups copy = g.planted;
+  copy.normalize();
+  EXPECT_EQ(copy, g.planted);
+}
+
+TEST(MatrixGenerator, PaperScaleSmokeTest) {
+  // The Fig. 3 extreme: 10,000 roles x 1,000 users generates in bounded time.
+  const GeneratedMatrix g = generate_matrix({.roles = 10'000, .cols = 1'000, .seed = 31});
+  EXPECT_EQ(g.matrix.rows(), 10'000u);
+  EXPECT_GE(g.planted.roles_in_groups(), 1'990u);
+}
+
+}  // namespace
+}  // namespace rolediet::gen

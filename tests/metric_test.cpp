@@ -1,0 +1,66 @@
+// Tests for the distance metrics shared by all detection methods.
+#include <gtest/gtest.h>
+
+#include "cluster/metric.hpp"
+#include "linalg/bit_matrix.hpp"
+
+namespace rolediet::cluster {
+namespace {
+
+linalg::BitMatrix rows(std::size_t cols, const std::vector<std::vector<std::size_t>>& sets) {
+  linalg::BitMatrix m(sets.size(), cols);
+  for (std::size_t r = 0; r < sets.size(); ++r) {
+    for (std::size_t c : sets[r]) m.set(r, c);
+  }
+  return m;
+}
+
+TEST(Metric, HammingAndManhattanCoincideOnBinary) {
+  const auto m = rows(100, {{1, 2, 3}, {2, 3, 4, 5}});
+  EXPECT_EQ(distance(MetricKind::kHamming, m.row(0), m.row(1)),
+            distance(MetricKind::kManhattan, m.row(0), m.row(1)));
+  EXPECT_EQ(distance(MetricKind::kHamming, m.row(0), m.row(1)), 3u);
+}
+
+TEST(Metric, JaccardScaledRange) {
+  const auto m = rows(100, {{1, 2}, {1, 2}, {50, 51}, {}});
+  // Identical sets -> 0.
+  EXPECT_EQ(jaccard_scaled(m.row(0), m.row(1)), 0u);
+  // Disjoint non-empty sets -> the full scale.
+  EXPECT_EQ(jaccard_scaled(m.row(0), m.row(2)), kJaccardScale);
+  // Two empty sets are identical -> 0.
+  EXPECT_EQ(jaccard_scaled(m.row(3), m.row(3)), 0u);
+  // Empty vs non-empty -> disjoint -> full scale.
+  EXPECT_EQ(jaccard_scaled(m.row(3), m.row(0)), kJaccardScale);
+}
+
+TEST(Metric, JaccardScaledKnownValues) {
+  const auto m = rows(100, {{1, 2, 3}, {2, 3, 4}});
+  // intersection 2, union 4 -> dissimilarity 0.5.
+  EXPECT_EQ(jaccard_scaled(m.row(0), m.row(1)), 500'000u);
+}
+
+TEST(Metric, CountFormulaMatchesDenseKernel) {
+  const auto m = rows(200, {{1, 2, 3, 64, 65}, {2, 3, 64, 150}});
+  const std::size_t g = 3;  // {2, 3, 64}
+  EXPECT_EQ(jaccard_scaled(m.row(0), m.row(1)), jaccard_scaled_from_counts(5, 4, g));
+}
+
+TEST(Metric, JaccardZeroOnlyForIdenticalSets) {
+  // Integer division must not round a near-identical large pair down to 0.
+  const std::size_t big = 3'000'000;
+  EXPECT_GT(jaccard_scaled_from_counts(big, big - 1, big - 1), 0u);
+  EXPECT_EQ(jaccard_scaled_from_counts(big, big, big), 0u);
+}
+
+TEST(Metric, DispatchCoversAllKinds) {
+  const auto m = rows(64, {{0, 1}, {1, 2}});
+  EXPECT_EQ(distance(MetricKind::kHamming, m.row(0), m.row(1)), 2u);
+  EXPECT_EQ(distance(MetricKind::kManhattan, m.row(0), m.row(1)), 2u);
+  // intersection 1, union 3 -> 1 - 1/3 scaled with integer division.
+  EXPECT_EQ(distance(MetricKind::kJaccard, m.row(0), m.row(1)),
+            kJaccardScale - kJaccardScale / 3);
+}
+
+}  // namespace
+}  // namespace rolediet::cluster

@@ -1,0 +1,184 @@
+// Tests for the MinHash/LSH substrate and its group finder.
+//
+// MinHash lives outside the generic group-finder contract suite on purpose:
+// its find_similar recall on *low-Jaccard* pairs is probabilistic by design
+// (the S-curve), so expectations here are either deterministic guarantees
+// (duplicates, verification exactness) or statistical checks with fixed
+// seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/minhash.hpp"
+#include "core/framework.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "core/methods/minhash_lsh.hpp"
+#include "core/periodic.hpp"
+#include "gen/matrix_generator.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet {
+namespace {
+
+using rolediet::testing::csr_from_rows;
+
+// ------------------------------------------------------------- signatures ---
+
+TEST(MinHash, IdenticalSetsHaveIdenticalSignatures) {
+  const auto m = csr_from_rows(100, {{1, 5, 9}, {1, 5, 9}, {2, 6}});
+  const cluster::MinHashLsh index(m, {});
+  EXPECT_DOUBLE_EQ(index.estimate_similarity(0, 1), 1.0);
+  EXPECT_LT(index.estimate_similarity(0, 2), 1.0);
+}
+
+TEST(MinHash, SimilarityEstimateTracksJaccard) {
+  // Two sets with Jaccard similarity 0.5 (overlap 10 of union 20); the
+  // 128-slot estimate should land near 0.5.
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+  for (std::uint32_t i = 0; i < 15; ++i) a.push_back(i);
+  for (std::uint32_t i = 5; i < 20; ++i) b.push_back(i);
+  const auto m = csr_from_rows(30, {a, b});
+  const cluster::MinHashLsh index(m, {});
+  EXPECT_NEAR(index.estimate_similarity(0, 1), 10.0 / 20.0, 0.15);
+}
+
+TEST(MinHash, DisjointSetsEstimateNearZero) {
+  const auto m = csr_from_rows(100, {{1, 2, 3, 4, 5}, {50, 51, 52, 53, 54}});
+  const cluster::MinHashLsh index(m, {});
+  EXPECT_LT(index.estimate_similarity(0, 1), 0.1);
+}
+
+TEST(MinHash, DuplicatesAreAlwaysCandidates) {
+  const auto m = csr_from_rows(100, {{1, 5, 9}, {2, 6}, {1, 5, 9}, {40}});
+  const cluster::MinHashLsh index(m, {});
+  const auto pairs = index.candidate_pairs();
+  EXPECT_NE(std::find(pairs.begin(), pairs.end(), std::make_pair(std::size_t{0}, std::size_t{2})),
+            pairs.end());
+}
+
+TEST(MinHash, EmptyRowsNeverCandidates) {
+  const auto m = csr_from_rows(10, {{}, {}, {1, 2}, {1, 2}});
+  const cluster::MinHashLsh index(m, {});
+  for (const auto& [a, b] : index.candidate_pairs()) {
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, 1u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(b, 1u);
+  }
+}
+
+TEST(MinHash, CandidatePairsUniqueAndOrdered) {
+  const gen::GeneratedMatrix g = gen::generate_matrix({.roles = 300, .cols = 200, .seed = 9});
+  const cluster::MinHashLsh index(g.matrix, {});
+  const auto pairs = index.candidate_pairs();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].first, pairs[i].second);
+    if (i > 0) {
+      EXPECT_LT(pairs[i - 1], pairs[i]);
+    }
+  }
+}
+
+TEST(MinHash, DeterministicInSeed) {
+  const gen::GeneratedMatrix g = gen::generate_matrix({.roles = 200, .cols = 150, .seed = 4});
+  const cluster::MinHashLsh a(g.matrix, {.seed = 5});
+  const cluster::MinHashLsh b(g.matrix, {.seed = 5});
+  EXPECT_EQ(a.candidate_pairs(), b.candidate_pairs());
+  const cluster::MinHashLsh c(g.matrix, {.seed = 6});
+  // Different hash families produce different candidate sets (usually).
+  EXPECT_NE(a.candidate_pairs(), c.candidate_pairs());
+}
+
+// ------------------------------------------------------------ group finder ---
+
+TEST(MinHashFinder, FindSameIsExactOnPlantedDuplicates) {
+  // Deterministic guarantee: identical signatures -> always candidates ->
+  // exact verification. Must match the role-diet grouping exactly.
+  const gen::GeneratedMatrix g = gen::generate_matrix({.roles = 800, .cols = 400, .seed = 21});
+  const core::methods::MinHashGroupFinder minhash;
+  const core::methods::RoleDietGroupFinder exact;
+  EXPECT_EQ(minhash.find_same(g.matrix), exact.find_same(g.matrix));
+}
+
+TEST(MinHashFinder, FindSameOnFigure1) {
+  const auto d = rolediet::testing::figure1_dataset();
+  const core::methods::MinHashGroupFinder finder;
+  const core::RoleGroups by_users = finder.find_same(d.ruam());
+  ASSERT_EQ(by_users.group_count(), 1u);
+  EXPECT_EQ(by_users.groups[0], (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(MinHashFinder, VerificationGivesPerfectPrecision) {
+  const gen::GeneratedMatrix g = gen::generate_matrix(
+      {.roles = 500, .cols = 300, .perturb_bits = 1, .seed = 33});
+  const core::methods::MinHashGroupFinder minhash;
+  const core::methods::RoleDietGroupFinder exact;
+  const core::RoleGroups truth = exact.find_similar(g.matrix, 1);
+  const core::RoleGroups found = minhash.find_similar(g.matrix, 1);
+  EXPECT_DOUBLE_EQ(core::pairwise_precision(truth, found), 1.0);
+  // Perturbed clusters have high overlap, so recall should be strong here.
+  EXPECT_GT(core::pairwise_recall(truth, found), 0.8);
+}
+
+TEST(MinHashFinder, TinyDisjointPairsCovered) {
+  // {1} vs {2} at t = 2: zero overlap, invisible to LSH, caught by the
+  // norm-sorted pass.
+  const auto m = csr_from_rows(20, {{1}, {2}, {10, 11, 12, 13}});
+  const core::methods::MinHashGroupFinder finder;
+  const core::RoleGroups groups = finder.find_similar(m, 2);
+  ASSERT_EQ(groups.group_count(), 1u);
+  EXPECT_EQ(groups.groups[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(MinHashFinder, JaccardModeFindsHighOverlapPairs) {
+  // 90% overlap pair: well above the default banding threshold (~0.42).
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+  for (std::uint32_t i = 0; i < 10; ++i) a.push_back(i);
+  for (std::uint32_t i = 0; i < 9; ++i) b.push_back(i);
+  b.push_back(30);
+  const auto m = csr_from_rows(40, {a, b, {20, 21}});
+  const core::methods::MinHashGroupFinder finder;
+  const core::RoleGroups groups = finder.find_similar_jaccard(m, 200'000);
+  ASSERT_EQ(groups.group_count(), 1u);
+  EXPECT_EQ(groups.groups[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(MinHashFinder, AuditFactoryIntegration) {
+  const auto d = rolediet::testing::figure1_dataset();
+  const core::AuditReport report = core::audit(d, {.method = core::Method::kApproxMinhash});
+  EXPECT_EQ(report.method_name, "approx-minhash");
+  EXPECT_EQ(report.same_user_groups.group_count(), 1u);
+  EXPECT_EQ(report.same_permission_groups.group_count(), 1u);
+}
+
+TEST(MinHashFinder, BandingCurveSanity) {
+  // With b bands of r rows, P(candidate) = 1 - (1 - s^r)^b. At the default
+  // (32, 4) a similarity-0.8 pair is found with p ~ 1 - (1-0.41)^32 ~ 1.
+  // Generate 40 planted pairs at ~0.8 overlap and expect near-total recall.
+  std::vector<std::vector<std::uint32_t>> rows;
+  util::Xoshiro256 rng(55);
+  for (int p = 0; p < 40; ++p) {
+    std::vector<std::uint32_t> base;
+    for (int k = 0; k < 10; ++k) base.push_back(static_cast<std::uint32_t>(rng.bounded(5000)));
+    std::sort(base.begin(), base.end());
+    base.erase(std::unique(base.begin(), base.end()), base.end());
+    std::vector<std::uint32_t> twin = base;
+    twin.back() = static_cast<std::uint32_t>(5000 + p);  // ~0.8 Jaccard
+    rows.push_back(base);
+    rows.push_back(twin);
+  }
+  const auto m = csr_from_rows(6000, rows);
+  const cluster::MinHashLsh index(m, {});
+  const auto pairs = index.candidate_pairs();
+  std::size_t found = 0;
+  for (std::size_t p = 0; p < 40; ++p) {
+    if (std::find(pairs.begin(), pairs.end(), std::make_pair(2 * p, 2 * p + 1)) != pairs.end())
+      ++found;
+  }
+  EXPECT_GE(found, 36u) << "banding recall collapsed: " << found << "/40";
+}
+
+}  // namespace
+}  // namespace rolediet

@@ -1,0 +1,145 @@
+// Unit tests for the RBAC dataset model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/model.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core {
+namespace {
+
+TEST(Model, InterningReturnsSameIdForSameName) {
+  RbacDataset d;
+  const Id a = d.add_user("alice");
+  const Id b = d.add_user("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.add_user("alice"), a);
+  EXPECT_EQ(d.num_users(), 2u);
+  EXPECT_EQ(d.user_name(a), "alice");
+}
+
+TEST(Model, SeparateIdSpaces) {
+  RbacDataset d;
+  const Id u = d.add_user("x");
+  const Id r = d.add_role("x");
+  const Id p = d.add_permission("x");
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(p, 0u);
+  EXPECT_EQ(d.num_users(), 1u);
+  EXPECT_EQ(d.num_roles(), 1u);
+  EXPECT_EQ(d.num_permissions(), 1u);
+}
+
+TEST(Model, FindByName) {
+  RbacDataset d;
+  d.add_role("admin");
+  EXPECT_EQ(d.find_role("admin"), std::optional<Id>(0));
+  EXPECT_EQ(d.find_role("nope"), std::nullopt);
+  EXPECT_EQ(d.find_user("admin"), std::nullopt);
+}
+
+TEST(Model, BulkAdd) {
+  RbacDataset d;
+  const Id first = d.add_users(100, "emp");
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(d.num_users(), 100u);
+  EXPECT_EQ(d.user_name(0), "emp0");
+  EXPECT_EQ(d.user_name(99), "emp99");
+  const Id second = d.add_users(10, "ext");
+  EXPECT_EQ(second, 100u);
+  EXPECT_EQ(d.user_name(100), "ext100");
+}
+
+TEST(Model, EdgeValidation) {
+  RbacDataset d;
+  const Id r = d.add_role("r");
+  const Id u = d.add_user("u");
+  const Id p = d.add_permission("p");
+  d.assign_user(r, u);
+  d.grant_permission(r, p);
+  EXPECT_THROW(d.assign_user(r + 1, u), std::out_of_range);
+  EXPECT_THROW(d.assign_user(r, u + 1), std::out_of_range);
+  EXPECT_THROW(d.grant_permission(r, p + 1), std::out_of_range);
+}
+
+TEST(Model, MatricesReflectEdges) {
+  const RbacDataset d = testing::figure1_dataset();
+  const auto& ruam = d.ruam();
+  const auto& rpam = d.rpam();
+  EXPECT_EQ(ruam.rows(), 5u);
+  EXPECT_EQ(ruam.cols(), 4u);
+  EXPECT_EQ(rpam.rows(), 5u);
+  EXPECT_EQ(rpam.cols(), 6u);
+
+  // R04 (id 3) has users {U02, U03} = ids {1, 2}, perms {P04, P05} = {3, 4}.
+  const auto users = d.users_of_role(3);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0], 1u);
+  EXPECT_EQ(users[1], 2u);
+  const auto perms = d.permissions_of_role(3);
+  ASSERT_EQ(perms.size(), 2u);
+  EXPECT_EQ(perms[0], 3u);
+  EXPECT_EQ(perms[1], 4u);
+}
+
+TEST(Model, DuplicateEdgesCollapseInMatrix) {
+  RbacDataset d;
+  const Id r = d.add_role("r");
+  const Id u = d.add_user("u");
+  d.assign_user(r, u);
+  d.assign_user(r, u);
+  d.assign_user(r, u);
+  EXPECT_EQ(d.num_user_assignments(), 3u);  // raw edges kept
+  EXPECT_EQ(d.ruam().nnz(), 1u);            // matrix is a set
+}
+
+TEST(Model, MatrixCacheInvalidatedByMutation) {
+  RbacDataset d;
+  const Id r = d.add_role("r");
+  const Id u1 = d.add_user("u1");
+  d.assign_user(r, u1);
+  EXPECT_EQ(d.ruam().nnz(), 1u);
+  const Id u2 = d.add_user("u2");
+  d.assign_user(r, u2);
+  EXPECT_EQ(d.ruam().nnz(), 2u);
+  EXPECT_EQ(d.ruam().cols(), 2u);
+}
+
+TEST(Model, PermissionsOfUserUnionsRoles) {
+  const RbacDataset d = testing::figure1_dataset();
+  // U02 (id 1) is in R02 (no perms) and R04 (perms {P04, P05} = {3, 4}).
+  EXPECT_EQ(d.permissions_of_user(1), (std::vector<Id>{3, 4}));
+  // U01 (id 0) is in R01 only: perm {P02} = {1}.
+  EXPECT_EQ(d.permissions_of_user(0), (std::vector<Id>{1}));
+  EXPECT_THROW(d.permissions_of_user(99), std::out_of_range);
+}
+
+TEST(Model, PermissionsOfUserDeduplicatesAcrossRoles) {
+  RbacDataset d;
+  const Id u = d.add_user("u");
+  const Id p = d.add_permission("p");
+  const Id r1 = d.add_role("r1");
+  const Id r2 = d.add_role("r2");
+  d.assign_user(r1, u);
+  d.assign_user(r2, u);
+  d.grant_permission(r1, p);
+  d.grant_permission(r2, p);
+  EXPECT_EQ(d.permissions_of_user(u), (std::vector<Id>{p}));
+}
+
+TEST(Model, EmptyDatasetMatrices) {
+  RbacDataset d;
+  EXPECT_EQ(d.ruam().rows(), 0u);
+  EXPECT_EQ(d.rpam().rows(), 0u);
+}
+
+TEST(Model, NodeKindNames) {
+  EXPECT_EQ(to_string(NodeKind::kUser), "user");
+  EXPECT_EQ(to_string(NodeKind::kRole), "role");
+  EXPECT_EQ(to_string(NodeKind::kPermission), "permission");
+}
+
+}  // namespace
+}  // namespace rolediet::core

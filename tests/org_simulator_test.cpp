@@ -1,0 +1,121 @@
+// Tests for the synthetic organization generator (§IV-B substitution).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/framework.hpp"
+#include "gen/org_simulator.hpp"
+
+namespace rolediet::gen {
+namespace {
+
+TEST(OrgSimulator, SmallProfileShape) {
+  const OrgProfile profile = OrgProfile::small();
+  const OrgDataset org = generate_org(profile);
+  EXPECT_EQ(org.dataset.num_users(), profile.connected_users + profile.standalone_users);
+  EXPECT_EQ(org.dataset.num_permissions(),
+            profile.connected_permissions + profile.standalone_permissions);
+  EXPECT_EQ(org.dataset.num_roles(), profile.total_roles());
+}
+
+TEST(OrgSimulator, DeterministicInSeed) {
+  const OrgDataset a = generate_org(OrgProfile::small(42));
+  const OrgDataset b = generate_org(OrgProfile::small(42));
+  EXPECT_EQ(a.dataset.ruam(), b.dataset.ruam());
+  EXPECT_EQ(a.dataset.rpam(), b.dataset.rpam());
+  const OrgDataset c = generate_org(OrgProfile::small(43));
+  EXPECT_NE(c.dataset.ruam(), a.dataset.ruam());
+}
+
+TEST(OrgSimulator, AuditRecoversPlantedStructuralCounts) {
+  const OrgDataset org = generate_org(OrgProfile::small());
+  const core::AuditReport report = core::audit(org.dataset, {.detect_similar = false});
+
+  EXPECT_EQ(report.structural.standalone_users.size(), org.truth.standalone_users);
+  EXPECT_EQ(report.structural.standalone_permissions.size(), org.truth.standalone_permissions);
+  EXPECT_EQ(report.structural.standalone_roles.size(), org.truth.standalone_roles);
+  EXPECT_EQ(report.structural.roles_without_users.size(), org.truth.roles_without_users);
+  EXPECT_EQ(report.structural.roles_without_permissions.size(),
+            org.truth.roles_without_permissions);
+  EXPECT_EQ(report.structural.single_user_roles.size(), org.truth.single_user_roles);
+  EXPECT_EQ(report.structural.single_permission_roles.size(),
+            org.truth.single_permission_roles);
+}
+
+TEST(OrgSimulator, AuditRecoversPlantedDuplicateGroups) {
+  const OrgDataset org = generate_org(OrgProfile::small());
+  const core::AuditReport report = core::audit(org.dataset);
+
+  EXPECT_EQ(report.same_user_groups.roles_in_groups(), org.truth.roles_in_same_user_groups);
+  EXPECT_EQ(report.same_permission_groups.roles_in_groups(),
+            org.truth.roles_in_same_permission_groups);
+
+  // At t = 1 the similar groups contain both the planted similar pairs and
+  // the planted duplicate pairs (distance 0 <= 1).
+  EXPECT_EQ(report.similar_user_groups.roles_in_groups(),
+            org.truth.roles_in_similar_user_groups + org.truth.roles_in_same_user_groups);
+  EXPECT_EQ(
+      report.similar_permission_groups.roles_in_groups(),
+      org.truth.roles_in_similar_permission_groups + org.truth.roles_in_same_permission_groups);
+}
+
+TEST(OrgSimulator, PlantedPairsHaveExpectedDistances) {
+  const OrgDataset org = generate_org(OrgProfile::small());
+  const auto& d = org.dataset;
+  // R_dupusers_0 duplicates R_healthy_0's user set exactly.
+  const auto base_users = d.users_of_role(*d.find_role("R_healthy_0"));
+  const auto dup_users = d.users_of_role(*d.find_role("R_dupusers_0"));
+  EXPECT_TRUE(std::equal(base_users.begin(), base_users.end(), dup_users.begin(),
+                         dup_users.end()));
+  // Similar-user bases follow the dup-user and dup-perm slices of the
+  // healthy pool.
+  const OrgProfile p = OrgProfile::small();
+  const std::size_t sim_base_index = p.same_user_pairs + p.same_permission_pairs;
+  const core::Id sim_base =
+      *d.find_role("R_healthy_" + std::to_string(sim_base_index));
+  const core::Id variant = *d.find_role("R_simusers_0");
+  EXPECT_EQ(d.ruam().row_hamming(sim_base, variant), 1u);
+}
+
+TEST(OrgSimulator, ValidationRejectsImpossibleProfiles) {
+  OrgProfile p = OrgProfile::small();
+  p.single_user_roles = p.connected_users + 1;
+  EXPECT_THROW(generate_org(p), std::invalid_argument);
+
+  p = OrgProfile::small();
+  p.healthy_roles = 1;  // cannot host the pair bases
+  EXPECT_THROW(generate_org(p), std::invalid_argument);
+
+  p = OrgProfile::small();
+  p.departments = 0;
+  EXPECT_THROW(generate_org(p), std::invalid_argument);
+
+  p = OrgProfile::small();
+  p.min_users_per_role = 3;  // variants could collapse next to single-user roles
+  EXPECT_THROW(generate_org(p), std::invalid_argument);
+
+  p = OrgProfile::small();
+  p.departments = 1'000'000;  // department pools too small
+  EXPECT_THROW(generate_org(p), std::invalid_argument);
+}
+
+TEST(OrgSimulator, RoleNamesEncodePlantedClass) {
+  const OrgDataset org = generate_org(OrgProfile::small());
+  EXPECT_TRUE(org.dataset.find_role("R_healthy_0").has_value());
+  EXPECT_TRUE(org.dataset.find_role("R_nousers_0").has_value());
+  EXPECT_TRUE(org.dataset.find_role("R_oneperm_0").has_value());
+  EXPECT_TRUE(org.dataset.find_role("R_dupusers_0").has_value());
+  EXPECT_TRUE(org.dataset.find_role("R_simperms_0").has_value());
+}
+
+TEST(OrgSimulator, PaperScaleProfileIsSelfConsistent) {
+  const OrgProfile p = OrgProfile::paper_scale();
+  EXPECT_EQ(p.connected_users + p.standalone_users, 90'000u);
+  EXPECT_EQ(p.connected_permissions + p.standalone_permissions, 350'000u);
+  // ~60k roles total (paper reports "around 50,000"; same order of magnitude).
+  EXPECT_GE(p.total_roles(), 50'000u);
+  EXPECT_LE(p.total_roles(), 65'000u);
+}
+
+}  // namespace
+}  // namespace rolediet::gen

@@ -1,0 +1,130 @@
+// Tests for periodic-run accumulation and the recall/precision metrics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/methods/approx.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "core/periodic.hpp"
+#include "gen/matrix_generator.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core {
+namespace {
+
+RoleGroups make_groups(std::vector<std::vector<std::size_t>> groups) {
+  RoleGroups out;
+  out.groups = std::move(groups);
+  out.normalize();
+  return out;
+}
+
+TEST(MergeRoleGroups, DisjointGroupsJuxtapose) {
+  const RoleGroups merged =
+      merge_role_groups(10, make_groups({{0, 1}}), make_groups({{5, 6}}));
+  EXPECT_EQ(merged, make_groups({{0, 1}, {5, 6}}));
+}
+
+TEST(MergeRoleGroups, OverlapChainsTransitively) {
+  const RoleGroups merged =
+      merge_role_groups(10, make_groups({{0, 1}, {2, 3}}), make_groups({{1, 2}}));
+  EXPECT_EQ(merged, make_groups({{0, 1, 2, 3}}));
+}
+
+TEST(MergeRoleGroups, IdempotentAndCommutative) {
+  const RoleGroups a = make_groups({{0, 3}, {5, 7, 9}});
+  const RoleGroups b = make_groups({{3, 5}});
+  EXPECT_EQ(merge_role_groups(10, a, a), a);
+  EXPECT_EQ(merge_role_groups(10, a, b), merge_role_groups(10, b, a));
+}
+
+TEST(MergeRoleGroups, EmptyIsIdentity) {
+  const RoleGroups a = make_groups({{1, 2}});
+  EXPECT_EQ(merge_role_groups(5, a, {}), a);
+  EXPECT_EQ(merge_role_groups(5, {}, {}), RoleGroups{});
+}
+
+TEST(MergeRoleGroups, RejectsOutOfUniverse) {
+  EXPECT_THROW(merge_role_groups(3, make_groups({{1, 7}}), {}), std::out_of_range);
+}
+
+TEST(PeriodicAccumulator, GrowsMonotonically) {
+  PeriodicAccumulator acc(20);
+  EXPECT_EQ(acc.runs_absorbed(), 0u);
+  acc.absorb(make_groups({{0, 1}}));
+  EXPECT_EQ(acc.current().roles_in_groups(), 2u);
+  acc.absorb(make_groups({{2, 3}}));
+  EXPECT_EQ(acc.current().roles_in_groups(), 4u);
+  acc.absorb(make_groups({{1, 2}}));  // bridges the two groups
+  EXPECT_EQ(acc.current(), make_groups({{0, 1, 2, 3}}));
+  EXPECT_EQ(acc.runs_absorbed(), 3u);
+}
+
+TEST(PairwiseRecall, ExactMatchIsOne) {
+  const RoleGroups truth = make_groups({{0, 1, 2}, {4, 5}});
+  EXPECT_DOUBLE_EQ(pairwise_recall(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(pairwise_precision(truth, truth), 1.0);
+}
+
+TEST(PairwiseRecall, PartialFinding) {
+  // Truth: {0,1,2} (3 pairs) + {4,5} (1 pair) = 4 pairs.
+  // Found: {0,1} covers 1 of those pairs.
+  const RoleGroups truth = make_groups({{0, 1, 2}, {4, 5}});
+  const RoleGroups found = make_groups({{0, 1}});
+  EXPECT_DOUBLE_EQ(pairwise_recall(truth, found), 0.25);
+  EXPECT_DOUBLE_EQ(pairwise_precision(truth, found), 1.0);
+}
+
+TEST(PairwiseRecall, SplitGroupCountsWithinParts) {
+  // Truth {0,1,2,3} (6 pairs); found splits it into {0,1} and {2,3}:
+  // only those 2 pairs survive.
+  const RoleGroups truth = make_groups({{0, 1, 2, 3}});
+  const RoleGroups found = make_groups({{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(pairwise_recall(truth, found), 2.0 / 6.0);
+}
+
+TEST(PairwiseRecall, OverMergeHurtsPrecisionNotRecall) {
+  const RoleGroups truth = make_groups({{0, 1}, {2, 3}});
+  const RoleGroups found = make_groups({{0, 1, 2, 3}});
+  EXPECT_DOUBLE_EQ(pairwise_recall(truth, found), 1.0);
+  EXPECT_DOUBLE_EQ(pairwise_precision(truth, found), 2.0 / 6.0);
+}
+
+TEST(PairwiseRecall, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(pairwise_recall({}, make_groups({{0, 1}})), 1.0);
+}
+
+TEST(PeriodicConvergence, HnswRunsConvergeToExactGroups) {
+  // The paper's convergence claim in miniature: narrow-beam HNSW misses
+  // groups in any single run, but unioning runs with different index seeds
+  // converges toward the exact grouping.
+  const gen::GeneratedMatrix workload =
+      gen::generate_matrix({.roles = 800, .cols = 500, .seed = 99});
+  const methods::RoleDietGroupFinder exact;
+  const RoleGroups truth = exact.find_same(workload.matrix);
+  ASSERT_GT(truth.roles_in_groups(), 0u);
+
+  PeriodicAccumulator acc(workload.matrix.rows());
+  double first_recall = 0.0;
+  double last_recall = 0.0;
+  for (std::uint64_t run = 0; run < 6; ++run) {
+    methods::HnswGroupFinder::Options options;
+    options.query_ef = 8;  // deliberately narrow: single runs must be lossy
+    options.index.ef_search = 8;
+    options.index.ef_construction = 40;
+    options.index.seed = run * 1000 + 1;
+    const methods::HnswGroupFinder approx(options);
+    acc.absorb(approx.find_same(workload.matrix));
+    const double recall = pairwise_recall(truth, acc.current());
+    if (run == 0) first_recall = recall;
+    last_recall = recall;
+    // Union of true-positive-only runs never over-merges.
+    EXPECT_DOUBLE_EQ(pairwise_precision(truth, acc.current()), 1.0);
+  }
+  EXPECT_LT(first_recall, 1.0) << "beam too wide: single run already exact, test is vacuous";
+  EXPECT_GT(last_recall, first_recall);
+  EXPECT_GT(last_recall, 0.9);
+}
+
+}  // namespace
+}  // namespace rolediet::core

@@ -1,0 +1,84 @@
+// Tests for dataset shape statistics.
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+#include "gen/org_simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::core {
+namespace {
+
+TEST(DegreeSummary, EmptyInput) {
+  const DegreeSummary s = DegreeSummary::from({});
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(DegreeSummary, KnownDistribution) {
+  const DegreeSummary s = DegreeSummary::from({0, 3, 1, 2, 4, 0, 10, 5, 6, 7});
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.8);
+  EXPECT_EQ(s.p50, 4u);  // sorted: 0 0 1 2 3 4 5 6 7 10 -> index 5
+  EXPECT_EQ(s.p90, 10u);
+  EXPECT_EQ(s.zeros, 2u);
+}
+
+TEST(DegreeSummary, SingleValue) {
+  const DegreeSummary s = DegreeSummary::from({7});
+  EXPECT_EQ(s.min, 7u);
+  EXPECT_EQ(s.max, 7u);
+  EXPECT_EQ(s.p50, 7u);
+  EXPECT_EQ(s.zeros, 0u);
+}
+
+TEST(DatasetStats, Figure1) {
+  const RbacDataset d = rolediet::testing::figure1_dataset();
+  const DatasetStats stats = compute_stats(d);
+  EXPECT_EQ(stats.users, 4u);
+  EXPECT_EQ(stats.roles, 5u);
+  EXPECT_EQ(stats.permissions, 6u);
+  EXPECT_EQ(stats.user_assignments, 6u);
+  EXPECT_EQ(stats.permission_grants, 7u);
+  EXPECT_DOUBLE_EQ(stats.ruam_density, 6.0 / 20.0);
+  EXPECT_DOUBLE_EQ(stats.rpam_density, 7.0 / 30.0);
+  // Users per role: R01..R05 have 1, 2, 0, 2, 1 users.
+  EXPECT_EQ(stats.users_per_role.min, 0u);
+  EXPECT_EQ(stats.users_per_role.max, 2u);
+  EXPECT_DOUBLE_EQ(stats.users_per_role.mean, 1.2);
+  EXPECT_EQ(stats.users_per_role.zeros, 1u);  // R03
+  // P01 is granted to no role.
+  EXPECT_EQ(stats.roles_per_permission.zeros, 1u);
+}
+
+TEST(DatasetStats, EmptyDataset) {
+  const DatasetStats stats = compute_stats(RbacDataset{});
+  EXPECT_EQ(stats.roles, 0u);
+  EXPECT_EQ(stats.ruam_density, 0.0);
+  EXPECT_FALSE(stats.to_text().empty());
+}
+
+TEST(DatasetStats, TextRendering) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small());
+  const std::string text = compute_stats(org.dataset).to_text();
+  EXPECT_NE(text.find("dataset statistics:"), std::string::npos);
+  EXPECT_NE(text.find("users/role"), std::string::npos);
+  EXPECT_NE(text.find("density: RUAM"), std::string::npos);
+  EXPECT_NE(text.find("memory: full adjacency"), std::string::npos);
+}
+
+TEST(DatasetStats, OrgShapeIsSane) {
+  const gen::OrgDataset org = gen::generate_org(gen::OrgProfile::small());
+  const DatasetStats stats = compute_stats(org.dataset);
+  // Healthy roles carry 4..12 users; one-sided roles carry none.
+  EXPECT_GE(stats.users_per_role.max, 4u);
+  EXPECT_GT(stats.users_per_role.zeros, 0u);
+  // Standalone permissions dominate the zero column counts.
+  EXPECT_GE(stats.roles_per_permission.zeros, 1800u);
+  // Sparse representation wins by a large margin at org shape.
+  EXPECT_LT(stats.footprint.sparse_bytes, stats.footprint.sub_matrices_bytes);
+}
+
+}  // namespace
+}  // namespace rolediet::core

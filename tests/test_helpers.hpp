@@ -1,0 +1,69 @@
+// Shared fixtures for the rolediet test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace rolediet::testing {
+
+/// The paper's Fig. 1 worked example: users U01-U04, roles R01-R05,
+/// permissions P01-P06, with every inefficiency the figure calls out:
+///   - P01 is a standalone permission;
+///   - R02 has users but no permissions; R03 has permissions but no users;
+///   - R01 and R05 are single-user roles (R01 is also single-permission);
+///   - R02 and R04 share the same user set {U02, U03};
+///   - R04 and R05 share the same permission set {P04, P05}.
+/// The resulting RUAM co-occurrence matrix matches the paper's table:
+/// diagonal (1, 2, 0, 2, 1) and g(R02, R04) = 2.
+inline core::RbacDataset figure1_dataset() {
+  core::RbacDataset d;
+  const core::Id u01 = d.add_user("U01");
+  const core::Id u02 = d.add_user("U02");
+  const core::Id u03 = d.add_user("U03");
+  const core::Id u04 = d.add_user("U04");
+  d.add_permission("P01");  // standalone
+  const core::Id p02 = d.add_permission("P02");
+  const core::Id p03 = d.add_permission("P03");
+  const core::Id p04 = d.add_permission("P04");
+  const core::Id p05 = d.add_permission("P05");
+  const core::Id p06 = d.add_permission("P06");
+  const core::Id r01 = d.add_role("R01");
+  const core::Id r02 = d.add_role("R02");
+  const core::Id r03 = d.add_role("R03");
+  const core::Id r04 = d.add_role("R04");
+  const core::Id r05 = d.add_role("R05");
+
+  d.assign_user(r01, u01);
+  d.grant_permission(r01, p02);
+
+  d.assign_user(r02, u02);
+  d.assign_user(r02, u03);
+
+  d.grant_permission(r03, p03);
+  d.grant_permission(r03, p06);
+
+  d.assign_user(r04, u02);
+  d.assign_user(r04, u03);
+  d.grant_permission(r04, p04);
+  d.grant_permission(r04, p05);
+
+  d.assign_user(r05, u04);
+  d.grant_permission(r05, p04);
+  d.grant_permission(r05, p05);
+  return d;
+}
+
+/// Builds a CSR matrix from explicit rows of column indices.
+inline linalg::CsrMatrix csr_from_rows(std::size_t cols,
+                                       const std::vector<std::vector<std::uint32_t>>& rows) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::uint32_t c : rows[r]) pairs.emplace_back(static_cast<std::uint32_t>(r), c);
+  }
+  return linalg::CsrMatrix::from_pairs(rows.size(), cols, std::move(pairs));
+}
+
+}  // namespace rolediet::testing

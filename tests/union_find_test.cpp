@@ -1,0 +1,90 @@
+// Unit tests for the disjoint-set forest.
+#include <gtest/gtest.h>
+
+#include "cluster/union_find.hpp"
+
+namespace rolediet::cluster {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+  EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFind, UniteConnects) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_EQ(uf.set_size(0), 2u);
+  EXPECT_FALSE(uf.unite(0, 1));  // already united
+}
+
+TEST(UnionFind, TransitiveUnions) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  EXPECT_FALSE(uf.connected(0, 3));
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 3));
+  EXPECT_EQ(uf.set_size(3), 4u);
+  EXPECT_FALSE(uf.connected(0, 5));
+}
+
+TEST(UnionFind, GroupsFiltersByMinSize) {
+  UnionFind uf(7);
+  uf.unite(1, 3);
+  uf.unite(3, 5);
+  uf.unite(2, 6);
+  const auto pairs_and_triples = uf.groups(2);
+  ASSERT_EQ(pairs_and_triples.size(), 2u);
+  EXPECT_EQ(pairs_and_triples[0], (std::vector<std::size_t>{1, 3, 5}));
+  EXPECT_EQ(pairs_and_triples[1], (std::vector<std::size_t>{2, 6}));
+
+  const auto triples_only = uf.groups(3);
+  ASSERT_EQ(triples_only.size(), 1u);
+  EXPECT_EQ(triples_only[0], (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(UnionFind, GroupsOrderedBySmallestMember) {
+  UnionFind uf(10);
+  uf.unite(8, 9);
+  uf.unite(0, 7);
+  const auto groups = uf.groups(2);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].front(), 0u);
+  EXPECT_EQ(groups[1].front(), 8u);
+}
+
+TEST(UnionFind, GroupsMinSizeOneIncludesSingletons) {
+  UnionFind uf(3);
+  uf.unite(0, 2);
+  const auto groups = uf.groups(1);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(UnionFind, LargeChainCollapses) {
+  constexpr std::size_t kN = 10'000;
+  UnionFind uf(kN);
+  for (std::size_t i = 1; i < kN; ++i) uf.unite(i - 1, i);
+  EXPECT_EQ(uf.set_size(0), kN);
+  EXPECT_TRUE(uf.connected(0, kN - 1));
+  const auto groups = uf.groups(2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), kN);
+}
+
+TEST(UnionFind, SelfUnionIsNoop) {
+  UnionFind uf(2);
+  EXPECT_FALSE(uf.unite(1, 1));
+  EXPECT_EQ(uf.set_size(1), 1u);
+}
+
+}  // namespace
+}  // namespace rolediet::cluster

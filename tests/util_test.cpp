@@ -1,0 +1,285 @@
+// Unit tests for the util layer: PRNG, bit ops, timing stats, thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rolediet::util {
+namespace {
+
+// ---------------------------------------------------------------- bitops ---
+
+TEST(Bitops, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+TEST(Bitops, PopcountSpan) {
+  const std::vector<std::uint64_t> words{0xFULL, 0x0ULL, ~0ULL};
+  EXPECT_EQ(popcount_span(words), 4u + 0u + 64u);
+  EXPECT_EQ(popcount_span(std::span<const std::uint64_t>{}), 0u);
+}
+
+TEST(Bitops, HammingWords) {
+  const std::vector<std::uint64_t> a{0b1010, 0xFF};
+  const std::vector<std::uint64_t> b{0b0110, 0xF0};
+  EXPECT_EQ(hamming_words(a, b), 2u + 4u);
+  EXPECT_EQ(hamming_words(a, a), 0u);
+}
+
+TEST(Bitops, HammingBoundedExitsEarlyButNeverUnderLimit) {
+  const std::vector<std::uint64_t> a{~0ULL, ~0ULL, ~0ULL};
+  const std::vector<std::uint64_t> b{0, 0, 0};
+  // True distance 192; with limit 10 the function may return any value > 10.
+  EXPECT_GT(hamming_words_bounded(a, b, 10), 10u);
+  // Within the limit, the exact distance is returned.
+  const std::vector<std::uint64_t> c{0b11, 0, 0};
+  EXPECT_EQ(hamming_words_bounded(c, b, 10), 2u);
+}
+
+TEST(Bitops, IntersectionWords) {
+  const std::vector<std::uint64_t> a{0b1110};
+  const std::vector<std::uint64_t> b{0b0111};
+  EXPECT_EQ(intersection_words(a, b), 2u);
+}
+
+TEST(Bitops, TailMask) {
+  EXPECT_EQ(tail_mask(64), ~std::uint64_t{0});
+  EXPECT_EQ(tail_mask(1), 1ULL);
+  EXPECT_EQ(tail_mask(3), 0b111ULL);
+  EXPECT_EQ(tail_mask(128), ~std::uint64_t{0});
+}
+
+// ------------------------------------------------------------------ prng ---
+
+TEST(Prng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  // bound 1 must always be 0.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Prng, BoundedCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, RangeInclusive) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, SampleIndicesDistinctAndInRange) {
+  Xoshiro256 rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = rng.sample_indices(100, 30);
+    ASSERT_EQ(picks.size(), 30u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (std::size_t p : picks) EXPECT_LT(p, 100u);
+  }
+}
+
+TEST(Prng, SampleIndicesFullDraw) {
+  Xoshiro256 rng(23);
+  auto picks = rng.sample_indices(10, 10);
+  std::sort(picks.begin(), picks.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Xoshiro256 rng(29);
+  std::vector<int> v(64);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(std::span<int>(v));
+  EXPECT_NE(v, orig);  // 1/64! chance of false failure
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Prng, ExponentialPositiveWithPlausibleMean) {
+  Xoshiro256 rng(31);
+  double sum = 0.0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.05);  // mean = 1/lambda
+}
+
+TEST(Prng, Mix64Stateless) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+// ----------------------------------------------------------------- timer ---
+
+TEST(RunStats, EmptySamples) {
+  const RunStats stats = RunStats::from_samples({});
+  EXPECT_EQ(stats.runs, 0u);
+  EXPECT_EQ(stats.mean_s, 0.0);
+  EXPECT_EQ(stats.stdev_s, 0.0);
+}
+
+TEST(RunStats, SingleSampleHasZeroStdev) {
+  const RunStats stats = RunStats::from_samples({2.5});
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 2.5);
+  EXPECT_DOUBLE_EQ(stats.stdev_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min_s, 2.5);
+  EXPECT_DOUBLE_EQ(stats.max_s, 2.5);
+}
+
+TEST(RunStats, KnownMeanAndStdev) {
+  const RunStats stats = RunStats::from_samples({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.mean_s, 2.5);
+  // Sample stdev of {1,2,3,4} = sqrt(5/3).
+  EXPECT_NEAR(stats.stdev_s, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_s, 4.0);
+}
+
+TEST(TimeRuns, RunsRequestedTimesAndPassesIndex) {
+  std::vector<std::size_t> indices;
+  const RunStats stats = time_runs(5, [&](std::size_t i) { indices.push_back(i); });
+  EXPECT_EQ(stats.runs, 5u);
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_GE(stats.mean_s, 0.0);
+}
+
+TEST(Stopwatch, MeasuresElapsedMonotonically) {
+  Stopwatch watch;
+  const double t1 = watch.seconds();
+  const double t2 = watch.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  watch.restart();
+  EXPECT_LT(watch.seconds(), 1.0);
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_EQ(format_duration(2.5), "2.500 s");
+  EXPECT_EQ(format_duration(0.0123), "12.300 ms");
+  EXPECT_EQ(format_duration(0.000045), "45.0 us");
+}
+
+// ----------------------------------------------------------- thread pool ---
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> data(100, 0);  // < 2048 threshold -> inline, single chunk
+  int calls = 0;
+  pool.parallel_for(data.size(), [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    for (std::size_t i = begin; i < end; ++i) data[i] = 1;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(std::count(data.begin(), data.end(), 1), 100);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Pool remains usable after an error.
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DefaultPoolSingleton) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rolediet::util

@@ -1,0 +1,12 @@
+// rolediet — the command-line entry point. All logic lives in cli::run()
+// (src/cli/cli.cpp) so the tool is fully exercised by tests/cli_test.cpp.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return rolediet::cli::run(args, std::cout, std::cerr);
+}
