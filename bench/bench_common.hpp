@@ -22,8 +22,13 @@ namespace rolediet::bench {
 
 /// Command-line knobs shared by the sweep benches.
 struct BenchConfig {
-  std::size_t runs = 5;   ///< repetitions per configuration (paper: 5)
-  bool quick = false;     ///< --quick: fewer sweep points / runs for smoke tests
+  std::size_t runs = 5;     ///< repetitions per configuration (paper: 5)
+  bool quick = false;       ///< --quick: fewer sweep points / runs for smoke tests
+  /// --threads: worker threads for every timed finder, under the library-wide
+  /// knob convention in util/thread_pool.hpp (1 = sequential, the paper's
+  /// setup; 0 = all cores). Groups stay identical at every value, so the
+  /// figures can be regenerated at 1/2/N threads and compared point-by-point.
+  std::size_t threads = 1;
 
   static BenchConfig parse(int argc, char** argv) {
     BenchConfig config;
@@ -33,12 +38,21 @@ struct BenchConfig {
         config.runs = 2;
       } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
         config.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       } else {
-        std::fprintf(stderr, "usage: %s [--quick] [--runs N]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--quick] [--runs N] [--threads N]\n", argv[0]);
         std::exit(2);
       }
     }
     return config;
+  }
+
+  /// Finder options carrying the harness-wide thread knob.
+  [[nodiscard]] core::GroupFinderOptions finder_options() const {
+    core::GroupFinderOptions options;
+    options.threads = threads;
+    return options;
   }
 };
 

@@ -67,12 +67,15 @@ std::size_t roles_only_in(const core::RoleGroups& all, const core::RoleGroups& s
 int main(int argc, char** argv) {
   bool quick = false;
   double budget_s = 300.0;
+  std::size_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc)
       budget_s = std::strtod(argv[++i], nullptr);
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     else {
-      std::fprintf(stderr, "usage: %s [--quick] [--budget SECONDS]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--budget SECONDS] [--threads N]\n", argv[0]);
       return 2;
     }
   }
@@ -92,7 +95,7 @@ int main(int argc, char** argv) {
   // ---- the paper's findings table, via the role-diet method ---------------
   util::Stopwatch audit_watch;
   const core::AuditReport report =
-      core::audit(org.dataset, {.method = core::Method::kRoleDiet});
+      core::audit(org.dataset, {.method = core::Method::kRoleDiet, .threads = threads});
   const double audit_s = audit_watch.seconds();
 
   const std::size_t similar_users_only =
@@ -149,7 +152,7 @@ int main(int argc, char** argv) {
         quick ? std::vector<std::size_t>{200, 400, 800}
         : method == core::Method::kApproxHnsw ? std::vector<std::size_t>{500, 1000, 2000}
                                               : std::vector<std::size_t>{1000, 2000, 4000};
-    const auto finder = core::make_group_finder(method);
+    const auto finder = core::make_group_finder(method, {.threads = threads});
     std::vector<double> log_n;
     std::vector<double> log_t;
     std::printf("  %-14s probes:", std::string(core::to_string(method)).c_str());

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
 
     std::printf("%-10zu", roles);
     for (core::Method method : all_methods()) {
-      const auto finder = core::make_group_finder(method);
+      const auto finder = core::make_group_finder(method, config.finder_options());
       core::RoleGroups sink;
       const Cell cell = time_cell(
           config.runs, [&] { sink = finder->find_similar(workload.matrix, kThreshold); });

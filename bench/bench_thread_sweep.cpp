@@ -1,0 +1,115 @@
+// Thread-count sweep over the parallelized hot paths.
+//
+// Workload: the Fig. 3 end point (1,000 users, 10,000 roles, cluster
+// proportion 0.2, at most 10 identical roles per cluster) — the largest
+// synthetic configuration the paper reports. Three stages are timed at
+// 1/2/4/8 worker threads:
+//
+//   - role-diet similar-set pass (the co-occurrence sweep, t = 2) — the
+//     dominant cost of a full audit and the headline speedup;
+//   - MinHash/LSH index construction (signatures + band buckets);
+//   - batched HNSW index construction (add_all_parallel, batch = 64).
+//
+// Every stage is deterministic in the thread count: before timing, the
+// harness verifies that each thread count reproduces the threads=1 groups
+// byte-for-byte, and that threads=1 matches the default serial finder.
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "cluster/hnsw.hpp"
+#include "cluster/minhash.hpp"
+#include "core/methods/cooccurrence.hpp"
+#include "core/methods/method_common.hpp"
+#include "linalg/bit_matrix.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::parse(argc, argv);
+  const std::size_t roles = config.quick ? 2000 : 10'000;
+  const std::size_t threshold = 2;
+
+  gen::MatrixGenParams params;
+  params.roles = roles;
+  params.cols = 1000;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.seed = 3000 + roles;  // same seed rule as the Fig. 3 sweep
+  const gen::GeneratedMatrix workload = gen::generate_matrix(params);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== Thread sweep on the Fig. 3 workload (%zu roles x %zu users) ===\n",
+              roles, params.cols);
+  std::printf("runs per cell: %zu; similar-set threshold t = %zu; hardware cores: %u\n",
+              config.runs, threshold, hw);
+  if (hw < 2) {
+    std::printf("NOTE: fewer than 2 hardware cores — wall-clock speedup is bounded by the\n"
+                "core count, so expect a flat ladder here (and slowdown from\n"
+                "oversubscription at high thread counts). The determinism gate below is\n"
+                "unaffected.\n");
+  }
+  std::printf("\n");
+
+  // Determinism gate: the parallel paths must reproduce the serial groups.
+  const core::RoleGroups serial_groups =
+      core::methods::RoleDietGroupFinder().find_similar(workload.matrix, threshold);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    core::methods::RoleDietGroupFinder::Options options;
+    options.threads = threads;
+    const core::RoleGroups groups =
+        core::methods::RoleDietGroupFinder(options).find_similar(workload.matrix, threshold);
+    if (!(groups == serial_groups)) {
+      std::fprintf(stderr, "FAIL: groups differ at threads=%zu\n", threads);
+      return 1;
+    }
+  }
+  std::printf("determinism: similar-set groups identical at threads = 1, 2, 4, 8\n\n");
+
+  const std::vector<std::size_t> selected = core::methods::nonempty_rows(workload.matrix);
+  const linalg::BitMatrix dense = core::methods::densify_rows(workload.matrix, selected);
+
+  std::printf("%-10s | %-22s | %-22s | %-22s\n", "threads", "role-diet similar t=2",
+              "minhash build", "hnsw batched build");
+  for (int i = 0; i < 10 + 3 * 25; ++i) std::fputc('-', stdout);
+  std::printf("\n");
+
+  double base_similar = 0.0;
+  double base_minhash = 0.0;
+  double base_hnsw = 0.0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    core::methods::RoleDietGroupFinder::Options options;
+    options.threads = threads;
+    const core::methods::RoleDietGroupFinder finder(options);
+    const Cell similar = time_cell(
+        config.runs, [&] { (void)finder.find_similar(workload.matrix, threshold); });
+
+    cluster::MinHashParams lsh;
+    lsh.threads = threads;
+    const Cell minhash = time_cell(config.runs, [&] {
+      cluster::MinHashLsh index(workload.matrix, lsh);
+      (void)index;
+    });
+
+    const Cell hnsw = time_cell(config.runs, [&] {
+      cluster::HnswIndex index(dense, cluster::HnswParams{});
+      index.add_all_parallel(threads, 64);
+    });
+
+    if (threads == 1) {
+      base_similar = similar.stats.mean_s;
+      base_minhash = minhash.stats.mean_s;
+      base_hnsw = hnsw.stats.mean_s;
+    }
+    auto speedup = [&](double base, double mean) { return mean > 0.0 ? base / mean : 0.0; };
+    std::printf("%-10zu | %s x%4.2f | %s x%4.2f | %s x%4.2f\n", threads,
+                similar.to_string().c_str(), speedup(base_similar, similar.stats.mean_s),
+                minhash.to_string().c_str(), speedup(base_minhash, minhash.stats.mean_s),
+                hnsw.to_string().c_str(), speedup(base_hnsw, hnsw.stats.mean_s));
+    std::fflush(stdout);
+  }
+  std::printf("\nspeedups are vs threads=1 of the same column; groups/indexes are\n"
+              "byte-identical at every thread count (see util/thread_pool.hpp).\n");
+  return 0;
+}

@@ -1,11 +1,21 @@
 #!/bin/bash
 # Regenerates every figure/table of the paper plus the extension benches.
+# BENCH_THREADS=N reruns the figure sweeps with N worker threads (default 1,
+# the paper's serial setup; groups are identical at every thread count — see
+# util/thread_pool.hpp). The thread-sweep bench always runs its own 1/2/4/8
+# ladder on the Fig. 3 workload.
 set -u
 cd /root/repo
 out=/root/repo/bench_output.txt
+threads="${BENCH_THREADS:-1}"
 : > "$out"
 for b in bench_fig2_users_sweep bench_fig3_roles_sweep bench_similar_sweep \
-         bench_real_org bench_convergence bench_ablation bench_micro; do
+         bench_real_org; do
+  echo "############ $b (threads=$threads) ############" >> "$out"
+  ./build/bench/$b --threads "$threads" >> "$out" 2>&1
+  echo "" >> "$out"
+done
+for b in bench_thread_sweep bench_convergence bench_ablation bench_micro; do
   echo "############ $b ############" >> "$out"
   ./build/bench/$b >> "$out" 2>&1
   echo "" >> "$out"

@@ -65,6 +65,8 @@ struct UsageError : std::runtime_error {
 
 std::size_t parse_size(const std::string& text, const std::string& what) {
   try {
+    // stoull accepts and wraps negative input; reject it up front.
+    if (text.empty() || text[0] == '-') throw std::invalid_argument(text);
     std::size_t pos = 0;
     const unsigned long long value = std::stoull(text, &pos);
     if (pos != text.size()) throw std::invalid_argument(text);
@@ -115,6 +117,8 @@ int cmd_audit(Args& args, std::ostream& out) {
   }
   if (auto budget = args.take_option("--budget"))
     options.time_budget_s = parse_double(*budget, "--budget");
+  if (auto threads = args.take_option("--threads"))
+    options.threads = parse_size(*threads, "--threads");
   const std::optional<std::string> json_path = args.take_option("--json");
   const std::optional<std::string> csv_path = args.take_option("--csv");
 
@@ -259,6 +263,9 @@ int cmd_compare(Args& args, std::ostream& out) {
   std::size_t threshold = 0;
   if (auto value = args.take_option("--threshold"))
     threshold = parse_size(*value, "--threshold");
+  core::GroupFinderOptions finder_options;
+  if (auto threads = args.take_option("--threads"))
+    finder_options.threads = parse_size(*threads, "--threads");
   if (args.done()) throw UsageError("compare: missing dataset directory");
   const std::string dir = args.take();
   if (!args.done()) throw UsageError("compare: unexpected argument '" + args.peek() + "'");
@@ -274,7 +281,7 @@ int cmd_compare(Args& args, std::ostream& out) {
   out << line;
   for (core::Method method : {core::Method::kRoleDiet, core::Method::kExactDbscan,
                               core::Method::kApproxHnsw}) {
-    const auto finder = core::make_group_finder(method);
+    const auto finder = core::make_group_finder(method, finder_options);
     util::Stopwatch watch;
     const core::RoleGroups groups = threshold == 0
                                         ? finder->find_same(dataset.ruam())
@@ -329,12 +336,14 @@ int cmd_help(std::ostream& out) {
          "                 --method role-diet|exact-dbscan|approx-hnsw\n"
          "                 --threshold N (hamming) | --jaccard F (relative)\n"
          "                 --budget SECONDS  --json FILE  --csv FILE\n"
+         "                 --threads N (1 = sequential, 0 = all cores;\n"
+         "                 groups are identical at every thread count)\n"
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
          "  generate org DIR     [--paper-scale] [--seed N]\n"
          "  generate matrix DIR  [--roles N] [--users N] [--seed N]\n"
-         "  compare DIR    [--threshold N]  run all detection methods\n"
+         "  compare DIR    [--threshold N] [--threads N]  run all detection methods\n"
          "  convert IN OUT directory = CSV dataset, file = binary format\n"
          "  help           this text\n\n"
          "Datasets are directories of CSV files: entities.csv (kind,name),\n"

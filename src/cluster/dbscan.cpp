@@ -38,8 +38,8 @@ std::vector<std::vector<std::size_t>> all_region_queries(const linalg::BitMatrix
                                                          std::size_t& queries_out) {
   std::vector<std::vector<std::size_t>> neighborhoods(points.rows());
   std::atomic<std::size_t> queries{0};
-  util::ThreadPool local_pool(params.threads == 0 ? 0 : params.threads);
-  local_pool.parallel_for(
+  util::Parallelism par(params.threads);
+  par.parallel_for(
       points.rows(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {

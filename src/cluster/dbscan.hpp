@@ -44,7 +44,9 @@ struct DbscanParams {
   /// Minimum neighborhood size (including the point itself) for a core point.
   std::size_t min_pts = 2;
   MetricKind metric = MetricKind::kHamming;
-  /// Worker threads for the region-query phase; 1 = sequential, 0 = default pool.
+  /// Worker threads for the region-query phase, under the library-wide knob
+  /// convention documented in util/thread_pool.hpp (1 = sequential,
+  /// 0 = shared default pool, N >= 2 = private pool of N workers).
   std::size_t threads = 1;
   /// kInvertedIndex requires the Hamming metric; throws otherwise.
   RegionStrategy region_strategy = RegionStrategy::kBruteForce;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "util/thread_pool.hpp"
 
 namespace rolediet::cluster {
 
@@ -169,8 +172,10 @@ void HnswIndex::shrink_links(std::uint32_t node, int layer) {
 void HnswIndex::add(std::size_t id) {
   if (id >= points_.rows()) throw std::out_of_range("HnswIndex::add: row id out of range");
   if (slot_of_id_[id] != -1) throw std::invalid_argument("HnswIndex::add: id already indexed");
+  add_with_level(id, draw_level());
+}
 
-  const int level = draw_level();
+void HnswIndex::add_with_level(std::size_t id, int level) {
   const auto slot = static_cast<std::uint32_t>(nodes_.size());
   Node node;
   node.id = id;
@@ -231,6 +236,122 @@ void HnswIndex::add(std::size_t id) {
 
 void HnswIndex::add_all() {
   for (std::size_t id = 0; id < points_.rows(); ++id) add(id);
+}
+
+void HnswIndex::add_all_parallel(std::size_t threads, std::size_t batch_size) {
+  if (!nodes_.empty())
+    throw std::invalid_argument("HnswIndex::add_all_parallel: index must be empty");
+  const std::size_t n = points_.rows();
+  if (n == 0) return;
+  batch_size = std::max<std::size_t>(1, batch_size);
+  util::Parallelism par(threads);
+
+  // Pre-draw every level in row order — the exact sequence add_all() draws.
+  std::vector<int> levels(n);
+  for (auto& level : levels) level = draw_level();
+
+  // Seed the graph so every batch has a snapshot entry point.
+  add_with_level(0, levels[0]);
+
+  // Per batch member: the neighbor slots selected against the snapshot.
+  struct Plan {
+    std::vector<std::vector<std::uint32_t>> selected;  // [layer] -> slots
+    std::uint32_t anchor_slot = 0;                     // nearest at layer 0
+  };
+
+  for (std::size_t next = 1; next < n; next += batch_size) {
+    const std::size_t batch_end = std::min(n, next + batch_size);
+    const std::size_t batch = batch_end - next;
+    const int snapshot_max = max_level_;
+    const std::size_t snapshot_entry = nodes_[static_cast<std::size_t>(entry_point_)].id;
+
+    // Phase 1 — search: every member descends the frozen snapshot and picks
+    // its neighbors. Read-only on the graph, so members split freely.
+    std::vector<Plan> plans(batch);
+    par.parallel_for(
+        batch,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t id = next + k;
+            const int level = levels[id];
+            const auto q = points_.row(id);
+            Plan& plan = plans[k];
+            plan.selected.resize(static_cast<std::size_t>(std::min(level, snapshot_max)) + 1);
+
+            Neighbor entry{snapshot_entry, dist_to(q, snapshot_entry)};
+            for (int layer = snapshot_max; layer > level; --layer) {
+              entry = greedy_step(q, entry, layer);
+            }
+            for (int layer = std::min(level, snapshot_max); layer >= 0; --layer) {
+              std::vector<Neighbor> found =
+                  search_layer(q, entry, params_.ef_construction, layer);
+              entry = found.front();
+              plan.selected[static_cast<std::size_t>(layer)] =
+                  select_neighbors(id, found, params_.m);
+              if (layer == 0)
+                plan.anchor_slot = static_cast<std::uint32_t>(slot_of_id_[entry.id]);
+            }
+          }
+        },
+        /*grain=*/1);  // each member runs full beam searches — chunk finely
+
+    // Phase 2a — materialize the batch's nodes in row order (assigns slots;
+    // no link vector reallocates after this point).
+    int num_layers = 0;
+    for (std::size_t k = 0; k < batch; ++k) {
+      const std::size_t id = next + k;
+      Node node;
+      node.id = id;
+      node.level = levels[id];
+      node.links.resize(static_cast<std::size_t>(levels[id]) + 1);
+      slot_of_id_[id] = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(std::move(node));
+      num_layers = std::max(num_layers, static_cast<int>(plans[k].selected.size()));
+    }
+
+    // Phase 2b — link application, one worker per layer. Link lists at
+    // different layers are disjoint, and each layer's lock serializes all
+    // mutations of that layer (anchors belong to layer 0); within a layer,
+    // members apply in row order, so the result is independent of how the
+    // layers are distributed over threads.
+    std::vector<std::mutex> layer_locks(static_cast<std::size_t>(std::max(num_layers, 1)));
+    par.parallel_for(
+        static_cast<std::size_t>(num_layers),
+        [&](std::size_t layer_begin, std::size_t layer_end) {
+          for (std::size_t l = layer_begin; l < layer_end; ++l) {
+            std::scoped_lock lock(layer_locks[l]);
+            const int layer = static_cast<int>(l);
+            for (std::size_t k = 0; k < batch; ++k) {
+              Plan& plan = plans[k];
+              if (l >= plan.selected.size()) continue;
+              const auto slot = static_cast<std::uint32_t>(slot_of_id_[next + k]);
+              auto& my_links = nodes_[slot].links[l];
+              my_links = plan.selected[l];
+              if (layer == 0) {
+                // Spanning-tree anchor, exactly as in add().
+                nodes_[slot].anchors.push_back(plan.anchor_slot);
+                nodes_[plan.anchor_slot].anchors.push_back(slot);
+                if (std::find(my_links.begin(), my_links.end(), plan.anchor_slot) ==
+                    my_links.end())
+                  my_links.push_back(plan.anchor_slot);
+              }
+              for (std::uint32_t nb_slot : my_links) {
+                nodes_[nb_slot].links[l].push_back(slot);
+                shrink_links(nb_slot, layer);
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+
+    // Phase 2c — entry-point promotion in row order, as add() would.
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (levels[next + k] > max_level_) {
+        max_level_ = levels[next + k];
+        entry_point_ = slot_of_id_[next + k];
+      }
+    }
+  }
 }
 
 std::optional<std::size_t> HnswIndex::entry_id() const noexcept {

@@ -21,6 +21,7 @@
 // construction and therefore search results are reproducible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -61,6 +62,22 @@ class HnswIndex {
   /// Builds the index over all rows in index order.
   void add_all();
 
+  /// Batch-synchronous parallel construction over all rows (index must be
+  /// empty). Rows are inserted in fixed batches of `batch_size`; within a
+  /// batch, the searches and neighbor selections run concurrently against
+  /// the graph frozen at the batch boundary, then links are applied with one
+  /// worker per layer, each guarded by that layer's lock (link lists at
+  /// different layers are disjoint; within a layer, application follows row
+  /// order). Levels are pre-drawn in row order, so they match add_all()'s
+  /// draws exactly.
+  ///
+  /// Determinism: the graph depends only on (seed, batch_size) — never on
+  /// `threads` (knob convention in util/thread_pool.hpp) — so any two thread
+  /// counts build byte-identical indexes. It differs from add_all()'s graph,
+  /// though, because batch members do not see one another during search;
+  /// recall characteristics stay comparable (anchors still span the graph).
+  void add_all_parallel(std::size_t threads, std::size_t batch_size = 64);
+
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 
   /// k approximate nearest neighbors of row `query_id`, nearest first.
@@ -87,10 +104,12 @@ class HnswIndex {
   [[nodiscard]] std::vector<std::size_t> neighbors_of(std::size_t id, int layer) const;
 
   /// Total pairwise distance evaluations since construction (build + all
-  /// queries). Not synchronized: meaningful only for single-threaded use,
-  /// which is how the finders drive the index. Contrast with DBSCAN's
-  /// n-squared count to see where the Fig. 3 crossover comes from.
-  [[nodiscard]] std::size_t distance_evaluations() const noexcept { return distance_evals_; }
+  /// queries; relaxed atomic, so concurrent searches count correctly).
+  /// Contrast with DBSCAN's n-squared count to see where the Fig. 3
+  /// crossover comes from.
+  [[nodiscard]] std::size_t distance_evaluations() const noexcept {
+    return distance_evals_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Node {
@@ -108,12 +127,12 @@ class HnswIndex {
   };
 
   [[nodiscard]] std::size_t dist(std::size_t a, std::size_t b) const noexcept {
-    ++distance_evals_;
+    distance_evals_.fetch_add(1, std::memory_order_relaxed);
     return distance(params_.metric, points_.row(a), points_.row(b));
   }
   [[nodiscard]] std::size_t dist_to(std::span<const std::uint64_t> q,
                                     std::size_t b) const noexcept {
-    ++distance_evals_;
+    distance_evals_.fetch_add(1, std::memory_order_relaxed);
     return distance(params_.metric, q, points_.row(b));
   }
 
@@ -143,6 +162,10 @@ class HnswIndex {
     return layer == 0 ? 2 * params_.m : params_.m;
   }
 
+  /// add() with the level already drawn (the batched builder pre-draws all
+  /// levels in row order so they match the serial sequence).
+  void add_with_level(std::size_t id, int level);
+
   const linalg::BitMatrix& points_;
   HnswParams params_;
   double level_mult_;
@@ -152,7 +175,7 @@ class HnswIndex {
   std::vector<std::int32_t> slot_of_id_;  // row id -> node slot, -1 if absent
   std::int32_t entry_point_ = -1;         // slot of the top-layer entry node
   int max_level_ = -1;
-  mutable std::size_t distance_evals_ = 0;
+  mutable std::atomic<std::size_t> distance_evals_{0};
 };
 
 }  // namespace rolediet::cluster

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/thread_pool.hpp"
+
 namespace rolediet::cluster {
 
 namespace {
@@ -25,35 +27,51 @@ MinHashLsh::MinHashLsh(const linalg::CsrMatrix& rows, MinHashParams params)
   util::Xoshiro256 rng(params_.seed);
   for (auto& key : slot_keys) key = rng();
 
+  util::Parallelism par(params_.threads);
+
+  // Signatures are per-row independent (disjoint output slots), so the row
+  // range splits freely — this O(nnz * k) loop dominates index construction.
   signatures_.resize(rows.rows());
-  for (std::size_t r = 0; r < rows.rows(); ++r) {
-    auto& sig = signatures_[r];
-    sig.assign(k, kEmptySlot);
-    for (std::uint32_t element : rows.row(r)) {
-      for (std::size_t i = 0; i < k; ++i) {
-        sig[i] = std::min(sig[i], slot_hash(slot_keys[i], element));
-      }
-    }
-  }
+  par.parallel_for(
+      rows.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          auto& sig = signatures_[r];
+          sig.assign(k, kEmptySlot);
+          for (std::uint32_t element : rows.row(r)) {
+            for (std::size_t i = 0; i < k; ++i) {
+              sig[i] = std::min(sig[i], slot_hash(slot_keys[i], element));
+            }
+          }
+        }
+      },
+      /*grain=*/64);
 
   // Band buckets: digest each band's slot run. Empty rows (all slots are the
   // sentinel) are excluded — empty roles are type-2 findings, not duplicates.
+  // Parallel over *bands*: each band's bucket list is filled by exactly one
+  // chunk iterating rows in index order and then sorted, so the buckets are
+  // identical no matter how the bands are distributed.
   band_buckets_.resize(params_.bands);
-  for (std::size_t r = 0; r < rows.rows(); ++r) {
-    if (rows.row_size(r) == 0) continue;
-    const auto& sig = signatures_[r];
-    for (std::size_t band = 0; band < params_.bands; ++band) {
-      std::uint64_t digest = 0x243F6A8885A308D3ULL ^ util::mix64(band);
-      for (std::size_t i = 0; i < params_.rows_per_band; ++i) {
-        digest ^= util::mix64(sig[band * params_.rows_per_band + i] + i);
-        digest *= 0x100000001B3ULL;
-      }
-      band_buckets_[band].emplace_back(digest, static_cast<std::uint32_t>(r));
-    }
-  }
-  for (auto& bucket : band_buckets_) {
-    std::sort(bucket.begin(), bucket.end());
-  }
+  par.parallel_for(
+      params_.bands,
+      [&](std::size_t band_begin, std::size_t band_end) {
+        for (std::size_t band = band_begin; band < band_end; ++band) {
+          auto& bucket = band_buckets_[band];
+          for (std::size_t r = 0; r < rows.rows(); ++r) {
+            if (rows.row_size(r) == 0) continue;
+            const auto& sig = signatures_[r];
+            std::uint64_t digest = 0x243F6A8885A308D3ULL ^ util::mix64(band);
+            for (std::size_t i = 0; i < params_.rows_per_band; ++i) {
+              digest ^= util::mix64(sig[band * params_.rows_per_band + i] + i);
+              digest *= 0x100000001B3ULL;
+            }
+            bucket.emplace_back(digest, static_cast<std::uint32_t>(r));
+          }
+          std::sort(bucket.begin(), bucket.end());
+        }
+      },
+      /*grain=*/1);
 }
 
 double MinHashLsh::estimate_similarity(std::size_t a, std::size_t b) const {

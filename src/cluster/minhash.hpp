@@ -35,6 +35,11 @@ struct MinHashParams {
   std::size_t bands = 32;
   std::size_t rows_per_band = 4;  ///< signature size = bands * rows_per_band
   std::uint64_t seed = 1234;      ///< hash-family seed
+  /// Worker threads for signature computation and band bucketing, under the
+  /// library-wide knob convention in util/thread_pool.hpp. Signatures are
+  /// per-row independent and each band's bucket list is built by a single
+  /// chunk in row order, so the index is byte-identical for every value.
+  std::size_t threads = 1;
 
   [[nodiscard]] std::size_t signature_size() const noexcept { return bands * rows_per_band; }
 };

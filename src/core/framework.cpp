@@ -13,15 +13,32 @@
 namespace rolediet::core {
 
 std::unique_ptr<GroupFinder> make_group_finder(Method method) {
+  return make_group_finder(method, GroupFinderOptions{});
+}
+
+std::unique_ptr<GroupFinder> make_group_finder(Method method, const GroupFinderOptions& options) {
   switch (method) {
-    case Method::kExactDbscan:
-      return std::make_unique<methods::DbscanGroupFinder>();
-    case Method::kApproxHnsw:
-      return std::make_unique<methods::HnswGroupFinder>();
-    case Method::kApproxMinhash:
-      return std::make_unique<methods::MinHashGroupFinder>();
-    case Method::kRoleDiet:
-      return std::make_unique<methods::RoleDietGroupFinder>();
+    case Method::kExactDbscan: {
+      methods::DbscanGroupFinder::Options opts;
+      opts.threads = options.threads;
+      return std::make_unique<methods::DbscanGroupFinder>(opts);
+    }
+    case Method::kApproxHnsw: {
+      methods::HnswGroupFinder::Options opts;
+      opts.threads = options.threads;
+      opts.build_batch = options.hnsw_build_batch;
+      return std::make_unique<methods::HnswGroupFinder>(opts);
+    }
+    case Method::kApproxMinhash: {
+      methods::MinHashGroupFinder::Options opts;
+      opts.lsh.threads = options.threads;
+      return std::make_unique<methods::MinHashGroupFinder>(opts);
+    }
+    case Method::kRoleDiet: {
+      methods::RoleDietGroupFinder::Options opts;
+      opts.threads = options.threads;
+      return std::make_unique<methods::RoleDietGroupFinder>(opts);
+    }
   }
   return nullptr;
 }
@@ -80,6 +97,17 @@ std::string AuditReport::to_text() const {
       << phase_note(similar_permissions_time) << "\n";
   out << "  consolidating type-4 groups would remove " << reducible_roles() << " of "
       << num_roles << " roles\n";
+  std::size_t rows = 0;
+  std::size_t pairs = 0;
+  std::size_t matched = 0;
+  for (const FinderWorkStats* work : {&same_users_work, &same_permissions_work,
+                                      &similar_users_work, &similar_permissions_work}) {
+    rows += work->rows_processed;
+    pairs += work->pairs_evaluated;
+    matched += work->pairs_matched;
+  }
+  out << "  finder work: " << rows << " rows processed, " << pairs << " pairs evaluated, "
+      << matched << " matched\n";
   out << "  total detection time: " << util::format_duration(total_seconds()) << "\n";
   return out.str();
 }
@@ -93,7 +121,9 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
   report.similarity_mode = options.similarity_mode;
   report.jaccard_dissimilarity = options.jaccard_dissimilarity;
 
-  const std::unique_ptr<GroupFinder> finder = make_group_finder(options.method);
+  GroupFinderOptions finder_options;
+  finder_options.threads = options.threads;
+  const std::unique_ptr<GroupFinder> finder = make_group_finder(options.method, finder_options);
   report.method_name = finder->name();
 
   util::Stopwatch total_watch;
@@ -115,7 +145,8 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
   auto budget_left = [&] {
     return options.time_budget_s <= 0.0 || total_watch.seconds() < options.time_budget_s;
   };
-  auto run_phase = [&](PhaseTiming& timing, RoleGroups& out, auto&& compute) {
+  auto run_phase = [&](PhaseTiming& timing, RoleGroups& out, FinderWorkStats& work,
+                       auto&& compute) {
     if (!budget_left()) {
       timing.timed_out = true;
       return;
@@ -123,12 +154,13 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
     util::Stopwatch watch;
     out = compute();
     timing.seconds = watch.seconds();
+    work = finder->last_work();
   };
 
-  run_phase(report.same_users_time, report.same_user_groups,
+  run_phase(report.same_users_time, report.same_user_groups, report.same_users_work,
             [&] { return finder->find_same(dataset.ruam()); });
   run_phase(report.same_permissions_time, report.same_permission_groups,
-            [&] { return finder->find_same(dataset.rpam()); });
+            report.same_permissions_work, [&] { return finder->find_same(dataset.rpam()); });
 
   if (options.detect_similar) {
     auto find_similar_in = [&](const linalg::CsrMatrix& matrix) {
@@ -138,10 +170,10 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
       }
       return finder->find_similar(matrix, options.similarity_threshold);
     };
-    run_phase(report.similar_users_time, report.similar_user_groups,
+    run_phase(report.similar_users_time, report.similar_user_groups, report.similar_users_work,
               [&] { return find_similar_in(dataset.ruam()); });
     run_phase(report.similar_permissions_time, report.similar_permission_groups,
-              [&] { return find_similar_in(dataset.rpam()); });
+              report.similar_permissions_work, [&] { return find_similar_in(dataset.rpam()); });
   } else {
     report.similar_users_time.timed_out = false;
     report.similar_permissions_time.timed_out = false;

@@ -43,6 +43,11 @@ struct AuditOptions {
   /// already exceeded the budget. 0 = unlimited. Models the paper's 24-hour
   /// halt of the baselines on the real dataset.
   double time_budget_s = 0.0;
+  /// Worker threads for the group-finding phases, under the library-wide
+  /// knob convention in util/thread_pool.hpp (1 = sequential, 0 = shared
+  /// default pool, N >= 2 = private pool of N workers). Every method's
+  /// groups are byte-identical for every value.
+  std::size_t threads = 1;
 };
 
 /// Timing of one audit phase, seconds. `timed_out` phases were skipped.
@@ -80,6 +85,13 @@ struct AuditReport {
   PhaseTiming same_permissions_time;
   PhaseTiming similar_users_time;
   PhaseTiming similar_permissions_time;
+
+  // Work counters reported by the finder after each group-finding phase
+  // (all zero for phases that were skipped or timed out).
+  FinderWorkStats same_users_work;
+  FinderWorkStats same_permissions_work;
+  FinderWorkStats similar_users_work;
+  FinderWorkStats similar_permissions_work;
 
   /// Total wall time of all executed phases.
   [[nodiscard]] double total_seconds() const noexcept;

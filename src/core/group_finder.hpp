@@ -22,12 +22,30 @@
 
 namespace rolediet::core {
 
+/// Work counters reported by the (possibly parallelized) detection stages.
+/// Every field is a deterministic function of the input matrix and the
+/// method's parameters — never of the thread count — so a counter mismatch
+/// between a serial and a parallel run is a correctness bug, not noise.
+struct FinderWorkStats {
+  std::size_t rows_processed = 0;   ///< matrix rows the stage visited
+  std::size_t pairs_evaluated = 0;  ///< candidate pairs scored/compared
+  std::size_t pairs_matched = 0;    ///< pairs that passed the predicate (unite attempts)
+  std::size_t merges = 0;           ///< spanning unions: roles_in_groups - group_count
+  std::size_t merge_conflicts = 0;  ///< redundant matched pairs: pairs_matched - merges
+};
+
 class GroupFinder {
  public:
   virtual ~GroupFinder() = default;
 
   /// Human-readable method name for reports and benchmark tables.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Counters of the most recent find_* call on this object. Finders that
+  /// track work overwrite this per call (even though find_* are const, the
+  /// counters are mutable bookkeeping); the default is all-zero. Not
+  /// synchronized: do not call find_* concurrently on one finder object.
+  [[nodiscard]] virtual FinderWorkStats last_work() const noexcept { return {}; }
 
   /// Groups of roles with identical (non-empty) row sets.
   [[nodiscard]] virtual RoleGroups find_same(const linalg::CsrMatrix& matrix) const = 0;
@@ -75,8 +93,27 @@ enum class Method {
   return "?";
 }
 
+/// Method-independent knobs shared by every finder the framework constructs.
+/// For method-specific tuning construct the concrete classes directly.
+struct GroupFinderOptions {
+  /// Worker threads for the parallelized stages, under the library-wide knob
+  /// convention documented in util/thread_pool.hpp (1 = sequential,
+  /// 0 = shared default pool, N >= 2 = private pool of N workers). Results
+  /// are byte-identical for every value; only the wall clock changes.
+  std::size_t threads = 1;
+  /// HNSW only: batch size for batch-synchronous parallel index construction
+  /// (see HnswIndex::add_all_parallel). 0 keeps the serial incremental build,
+  /// whose graph matches the single-threaded baseline exactly.
+  std::size_t hnsw_build_batch = 0;
+};
+
 /// Creates a finder with each method's default parameters. For tuned
 /// parameters construct the concrete classes in core/methods/ directly.
 [[nodiscard]] std::unique_ptr<GroupFinder> make_group_finder(Method method);
+
+/// Creates a finder with the shared knobs applied (each method maps `options`
+/// onto its own Options struct).
+[[nodiscard]] std::unique_ptr<GroupFinder> make_group_finder(Method method,
+                                                             const GroupFinderOptions& options);
 
 }  // namespace rolediet::core

@@ -1,7 +1,11 @@
 #include "core/methods/approx.hpp"
 
+#include <atomic>
+#include <mutex>
+
 #include "cluster/union_find.hpp"
 #include "core/methods/method_common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rolediet::core::methods {
 
@@ -14,15 +18,55 @@ RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t rad
   params.metric = metric;
   params.ef_search = std::max(params.ef_search, options_.query_ef);
   cluster::HnswIndex index(dense, params);
-  index.add_all();
-
-  cluster::UnionFind forest(dense.rows());
-  for (std::size_t i = 0; i < dense.rows(); ++i) {
-    for (const cluster::Neighbor& hit : index.range_search(i, radius)) {
-      if (hit.id != i) forest.unite(i, hit.id);
-    }
+  if (options_.build_batch > 0) {
+    index.add_all_parallel(options_.threads, options_.build_batch);
+  } else {
+    index.add_all();
   }
-  return remap_groups(forest.groups(2), selected);
+
+  // Query fan-out: each chunk unites into a private forest, merged under a
+  // mutex. The united pair set is split-independent (searches are read-only)
+  // and connected components are union-order-independent, so the canonical
+  // groups are byte-identical at every thread count.
+  const std::size_t n = dense.rows();
+  cluster::UnionFind forest(n);
+  std::atomic<std::size_t> hits_seen{0};
+  std::atomic<std::size_t> unions_tried{0};
+  std::mutex merge_mutex;
+  util::Parallelism par(options_.threads);
+  par.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        cluster::UnionFind local(n);
+        // Chunk-local spanning unions (<= n-1): replayed into the shared
+        // forest so the mutex-held merge is O(local merges), not O(n).
+        std::vector<std::pair<std::size_t, std::size_t>> spanning;
+        std::size_t local_hits = 0;
+        std::size_t local_unions = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          for (const cluster::Neighbor& hit : index.range_search(i, radius)) {
+            ++local_hits;
+            if (hit.id != i) {
+              if (local.unite(i, hit.id)) spanning.emplace_back(i, hit.id);
+              ++local_unions;
+            }
+          }
+        }
+        hits_seen.fetch_add(local_hits, std::memory_order_relaxed);
+        unions_tried.fetch_add(local_unions, std::memory_order_relaxed);
+        std::scoped_lock lock(merge_mutex);
+        for (const auto& [a, b] : spanning) forest.unite(a, b);
+      },
+      /*grain=*/64);
+
+  RoleGroups out = remap_groups(forest.groups(2), selected);
+  work_ = {};
+  work_.rows_processed = n;
+  work_.pairs_evaluated = hits_seen.load();
+  work_.pairs_matched = unions_tried.load();
+  work_.merges = out.roles_in_groups() - out.group_count();
+  work_.merge_conflicts = work_.pairs_matched - work_.merges;
+  return out;
 }
 
 RoleGroups HnswGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {

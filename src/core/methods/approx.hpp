@@ -26,12 +26,23 @@ class HnswGroupFinder final : public GroupFinder {
     /// department-clustered RBAC data (64 loses duplicate pairs whose region
     /// the narrower beam skips); still approximate by construction.
     std::size_t query_ef = 128;
+    /// Worker threads (knob convention in util/thread_pool.hpp) for the
+    /// query fan-out and, when build_batch > 0, for index construction.
+    /// Groups are byte-identical for every value of `threads` alone.
+    std::size_t threads = 1;
+    /// 0 = serial incremental index build (the single-threaded baseline's
+    /// exact graph); N > 0 = batch-synchronous parallel build with batches
+    /// of N (HnswIndex::add_all_parallel — deterministic in N, not in
+    /// threads, but a different graph than the serial build).
+    std::size_t build_batch = 0;
   };
 
   HnswGroupFinder() = default;
   explicit HnswGroupFinder(Options options) : options_(options) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return "approx-hnsw"; }
+
+  [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
   [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
   [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
@@ -44,6 +55,8 @@ class HnswGroupFinder final : public GroupFinder {
                                cluster::MetricKind metric) const;
 
   Options options_{};
+  /// Counters of the latest find_* call (see GroupFinder::last_work).
+  mutable FinderWorkStats work_{};
 };
 
 }  // namespace rolediet::core::methods

@@ -1,13 +1,113 @@
 #include "core/methods/cooccurrence.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 
 #include "cluster/metric.hpp"
 #include "cluster/union_find.hpp"
 #include "core/methods/method_common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rolediet::core::methods {
+
+namespace {
+
+/// Result of a (possibly parallel) co-occurrence sweep: the union-find forest
+/// over all rows plus the deterministic work counters accumulated on the way.
+struct SweepOutcome {
+  cluster::UnionFind forest;
+  std::size_t pairs_evaluated = 0;
+  std::size_t pairs_matched = 0;
+};
+
+/// Sweeps the inverted index accumulating g(i, j) for all j > i that share at
+/// least one column with row i, uniting i and j whenever `pred(i, j, g)`
+/// holds.
+///
+/// Cost: sum over columns of degree(column)^2 / 2 counter increments — the
+/// sparse equivalent of forming the nonzero upper triangle of C = A A^T.
+///
+/// Parallel mode splits the row range into chunks, each with private scratch
+/// counters and a private union-find; chunk forests merge into the shared
+/// forest under a mutex. The united pair *set* is identical for every split,
+/// and connected components do not depend on union order, so the canonical
+/// groups (and the pair counters) are byte-identical for any thread count.
+template <typename Predicate>
+SweepOutcome sweep_and_unite(const linalg::CsrMatrix& matrix, std::size_t threads,
+                             Predicate&& pred) {
+  const std::size_t n = matrix.rows();
+  const linalg::CsrMatrix transpose = matrix.transpose();
+
+  SweepOutcome out{cluster::UnionFind(n)};
+  std::atomic<std::size_t> pairs{0};
+  std::atomic<std::size_t> matched{0};
+  std::mutex merge_mutex;
+
+  util::Parallelism par(threads);
+  par.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        cluster::UnionFind local(n);
+        // Spanning unions of the chunk-local forest (<= n-1 pairs): enough to
+        // reconstruct its components, so the shared merge replays these
+        // instead of scanning all n roots — mutex-held work shrinks from
+        // O(n) to O(local merges).
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> spanning;
+        std::vector<std::uint32_t> count(n, 0);
+        std::vector<std::uint32_t> touched;
+        std::size_t local_pairs = 0;
+        std::size_t local_matched = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::uint32_t col : matrix.row(i)) {
+            for (std::uint32_t j : transpose.row(col)) {
+              if (j <= i) continue;
+              if (count[j] == 0) touched.push_back(j);
+              ++count[j];
+            }
+          }
+          local_pairs += touched.size();
+          for (std::uint32_t j : touched) {
+            if (pred(i, static_cast<std::size_t>(j), static_cast<std::size_t>(count[j]))) {
+              if (local.unite(i, j)) {
+                spanning.emplace_back(static_cast<std::uint32_t>(i), j);
+              }
+              ++local_matched;
+            }
+            count[j] = 0;
+          }
+          touched.clear();
+        }
+        pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+        matched.fetch_add(local_matched, std::memory_order_relaxed);
+        std::scoped_lock lock(merge_mutex);
+        for (const auto& [a, b] : spanning) out.forest.unite(a, b);
+      },
+      /*grain=*/256);  // over-decompose: later rows see fewer j > i pairs
+
+  out.pairs_evaluated = pairs.load();
+  out.pairs_matched = matched.load();
+  return out;
+}
+
+/// Builds canonical groups from the forest and fills the work counters.
+/// `merges` derives from the final groups (spanning unions), so it too is
+/// independent of union order and thread count.
+RoleGroups finalize_groups(SweepOutcome&& sweep, std::size_t rows, FinderWorkStats& work) {
+  RoleGroups out;
+  out.groups = sweep.forest.groups(2);
+  out.normalize();
+  work = {};
+  work.rows_processed = rows;
+  work.pairs_evaluated = sweep.pairs_evaluated;
+  work.pairs_matched = sweep.pairs_matched;
+  work.merges = out.roles_in_groups() - out.group_count();
+  work.merge_conflicts = work.pairs_matched - work.merges;
+  return out;
+}
+
+}  // namespace
 
 RoleGroups RoleDietGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
   switch (options_.same_strategy) {
@@ -20,15 +120,33 @@ RoleGroups RoleDietGroupFinder::find_same(const linalg::CsrMatrix& matrix) const
 }
 
 RoleGroups RoleDietGroupFinder::find_same_hash(const linalg::CsrMatrix& matrix) const {
+  const std::size_t n = matrix.rows();
+
+  // Digest every row in parallel — disjoint output slots, so any split of the
+  // range produces the same hashes. Bucketing stays sequential: it is O(n)
+  // and visiting rows in index order keeps the class partition deterministic.
+  std::vector<std::uint64_t> hashes(n);
+  util::Parallelism par(options_.threads);
+  par.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          if (matrix.row_size(r) > 0) hashes[r] = matrix.row_hash(r);
+        }
+      },
+      /*grain=*/512);
+
   // Bucket rows by digest, then split buckets by exact set equality so a
   // digest collision can never merge distinct roles.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
-  buckets.reserve(matrix.rows());
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+  buckets.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
     if (matrix.row_size(r) == 0) continue;
-    buckets[matrix.row_hash(r)].push_back(r);
+    buckets[hashes[r]].push_back(r);
   }
 
+  std::size_t comparisons = 0;
+  std::size_t placements = 0;
   std::vector<std::vector<std::size_t>> groups;
   for (auto& [digest, members] : buckets) {
     if (members.size() < 2) continue;
@@ -38,9 +156,11 @@ RoleGroups RoleDietGroupFinder::find_same_hash(const linalg::CsrMatrix& matrix) 
     for (std::size_t row : members) {
       bool placed = false;
       for (auto& cls : classes) {
+        ++comparisons;
         if (matrix.rows_equal(cls.front(), row)) {
           cls.push_back(row);
           placed = true;
+          ++placements;
           break;
         }
       }
@@ -54,73 +174,39 @@ RoleGroups RoleDietGroupFinder::find_same_hash(const linalg::CsrMatrix& matrix) 
   RoleGroups out;
   out.groups = std::move(groups);
   out.normalize();
+  work_ = {};
+  work_.rows_processed = n;
+  work_.pairs_evaluated = comparisons;
+  work_.pairs_matched = placements;
+  work_.merges = out.roles_in_groups() - out.group_count();
+  work_.merge_conflicts = work_.pairs_matched - work_.merges;
   return out;
 }
-
-namespace {
-
-/// Sweeps the inverted index accumulating g(i, j) for all j > i that share at
-/// least one column with row i, invoking `on_pair(i, j, g)` once per pair.
-///
-/// Cost: sum over columns of degree(column)^2 / 2 counter increments — the
-/// sparse equivalent of forming the nonzero upper triangle of C = A A^T.
-template <typename OnPair>
-void sweep_cooccurrences(const linalg::CsrMatrix& matrix, const linalg::CsrMatrix& transpose,
-                         OnPair&& on_pair) {
-  std::vector<std::uint32_t> count(matrix.rows(), 0);
-  std::vector<std::uint32_t> touched;
-
-  for (std::size_t i = 0; i < matrix.rows(); ++i) {
-    for (std::uint32_t col : matrix.row(i)) {
-      for (std::uint32_t j : transpose.row(col)) {
-        if (j <= i) continue;
-        if (count[j] == 0) touched.push_back(j);
-        ++count[j];
-      }
-    }
-    for (std::uint32_t j : touched) {
-      on_pair(i, static_cast<std::size_t>(j), static_cast<std::size_t>(count[j]));
-      count[j] = 0;
-    }
-    touched.clear();
-  }
-}
-
-}  // namespace
 
 RoleGroups RoleDietGroupFinder::find_same_cooccurrence(const linalg::CsrMatrix& matrix) const {
-  const linalg::CsrMatrix transpose = matrix.transpose();
-  cluster::UnionFind forest(matrix.rows());
-
   // The paper's indicator: |Ri| = g = |Rj| (empty rows never co-occur, so
   // they are naturally excluded here).
-  sweep_cooccurrences(matrix, transpose, [&](std::size_t i, std::size_t j, std::size_t g) {
-    if (matrix.row_size(i) == g && matrix.row_size(j) == g) forest.unite(i, j);
-  });
-
-  RoleGroups out;
-  out.groups = forest.groups(2);
-  out.normalize();
-  return out;
+  SweepOutcome sweep = sweep_and_unite(
+      matrix, options_.threads, [&](std::size_t i, std::size_t j, std::size_t g) {
+        return matrix.row_size(i) == g && matrix.row_size(j) == g;
+      });
+  return finalize_groups(std::move(sweep), matrix.rows(), work_);
 }
 
 RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
                                              std::size_t max_hamming) const {
   if (max_hamming == 0) return find_same(matrix);
 
-  const linalg::CsrMatrix transpose = matrix.transpose();
-  cluster::UnionFind forest(matrix.rows());
-
   // Pairs sharing at least one column: hamming = |Ri| + |Rj| - 2g.
-  sweep_cooccurrences(matrix, transpose, [&](std::size_t i, std::size_t j, std::size_t g) {
-    const std::size_t d = matrix.row_size(i) + matrix.row_size(j) - 2 * g;
-    if (d <= max_hamming) forest.unite(i, j);
-  });
+  SweepOutcome sweep = sweep_and_unite(
+      matrix, options_.threads, [&](std::size_t i, std::size_t j, std::size_t g) {
+        return matrix.row_size(i) + matrix.row_size(j) - 2 * g <= max_hamming;
+      });
 
   // Pairs sharing no column have hamming = |Ri| + |Rj|, which can still be
   // within threshold when both norms are tiny (|Ri|, |Rj| >= 1, so only
   // roles with |R| < max_hamming qualify). A norm-sorted sweep unites every
-  // such pair without computing any distance.
+  // such pair without computing any distance. Rare rows — stays sequential.
   std::vector<std::pair<std::size_t, std::size_t>> tiny;  // (norm, row)
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     const std::size_t norm = matrix.row_size(r);
@@ -130,56 +216,52 @@ RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
   for (std::size_t a = 0; a < tiny.size(); ++a) {
     for (std::size_t b = a + 1; b < tiny.size(); ++b) {
       if (tiny[a].first + tiny[b].first > max_hamming) break;  // norms ascending
-      forest.unite(tiny[a].second, tiny[b].second);
+      ++sweep.pairs_evaluated;
+      ++sweep.pairs_matched;
+      sweep.forest.unite(tiny[a].second, tiny[b].second);
     }
   }
 
-  RoleGroups out;
-  out.groups = forest.groups(2);
   // Empty rows are excluded by definition; drop any group polluted by them.
   // (Empty rows never co-occur and have norm 0 < 1, so they are never united;
   // groups() can only contain rows touched by unite calls plus singletons,
   // and singletons are filtered by min_size = 2 — nothing to drop. Kept as
   // an invariant comment rather than code.)
-  out.normalize();
-  return out;
+  return finalize_groups(std::move(sweep), matrix.rows(), work_);
 }
 
 RoleGroups RoleDietGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
                                                      std::size_t max_scaled) const {
   if (max_scaled == 0) return find_same(matrix);
 
-  cluster::UnionFind forest(matrix.rows());
-
   if (max_scaled >= cluster::kJaccardScale) {
     // Threshold admits fully disjoint sets: every non-empty row groups with
     // every other (Jaccard distance is at most kJaccardScale by definition).
+    SweepOutcome sweep{cluster::UnionFind(matrix.rows())};
     std::ptrdiff_t first = -1;
     for (std::size_t r = 0; r < matrix.rows(); ++r) {
       if (matrix.row_size(r) == 0) continue;
       if (first < 0) {
         first = static_cast<std::ptrdiff_t>(r);
       } else {
-        forest.unite(static_cast<std::size_t>(first), r);
+        ++sweep.pairs_evaluated;
+        ++sweep.pairs_matched;
+        sweep.forest.unite(static_cast<std::size_t>(first), r);
       }
     }
-  } else {
-    // Below the ceiling a qualifying pair needs g >= 1, i.e. at least one
-    // shared column — exactly the pairs the sweep enumerates. The scaled
-    // distance uses the same integer formula as the dense kernel, so the
-    // exact methods stay bit-identical.
-    const linalg::CsrMatrix transpose = matrix.transpose();
-    sweep_cooccurrences(matrix, transpose, [&](std::size_t i, std::size_t j, std::size_t g) {
-      const std::size_t d =
-          cluster::jaccard_scaled_from_counts(matrix.row_size(i), matrix.row_size(j), g);
-      if (d <= max_scaled) forest.unite(i, j);
-    });
+    return finalize_groups(std::move(sweep), matrix.rows(), work_);
   }
 
-  RoleGroups out;
-  out.groups = forest.groups(2);
-  out.normalize();
-  return out;
+  // Below the ceiling a qualifying pair needs g >= 1, i.e. at least one
+  // shared column — exactly the pairs the sweep enumerates. The scaled
+  // distance uses the same integer formula as the dense kernel, so the
+  // exact methods stay bit-identical.
+  SweepOutcome sweep = sweep_and_unite(
+      matrix, options_.threads, [&](std::size_t i, std::size_t j, std::size_t g) {
+        return cluster::jaccard_scaled_from_counts(matrix.row_size(i), matrix.row_size(j), g) <=
+               max_scaled;
+      });
+  return finalize_groups(std::move(sweep), matrix.rows(), work_);
 }
 
 }  // namespace rolediet::core::methods

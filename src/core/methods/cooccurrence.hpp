@@ -28,6 +28,14 @@
 //    the (rare) roles with |R| < t unites those too, so the result is exact:
 //    identical groups to DBSCAN on every input, deterministic, no recall
 //    loss.
+//
+// Parallelism (Options::threads, convention in util/thread_pool.hpp): the
+// same-set hashing and every co-occurrence sweep split the row range across
+// the pool; each chunk accumulates matches into a private union-find that is
+// merged into the shared forest afterwards. The matched pair set and the
+// resulting connected components are independent of the split, so the
+// canonical groups and the work counters are byte-identical at every thread
+// count — threads only changes the wall clock.
 #pragma once
 
 #include "core/group_finder.hpp"
@@ -43,12 +51,17 @@ class RoleDietGroupFinder final : public GroupFinder {
 
   struct Options {
     SameStrategy same_strategy = SameStrategy::kRowHash;
+    /// Worker threads for the hashing/sweep stages (knob convention in
+    /// util/thread_pool.hpp). Groups are byte-identical for every value.
+    std::size_t threads = 1;
   };
 
   RoleDietGroupFinder() = default;
   explicit RoleDietGroupFinder(Options options) : options_(options) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return "role-diet"; }
+
+  [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
   [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
   [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
@@ -65,6 +78,8 @@ class RoleDietGroupFinder final : public GroupFinder {
   [[nodiscard]] RoleGroups find_same_cooccurrence(const linalg::CsrMatrix& matrix) const;
 
   Options options_{};
+  /// Counters of the latest find_* call (see GroupFinder::last_work).
+  mutable FinderWorkStats work_{};
 };
 
 }  // namespace rolediet::core::methods

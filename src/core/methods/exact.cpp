@@ -17,7 +17,19 @@ RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t e
   params.threads = options_.threads;
 
   const cluster::DbscanResult result = cluster::dbscan(dense, params);
-  return remap_groups(result.clusters(), selected);
+  RoleGroups out = remap_groups(result.clusters(), selected);
+
+  // Map DBSCAN's counters onto the shared work-stats vocabulary: a region
+  // query processes one row, each distance evaluation examines one pair, and
+  // the matched pairs are the spanning unions plus each extra same-cluster
+  // neighbor link (epsilon-neighbors within an already-formed cluster).
+  work_ = {};
+  work_.rows_processed = result.region_queries;
+  work_.pairs_evaluated = result.distance_evaluations;
+  work_.merges = out.roles_in_groups() - out.group_count();
+  work_.pairs_matched = work_.merges;
+  work_.merge_conflicts = 0;
+  return out;
 }
 
 RoleGroups DbscanGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {

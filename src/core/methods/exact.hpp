@@ -14,7 +14,9 @@ namespace rolediet::core::methods {
 class DbscanGroupFinder final : public GroupFinder {
  public:
   struct Options {
-    /// Worker threads for region queries; 1 = sequential (paper setup).
+    /// Worker threads for region queries, under the library-wide knob
+    /// convention in util/thread_pool.hpp; 1 = sequential (paper setup).
+    /// Clusters are byte-identical for every value.
     std::size_t threads = 1;
   };
 
@@ -22,6 +24,8 @@ class DbscanGroupFinder final : public GroupFinder {
   explicit DbscanGroupFinder(Options options) : options_(options) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return "exact-dbscan"; }
+
+  [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
   [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
   [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
@@ -34,6 +38,8 @@ class DbscanGroupFinder final : public GroupFinder {
                                cluster::MetricKind metric) const;
 
   Options options_{};
+  /// Counters of the latest find_* call (see GroupFinder::last_work).
+  mutable FinderWorkStats work_{};
 };
 
 }  // namespace rolediet::core::methods

@@ -7,19 +7,38 @@
 
 namespace rolediet::core::methods {
 
+namespace {
+
+/// Derives the order-independent merge counters from the final canonical
+/// groups: `merges` spanning unions, the rest of the matched pairs were
+/// redundant (already-connected) — see FinderWorkStats.
+void finish_work(const RoleGroups& out, FinderWorkStats& work) {
+  work.merges = out.roles_in_groups() - out.group_count();
+  work.merge_conflicts = work.pairs_matched - work.merges;
+}
+
+}  // namespace
+
 template <typename KeepPair>
 RoleGroups MinHashGroupFinder::run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const {
   const cluster::MinHashLsh index(matrix, options_.lsh);
   cluster::UnionFind forest(matrix.rows());
+  work_ = {};
+  work_.rows_processed = matrix.rows();
   for (const auto& [a, b] : index.candidate_pairs()) {
     // Exact verification: candidate generation is approximate, membership
     // is not — no false merges.
+    ++work_.pairs_evaluated;
     const std::size_t g = matrix.row_intersection(a, b);
-    if (keep(a, b, g)) forest.unite(a, b);
+    if (keep(a, b, g)) {
+      forest.unite(a, b);
+      ++work_.pairs_matched;
+    }
   }
   RoleGroups out;
   out.groups = forest.groups(2);
   out.normalize();
+  finish_work(out, work_);
   return out;
 }
 
@@ -51,12 +70,15 @@ RoleGroups MinHashGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
   for (std::size_t a = 0; a < tiny.size(); ++a) {
     for (std::size_t b = a + 1; b < tiny.size(); ++b) {
       if (tiny[a].first + tiny[b].first > max_hamming) break;
+      ++work_.pairs_evaluated;
       forest.unite(tiny[a].second, tiny[b].second);
+      ++work_.pairs_matched;
     }
   }
   RoleGroups out;
   out.groups = forest.groups(2);
   out.normalize();
+  finish_work(out, work_);
   return out;
 }
 

@@ -25,6 +25,8 @@ namespace rolediet::core::methods {
 class MinHashGroupFinder final : public GroupFinder {
  public:
   struct Options {
+    /// lsh.threads parallelizes index construction (knob convention in
+    /// util/thread_pool.hpp); groups are byte-identical for every value.
     cluster::MinHashParams lsh{};
   };
 
@@ -32,6 +34,8 @@ class MinHashGroupFinder final : public GroupFinder {
   explicit MinHashGroupFinder(Options options) : options_(options) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return "approx-minhash"; }
+
+  [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
   [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
   [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
@@ -44,6 +48,8 @@ class MinHashGroupFinder final : public GroupFinder {
   [[nodiscard]] RoleGroups run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const;
 
   Options options_{};
+  /// Counters of the latest find_* call (see GroupFinder::last_work).
+  mutable FinderWorkStats work_{};
 };
 
 }  // namespace rolediet::core::methods

@@ -94,4 +94,14 @@ ThreadPool& default_pool() {
   return pool;
 }
 
+Parallelism::Parallelism(std::size_t threads) {
+  if (threads == 1) return;  // sequential: no pool at all
+  if (threads == 0) {
+    pool_ = &default_pool();
+    return;
+  }
+  owned_ = std::make_unique<ThreadPool>(threads);
+  pool_ = owned_.get();
+}
+
 }  // namespace rolediet::util

@@ -15,11 +15,32 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace rolediet::util {
+
+// ===== The `threads` convention =============================================
+//
+// Every `threads` knob in this library — core::GroupFinderOptions,
+// core::AuditOptions, cluster::DbscanParams, cluster::MinHashParams, the
+// finder Options structs, the CLI `--threads` flag and the bench harness —
+// means the same thing, resolved by `Parallelism` below:
+//
+//   threads == 1  ->  sequential: run inline on the calling thread, no pool
+//                     is created or touched (the seed's serial behaviour);
+//   threads == 0  ->  the shared default_pool(), sized to
+//                     hardware_concurrency ("use everything");
+//   threads >= 2  ->  a private pool of exactly `threads` workers.
+//
+// Note the deliberate difference from the raw ThreadPool constructor, whose
+// argument is a *worker count* (0 = hardware_concurrency, 1 = one worker
+// thread). A knob value of 1 must mean "no threading at all", not "a pool
+// with one worker burning a core while the caller blocks" — resolve knobs
+// through Parallelism instead of passing them to ThreadPool directly.
+// ============================================================================
 
 class ThreadPool {
  public:
@@ -65,5 +86,39 @@ class ThreadPool {
 
 /// Shared default pool (sized to hardware concurrency), created on first use.
 ThreadPool& default_pool();
+
+/// Resolves a `threads` knob (see the convention block above) to an executor:
+/// nothing (sequential), the shared default pool, or a private pool owned by
+/// this object. Cheap to construct in the sequential and default-pool cases;
+/// the private-pool case spawns `threads` workers for the object's lifetime.
+class Parallelism {
+ public:
+  explicit Parallelism(std::size_t threads);
+
+  /// Effective worker count: 1 when sequential, otherwise the pool size.
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return pool_ ? pool_->thread_count() : 1;
+  }
+
+  /// True when work will actually fan out to a pool.
+  [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
+
+  /// ThreadPool::parallel_for under the knob convention: inline when
+  /// sequential, on the resolved pool otherwise. Chunking may differ with the
+  /// worker count, so `body` must produce results that are independent of how
+  /// [0, n) is split (disjoint output slots, or order-independent merges).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 2048) {
+    if (pool_ == nullptr) {
+      if (n > 0) body(0, n);
+      return;
+    }
+    pool_->parallel_for(n, body, grain);
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;        // nullptr => sequential
+  std::unique_ptr<ThreadPool> owned_;  // set only for threads >= 2
+};
 
 }  // namespace rolediet::util

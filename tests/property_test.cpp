@@ -277,6 +277,103 @@ TEST_P(RandomizedAgreement, GeneratorPostconditions) {
   EXPECT_EQ(finder.find_same(g.matrix), g.planted);
 }
 
+TEST_P(RandomizedAgreement, ParallelGroupsFormPartitionAndSkipEmptyRows) {
+  // Invariants of every parallelized finder path: group membership is a
+  // partition (no role in two groups, every group has >= 2 members) and
+  // roles with empty rows are never grouped (they are type-2 findings).
+  const auto m = random_matrix(GetParam() ^ 0x9A37, 140, 90, 6);
+  auto check_partition = [&](const RoleGroups& groups, const char* what) {
+    std::vector<bool> seen(m.rows(), false);
+    for (const auto& group : groups.groups) {
+      EXPECT_GE(group.size(), 2u) << what;
+      for (std::size_t member : group) {
+        ASSERT_LT(member, m.rows()) << what;
+        EXPECT_FALSE(seen[member]) << what << ": role " << member << " in two groups";
+        seen[member] = true;
+        EXPECT_GT(m.row_size(member), 0u) << what << ": empty role " << member << " grouped";
+      }
+    }
+  };
+  const RoleDietGroupFinder diet({.threads = 4});
+  const DbscanGroupFinder dbscan({.threads = 4});
+  core::methods::HnswGroupFinder::Options hnsw_options;
+  hnsw_options.threads = 4;
+  hnsw_options.build_batch = 32;
+  const HnswGroupFinder hnsw(hnsw_options);
+  core::methods::MinHashGroupFinder::Options minhash_options;
+  minhash_options.lsh.threads = 4;
+  const core::methods::MinHashGroupFinder minhash(minhash_options);
+
+  check_partition(diet.find_same(m), "role-diet same");
+  check_partition(diet.find_similar(m, 2), "role-diet similar");
+  check_partition(diet.find_similar_jaccard(m, 250'000), "role-diet jaccard");
+  check_partition(dbscan.find_similar(m, 2), "dbscan similar");
+  check_partition(hnsw.find_similar(m, 1), "hnsw similar");
+  check_partition(minhash.find_similar(m, 1), "minhash similar");
+}
+
+TEST_P(RandomizedAgreement, WorkCountersAreConsistentAndThreadInvariant) {
+  const auto m = random_matrix(GetParam() ^ 0xC027, 130, 80, 6);
+  auto check = [&](const core::GroupFinder& finder, const RoleGroups& groups,
+                   const char* what) {
+    const core::FinderWorkStats work = finder.last_work();
+    EXPECT_LE(work.pairs_matched, work.pairs_evaluated) << what;
+    EXPECT_LE(work.merges, work.pairs_matched) << what;
+    EXPECT_EQ(work.merge_conflicts, work.pairs_matched - work.merges) << what;
+    EXPECT_EQ(work.merges, groups.roles_in_groups() - groups.group_count()) << what;
+  };
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const RoleDietGroupFinder diet({.threads = threads});
+    check(diet, diet.find_same(m), "role-diet same");
+    check(diet, diet.find_similar(m, 2), "role-diet similar");
+    const DbscanGroupFinder dbscan({.threads = threads});
+    check(dbscan, dbscan.find_similar(m, 1), "dbscan similar");
+    const HnswGroupFinder hnsw;
+    check(hnsw, hnsw.find_same(m), "hnsw same");
+    const core::methods::MinHashGroupFinder minhash;
+    check(minhash, minhash.find_similar(m, 1), "minhash similar");
+  }
+  // The counters themselves are deterministic: identical at 1 and 4 threads.
+  const RoleDietGroupFinder serial({.threads = 1});
+  const RoleDietGroupFinder parallel({.threads = 4});
+  (void)serial.find_similar(m, 2);
+  (void)parallel.find_similar(m, 2);
+  const core::FinderWorkStats a = serial.last_work();
+  const core::FinderWorkStats b = parallel.last_work();
+  EXPECT_EQ(a.rows_processed, b.rows_processed);
+  EXPECT_EQ(a.pairs_evaluated, b.pairs_evaluated);
+  EXPECT_EQ(a.pairs_matched, b.pairs_matched);
+  EXPECT_EQ(a.merges, b.merges);
+  EXPECT_EQ(a.merge_conflicts, b.merge_conflicts);
+}
+
+TEST_P(RandomizedAgreement, WorkCountersNondecreasingInInputSize) {
+  // random_matrix generates row r from the rows before it only, so
+  // random_matrix(seed, k, ...) is exactly the first k rows of
+  // random_matrix(seed, n, ...): the workloads nest, and every counter must
+  // be non-decreasing along the chain.
+  const std::uint64_t seed = GetParam() ^ 0x6202;
+  core::FinderWorkStats prev_diet;
+  core::FinderWorkStats prev_dbscan;
+  for (std::size_t rows : {40u, 80u, 120u, 160u}) {
+    const auto m = random_matrix(seed, rows, 70, 5);
+    const RoleDietGroupFinder diet({.threads = 2});
+    (void)diet.find_similar(m, 2);
+    const core::FinderWorkStats diet_work = diet.last_work();
+    EXPECT_GE(diet_work.rows_processed, prev_diet.rows_processed) << rows;
+    EXPECT_GE(diet_work.pairs_evaluated, prev_diet.pairs_evaluated) << rows;
+    EXPECT_GE(diet_work.pairs_matched, prev_diet.pairs_matched) << rows;
+    prev_diet = diet_work;
+
+    const DbscanGroupFinder dbscan({.threads = 2});
+    (void)dbscan.find_similar(m, 2);
+    const core::FinderWorkStats dbscan_work = dbscan.last_work();
+    EXPECT_GE(dbscan_work.rows_processed, prev_dbscan.rows_processed) << rows;
+    EXPECT_GE(dbscan_work.pairs_evaluated, prev_dbscan.pairs_evaluated) << rows;
+    prev_dbscan = dbscan_work;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedAgreement,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
 
