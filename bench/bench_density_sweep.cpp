@@ -1,0 +1,109 @@
+// Density sweep: dense vs sparse row-kernel backend (linalg/row_store.hpp).
+//
+// The backend selector's whole premise is that the winning representation is
+// a function of matrix density: below ~1% the CSR merge kernels touch only
+// the stored indices while the packed kernels stream whole rows of mostly
+// zeros; at high density the word-parallel popcounts win back. This bench
+// sweeps density across a fixed shape, times DBSCAN's brute-force
+// find_similar (the pairwise-kernel-dominated hot path) on both forced
+// backends, and reports the bytes each backend streams — computed
+// analytically as pairs_evaluated x 2 x mean row payload (row_bytes), not
+// with hot-path counters. Both backends must produce identical groups; the
+// bench aborts if they ever disagree.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/methods/exact.hpp"
+#include "core/methods/method_common.hpp"
+#include "linalg/row_store.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+namespace {
+
+struct BackendRun {
+  Cell cell;
+  double mebibytes = 0.0;
+  core::RoleGroups groups;
+};
+
+BackendRun run_backend(const BenchConfig& config, const linalg::CsrMatrix& m,
+                       linalg::RowBackend backend) {
+  const core::methods::DbscanGroupFinder finder(
+      {.threads = config.threads, .backend = backend});
+  BackendRun out;
+  out.cell = time_cell(config.runs, [&] { out.groups = finder.find_similar(m, 1); });
+  // Mean payload one kernel evaluation streams per row: a full packed row
+  // (dense) or the stored indices (sparse), averaged over the non-empty rows
+  // DBSCAN actually clusters.
+  const auto selected = core::methods::nonempty_rows(m);
+  double row_payload = 0.0;
+  if (backend == linalg::RowBackend::kDense) {
+    row_payload =
+        static_cast<double>(util::words_for_bits(m.cols())) * sizeof(std::uint64_t);
+  } else if (!selected.empty()) {
+    row_payload = static_cast<double>(m.nnz()) * sizeof(std::uint32_t) /
+                  static_cast<double>(selected.size());
+  }
+  const core::FinderWorkStats work = finder.last_work();
+  out.mebibytes =
+      static_cast<double>(work.pairs_evaluated) * 2.0 * row_payload / (1024.0 * 1024.0);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::parse(argc, argv);
+  const std::size_t roles = config.quick ? 800 : 2500;
+  const std::size_t cols = config.quick ? 600 : 2000;
+  const std::vector<double> densities =
+      config.quick ? std::vector<double>{0.005, 0.05}
+                   : std::vector<double>{0.002, 0.005, 0.01, 0.02, 0.05, 0.10};
+
+  std::printf("=== Backend density sweep (%zu roles x %zu cols, DBSCAN find_similar t=1, "
+              "%zu runs per cell) ===\n",
+              roles, cols, config.runs);
+  std::printf("auto threshold: sparse below %.1f%% density\n\n",
+              100.0 * linalg::kSparseDensityThreshold);
+  std::printf("%-9s | %-8s | %-32s | %-32s | %s\n", "density", "auto", "dense backend",
+              "sparse backend", "sparse/dense");
+  std::printf("%-9s | %-8s | %-20s %10s | %-20s %10s | %s\n", "", "", "time", "MiB", "time",
+              "MiB", "speedup");
+  for (int i = 0; i < 120; ++i) std::fputc('-', stdout);
+  std::printf("\n");
+
+  for (double target : densities) {
+    gen::MatrixGenParams params;
+    params.roles = roles;
+    params.cols = cols;
+    params.clustered_fraction = 0.2;
+    params.max_cluster_size = 10;
+    const auto norm = static_cast<std::size_t>(target * static_cast<double>(cols));
+    params.min_row_norm = std::max<std::size_t>(1, norm);
+    params.max_row_norm = std::max<std::size_t>(1, norm);
+    params.perturb_bits = 1;
+    params.seed = 4242 + static_cast<std::uint64_t>(target * 1e6);
+    const linalg::CsrMatrix m = gen::generate_matrix(params).matrix;
+    const double density = static_cast<double>(m.nnz()) /
+                           (static_cast<double>(m.rows()) * static_cast<double>(m.cols()));
+
+    const BackendRun dense = run_backend(config, m, linalg::RowBackend::kDense);
+    const BackendRun sparse = run_backend(config, m, linalg::RowBackend::kSparse);
+    if (dense.groups != sparse.groups) {
+      std::fprintf(stderr, "BACKEND MISMATCH at density %.4f — groups differ\n", density);
+      return 1;
+    }
+    const linalg::RowBackend chosen =
+        linalg::choose_backend(linalg::RowBackend::kAuto, m.rows(), m.cols(), m.nnz());
+    std::printf("%8.3f%% | %-8s | %-20s %9.1f | %-20s %9.1f | x%.2f\n", 100.0 * density,
+                linalg::to_string(chosen).c_str(), dense.cell.to_string().c_str(),
+                dense.mebibytes, sparse.cell.to_string().c_str(), sparse.mebibytes,
+                dense.cell.stats.mean_s / std::max(sparse.cell.stats.mean_s, 1e-9));
+  }
+  std::printf("\n-> the crossover sits near the auto threshold: sparse streams ~8*d*cols\n"
+              "   bytes per pair against cols/4 for the packed rows, so it wins exactly\n"
+              "   where real RBAC matrices live (<1%% density) and loses once rows fill in.\n");
+  return 0;
+}

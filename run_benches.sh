@@ -15,7 +15,8 @@ for b in bench_fig2_users_sweep bench_fig3_roles_sweep bench_similar_sweep \
   ./build/bench/$b --threads "$threads" >> "$out" 2>&1
   echo "" >> "$out"
 done
-for b in bench_thread_sweep bench_convergence bench_ablation bench_micro; do
+for b in bench_thread_sweep bench_density_sweep bench_convergence bench_ablation \
+         bench_micro; do
   echo "############ $b ############" >> "$out"
   ./build/bench/$b >> "$out" 2>&1
   echo "" >> "$out"

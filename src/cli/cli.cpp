@@ -96,6 +96,13 @@ core::Method parse_method(const std::string& name) {
                    "' (expected role-diet, exact-dbscan, approx-hnsw, or approx-minhash)");
 }
 
+linalg::RowBackend parse_backend(const std::string& name) {
+  if (name == "auto") return linalg::RowBackend::kAuto;
+  if (name == "dense") return linalg::RowBackend::kDense;
+  if (name == "sparse") return linalg::RowBackend::kSparse;
+  throw UsageError("unknown backend '" + name + "' (expected auto, dense, or sparse)");
+}
+
 void write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write " + path);
@@ -119,6 +126,7 @@ int cmd_audit(Args& args, std::ostream& out) {
     options.time_budget_s = parse_double(*budget, "--budget");
   if (auto threads = args.take_option("--threads"))
     options.threads = parse_size(*threads, "--threads");
+  if (auto backend = args.take_option("--backend")) options.backend = parse_backend(*backend);
   const std::optional<std::string> json_path = args.take_option("--json");
   const std::optional<std::string> csv_path = args.take_option("--csv");
 
@@ -266,6 +274,8 @@ int cmd_compare(Args& args, std::ostream& out) {
   core::GroupFinderOptions finder_options;
   if (auto threads = args.take_option("--threads"))
     finder_options.threads = parse_size(*threads, "--threads");
+  if (auto backend = args.take_option("--backend"))
+    finder_options.backend = parse_backend(*backend);
   if (args.done()) throw UsageError("compare: missing dataset directory");
   const std::string dir = args.take();
   if (!args.done()) throw UsageError("compare: unexpected argument '" + args.peek() + "'");
@@ -338,12 +348,15 @@ int cmd_help(std::ostream& out) {
          "                 --budget SECONDS  --json FILE  --csv FILE\n"
          "                 --threads N (1 = sequential, 0 = all cores;\n"
          "                 groups are identical at every thread count)\n"
+         "                 --backend auto|dense|sparse (row-kernel backend;\n"
+         "                 reports are identical for every choice)\n"
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
          "  generate org DIR     [--paper-scale] [--seed N]\n"
          "  generate matrix DIR  [--roles N] [--users N] [--seed N]\n"
-         "  compare DIR    [--threshold N] [--threads N]  run all detection methods\n"
+         "  compare DIR    [--threshold N] [--threads N] [--backend B]\n"
+         "                 run all detection methods side by side\n"
          "  convert IN OUT directory = CSV dataset, file = binary format\n"
          "  help           this text\n\n"
          "Datasets are directories of CSV files: entities.csv (kind,name),\n"

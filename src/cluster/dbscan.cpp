@@ -6,7 +6,6 @@
 #include <optional>
 #include <stdexcept>
 
-#include "linalg/convert.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rolediet::cluster {
@@ -16,15 +15,13 @@ namespace {
 /// Brute-force region query: all points within eps of `center` (inclusive),
 /// including `center` itself — matching the original paper's definition of
 /// the eps-neighborhood.
-std::vector<std::size_t> region_query(const linalg::BitMatrix& points, std::size_t center,
+std::vector<std::size_t> region_query(const linalg::RowStore& points, std::size_t center,
                                       const DbscanParams& params) {
   std::vector<std::size_t> neighbors;
-  const auto center_row = points.row(center);
   for (std::size_t j = 0; j < points.rows(); ++j) {
-    const std::size_t d =
-        params.metric == MetricKind::kJaccard
-            ? distance(params.metric, center_row, points.row(j))
-            : util::hamming_words_bounded(center_row, points.row(j), params.eps);
+    // Hamming queries early-exit past eps; only the "within eps" verdict
+    // matters, and it is identical on both backends.
+    const std::size_t d = distance_bounded(params.metric, points, center, j, params.eps);
     if (d <= params.eps) neighbors.push_back(j);
   }
   return neighbors;
@@ -33,7 +30,7 @@ std::vector<std::size_t> region_query(const linalg::BitMatrix& points, std::size
 /// Precomputes all neighborhoods in parallel. Memory is O(sum of neighborhood
 /// sizes); used when params.threads != 1 to amortize the quadratic distance
 /// phase across cores before the (inherently sequential) expansion phase.
-std::vector<std::vector<std::size_t>> all_region_queries(const linalg::BitMatrix& points,
+std::vector<std::vector<std::size_t>> all_region_queries(const linalg::RowStore& points,
                                                          const DbscanParams& params,
                                                          std::size_t& queries_out) {
   std::vector<std::vector<std::size_t>> neighborhoods(points.rows());
@@ -58,8 +55,11 @@ std::vector<std::vector<std::size_t>> all_region_queries(const linalg::BitMatrix
 /// (d = |Ri| + |Rj|) come from a norm-sorted sweep. Exact, like brute force.
 class InvertedIndexQuerier {
  public:
-  InvertedIndexQuerier(const linalg::BitMatrix& points, std::size_t eps)
-      : sparse_(linalg::to_sparse(points)),
+  InvertedIndexQuerier(const linalg::RowStore& points, std::size_t eps)
+      // A sparse store is used in place; a dense store converts once here
+      // (the same conversion the old BitMatrix-only path always paid).
+      : owned_(points.is_sparse() ? linalg::CsrMatrix() : points.to_csr()),
+        sparse_(points.is_sparse() ? *points.sparse_matrix() : owned_),
         transpose_(sparse_.transpose()),
         eps_(eps),
         count_(points.rows(), 0) {
@@ -109,7 +109,8 @@ class InvertedIndexQuerier {
   }
 
  private:
-  linalg::CsrMatrix sparse_;
+  linalg::CsrMatrix owned_;
+  const linalg::CsrMatrix& sparse_;
   linalg::CsrMatrix transpose_;
   std::size_t eps_;
   std::vector<std::uint32_t> count_;
@@ -127,7 +128,7 @@ std::vector<std::vector<std::size_t>> DbscanResult::clusters() const {
   return out;
 }
 
-DbscanResult dbscan(const linalg::BitMatrix& points, const DbscanParams& params) {
+DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params) {
   const std::size_t n = points.rows();
   constexpr std::int32_t kUnvisited = -2;
 

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "cluster/metric.hpp"
-#include "linalg/bit_matrix.hpp"
+#include "linalg/row_store.hpp"
 
 namespace rolediet::cluster {
 
@@ -70,8 +70,11 @@ struct DbscanResult {
   [[nodiscard]] std::vector<std::vector<std::size_t>> clusters() const;
 };
 
-/// Clusters the rows of `points`. Deterministic: points are seeded in index
-/// order, so label assignment is reproducible.
-[[nodiscard]] DbscanResult dbscan(const linalg::BitMatrix& points, const DbscanParams& params);
+/// Clusters the rows of `points` (a view over either matrix backend — a
+/// BitMatrix or CsrMatrix converts implicitly). Deterministic: points are
+/// seeded in index order, so label assignment is reproducible, and every
+/// kernel returns the same integers on both backends, so labels and work
+/// counters are backend-independent too.
+[[nodiscard]] DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params);
 
 }  // namespace rolediet::cluster

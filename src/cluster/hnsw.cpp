@@ -29,7 +29,7 @@ struct NearestFirst {
 
 }  // namespace
 
-HnswIndex::HnswIndex(const linalg::BitMatrix& points, HnswParams params)
+HnswIndex::HnswIndex(linalg::RowStore points, HnswParams params)
     : points_(points),
       params_(params),
       level_mult_(1.0 / std::log(static_cast<double>(std::max<std::size_t>(2, params.m)))),
@@ -47,8 +47,7 @@ int HnswIndex::draw_level() noexcept {
   return std::min(level, 48);
 }
 
-Neighbor HnswIndex::greedy_step(std::span<const std::uint64_t> q, Neighbor entry,
-                                int layer) const {
+Neighbor HnswIndex::greedy_step(const QueryRef& q, Neighbor entry, int layer) const {
   bool improved = true;
   while (improved) {
     improved = false;
@@ -66,8 +65,8 @@ Neighbor HnswIndex::greedy_step(std::span<const std::uint64_t> q, Neighbor entry
   return entry;
 }
 
-std::vector<Neighbor> HnswIndex::search_layer(std::span<const std::uint64_t> q, Neighbor entry,
-                                              std::size_t ef, int layer) const {
+std::vector<Neighbor> HnswIndex::search_layer(const QueryRef& q, Neighbor entry, std::size_t ef,
+                                              int layer) const {
   std::unordered_set<std::size_t> visited;
   visited.insert(entry.id);
 
@@ -190,7 +189,7 @@ void HnswIndex::add_with_level(std::size_t id, int level) {
     return;
   }
 
-  const auto q = points_.row(id);
+  const QueryRef q{static_cast<std::ptrdiff_t>(id), {}};
   Neighbor entry{nodes_[static_cast<std::size_t>(entry_point_)].id,
                  dist_to(q, nodes_[static_cast<std::size_t>(entry_point_)].id)};
 
@@ -274,7 +273,7 @@ void HnswIndex::add_all_parallel(std::size_t threads, std::size_t batch_size) {
           for (std::size_t k = begin; k < end; ++k) {
             const std::size_t id = next + k;
             const int level = levels[id];
-            const auto q = points_.row(id);
+            const QueryRef q{static_cast<std::ptrdiff_t>(id), {}};
             Plan& plan = plans[k];
             plan.selected.resize(static_cast<std::size_t>(std::min(level, snapshot_max)) + 1);
 
@@ -370,24 +369,27 @@ std::vector<std::size_t> HnswIndex::neighbors_of(std::size_t id, int layer) cons
   return out;
 }
 
-std::vector<Neighbor> HnswIndex::search_vector(std::span<const std::uint64_t> query,
-                                               std::size_t k) const {
+std::vector<Neighbor> HnswIndex::search_query(const QueryRef& q, std::size_t k) const {
   if (entry_point_ < 0) return {};
   Neighbor entry{nodes_[static_cast<std::size_t>(entry_point_)].id,
-                 dist_to(query, nodes_[static_cast<std::size_t>(entry_point_)].id)};
+                 dist_to(q, nodes_[static_cast<std::size_t>(entry_point_)].id)};
   for (int layer = max_level_; layer > 0; --layer) {
-    entry = greedy_step(query, entry, layer);
+    entry = greedy_step(q, entry, layer);
   }
-  std::vector<Neighbor> found =
-      search_layer(query, entry, std::max(params_.ef_search, k), 0);
+  std::vector<Neighbor> found = search_layer(q, entry, std::max(params_.ef_search, k), 0);
   if (found.size() > k) found.resize(k);
   return found;
+}
+
+std::vector<Neighbor> HnswIndex::search_vector(std::span<const std::uint64_t> query,
+                                               std::size_t k) const {
+  return search_query(QueryRef{-1, query}, k);
 }
 
 std::vector<Neighbor> HnswIndex::search(std::size_t query_id, std::size_t k) const {
   if (query_id >= points_.rows())
     throw std::out_of_range("HnswIndex::search: row id out of range");
-  return search_vector(points_.row(query_id), k);
+  return search_query(QueryRef{static_cast<std::ptrdiff_t>(query_id), {}}, k);
 }
 
 std::vector<Neighbor> HnswIndex::range_search(std::size_t query_id, std::size_t radius,
@@ -396,7 +398,7 @@ std::vector<Neighbor> HnswIndex::range_search(std::size_t query_id, std::size_t 
     throw std::out_of_range("HnswIndex::range_search: row id out of range");
   if (entry_point_ < 0) return {};
 
-  const auto q = points_.row(query_id);
+  const QueryRef q{static_cast<std::ptrdiff_t>(query_id), {}};
   Neighbor entry{nodes_[static_cast<std::size_t>(entry_point_)].id,
                  dist_to(q, nodes_[static_cast<std::size_t>(entry_point_)].id)};
   for (int layer = max_level_; layer > 0; --layer) {

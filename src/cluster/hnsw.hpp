@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "cluster/metric.hpp"
-#include "linalg/bit_matrix.hpp"
+#include "linalg/row_store.hpp"
 #include "util/prng.hpp"
 
 namespace rolediet::cluster {
@@ -50,11 +50,14 @@ struct Neighbor {
   [[nodiscard]] bool operator==(const Neighbor&) const noexcept = default;
 };
 
-/// HNSW index over the rows of a bit matrix. The matrix must outlive the
-/// index (rows are referenced, not copied).
+/// HNSW index over the rows of a row store — either matrix backend (a
+/// BitMatrix or CsrMatrix converts implicitly). The viewed matrix must
+/// outlive the index (rows are referenced, not copied). Distances are
+/// backend-invariant, so given the same seed both backends build the same
+/// graph and return the same search results.
 class HnswIndex {
  public:
-  HnswIndex(const linalg::BitMatrix& points, HnswParams params);
+  HnswIndex(linalg::RowStore points, HnswParams params);
 
   /// Inserts point `id` (a row of the matrix). Each id may be added once.
   void add(std::size_t id);
@@ -84,8 +87,9 @@ class HnswIndex {
   /// The query point itself is included if indexed (distance 0).
   [[nodiscard]] std::vector<Neighbor> search(std::size_t query_id, std::size_t k) const;
 
-  /// k approximate nearest neighbors of an external packed vector (must have
-  /// the same word width as the matrix rows).
+  /// k approximate nearest neighbors of an external packed vector of
+  /// util::words_for_bits(cols) words — works on either backend (sparse rows
+  /// are probed against the packed query without densifying).
   [[nodiscard]] std::vector<Neighbor> search_vector(std::span<const std::uint64_t> query,
                                                     std::size_t k) const;
 
@@ -126,26 +130,37 @@ class HnswIndex {
     std::vector<std::uint32_t> anchors;
   };
 
+  /// A query point: either an indexed row (row >= 0) or an external packed
+  /// vector. Row queries go through the backend's row kernels; packed queries
+  /// probe rows against the packed words directly.
+  struct QueryRef {
+    std::ptrdiff_t row = -1;
+    std::span<const std::uint64_t> packed;
+  };
+
   [[nodiscard]] std::size_t dist(std::size_t a, std::size_t b) const noexcept {
     distance_evals_.fetch_add(1, std::memory_order_relaxed);
-    return distance(params_.metric, points_.row(a), points_.row(b));
+    return distance(params_.metric, points_, a, b);
   }
-  [[nodiscard]] std::size_t dist_to(std::span<const std::uint64_t> q,
-                                    std::size_t b) const noexcept {
+  [[nodiscard]] std::size_t dist_to(const QueryRef& q, std::size_t b) const noexcept {
     distance_evals_.fetch_add(1, std::memory_order_relaxed);
-    return distance(params_.metric, q, points_.row(b));
+    if (q.row >= 0)
+      return distance(params_.metric, points_, static_cast<std::size_t>(q.row), b);
+    return distance_to_packed(params_.metric, points_, q.packed, b);
   }
 
   /// Greedy descent at one layer from `entry`, moving to any strictly closer
   /// neighbor until a local minimum (Alg. 2 specialized to ef = 1).
-  [[nodiscard]] Neighbor greedy_step(std::span<const std::uint64_t> q, Neighbor entry,
-                                     int layer) const;
+  [[nodiscard]] Neighbor greedy_step(const QueryRef& q, Neighbor entry, int layer) const;
 
   /// Beam search (SEARCH-LAYER): returns up to `ef` nearest candidates found
   /// from `entry` at `layer`, sorted nearest first.
-  [[nodiscard]] std::vector<Neighbor> search_layer(std::span<const std::uint64_t> q,
-                                                   Neighbor entry, std::size_t ef,
-                                                   int layer) const;
+  [[nodiscard]] std::vector<Neighbor> search_layer(const QueryRef& q, Neighbor entry,
+                                                   std::size_t ef, int layer) const;
+
+  /// Shared descent for search()/search_vector(): greedy through the upper
+  /// layers, then a beam of width max(ef_search, k) at layer 0.
+  [[nodiscard]] std::vector<Neighbor> search_query(const QueryRef& q, std::size_t k) const;
 
   /// SELECT-NEIGHBORS-HEURISTIC: picks up to `m` diverse neighbors from
   /// `candidates` (sorted nearest first).
@@ -166,7 +181,7 @@ class HnswIndex {
   /// levels in row order so they match the serial sequence).
   void add_with_level(std::size_t id, int level);
 
-  const linalg::BitMatrix& points_;
+  linalg::RowStore points_;  // non-owning view over the caller's matrix
   HnswParams params_;
   double level_mult_;
   util::Xoshiro256 rng_;

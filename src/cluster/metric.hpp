@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 
+#include "linalg/row_store.hpp"
 #include "util/bitops.hpp"
 
 namespace rolediet::cluster {
@@ -64,6 +65,55 @@ inline constexpr std::size_t kJaccardScale = 1'000'000;
       return hamming(a, b);
     case MetricKind::kJaccard:
       return jaccard_scaled(a, b);
+  }
+  return 0;  // unreachable
+}
+
+/// Backend-neutral dispatch over RowStore rows. The sparse path derives
+/// Jaccard from the same integer formula as jaccard_scaled(), so both
+/// backends return bit-identical distances.
+[[nodiscard]] inline std::size_t distance(MetricKind kind, const linalg::RowStore& rows,
+                                          std::size_t a, std::size_t b) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      return rows.hamming(a, b);
+    case MetricKind::kJaccard:
+      return jaccard_scaled_from_counts(rows.row_size(a), rows.row_size(b),
+                                        rows.intersection(a, b));
+  }
+  return 0;  // unreachable
+}
+
+/// Threshold variant: for Hamming/Manhattan, may return any value > `limit`
+/// once the running distance exceeds it (early exit); Jaccard has no cheap
+/// running bound and computes the exact distance.
+[[nodiscard]] inline std::size_t distance_bounded(MetricKind kind, const linalg::RowStore& rows,
+                                                  std::size_t a, std::size_t b,
+                                                  std::size_t limit) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      return rows.hamming_bounded(a, b, limit);
+    case MetricKind::kJaccard:
+      return jaccard_scaled_from_counts(rows.row_size(a), rows.row_size(b),
+                                        rows.intersection(a, b));
+  }
+  return 0;  // unreachable
+}
+
+/// Distance from a packed query vector (util::words_for_bits(rows.cols())
+/// words) to a stored row — the out-of-index query path (HNSW search_vector).
+[[nodiscard]] inline std::size_t distance_to_packed(MetricKind kind, const linalg::RowStore& rows,
+                                                    std::span<const std::uint64_t> q,
+                                                    std::size_t b) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      return rows.hamming_with_packed(q, b);
+    case MetricKind::kJaccard:
+      return jaccard_scaled_from_counts(util::popcount_span(q), rows.row_size(b),
+                                        rows.intersection_with_packed(q, b));
   }
   return 0;  // unreachable
 }

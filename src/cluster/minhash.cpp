@@ -18,7 +18,7 @@ std::uint64_t slot_hash(std::uint64_t slot_key, std::uint32_t element) noexcept 
 
 }  // namespace
 
-MinHashLsh::MinHashLsh(const linalg::CsrMatrix& rows, MinHashParams params)
+MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params)
     : params_(params) {
   const std::size_t k = params_.signature_size();
 
@@ -38,11 +38,11 @@ MinHashLsh::MinHashLsh(const linalg::CsrMatrix& rows, MinHashParams params)
         for (std::size_t r = begin; r < end; ++r) {
           auto& sig = signatures_[r];
           sig.assign(k, kEmptySlot);
-          for (std::uint32_t element : rows.row(r)) {
+          rows.for_each_set(r, [&](std::uint32_t element) {
             for (std::size_t i = 0; i < k; ++i) {
               sig[i] = std::min(sig[i], slot_hash(slot_keys[i], element));
             }
-          }
+          });
         }
       },
       /*grain=*/64);

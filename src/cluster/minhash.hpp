@@ -26,7 +26,7 @@
 #include <utility>
 #include <vector>
 
-#include "linalg/csr_matrix.hpp"
+#include "linalg/row_store.hpp"
 #include "util/prng.hpp"
 
 namespace rolediet::cluster {
@@ -44,11 +44,13 @@ struct MinHashParams {
   [[nodiscard]] std::size_t signature_size() const noexcept { return bands * rows_per_band; }
 };
 
-/// MinHash/LSH index over the rows of a sparse matrix.
+/// MinHash/LSH index over the rows of a row store (either matrix backend —
+/// a BitMatrix or CsrMatrix converts implicitly; signatures depend only on
+/// the column *sets*, so both backends build identical indexes).
 class MinHashLsh {
  public:
   /// Computes all signatures and the band buckets. O(nnz * signature_size).
-  MinHashLsh(const linalg::CsrMatrix& rows, MinHashParams params);
+  MinHashLsh(const linalg::RowStore& rows, MinHashParams params);
 
   [[nodiscard]] std::size_t size() const noexcept { return signatures_.size(); }
   [[nodiscard]] const MinHashParams& params() const noexcept { return params_; }

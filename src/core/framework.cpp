@@ -21,17 +21,20 @@ std::unique_ptr<GroupFinder> make_group_finder(Method method, const GroupFinderO
     case Method::kExactDbscan: {
       methods::DbscanGroupFinder::Options opts;
       opts.threads = options.threads;
+      opts.backend = options.backend;
       return std::make_unique<methods::DbscanGroupFinder>(opts);
     }
     case Method::kApproxHnsw: {
       methods::HnswGroupFinder::Options opts;
       opts.threads = options.threads;
       opts.build_batch = options.hnsw_build_batch;
+      opts.backend = options.backend;
       return std::make_unique<methods::HnswGroupFinder>(opts);
     }
     case Method::kApproxMinhash: {
       methods::MinHashGroupFinder::Options opts;
       opts.lsh.threads = options.threads;
+      opts.backend = options.backend;
       return std::make_unique<methods::MinHashGroupFinder>(opts);
     }
     case Method::kRoleDiet: {
@@ -123,6 +126,7 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
 
   GroupFinderOptions finder_options;
   finder_options.threads = options.threads;
+  finder_options.backend = options.backend;
   const std::unique_ptr<GroupFinder> finder = make_group_finder(options.method, finder_options);
   report.method_name = finder->name();
 

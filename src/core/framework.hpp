@@ -48,6 +48,11 @@ struct AuditOptions {
   /// default pool, N >= 2 = private pool of N workers). Every method's
   /// groups are byte-identical for every value.
   std::size_t threads = 1;
+  /// Row-kernel backend for the distance kernels (linalg/row_store.hpp).
+  /// kAuto picks sparse below the density threshold; reports are
+  /// byte-identical for every choice (role-diet ignores it — natively
+  /// sparse).
+  linalg::RowBackend backend = linalg::RowBackend::kAuto;
 };
 
 /// Timing of one audit phase, seconds. `timed_out` phases were skipped.

@@ -19,6 +19,7 @@
 
 #include "core/taxonomy.hpp"
 #include "linalg/csr_matrix.hpp"
+#include "linalg/row_store.hpp"
 
 namespace rolediet::core {
 
@@ -105,6 +106,12 @@ struct GroupFinderOptions {
   /// (see HnswIndex::add_all_parallel). 0 keeps the serial incremental build,
   /// whose graph matches the single-threaded baseline exactly.
   std::size_t hnsw_build_batch = 0;
+  /// Row-kernel backend for the distance kernels (linalg/row_store.hpp):
+  /// kAuto picks sparse below the density threshold. Groups, reports, and
+  /// work counters are byte-identical for every choice; only the wall clock
+  /// and bytes touched change. The role-diet method ignores this — its
+  /// inverted-index sweep is natively sparse and has no dense variant.
+  linalg::RowBackend backend = linalg::RowBackend::kAuto;
 };
 
 /// Creates a finder with each method's default parameters. For tuned

@@ -12,12 +12,12 @@ namespace rolediet::core::methods {
 RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t radius,
                                 cluster::MetricKind metric) const {
   const std::vector<std::size_t> selected = nonempty_rows(matrix);
-  const linalg::BitMatrix dense = densify_rows(matrix, selected);
+  const SelectedRowStore rows = select_row_store(matrix, selected, options_.backend);
 
   cluster::HnswParams params = options_.index;
   params.metric = metric;
   params.ef_search = std::max(params.ef_search, options_.query_ef);
-  cluster::HnswIndex index(dense, params);
+  cluster::HnswIndex index(rows.store(), params);
   if (options_.build_batch > 0) {
     index.add_all_parallel(options_.threads, options_.build_batch);
   } else {
@@ -28,7 +28,7 @@ RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t rad
   // mutex. The united pair set is split-independent (searches are read-only)
   // and connected components are union-order-independent, so the canonical
   // groups are byte-identical at every thread count.
-  const std::size_t n = dense.rows();
+  const std::size_t n = selected.size();
   cluster::UnionFind forest(n);
   std::atomic<std::size_t> hits_seen{0};
   std::atomic<std::size_t> unions_tried{0};

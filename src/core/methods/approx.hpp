@@ -35,6 +35,10 @@ class HnswGroupFinder final : public GroupFinder {
     /// of N (HnswIndex::add_all_parallel — deterministic in N, not in
     /// threads, but a different graph than the serial build).
     std::size_t build_batch = 0;
+    /// Row-kernel backend for index build and queries (linalg/row_store.hpp).
+    /// Distances are backend-invariant, so the graph, groups, and work
+    /// counters are byte-identical for every choice.
+    linalg::RowBackend backend = linalg::RowBackend::kAuto;
   };
 
   HnswGroupFinder() = default;

@@ -8,7 +8,7 @@ namespace rolediet::core::methods {
 RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t eps,
                                   cluster::MetricKind metric) const {
   const std::vector<std::size_t> selected = nonempty_rows(matrix);
-  const linalg::BitMatrix dense = densify_rows(matrix, selected);
+  const SelectedRowStore rows = select_row_store(matrix, selected, options_.backend);
 
   cluster::DbscanParams params;
   params.eps = eps;
@@ -16,7 +16,7 @@ RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t e
   params.metric = metric;
   params.threads = options_.threads;
 
-  const cluster::DbscanResult result = cluster::dbscan(dense, params);
+  const cluster::DbscanResult result = cluster::dbscan(rows.store(), params);
   RoleGroups out = remap_groups(result.clusters(), selected);
 
   // Map DBSCAN's counters onto the shared work-stats vocabulary: a region

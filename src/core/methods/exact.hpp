@@ -18,6 +18,9 @@ class DbscanGroupFinder final : public GroupFinder {
     /// convention in util/thread_pool.hpp; 1 = sequential (paper setup).
     /// Clusters are byte-identical for every value.
     std::size_t threads = 1;
+    /// Row-kernel backend for the distance phase (see linalg/row_store.hpp).
+    /// Groups and work counters are byte-identical for every choice.
+    linalg::RowBackend backend = linalg::RowBackend::kAuto;
   };
 
   DbscanGroupFinder() = default;

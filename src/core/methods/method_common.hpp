@@ -7,6 +7,7 @@
 #include "core/taxonomy.hpp"
 #include "linalg/bit_matrix.hpp"
 #include "linalg/csr_matrix.hpp"
+#include "linalg/row_store.hpp"
 
 namespace rolediet::core::methods {
 
@@ -34,6 +35,38 @@ namespace rolediet::core::methods {
     }
   }
   return dense;
+}
+
+/// A row selection materialized on one resolved backend. Exactly one of the
+/// two matrices is populated; store() views it, so the struct must outlive
+/// the view (RowStore is non-owning).
+struct SelectedRowStore {
+  linalg::BitMatrix dense;
+  linalg::CsrMatrix sparse;
+  linalg::RowBackend backend = linalg::RowBackend::kDense;  // resolved, never kAuto
+
+  [[nodiscard]] linalg::RowStore store() const noexcept {
+    return backend == linalg::RowBackend::kSparse ? linalg::RowStore(sparse)
+                                                  : linalg::RowStore(dense);
+  }
+};
+
+/// Copies the selected rows onto the backend `requested` resolves to. kAuto
+/// decides by the density of the selected submatrix (the rows a method will
+/// actually scan), not the full matrix.
+[[nodiscard]] inline SelectedRowStore select_row_store(const linalg::CsrMatrix& matrix,
+                                                       const std::vector<std::size_t>& selected,
+                                                       linalg::RowBackend requested) {
+  std::size_t nnz = 0;
+  for (std::size_t r : selected) nnz += matrix.row_size(r);
+  SelectedRowStore out;
+  out.backend = linalg::choose_backend(requested, selected.size(), matrix.cols(), nnz);
+  if (out.backend == linalg::RowBackend::kSparse) {
+    out.sparse = linalg::CsrMatrix::gather_rows(matrix, selected);
+  } else {
+    out.dense = densify_rows(matrix, selected);
+  }
+  return out;
 }
 
 /// Maps groups over filtered indices back to original role ids and puts them

@@ -4,6 +4,7 @@
 
 #include "cluster/metric.hpp"
 #include "cluster/union_find.hpp"
+#include "linalg/convert.hpp"
 
 namespace rolediet::core::methods {
 
@@ -21,7 +22,14 @@ void finish_work(const RoleGroups& out, FinderWorkStats& work) {
 
 template <typename KeepPair>
 RoleGroups MinHashGroupFinder::run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const {
-  const cluster::MinHashLsh index(matrix, options_.lsh);
+  const linalg::RowBackend backend =
+      linalg::choose_backend(options_.backend, matrix.rows(), matrix.cols(), matrix.nnz());
+  linalg::BitMatrix densified;
+  if (backend == linalg::RowBackend::kDense) densified = linalg::to_dense(matrix);
+  const linalg::RowStore store = backend == linalg::RowBackend::kDense
+                                     ? linalg::RowStore(densified)
+                                     : linalg::RowStore(matrix);
+  const cluster::MinHashLsh index(store, options_.lsh);
   cluster::UnionFind forest(matrix.rows());
   work_ = {};
   work_.rows_processed = matrix.rows();
@@ -29,7 +37,7 @@ RoleGroups MinHashGroupFinder::run(const linalg::CsrMatrix& matrix, KeepPair&& k
     // Exact verification: candidate generation is approximate, membership
     // is not — no false merges.
     ++work_.pairs_evaluated;
-    const std::size_t g = matrix.row_intersection(a, b);
+    const std::size_t g = store.intersection(a, b);
     if (keep(a, b, g)) {
       forest.unite(a, b);
       ++work_.pairs_matched;

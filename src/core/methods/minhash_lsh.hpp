@@ -28,6 +28,10 @@ class MinHashGroupFinder final : public GroupFinder {
     /// lsh.threads parallelizes index construction (knob convention in
     /// util/thread_pool.hpp); groups are byte-identical for every value.
     cluster::MinHashParams lsh{};
+    /// Row-kernel backend for signature build and candidate verification
+    /// (linalg/row_store.hpp). Signatures depend only on the column sets, so
+    /// groups and work counters are byte-identical for every choice.
+    linalg::RowBackend backend = linalg::RowBackend::kAuto;
   };
 
   MinHashGroupFinder() = default;

@@ -19,7 +19,7 @@ void unite_groups(cluster::UnionFind& forest, const RoleGroups& groups) {
   }
 }
 
-/// Maps each role to its group index in a canonical grouping (-1 = ungrouped).
+/// Maps each role to its group index; ungrouped roles are simply absent.
 std::unordered_map<std::size_t, std::size_t> group_of(const RoleGroups& groups) {
   std::unordered_map<std::size_t, std::size_t> map;
   for (std::size_t g = 0; g < groups.groups.size(); ++g) {

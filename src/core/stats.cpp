@@ -17,8 +17,11 @@ DegreeSummary DegreeSummary::from(std::vector<std::size_t> degrees) {
     if (d == 0) ++s.zeros;
   }
   s.mean = static_cast<double>(sum) / static_cast<double>(degrees.size());
-  s.p50 = degrees[degrees.size() / 2];
-  s.p90 = degrees[(degrees.size() * 9) / 10];
+  // Nearest-rank percentiles: index ceil(p * n) - 1. The naive (n * p) index
+  // is biased high — for n = 10 it would report the maximum as p90.
+  const std::size_t n = degrees.size();
+  s.p50 = degrees[(n + 1) / 2 - 1];
+  s.p90 = degrees[(9 * n + 9) / 10 - 1];
   return s;
 }
 

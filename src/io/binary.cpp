@@ -39,15 +39,28 @@ class Writer {
     raw(data, size);
     checksum_.feed(data, size);
   }
-  void u64(std::uint64_t v) { payload(&v, sizeof(v)); }
-  void u32(std::uint32_t v) { payload(&v, sizeof(v)); }
+  // Integers are serialized explicitly little-endian (byte by byte, not a
+  // memcpy of the native representation) so files written on one host load
+  // on any other. The checksum is fed the serialized bytes via payload().
+  void u64(std::uint64_t v) {
+    unsigned char buf[8];
+    for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    payload(buf, sizeof(buf));
+  }
+  void u32(std::uint32_t v) {
+    unsigned char buf[4];
+    for (std::size_t i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    payload(buf, sizeof(buf));
+  }
   void str(const std::string& s) {
     u32(static_cast<std::uint32_t>(s.size()));
     payload(s.data(), s.size());
   }
   void finish() {
     const std::uint64_t digest = checksum_.value();
-    raw(&digest, sizeof(digest));
+    unsigned char buf[8];
+    for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(digest >> (8 * i));
+    raw(buf, sizeof(buf));
     out_.flush();
     if (!out_) throw BinaryError("write failure while finishing binary dataset");
   }
@@ -72,14 +85,19 @@ class Reader {
     raw(data, size);
     checksum_.feed(data, size);
   }
+  // Mirrors Writer: bytes on disk are little-endian regardless of host.
   std::uint64_t u64() {
+    unsigned char buf[8];
+    payload(buf, sizeof(buf));
     std::uint64_t v = 0;
-    payload(&v, sizeof(v));
+    for (std::size_t i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
     return v;
   }
   std::uint32_t u32() {
+    unsigned char buf[4];
+    payload(buf, sizeof(buf));
     std::uint32_t v = 0;
-    payload(&v, sizeof(v));
+    for (std::size_t i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
     return v;
   }
   std::string str(std::size_t sane_limit = 1 << 20) {
@@ -91,8 +109,10 @@ class Reader {
   }
   void verify_checksum() {
     const std::uint64_t expected = checksum_.value();
+    unsigned char buf[8];
+    raw(buf, sizeof(buf));
     std::uint64_t stored = 0;
-    raw(&stored, sizeof(stored));
+    for (std::size_t i = 0; i < 8; ++i) stored |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
     if (stored != expected) throw BinaryError("checksum mismatch (corrupt binary dataset)");
   }
 

@@ -5,48 +5,109 @@
 namespace rolediet::io {
 
 std::vector<std::string> parse_csv_line(const std::string& line) {
+  // RFC 4180 state machine. A quote is only meaningful at the start of a
+  // field; a quote in the middle of an unquoted field, or any character
+  // other than a comma after a closing quote, is rejected rather than
+  // silently kept as a literal.
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteClosed };
   std::vector<std::string> fields;
   std::string current;
-  bool quoted = false;
+  State state = State::kFieldStart;
   std::size_t i = 0;
   while (i < line.size()) {
     const char c = line[i];
-    if (quoted) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          current.push_back('"');
-          i += 2;
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          state = State::kQuoted;
+          ++i;
           continue;
         }
-        quoted = false;
+        state = State::kUnquoted;
+        continue;  // reprocess c as unquoted content
+      case State::kUnquoted:
+        if (c == '"')
+          throw CsvError("quote opening mid-field (quote the whole field): " + line);
+        if (c == ',') {
+          fields.push_back(std::move(current));
+          current.clear();
+          state = State::kFieldStart;
+          ++i;
+          continue;
+        }
+        if (c == '\r' && i + 1 == line.size()) {
+          ++i;  // tolerate CRLF line endings
+          continue;
+        }
+        current.push_back(c);
         ++i;
         continue;
-      }
-      current.push_back(c);
-      ++i;
-      continue;
+      case State::kQuoted:
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            current.push_back('"');
+            i += 2;
+            continue;
+          }
+          state = State::kQuoteClosed;
+          ++i;
+          continue;
+        }
+        current.push_back(c);
+        ++i;
+        continue;
+      case State::kQuoteClosed:
+        if (c == ',') {
+          fields.push_back(std::move(current));
+          current.clear();
+          state = State::kFieldStart;
+          ++i;
+          continue;
+        }
+        if (c == '\r' && i + 1 == line.size()) {
+          ++i;
+          continue;
+        }
+        throw CsvError("unexpected character after closing quote: " + line);
     }
-    if (c == '"' && current.empty()) {
-      quoted = true;
-      ++i;
-      continue;
-    }
-    if (c == ',') {
-      fields.push_back(std::move(current));
-      current.clear();
-      ++i;
-      continue;
-    }
-    if (c == '\r' && i + 1 == line.size()) {
-      ++i;  // tolerate CRLF line endings
-      continue;
-    }
-    current.push_back(c);
-    ++i;
   }
-  if (quoted) throw CsvError("unterminated quoted field: " + line);
+  if (state == State::kQuoted) throw CsvError("unterminated quoted field: " + line);
   fields.push_back(std::move(current));
   return fields;
+}
+
+namespace {
+
+/// True when a quote-parity scan of `text` ends inside an open quoted field.
+/// Escaped quotes ("") toggle twice, so they cancel out; literal quotes in
+/// unquoted fields are rejected by parse_csv_line later anyway.
+bool ends_inside_quotes(const std::string& text) {
+  bool quoted = false;
+  for (char c : text) {
+    if (c == '"') quoted = !quoted;
+  }
+  return quoted;
+}
+
+}  // namespace
+
+bool read_csv_record(std::istream& in, std::string& record, std::size_t& physical_lines) {
+  record.clear();
+  physical_lines = 0;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  ++physical_lines;
+  record = std::move(line);
+  // A record whose quoted field contains a line break continues on the next
+  // physical line (RFC 4180); rejoin with the '\n' getline consumed. An
+  // unterminated quote at EOF leaves the parity open — parse_csv_line then
+  // reports it.
+  while (ends_inside_quotes(record) && std::getline(in, line)) {
+    ++physical_lines;
+    record.push_back('\n');
+    record += line;
+  }
+  return true;
 }
 
 std::string escape_csv_field(const std::string& field) {
@@ -62,8 +123,11 @@ std::string escape_csv_field(const std::string& field) {
 
 namespace {
 
-/// Applies `consume(fields, line_no)` to every non-empty data row of `path`,
-/// after validating the header. Missing file is a no-op when `optional`.
+/// Applies `consume(fields, line_no)` to every non-empty data record of
+/// `path`, after validating the header. Records are read with
+/// read_csv_record, so quoted fields may span physical lines; line_no is the
+/// first physical line of the record. Missing file is a no-op when
+/// `optional`.
 template <typename Consume>
 void for_each_row(const std::filesystem::path& path, const std::string& expected_header,
                   bool optional, Consume&& consume) {
@@ -74,9 +138,12 @@ void for_each_row(const std::filesystem::path& path, const std::string& expected
   }
   std::string line;
   std::size_t line_no = 0;
+  std::size_t next_line = 1;
+  std::size_t consumed = 0;
   bool saw_header = false;
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (read_csv_record(in, line, consumed)) {
+    line_no = next_line;
+    next_line += consumed;
     if (line.empty() || line == "\r") continue;
     std::vector<std::string> fields = parse_csv_line(line);
     if (!saw_header) {

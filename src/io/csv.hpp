@@ -15,6 +15,7 @@
 #pragma once
 
 #include <filesystem>
+#include <istream>
 #include <stdexcept>
 #include <string>
 
@@ -27,8 +28,17 @@ class CsvError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Parses one CSV record into fields (RFC 4180 quoting). Exposed for tests.
+/// Parses one CSV record into fields (RFC 4180 quoting; the record may span
+/// physical lines when a quoted field embeds '\n'). Rejects a quote opening
+/// mid-field and content after a closing quote. Exposed for tests.
 [[nodiscard]] std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Reads one logical CSV record from `in`: physical lines are rejoined with
+/// '\n' while a quoted field remains open, so names with embedded line
+/// breaks round-trip. Returns false at end of input; `physical_lines` is the
+/// number of lines consumed (for error line numbers). Exposed for loaders
+/// and tests.
+bool read_csv_record(std::istream& in, std::string& record, std::size_t& physical_lines);
 
 /// Escapes a field for CSV output (quotes only when needed).
 [[nodiscard]] std::string escape_csv_field(const std::string& field);

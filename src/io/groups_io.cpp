@@ -28,9 +28,13 @@ core::RoleGroups load_groups(const core::RbacDataset& dataset,
   std::map<std::size_t, std::vector<std::size_t>> by_ordinal;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t next_line = 1;
+  std::size_t consumed = 0;
   bool saw_header = false;
-  while (std::getline(in, line)) {
-    ++line_no;
+  // Records, not physical lines: role names may embed line breaks.
+  while (read_csv_record(in, line, consumed)) {
+    line_no = next_line;
+    next_line += consumed;
     if (line.empty() || line == "\r") continue;
     const std::vector<std::string> fields = parse_csv_line(line);
     if (!saw_header) {

@@ -76,6 +76,19 @@ std::uint64_t CsrMatrix::row_hash(std::size_t r) const noexcept {
   return h;
 }
 
+CsrMatrix CsrMatrix::gather_rows(const CsrMatrix& source, std::span<const std::size_t> selected) {
+  CsrMatrix out(selected.size(), source.cols());
+  std::size_t total = 0;
+  for (std::size_t r : selected) total += source.row_size(r);
+  out.cols_idx_.reserve(total);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const auto cells = source.row(selected[i]);
+    out.cols_idx_.insert(out.cols_idx_.end(), cells.begin(), cells.end());
+    out.row_ptr_[i + 1] = out.cols_idx_.size();
+  }
+  return out;
+}
+
 std::vector<std::size_t> CsrMatrix::column_sums() const {
   std::vector<std::size_t> sums(cols_, 0);
   for (std::uint32_t c : cols_idx_) sums[c] += 1;

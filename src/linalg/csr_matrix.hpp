@@ -78,6 +78,12 @@ class CsrMatrix {
   /// that drives the co-occurrence method.
   [[nodiscard]] CsrMatrix transpose() const;
 
+  /// Copies the listed source rows (in the given order) into a new matrix
+  /// with the same column count — the sparse counterpart of densifying a
+  /// row selection. Preconditions: every listed row < source.rows().
+  [[nodiscard]] static CsrMatrix gather_rows(const CsrMatrix& source,
+                                             std::span<const std::size_t> selected);
+
   /// Raw CSR arrays, for algorithms that iterate the structure directly.
   [[nodiscard]] std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
   [[nodiscard]] std::span<const std::uint32_t> col_idx() const noexcept { return cols_idx_; }

@@ -1,0 +1,99 @@
+#include "linalg/row_store.hpp"
+
+#include "linalg/convert.hpp"
+#include "util/prng.hpp"
+
+namespace rolediet::linalg {
+
+std::string to_string(RowBackend backend) {
+  switch (backend) {
+    case RowBackend::kAuto:
+      return "auto";
+    case RowBackend::kDense:
+      return "dense";
+    case RowBackend::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+RowBackend choose_backend(RowBackend requested, std::size_t rows, std::size_t cols,
+                          std::size_t nnz) noexcept {
+  if (requested != RowBackend::kAuto) return requested;
+  const std::size_t cells = rows * cols;
+  if (cells == 0) return RowBackend::kSparse;
+  const double density = static_cast<double>(nnz) / static_cast<double>(cells);
+  return density < kSparseDensityThreshold ? RowBackend::kSparse : RowBackend::kDense;
+}
+
+std::size_t RowStore::hamming_bounded(std::size_t a, std::size_t b,
+                                      std::size_t limit) const noexcept {
+  if (sparse_ == nullptr) return dense_->row_hamming_bounded(a, b, limit);
+  // Merge the two sorted index runs counting symmetric-difference entries;
+  // once the running count exceeds `limit` the exact value no longer matters.
+  const auto ra = sparse_->row(a);
+  const auto rb = sparse_->row(b);
+  std::size_t diff = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ra.size() && j < rb.size()) {
+    if (ra[i] < rb[j]) {
+      ++i;
+      ++diff;
+    } else if (ra[i] > rb[j]) {
+      ++j;
+      ++diff;
+    } else {
+      ++i;
+      ++j;
+    }
+    if (diff > limit) return diff;
+  }
+  return diff + (ra.size() - i) + (rb.size() - j);
+}
+
+std::uint64_t RowStore::row_hash(std::size_t r) const noexcept {
+  if (sparse_ != nullptr) return sparse_->row_hash(r);
+  // Same fold as CsrMatrix::row_hash over the set bits in ascending order,
+  // so digests agree across backends.
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  std::size_t count = 0;
+  for_each_set(r, [&](std::uint32_t c) {
+    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+    ++count;
+  });
+  h ^= util::mix64(count);
+  return h;
+}
+
+std::size_t RowStore::payload_bytes() const noexcept {
+  if (sparse_ != nullptr) return sparse_->nnz() * sizeof(std::uint32_t);
+  if (dense_ != nullptr) return dense_->rows() * dense_->words_per_row() * sizeof(std::uint64_t);
+  return 0;
+}
+
+std::size_t RowStore::intersection_with_packed(std::span<const std::uint64_t> q,
+                                               std::size_t b) const noexcept {
+  if (sparse_ == nullptr) return util::intersection_words(q, dense_->row(b));
+  std::size_t count = 0;
+  for (std::uint32_t c : sparse_->row(b)) {
+    count += (q[c / 64] >> (c % 64)) & 1U;
+  }
+  return count;
+}
+
+std::size_t RowStore::hamming_with_packed(std::span<const std::uint64_t> q,
+                                          std::size_t b) const noexcept {
+  if (sparse_ == nullptr) return util::hamming_words(q, dense_->row(b));
+  const std::size_t g = intersection_with_packed(q, b);
+  return util::popcount_span(q) + sparse_->row_size(b) - 2 * g;
+}
+
+CsrMatrix RowStore::to_csr() const {
+  if (sparse_ != nullptr) return *sparse_;
+  if (dense_ != nullptr) return to_sparse(*dense_);
+  return {};
+}
+
+}  // namespace rolediet::linalg

@@ -86,6 +86,95 @@ TEST_P(Differential, SimilarSetSweepMatchesDbscanAtMatchingThresholds) {
   }
 }
 
+// ------------------------------------------------- backend equivalence ------
+//
+// The RowStore contract (linalg/row_store.hpp): the dense and sparse kernel
+// backends compute identical integers, so groups, audit reports, and
+// FinderWorkStats are byte-identical whichever backend runs.
+
+void expect_work_eq(const core::FinderWorkStats& a, const core::FinderWorkStats& b,
+                    const std::string& where) {
+  EXPECT_EQ(a.rows_processed, b.rows_processed) << where;
+  EXPECT_EQ(a.pairs_evaluated, b.pairs_evaluated) << where;
+  EXPECT_EQ(a.pairs_matched, b.pairs_matched) << where;
+  EXPECT_EQ(a.merges, b.merges) << where;
+  EXPECT_EQ(a.merge_conflicts, b.merge_conflicts) << where;
+}
+
+/// Renders a report with every timing zeroed, so two runs that only differ
+/// in wall clock compare byte-identical.
+std::string text_without_timings(core::AuditReport report) {
+  for (core::PhaseTiming* t :
+       {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
+        &report.similar_users_time, &report.similar_permissions_time}) {
+    t->seconds = 0.0;
+  }
+  return report.to_text();
+}
+
+/// Wraps a pair of assignment matrices as a dataset so audit() can run on a
+/// generator workload (roles row-aligned across both matrices).
+core::RbacDataset dataset_from(const linalg::CsrMatrix& ruam, const linalg::CsrMatrix& rpam) {
+  core::RbacDataset d;
+  for (std::size_t u = 0; u < ruam.cols(); ++u) d.add_user("U" + std::to_string(u));
+  for (std::size_t p = 0; p < rpam.cols(); ++p) d.add_permission("P" + std::to_string(p));
+  for (std::size_t r = 0; r < ruam.rows(); ++r) d.add_role("R" + std::to_string(r));
+  for (std::size_t r = 0; r < ruam.rows(); ++r)
+    for (std::uint32_t u : ruam.row(r)) d.assign_user(static_cast<core::Id>(r), u);
+  for (std::size_t r = 0; r < rpam.rows(); ++r)
+    for (std::uint32_t p : rpam.row(r)) d.grant_permission(static_cast<core::Id>(r), p);
+  return d;
+}
+
+TEST_P(Differential, BackendsProduceIdenticalGroupsAndCounters) {
+  const linalg::CsrMatrix m = workload(GetParam() ^ 0xBACEDu);
+  for (Method method : {Method::kExactDbscan, Method::kApproxHnsw, Method::kApproxMinhash}) {
+    GroupFinderOptions dense_opts;
+    dense_opts.backend = linalg::RowBackend::kDense;
+    GroupFinderOptions sparse_opts;
+    sparse_opts.backend = linalg::RowBackend::kSparse;
+    const auto dense = core::make_group_finder(method, dense_opts);
+    const auto sparse = core::make_group_finder(method, sparse_opts);
+    const std::string where = "method " + std::string(core::to_string(method));
+
+    EXPECT_EQ(dense->find_same(m), sparse->find_same(m)) << where;
+    expect_work_eq(dense->last_work(), sparse->last_work(), where + " find_same");
+
+    EXPECT_EQ(dense->find_similar(m, 1), sparse->find_similar(m, 1)) << where;
+    expect_work_eq(dense->last_work(), sparse->last_work(), where + " find_similar");
+
+    EXPECT_EQ(dense->find_similar_jaccard(m, 200'000), sparse->find_similar_jaccard(m, 200'000))
+        << where;
+    expect_work_eq(dense->last_work(), sparse->last_work(), where + " jaccard");
+  }
+}
+
+TEST_P(Differential, AuditReportsIdenticalAcrossBackends) {
+  // seed + 5 keeps (seed % 5), so both matrices have the same role count.
+  const std::uint64_t seed = GetParam();
+  const core::RbacDataset dataset = dataset_from(workload(seed), workload(seed + 5));
+  for (Method method : {Method::kExactDbscan, Method::kApproxHnsw, Method::kApproxMinhash,
+                        Method::kRoleDiet}) {
+    core::AuditOptions dense_opts;
+    dense_opts.method = method;
+    dense_opts.backend = linalg::RowBackend::kDense;
+    core::AuditOptions sparse_opts;
+    sparse_opts.method = method;
+    sparse_opts.backend = linalg::RowBackend::kSparse;
+    const core::AuditReport dense = core::audit(dataset, dense_opts);
+    const core::AuditReport sparse = core::audit(dataset, sparse_opts);
+    const std::string where = "method " + std::string(core::to_string(method));
+
+    EXPECT_EQ(text_without_timings(dense), text_without_timings(sparse)) << where;
+    expect_work_eq(dense.same_users_work, sparse.same_users_work, where + " same-users");
+    expect_work_eq(dense.same_permissions_work, sparse.same_permissions_work,
+                   where + " same-perms");
+    expect_work_eq(dense.similar_users_work, sparse.similar_users_work, where + " similar-users");
+    expect_work_eq(dense.similar_permissions_work, sparse.similar_permissions_work,
+                   where + " similar-perms");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range<std::uint64_t>(0, 25));
 
 }  // namespace

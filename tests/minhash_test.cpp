@@ -49,6 +49,24 @@ TEST(MinHash, DisjointSetsEstimateNearZero) {
   EXPECT_LT(index.estimate_similarity(0, 1), 0.1);
 }
 
+TEST(MinHash, EmptyRowSimilaritySemantics) {
+  // Empty rows carry the all-sentinel signature, so two empty sets estimate
+  // as identical (J(∅, ∅) = 1 by the usual convention) while empty vs
+  // non-empty shares no slot: each real element hashes below the sentinel in
+  // every one of the 128 slots.
+  const auto m = csr_from_rows(50, {{}, {}, {1, 2, 3}});
+  const cluster::MinHashLsh index(m, {});
+  EXPECT_DOUBLE_EQ(index.estimate_similarity(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(index.estimate_similarity(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(index.estimate_similarity(2, 1), 0.0);
+  // Empty rows still never become candidates — that invariant is what keeps
+  // the sentinel signature from grouping every empty role together.
+  for (const auto& [a, b] : index.candidate_pairs()) {
+    EXPECT_GE(a, 2u);
+    EXPECT_GE(b, 2u);
+  }
+}
+
 TEST(MinHash, DuplicatesAreAlwaysCandidates) {
   const auto m = csr_from_rows(100, {{1, 5, 9}, {2, 6}, {1, 5, 9}, {40}});
   const cluster::MinHashLsh index(m, {});

@@ -1,0 +1,197 @@
+// Kernel-parity tests for the density-adaptive RowStore backend.
+//
+// The contract (linalg/row_store.hpp): both backends compute identical
+// integer values for every kernel, so any detection method produces
+// byte-identical groups and counters whichever backend it runs on. These
+// tests exercise every kernel pairwise on random matrices plus the edge
+// shapes (empty rows, full rows, word boundaries).
+#include <gtest/gtest.h>
+
+#include "gen/matrix_generator.hpp"
+#include "linalg/convert.hpp"
+#include "linalg/row_store.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet::linalg {
+namespace {
+
+using rolediet::testing::csr_from_rows;
+
+/// A sparse/dense pair viewing the same logical matrix.
+struct BothBackends {
+  CsrMatrix sparse;
+  BitMatrix dense;
+  RowStore sparse_view;
+  RowStore dense_view;
+
+  explicit BothBackends(CsrMatrix m)
+      : sparse(std::move(m)), dense(to_dense(sparse)), sparse_view(sparse), dense_view(dense) {}
+};
+
+CsrMatrix random_matrix(std::uint64_t seed) {
+  gen::MatrixGenParams params;
+  params.roles = 60;
+  params.cols = 130;  // straddles a word boundary (ceil(130/64) = 3 words)
+  params.min_row_norm = 1;
+  params.max_row_norm = 20;
+  params.seed = seed;
+  return gen::generate_matrix(params).matrix;
+}
+
+// ----------------------------------------------------------------- parity ---
+
+TEST(RowStoreParity, AllKernelsAgreeOnRandomMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const BothBackends m(random_matrix(seed));
+    const std::size_t n = m.sparse.rows();
+    for (std::size_t a = 0; a < n; ++a) {
+      EXPECT_EQ(m.sparse_view.row_size(a), m.dense_view.row_size(a));
+      EXPECT_EQ(m.sparse_view.row_hash(a), m.dense_view.row_hash(a));
+      for (std::size_t b = a; b < n; ++b) {
+        EXPECT_EQ(m.sparse_view.hamming(a, b), m.dense_view.hamming(a, b))
+            << "rows " << a << "," << b;
+        EXPECT_EQ(m.sparse_view.intersection(a, b), m.dense_view.intersection(a, b));
+        EXPECT_EQ(m.sparse_view.rows_equal(a, b), m.dense_view.rows_equal(a, b));
+      }
+    }
+  }
+}
+
+TEST(RowStoreParity, BoundedHammingVerdictsAgree) {
+  // hamming_bounded may return any value > limit on early exit, so parity is
+  // on the *verdict* (<= limit) and on the exact value when within bounds.
+  const BothBackends m(random_matrix(7));
+  const std::size_t n = m.sparse.rows();
+  for (std::size_t limit : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{50}}) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        const std::size_t exact = m.dense_view.hamming(a, b);
+        const std::size_t sp = m.sparse_view.hamming_bounded(a, b, limit);
+        const std::size_t de = m.dense_view.hamming_bounded(a, b, limit);
+        EXPECT_EQ(sp <= limit, exact <= limit) << "sparse verdict, limit " << limit;
+        EXPECT_EQ(de <= limit, exact <= limit) << "dense verdict, limit " << limit;
+        if (exact <= limit) {
+          EXPECT_EQ(sp, exact);
+          EXPECT_EQ(de, exact);
+        }
+      }
+    }
+  }
+}
+
+TEST(RowStoreParity, RowHashMatchesCsrDigest) {
+  // The backend-invariant digest is defined to be CsrMatrix's fold; the dense
+  // path must replay it bit for bit (BitMatrix::row_hash folds words and
+  // would differ).
+  const BothBackends m(csr_from_rows(130, {{}, {0}, {63, 64}, {0, 64, 129}, {5, 6, 7}}));
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(m.dense_view.row_hash(r), m.sparse.row_hash(r)) << "row " << r;
+  }
+}
+
+TEST(RowStoreParity, ForEachSetVisitsSameColumnsInOrder) {
+  const BothBackends m(csr_from_rows(130, {{0, 63, 64, 127, 128, 129}, {}, {1}}));
+  for (std::size_t r = 0; r < 3; ++r) {
+    std::vector<std::uint32_t> from_sparse;
+    std::vector<std::uint32_t> from_dense;
+    m.sparse_view.for_each_set(r, [&](std::uint32_t c) { from_sparse.push_back(c); });
+    m.dense_view.for_each_set(r, [&](std::uint32_t c) { from_dense.push_back(c); });
+    EXPECT_EQ(from_sparse, from_dense) << "row " << r;
+    EXPECT_TRUE(std::is_sorted(from_dense.begin(), from_dense.end()));
+  }
+}
+
+TEST(RowStoreParity, PackedQueryKernelsAgree) {
+  const BothBackends m(random_matrix(11));
+  const std::size_t n = m.sparse.rows();
+  for (std::size_t q = 0; q < n; q += 7) {
+    const auto packed = m.dense.row(q);  // row q as an external packed query
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(m.sparse_view.intersection_with_packed(packed, b),
+                m.dense_view.intersection_with_packed(packed, b));
+      EXPECT_EQ(m.sparse_view.hamming_with_packed(packed, b),
+                m.dense_view.hamming_with_packed(packed, b));
+      // And both match the in-store kernels when the query is an indexed row.
+      EXPECT_EQ(m.dense_view.hamming_with_packed(packed, b), m.dense_view.hamming(q, b));
+    }
+  }
+}
+
+// ------------------------------------------------------------- accounting ---
+
+TEST(RowStore, RowBytesReflectsBackendPayload) {
+  const BothBackends m(csr_from_rows(130, {{1, 2, 3}, {}, {0, 129}}));
+  // Dense: 3 words of 8 bytes per row regardless of content.
+  EXPECT_EQ(m.dense_view.row_bytes(0), 24u);
+  EXPECT_EQ(m.dense_view.row_bytes(1), 24u);
+  // Sparse: 4 bytes per stored index.
+  EXPECT_EQ(m.sparse_view.row_bytes(0), 12u);
+  EXPECT_EQ(m.sparse_view.row_bytes(1), 0u);
+  EXPECT_EQ(m.sparse_view.row_bytes(2), 8u);
+  EXPECT_EQ(m.sparse_view.payload_bytes(), 20u);  // 5 indices
+  EXPECT_EQ(m.dense_view.payload_bytes(), 72u);   // 3 rows x 3 words
+}
+
+// ---------------------------------------------------------------- selector ---
+
+TEST(ChooseBackend, ExplicitRequestsPassThrough) {
+  EXPECT_EQ(choose_backend(RowBackend::kDense, 10, 10, 1), RowBackend::kDense);
+  EXPECT_EQ(choose_backend(RowBackend::kSparse, 10, 10, 100), RowBackend::kSparse);
+}
+
+TEST(ChooseBackend, AutoPicksByDensityThreshold) {
+  // 1000 x 1000 cells: nnz 9'999 is 0.9999% (< 1% -> sparse), 10'000 is
+  // exactly the threshold (not below -> dense).
+  EXPECT_EQ(choose_backend(RowBackend::kAuto, 1000, 1000, 9'999), RowBackend::kSparse);
+  EXPECT_EQ(choose_backend(RowBackend::kAuto, 1000, 1000, 10'000), RowBackend::kDense);
+  EXPECT_EQ(choose_backend(RowBackend::kAuto, 10, 10, 50), RowBackend::kDense);
+}
+
+TEST(ChooseBackend, EmptyMatrixResolvesSparse) {
+  EXPECT_EQ(choose_backend(RowBackend::kAuto, 0, 0, 0), RowBackend::kSparse);
+  EXPECT_EQ(choose_backend(RowBackend::kAuto, 5, 0, 0), RowBackend::kSparse);
+}
+
+TEST(RowBackendNames, ToString) {
+  EXPECT_EQ(to_string(RowBackend::kAuto), "auto");
+  EXPECT_EQ(to_string(RowBackend::kDense), "dense");
+  EXPECT_EQ(to_string(RowBackend::kSparse), "sparse");
+}
+
+// ------------------------------------------------------------- conversions ---
+
+TEST(RowStore, ToCsrRoundTripsEitherBackend) {
+  const BothBackends m(csr_from_rows(70, {{1, 2}, {}, {64, 69}}));
+  EXPECT_EQ(m.sparse_view.to_csr(), m.sparse);
+  EXPECT_EQ(m.dense_view.to_csr(), m.sparse);
+  EXPECT_EQ(RowStore{}.to_csr(), CsrMatrix{});
+}
+
+TEST(RowStore, ShapeAccessors) {
+  const BothBackends m(csr_from_rows(70, {{1}, {2, 3}}));
+  for (const RowStore& view : {m.sparse_view, m.dense_view}) {
+    EXPECT_EQ(view.rows(), 2u);
+    EXPECT_EQ(view.cols(), 70u);
+  }
+  EXPECT_TRUE(m.sparse_view.is_sparse());
+  EXPECT_FALSE(m.dense_view.is_sparse());
+  EXPECT_EQ(RowStore{}.rows(), 0u);
+  EXPECT_EQ(RowStore{}.cols(), 0u);
+}
+
+TEST(CsrMatrix, GatherRowsCopiesSelection) {
+  const CsrMatrix m = csr_from_rows(50, {{1, 2}, {3}, {}, {4, 5, 6}});
+  const std::vector<std::size_t> selected = {3, 0, 2};
+  const CsrMatrix g = CsrMatrix::gather_rows(m, selected);
+  ASSERT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 50u);
+  EXPECT_EQ(g.nnz(), 5u);
+  EXPECT_EQ(std::vector<std::uint32_t>(g.row(0).begin(), g.row(0).end()),
+            (std::vector<std::uint32_t>{4, 5, 6}));
+  EXPECT_EQ(std::vector<std::uint32_t>(g.row(1).begin(), g.row(1).end()),
+            (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_TRUE(g.row(2).empty());
+}
+
+}  // namespace
+}  // namespace rolediet::linalg

@@ -20,9 +20,27 @@ TEST(DegreeSummary, KnownDistribution) {
   EXPECT_EQ(s.min, 0u);
   EXPECT_EQ(s.max, 10u);
   EXPECT_DOUBLE_EQ(s.mean, 3.8);
-  EXPECT_EQ(s.p50, 4u);  // sorted: 0 0 1 2 3 4 5 6 7 10 -> index 5
-  EXPECT_EQ(s.p90, 10u);
+  // Nearest-rank: sorted 0 0 1 2 3 4 5 6 7 10; p50 = ceil(0.5*10)-1 = index 4,
+  // p90 = ceil(0.9*10)-1 = index 8 (the 9th value, not the maximum).
+  EXPECT_EQ(s.p50, 3u);
+  EXPECT_EQ(s.p90, 7u);
   EXPECT_EQ(s.zeros, 2u);
+}
+
+TEST(DegreeSummary, NearestRankPinned) {
+  // n = 10: p90 is the 9th order statistic, never the max (the old
+  // degrees[(9n)/10] indexing picked index 9 here).
+  const DegreeSummary ten = DegreeSummary::from({1, 2, 3, 4, 5, 6, 7, 8, 9, 100});
+  EXPECT_EQ(ten.p50, 5u);   // ceil(5) - 1 = index 4
+  EXPECT_EQ(ten.p90, 9u);   // ceil(9) - 1 = index 8
+  // n = 5: p90 = ceil(4.5) - 1 = index 4 (the max, legitimately).
+  const DegreeSummary five = DegreeSummary::from({10, 20, 30, 40, 50});
+  EXPECT_EQ(five.p50, 30u);  // ceil(2.5) - 1 = index 2
+  EXPECT_EQ(five.p90, 50u);
+  // n = 2: p50 is the lower of the two under nearest-rank.
+  const DegreeSummary two = DegreeSummary::from({3, 9});
+  EXPECT_EQ(two.p50, 3u);
+  EXPECT_EQ(two.p90, 9u);
 }
 
 TEST(DegreeSummary, SingleValue) {
