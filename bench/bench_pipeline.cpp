@@ -1,0 +1,206 @@
+// Pipeline observability bench: phase timings + finder work stats on the
+// Fig. 3 workload, written as machine-readable JSON (BENCH_pipeline.json).
+//
+// Unlike the figure benches (human-diffable text tables), this one exists so
+// CI can archive one JSON artifact per commit and regressions in either wall
+// time or work volume (pairs evaluated / matched per phase) are visible as a
+// data series. Work counters are deterministic across thread counts and
+// backends (see methods/method_common.hpp), so only the seconds fields should
+// move between commits on the same machine.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/framework.hpp"
+#include "io/json_writer.hpp"
+#include "util/timer.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+namespace {
+
+struct PipelineConfig {
+  std::size_t runs = 3;
+  std::size_t roles = 2000;
+  std::size_t threads = 1;
+  std::string out_path = "BENCH_pipeline.json";
+
+  static PipelineConfig parse(int argc, char** argv) {
+    PipelineConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.runs = 1;
+        config.roles = 800;
+      } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+        config.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--roles") == 0 && i + 1 < argc) {
+        config.roles = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--runs N] [--roles N] [--threads N] [--out F]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// Fig. 3 shape (§IV-A): 1,000 users/permissions, cluster proportion 0.2, at
+/// most 10 identical roles per cluster. RUAM and RPAM use different seeds so
+/// the four audit phases see distinct inputs.
+core::RbacDataset fig3_dataset(std::size_t roles) {
+  gen::MatrixGenParams params;
+  params.roles = roles;
+  params.cols = 1000;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.seed = 3000 + roles;
+  const linalg::CsrMatrix ruam = gen::generate_matrix(params).matrix;
+  params.seed = 7000 + roles;
+  const linalg::CsrMatrix rpam = gen::generate_matrix(params).matrix;
+
+  core::RbacDataset dataset;
+  dataset.add_users(ruam.cols());
+  dataset.add_permissions(rpam.cols());
+  dataset.add_roles(roles);
+  for (std::size_t r = 0; r < roles; ++r) {
+    for (std::uint32_t u : ruam.row(r)) dataset.assign_user(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : rpam.row(r)) dataset.grant_permission(static_cast<core::Id>(r), p);
+  }
+  return dataset;
+}
+
+void write_phase(io::JsonWriter& w, const char* name, double mean_seconds,
+                 const core::PhaseTiming& timing, const core::FinderWorkStats& work) {
+  w.key(name);
+  w.begin_object();
+  w.key("seconds");
+  w.value(mean_seconds);
+  w.key("timed_out");
+  w.value(timing.timed_out);
+  w.key("work");
+  w.begin_object();
+  w.key("rows_processed");
+  w.value(work.rows_processed);
+  w.key("pairs_evaluated");
+  w.value(work.pairs_evaluated);
+  w.key("pairs_matched");
+  w.value(work.pairs_matched);
+  w.key("merges");
+  w.value(work.merges);
+  w.key("merge_conflicts");
+  w.value(work.merge_conflicts);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const PipelineConfig config = PipelineConfig::parse(argc, argv);
+
+  std::printf("=== pipeline bench: per-phase timings + work stats (Fig. 3 workload) ===\n");
+  std::printf("roles=%zu users=1000 threads=%zu runs=%zu -> %s\n\n", config.roles, config.threads,
+              config.runs, config.out_path.c_str());
+
+  const core::RbacDataset dataset = fig3_dataset(config.roles);
+
+  const std::vector<core::Method> methods{core::Method::kExactDbscan, core::Method::kApproxHnsw,
+                                          core::Method::kApproxMinhash, core::Method::kRoleDiet};
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("pipeline");
+  w.key("workload");
+  w.begin_object();
+  w.key("figure");
+  w.value("fig3");
+  w.key("roles");
+  w.value(static_cast<std::uint64_t>(config.roles));
+  w.key("users");
+  w.value(std::uint64_t{1000});
+  w.key("permissions");
+  w.value(std::uint64_t{1000});
+  w.end_object();
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(config.threads));
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(config.runs));
+  w.key("methods");
+  w.begin_array();
+
+  for (core::Method method : methods) {
+    core::AuditOptions options;
+    options.method = method;
+    options.threads = config.threads;
+
+    // Mean phase seconds over `runs` repetitions; work stats are taken from
+    // the last run (they are identical across runs by the determinism
+    // contract).
+    core::AuditReport report;
+    double structural = 0.0, same_users = 0.0, same_perms = 0.0;
+    double similar_users = 0.0, similar_perms = 0.0;
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      report = core::audit(dataset, options);
+      structural += report.structural_time.seconds;
+      same_users += report.same_users_time.seconds;
+      same_perms += report.same_permissions_time.seconds;
+      similar_users += report.similar_users_time.seconds;
+      similar_perms += report.similar_permissions_time.seconds;
+    }
+    const double norm = 1.0 / static_cast<double>(config.runs);
+
+    w.begin_object();
+    w.key("method");
+    w.value(report.method_name);
+    w.key("phases");
+    w.begin_object();
+    w.key("structural");
+    w.begin_object();
+    w.key("seconds");
+    w.value(structural * norm);
+    w.key("timed_out");
+    w.value(report.structural_time.timed_out);
+    w.end_object();
+    write_phase(w, "same_users", same_users * norm, report.same_users_time,
+                report.same_users_work);
+    write_phase(w, "same_permissions", same_perms * norm, report.same_permissions_time,
+                report.same_permissions_work);
+    write_phase(w, "similar_users", similar_users * norm, report.similar_users_time,
+                report.similar_users_work);
+    write_phase(w, "similar_permissions", similar_perms * norm, report.similar_permissions_time,
+                report.similar_permissions_work);
+    w.end_object();
+    w.key("total_seconds");
+    w.value((structural + same_users + same_perms + similar_users + similar_perms) * norm);
+    w.end_object();
+
+    std::printf("%-14s total %7.3f s  (same-users %.3f s, %zu pairs evaluated / %zu matched)\n",
+                report.method_name.c_str(),
+                (structural + same_users + same_perms + similar_users + similar_perms) * norm,
+                same_users * norm, report.same_users_work.pairs_evaluated,
+                report.same_users_work.pairs_matched);
+    std::fflush(stdout);
+  }
+
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("\nwrote %s\n", config.out_path.c_str());
+  return 0;
+}

@@ -21,4 +21,10 @@ for b in bench_thread_sweep bench_density_sweep bench_convergence bench_ablation
   ./build/bench/$b >> "$out" 2>&1
   echo "" >> "$out"
 done
+# Machine-readable per-phase timings + work stats (Fig. 3 workload):
+# BENCH_pipeline.json is the artifact CI archives per commit.
+echo "############ bench_pipeline (threads=$threads) ############" >> "$out"
+./build/bench/bench_pipeline --threads "$threads" --out /root/repo/BENCH_pipeline.json \
+  >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

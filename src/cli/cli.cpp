@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <cmath>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -114,16 +115,22 @@ void write_text_file(const std::string& path, const std::string& content) {
 int cmd_audit(Args& args, std::ostream& out) {
   core::AuditOptions options;
   if (auto method = args.take_option("--method")) options.method = parse_method(*method);
-  if (auto threshold = args.take_option("--threshold"))
+  if (auto threshold = args.take_option("--threshold")) {
+    if (!threshold->empty() && threshold->front() == '-')
+      throw UsageError("--threshold must be >= 0 (got '" + *threshold + "')");
     options.similarity_threshold = parse_size(*threshold, "--threshold");
+  }
   if (auto jaccard = args.take_option("--jaccard")) {
     options.similarity_mode = core::SimilarityMode::kJaccard;
     options.jaccard_dissimilarity = parse_double(*jaccard, "--jaccard");
     if (options.jaccard_dissimilarity < 0.0 || options.jaccard_dissimilarity > 1.0)
       throw UsageError("--jaccard must be within [0, 1]");
   }
-  if (auto budget = args.take_option("--budget"))
+  if (auto budget = args.take_option("--budget")) {
     options.time_budget_s = parse_double(*budget, "--budget");
+    if (!std::isfinite(options.time_budget_s) || options.time_budget_s < 0.0)
+      throw UsageError("--budget must be >= 0 seconds (0 = unlimited; got '" + *budget + "')");
+  }
   if (auto threads = args.take_option("--threads"))
     options.threads = parse_size(*threads, "--threads");
   if (auto backend = args.take_option("--backend")) options.backend = parse_backend(*backend);
@@ -345,7 +352,9 @@ int cmd_help(std::ostream& out) {
          "  audit DIR      detect all five inefficiency types; options:\n"
          "                 --method role-diet|exact-dbscan|approx-hnsw\n"
          "                 --threshold N (hamming) | --jaccard F (relative)\n"
-         "                 --budget SECONDS  --json FILE  --csv FILE\n"
+         "                 --budget SECONDS (hard deadline: an over-budget\n"
+         "                 phase stops mid-phase and reports partial groups)\n"
+         "                 --json FILE  --csv FILE\n"
          "                 --threads N (1 = sequential, 0 = all cores;\n"
          "                 groups are identical at every thread count)\n"
          "                 --backend auto|dense|sparse (row-kernel backend;\n"

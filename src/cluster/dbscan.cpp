@@ -32,6 +32,7 @@ std::vector<std::size_t> region_query(const linalg::RowStore& points, std::size_
 /// phase across cores before the (inherently sequential) expansion phase.
 std::vector<std::vector<std::size_t>> all_region_queries(const linalg::RowStore& points,
                                                          const DbscanParams& params,
+                                                         const util::ExecutionContext& ctx,
                                                          std::size_t& queries_out) {
   std::vector<std::vector<std::size_t>> neighborhoods(points.rows());
   std::atomic<std::size_t> queries{0};
@@ -39,10 +40,13 @@ std::vector<std::vector<std::size_t>> all_region_queries(const linalg::RowStore&
   par.parallel_for(
       points.rows(),
       [&](std::size_t begin, std::size_t end) {
+        std::size_t done = 0;
         for (std::size_t i = begin; i < end; ++i) {
+          if (ctx.expired()) break;
           neighborhoods[i] = region_query(points, i, params);
+          ++done;
         }
-        queries.fetch_add(end - begin, std::memory_order_relaxed);
+        queries.fetch_add(done, std::memory_order_relaxed);
       },
       /*grain=*/64);  // each item is an O(n) scan; fine-grained chunks pay off
   queries_out = queries.load();
@@ -123,12 +127,14 @@ class InvertedIndexQuerier {
 std::vector<std::vector<std::size_t>> DbscanResult::clusters() const {
   std::vector<std::vector<std::size_t>> out(n_clusters);
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (labels[i] != kNoise) out[static_cast<std::size_t>(labels[i])].push_back(i);
+    // >= 0 also skips unvisited points (-2), left behind by a cancelled run.
+    if (labels[i] >= 0) out[static_cast<std::size_t>(labels[i])].push_back(i);
   }
   return out;
 }
 
-DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params) {
+DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params,
+                    const util::ExecutionContext& ctx) {
   const std::size_t n = points.rows();
   constexpr std::int32_t kUnvisited = -2;
 
@@ -142,7 +148,9 @@ DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params) 
   // Optional precomputation of all neighborhoods (parallel mode, brute only).
   std::vector<std::vector<std::size_t>> precomputed;
   const bool use_precomputed = !indexed && params.threads != 1;
-  if (use_precomputed) precomputed = all_region_queries(points, params, result.region_queries);
+  if (use_precomputed) {
+    precomputed = all_region_queries(points, params, ctx, result.region_queries);
+  }
 
   std::optional<InvertedIndexQuerier> index;
   if (indexed) index.emplace(points, params.eps);
@@ -159,6 +167,7 @@ DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params) 
   std::deque<std::size_t> seeds;
 
   for (std::size_t p = 0; p < n; ++p) {
+    if (ctx.expired()) break;
     if (result.labels[p] != kUnvisited) continue;
 
     std::vector<std::size_t> neighborhood = neighbors_of(p);
@@ -173,6 +182,7 @@ DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params) 
     seeds.assign(neighborhood.begin(), neighborhood.end());
 
     while (!seeds.empty()) {
+      if (ctx.expired()) break;  // cluster stays partial — never a false merge
       const std::size_t q = seeds.front();
       seeds.pop_front();
 

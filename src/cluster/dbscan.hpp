@@ -20,6 +20,7 @@
 
 #include "cluster/metric.hpp"
 #include "linalg/row_store.hpp"
+#include "util/execution_context.hpp"
 
 namespace rolediet::cluster {
 
@@ -65,8 +66,8 @@ struct DbscanResult {
 
   static constexpr std::int32_t kNoise = -1;
 
-  /// Points grouped by label (noise excluded); group g holds the points with
-  /// label g, in increasing point order.
+  /// Points grouped by label (noise and unvisited excluded); group g holds
+  /// the points with label g, in increasing point order.
   [[nodiscard]] std::vector<std::vector<std::size_t>> clusters() const;
 };
 
@@ -75,6 +76,17 @@ struct DbscanResult {
 /// seeded in index order, so label assignment is reproducible, and every
 /// kernel returns the same integers on both backends, so labels and work
 /// counters are backend-independent too.
-[[nodiscard]] DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params);
+///
+/// `ctx` is checked once per region query: when it expires mid-run the scan
+/// stops, unvisited points keep a negative label, and every cluster already
+/// emitted contains only genuinely density-connected points (clusters are
+/// grown one verified neighborhood at a time, so a truncated run never
+/// fabricates a merge — it can only leave clusters unfinished).
+[[nodiscard]] DbscanResult dbscan(const linalg::RowStore& points, const DbscanParams& params,
+                                  const util::ExecutionContext& ctx);
+[[nodiscard]] inline DbscanResult dbscan(const linalg::RowStore& points,
+                                         const DbscanParams& params) {
+  return dbscan(points, params, util::unlimited_context());
+}
 
 }  // namespace rolediet::cluster

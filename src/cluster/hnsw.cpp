@@ -233,11 +233,15 @@ void HnswIndex::add_with_level(std::size_t id, int level) {
   }
 }
 
-void HnswIndex::add_all() {
-  for (std::size_t id = 0; id < points_.rows(); ++id) add(id);
+void HnswIndex::add_all(const util::ExecutionContext& ctx) {
+  for (std::size_t id = 0; id < points_.rows(); ++id) {
+    if (ctx.expired()) break;
+    add(id);
+  }
 }
 
-void HnswIndex::add_all_parallel(std::size_t threads, std::size_t batch_size) {
+void HnswIndex::add_all_parallel(std::size_t threads, std::size_t batch_size,
+                                 const util::ExecutionContext& ctx) {
   if (!nodes_.empty())
     throw std::invalid_argument("HnswIndex::add_all_parallel: index must be empty");
   const std::size_t n = points_.rows();
@@ -259,6 +263,7 @@ void HnswIndex::add_all_parallel(std::size_t threads, std::size_t batch_size) {
   };
 
   for (std::size_t next = 1; next < n; next += batch_size) {
+    if (ctx.expired()) break;  // stop at a batch boundary; the graph is valid
     const std::size_t batch_end = std::min(n, next + batch_size);
     const std::size_t batch = batch_end - next;
     const int snapshot_max = max_level_;

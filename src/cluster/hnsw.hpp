@@ -28,6 +28,7 @@
 
 #include "cluster/metric.hpp"
 #include "linalg/row_store.hpp"
+#include "util/execution_context.hpp"
 #include "util/prng.hpp"
 
 namespace rolediet::cluster {
@@ -62,8 +63,10 @@ class HnswIndex {
   /// Inserts point `id` (a row of the matrix). Each id may be added once.
   void add(std::size_t id);
 
-  /// Builds the index over all rows in index order.
-  void add_all();
+  /// Builds the index over all rows in index order. `ctx` is checked once
+  /// per insert: a cancelled build leaves a valid index over the rows added
+  /// so far (searches simply cannot reach the missing rows).
+  void add_all(const util::ExecutionContext& ctx = util::unlimited_context());
 
   /// Batch-synchronous parallel construction over all rows (index must be
   /// empty). Rows are inserted in fixed batches of `batch_size`; within a
@@ -79,7 +82,11 @@ class HnswIndex {
   /// counts build byte-identical indexes. It differs from add_all()'s graph,
   /// though, because batch members do not see one another during search;
   /// recall characteristics stay comparable (anchors still span the graph).
-  void add_all_parallel(std::size_t threads, std::size_t batch_size = 64);
+  ///
+  /// `ctx` is checked once per batch; a cancelled build stops at the last
+  /// completed batch boundary and leaves a valid index over those rows.
+  void add_all_parallel(std::size_t threads, std::size_t batch_size = 64,
+                        const util::ExecutionContext& ctx = util::unlimited_context());
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 

@@ -18,7 +18,8 @@ std::uint64_t slot_hash(std::uint64_t slot_key, std::uint32_t element) noexcept 
 
 }  // namespace
 
-MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params)
+MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params,
+                       const util::ExecutionContext& ctx)
     : params_(params) {
   const std::size_t k = params_.signature_size();
 
@@ -36,6 +37,7 @@ MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params)
       rows.rows(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
+          if (ctx.expired()) break;  // unsigned rows stay empty; banding skips them
           auto& sig = signatures_[r];
           sig.assign(k, kEmptySlot);
           rows.for_each_set(r, [&](std::uint32_t element) {
@@ -57,10 +59,12 @@ MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params)
       params_.bands,
       [&](std::size_t band_begin, std::size_t band_end) {
         for (std::size_t band = band_begin; band < band_end; ++band) {
+          if (ctx.expired()) break;  // drop whole bands: fewer candidates, never wrong ones
           auto& bucket = band_buckets_[band];
           for (std::size_t r = 0; r < rows.rows(); ++r) {
             if (rows.row_size(r) == 0) continue;
             const auto& sig = signatures_[r];
+            if (sig.size() < k) continue;  // row skipped by a cancelled signature pass
             std::uint64_t digest = 0x243F6A8885A308D3ULL ^ util::mix64(band);
             for (std::size_t i = 0; i < params_.rows_per_band; ++i) {
               digest ^= util::mix64(sig[band * params_.rows_per_band + i] + i);

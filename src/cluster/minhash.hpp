@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "linalg/row_store.hpp"
+#include "util/execution_context.hpp"
 #include "util/prng.hpp"
 
 namespace rolediet::cluster {
@@ -50,7 +51,11 @@ struct MinHashParams {
 class MinHashLsh {
  public:
   /// Computes all signatures and the band buckets. O(nnz * signature_size).
-  MinHashLsh(const linalg::RowStore& rows, MinHashParams params);
+  /// `ctx` is checked per row (signatures) and per band (bucketing): a
+  /// cancelled build indexes fewer rows/bands, which can only shrink the
+  /// candidate set — never corrupt it.
+  MinHashLsh(const linalg::RowStore& rows, MinHashParams params,
+             const util::ExecutionContext& ctx = util::unlimited_context());
 
   [[nodiscard]] std::size_t size() const noexcept { return signatures_.size(); }
   [[nodiscard]] const MinHashParams& params() const noexcept { return params_; }

@@ -1,7 +1,9 @@
 #include "core/framework.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/methods/approx.hpp"
 #include "core/methods/cooccurrence.hpp"
@@ -47,20 +49,20 @@ std::unique_ptr<GroupFinder> make_group_finder(Method method, const GroupFinderO
 }
 
 double AuditReport::total_seconds() const noexcept {
-  double total = structural_time.seconds;
-  for (const PhaseTiming* phase :
-       {&same_users_time, &same_permissions_time, &similar_users_time,
-        &similar_permissions_time}) {
-    if (!phase->timed_out) total += phase->seconds;
-  }
-  return total;
+  // Timed-out phases count too: a phase the budget stopped mid-flight
+  // consumed real wall time (skipped phases contribute their 0).
+  return structural_time.seconds + same_users_time.seconds + same_permissions_time.seconds +
+         similar_users_time.seconds + similar_permissions_time.seconds;
 }
 
 std::string AuditReport::to_text() const {
   std::ostringstream out;
-  auto phase_note = [](const PhaseTiming& t) {
-    return t.timed_out ? std::string(" [skipped: time budget exhausted]")
-                       : " (" + util::format_duration(t.seconds) + ")";
+  auto phase_note = [](const PhaseTiming& t) -> std::string {
+    if (!t.timed_out) return " (" + util::format_duration(t.seconds) + ")";
+    if (t.seconds > 0.0) {
+      return " [timed out after " + util::format_duration(t.seconds) + ": partial groups]";
+    }
+    return " [skipped: time budget exhausted]";
   };
 
   out << "RBAC inefficiency audit (method: " << method_name << ")\n";
@@ -115,7 +117,26 @@ std::string AuditReport::to_text() const {
   return out.str();
 }
 
+namespace {
+
+/// Library-level mirror of the CLI flag checks (cli.cpp keeps its own
+/// messages): misconfigured options fail loudly instead of silently running
+/// with, say, a negative budget treated as "unlimited".
+void validate(const AuditOptions& options) {
+  if (!(options.jaccard_dissimilarity >= 0.0 && options.jaccard_dissimilarity <= 1.0)) {
+    throw std::invalid_argument(
+        "audit: AuditOptions::jaccard_dissimilarity must be within [0, 1]");
+  }
+  if (!std::isfinite(options.time_budget_s) || options.time_budget_s < 0.0) {
+    throw std::invalid_argument(
+        "audit: AuditOptions::time_budget_s must be finite and >= 0 (0 = unlimited)");
+  }
+}
+
+}  // namespace
+
 AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
+  validate(options);
   AuditReport report;
   report.num_users = dataset.num_users();
   report.num_roles = dataset.num_roles();
@@ -130,7 +151,11 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
   const std::unique_ptr<GroupFinder> finder = make_group_finder(options.method, finder_options);
   report.method_name = finder->name();
 
-  util::Stopwatch total_watch;
+  // The deadline starts before the structural phase so the budget covers the
+  // whole audit, matching the previous total-stopwatch semantics. The
+  // structural detectors are linear-time and not checkpointed; only the
+  // group-finding phases observe the context.
+  const util::ExecutionContext ctx(options.time_budget_s);
 
   {
     util::Stopwatch watch;
@@ -143,41 +168,47 @@ AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
     report.structural_time.seconds = watch.seconds();
   }
 
-  // Group-finding phases. A phase runs only while the total budget is not
-  // yet exhausted; once exceeded, remaining phases are marked timed-out
-  // (the paper halted the baselines after 24 h on the real dataset).
-  auto budget_left = [&] {
-    return options.time_budget_s <= 0.0 || total_watch.seconds() < options.time_budget_s;
-  };
+  // Group-finding phases under one shared deadline covering the whole audit
+  // (the paper halted the baselines after 24 h on the real dataset). The
+  // context is threaded into every finder call and checked at region-query /
+  // candidate-batch granularity, so an over-budget phase stops *mid-phase*:
+  // its groups so far (verified true positives only) are reported and the
+  // phase is marked timed-out. Phases that never get to start are skipped
+  // (timed-out with zero seconds and empty groups), as before.
   auto run_phase = [&](PhaseTiming& timing, RoleGroups& out, FinderWorkStats& work,
                        auto&& compute) {
-    if (!budget_left()) {
+    if (ctx.expired()) {
       timing.timed_out = true;
       return;
     }
     util::Stopwatch watch;
-    out = compute();
+    out = compute(ctx);
     timing.seconds = watch.seconds();
     work = finder->last_work();
+    // interrupted() latches on the first checkpoint that observes expiry, so
+    // a phase that ran is partial iff the context tripped by now.
+    timing.timed_out = ctx.interrupted();
   };
 
   run_phase(report.same_users_time, report.same_user_groups, report.same_users_work,
-            [&] { return finder->find_same(dataset.ruam()); });
+            [&](const util::ExecutionContext& c) { return finder->find_same(dataset.ruam(), c); });
   run_phase(report.same_permissions_time, report.same_permission_groups,
-            report.same_permissions_work, [&] { return finder->find_same(dataset.rpam()); });
+            report.same_permissions_work,
+            [&](const util::ExecutionContext& c) { return finder->find_same(dataset.rpam(), c); });
 
   if (options.detect_similar) {
-    auto find_similar_in = [&](const linalg::CsrMatrix& matrix) {
+    auto find_similar_in = [&](const linalg::CsrMatrix& matrix, const util::ExecutionContext& c) {
       if (options.similarity_mode == SimilarityMode::kJaccard) {
-        return finder->find_similar_jaccard(matrix,
-                                            jaccard_threshold(options.jaccard_dissimilarity));
+        return finder->find_similar_jaccard(
+            matrix, jaccard_threshold(options.jaccard_dissimilarity), c);
       }
-      return finder->find_similar(matrix, options.similarity_threshold);
+      return finder->find_similar(matrix, options.similarity_threshold, c);
     };
     run_phase(report.similar_users_time, report.similar_user_groups, report.similar_users_work,
-              [&] { return find_similar_in(dataset.ruam()); });
+              [&](const util::ExecutionContext& c) { return find_similar_in(dataset.ruam(), c); });
     run_phase(report.similar_permissions_time, report.similar_permission_groups,
-              report.similar_permissions_work, [&] { return find_similar_in(dataset.rpam()); });
+              report.similar_permissions_work,
+              [&](const util::ExecutionContext& c) { return find_similar_in(dataset.rpam(), c); });
   } else {
     report.similar_users_time.timed_out = false;
     report.similar_permissions_time.timed_out = false;

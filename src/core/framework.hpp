@@ -38,10 +38,14 @@ struct AuditOptions {
   /// Dissimilarity fraction in [0, 1] used when similarity_mode == kJaccard:
   /// 0.1 groups roles whose user/permission sets overlap by >= 90%.
   double jaccard_dissimilarity = 0.1;
-  /// Wall-clock budget in seconds for each group-finding phase; the phase is
-  /// skipped (marked timed-out) when a *previous* phase of the same audit
-  /// already exceeded the budget. 0 = unlimited. Models the paper's 24-hour
-  /// halt of the baselines on the real dataset.
+  /// Hard wall-clock budget in seconds for the whole audit, enforced through
+  /// a util::ExecutionContext threaded into every group-finding phase. A
+  /// phase that is still running when the budget expires stops at its next
+  /// candidate-batch checkpoint and reports the groups verified so far
+  /// (marked timed-out, seconds > 0); phases not yet started are skipped
+  /// (timed-out, seconds == 0). 0 = unlimited; negative values are rejected
+  /// by audit(). Models the paper's 24-hour halt of the baselines on the
+  /// real dataset.
   double time_budget_s = 0.0;
   /// Worker threads for the group-finding phases, under the library-wide
   /// knob convention in util/thread_pool.hpp (1 = sequential, 0 = shared
@@ -55,7 +59,10 @@ struct AuditOptions {
   linalg::RowBackend backend = linalg::RowBackend::kAuto;
 };
 
-/// Timing of one audit phase, seconds. `timed_out` phases were skipped.
+/// Timing of one audit phase, seconds. A `timed_out` phase either never
+/// started (seconds == 0, groups empty) or was stopped mid-flight by the
+/// budget (seconds > 0, groups partial — verified true positives only, a
+/// co-membership subset of the unbudgeted run's groups).
 struct PhaseTiming {
   double seconds = 0.0;
   bool timed_out = false;
@@ -92,13 +99,15 @@ struct AuditReport {
   PhaseTiming similar_permissions_time;
 
   // Work counters reported by the finder after each group-finding phase
-  // (all zero for phases that were skipped or timed out).
+  // (all zero for skipped phases; partial counts for phases the budget
+  // stopped mid-flight).
   FinderWorkStats same_users_work;
   FinderWorkStats same_permissions_work;
   FinderWorkStats similar_users_work;
   FinderWorkStats similar_permissions_work;
 
-  /// Total wall time of all executed phases.
+  /// Total wall time of all phases, including the partial time a budget-
+  /// stopped phase consumed before its checkpoint fired.
   [[nodiscard]] double total_seconds() const noexcept;
 
   /// Roles removable by consolidating type-4 groups (sum of |group|-1 over
@@ -113,6 +122,11 @@ struct AuditReport {
 };
 
 /// Runs the full detection framework over `dataset`.
+///
+/// Validates `options` up front — throws std::invalid_argument when
+/// jaccard_dissimilarity is outside [0, 1] or time_budget_s is negative or
+/// non-finite — so library callers get the same guardrails the CLI enforces
+/// on its flags.
 [[nodiscard]] AuditReport audit(const RbacDataset& dataset, const AuditOptions& options = {});
 
 }  // namespace rolediet::core

@@ -20,6 +20,7 @@
 #include "core/taxonomy.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "linalg/row_store.hpp"
+#include "util/execution_context.hpp"
 
 namespace rolediet::core {
 
@@ -49,12 +50,28 @@ class GroupFinder {
   [[nodiscard]] virtual FinderWorkStats last_work() const noexcept { return {}; }
 
   /// Groups of roles with identical (non-empty) row sets.
-  [[nodiscard]] virtual RoleGroups find_same(const linalg::CsrMatrix& matrix) const = 0;
+  ///
+  /// Every find_* runs under an ExecutionContext checked at region-query /
+  /// candidate-batch granularity: once `ctx` expires mid-run the method stops
+  /// generating candidates and returns the groups verified so far — always a
+  /// subset (at the co-membership-pair level) of the uncancelled run's groups,
+  /// because only exactly-verified pairs are ever united. The context-free
+  /// overloads run unlimited.
+  [[nodiscard]] virtual RoleGroups find_same(const linalg::CsrMatrix& matrix,
+                                             const util::ExecutionContext& ctx) const = 0;
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const {
+    return find_same(matrix, util::unlimited_context());
+  }
 
   /// Groups of roles whose row sets are within Hamming distance
   /// `max_hamming` of another group member (transitively closed).
   [[nodiscard]] virtual RoleGroups find_similar(const linalg::CsrMatrix& matrix,
-                                                std::size_t max_hamming) const = 0;
+                                                std::size_t max_hamming,
+                                                const util::ExecutionContext& ctx) const = 0;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
+                                        std::size_t max_hamming) const {
+    return find_similar(matrix, max_hamming, util::unlimited_context());
+  }
 
   /// Relative variant of type-5 detection: groups of roles within scaled
   /// Jaccard dissimilarity `max_scaled` (0 = identical sets,
@@ -64,8 +81,13 @@ class GroupFinder {
   /// users" == max_scaled 100'000) is the natural generalization for large
   /// roles. All three methods compute bit-identical scaled distances, so the
   /// exact methods agree exactly here too.
-  [[nodiscard]] virtual RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                        std::size_t max_scaled) const = 0;
+  [[nodiscard]] virtual RoleGroups find_similar_jaccard(
+      const linalg::CsrMatrix& matrix, std::size_t max_scaled,
+      const util::ExecutionContext& ctx) const = 0;
+  [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
+                                                std::size_t max_scaled) const {
+    return find_similar_jaccard(matrix, max_scaled, util::unlimited_context());
+  }
 };
 
 /// Converts a human-friendly dissimilarity fraction in [0, 1] to the scaled

@@ -1,16 +1,14 @@
 #include "core/methods/approx.hpp"
 
-#include <atomic>
-#include <mutex>
+#include <algorithm>
 
-#include "cluster/union_find.hpp"
 #include "core/methods/method_common.hpp"
-#include "util/thread_pool.hpp"
 
 namespace rolediet::core::methods {
 
 RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t radius,
-                                cluster::MetricKind metric) const {
+                                cluster::MetricKind metric,
+                                const util::ExecutionContext& ctx) const {
   const std::vector<std::size_t> selected = nonempty_rows(matrix);
   const SelectedRowStore rows = select_row_store(matrix, selected, options_.backend);
 
@@ -19,68 +17,44 @@ RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t rad
   params.ef_search = std::max(params.ef_search, options_.query_ef);
   cluster::HnswIndex index(rows.store(), params);
   if (options_.build_batch > 0) {
-    index.add_all_parallel(options_.threads, options_.build_batch);
+    index.add_all_parallel(options_.threads, options_.build_batch, ctx);
   } else {
-    index.add_all();
+    index.add_all(ctx);
   }
 
-  // Query fan-out: each chunk unites into a private forest, merged under a
-  // mutex. The united pair set is split-independent (searches are read-only)
-  // and connected components are union-order-independent, so the canonical
-  // groups are byte-identical at every thread count.
+  // Candidate generation: one HNSW range query per row (read-only searches,
+  // so the candidate set is split-independent). Returned distances are exact,
+  // so verification only has to drop the self-hit — the beam may miss true
+  // neighbors (recall < 1) but never fabricates one.
   const std::size_t n = selected.size();
-  cluster::UnionFind forest(n);
-  std::atomic<std::size_t> hits_seen{0};
-  std::atomic<std::size_t> unions_tried{0};
-  std::mutex merge_mutex;
-  util::Parallelism par(options_.threads);
-  par.parallel_for(
-      n,
-      [&](std::size_t begin, std::size_t end) {
-        cluster::UnionFind local(n);
-        // Chunk-local spanning unions (<= n-1): replayed into the shared
-        // forest so the mutex-held merge is O(local merges), not O(n).
-        std::vector<std::pair<std::size_t, std::size_t>> spanning;
-        std::size_t local_hits = 0;
-        std::size_t local_unions = 0;
-        for (std::size_t i = begin; i < end; ++i) {
+  PairPipelineOutcome outcome = pair_pipeline(
+      n, n, options_.threads, /*grain=*/64, ctx,
+      [&] {
+        return [&index, radius](std::size_t i, auto&& emit) {
           for (const cluster::Neighbor& hit : index.range_search(i, radius)) {
-            ++local_hits;
-            if (hit.id != i) {
-              if (local.unite(i, hit.id)) spanning.emplace_back(i, hit.id);
-              ++local_unions;
-            }
+            emit(i, hit.id, hit.dist);
           }
-        }
-        hits_seen.fetch_add(local_hits, std::memory_order_relaxed);
-        unions_tried.fetch_add(local_unions, std::memory_order_relaxed);
-        std::scoped_lock lock(merge_mutex);
-        for (const auto& [a, b] : spanning) forest.unite(a, b);
+        };
       },
-      /*grain=*/64);
+      [](std::size_t i, std::size_t j, std::size_t) { return j != i; });
 
-  RoleGroups out = remap_groups(forest.groups(2), selected);
-  work_ = {};
-  work_.rows_processed = n;
-  work_.pairs_evaluated = hits_seen.load();
-  work_.pairs_matched = unions_tried.load();
-  work_.merges = out.roles_in_groups() - out.group_count();
-  work_.merge_conflicts = work_.pairs_matched - work_.merges;
-  return out;
+  return finalize_pipeline(std::move(outcome), selected, /*rows_processed=*/n, work_);
 }
 
-RoleGroups HnswGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
-  return run(matrix, 0, cluster::MetricKind::kHamming);
+RoleGroups HnswGroupFinder::find_same(const linalg::CsrMatrix& matrix,
+                                      const util::ExecutionContext& ctx) const {
+  return run(matrix, 0, cluster::MetricKind::kHamming, ctx);
 }
 
-RoleGroups HnswGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
-                                         std::size_t max_hamming) const {
-  return run(matrix, max_hamming, cluster::MetricKind::kHamming);
+RoleGroups HnswGroupFinder::find_similar(const linalg::CsrMatrix& matrix, std::size_t max_hamming,
+                                         const util::ExecutionContext& ctx) const {
+  return run(matrix, max_hamming, cluster::MetricKind::kHamming, ctx);
 }
 
 RoleGroups HnswGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                 std::size_t max_scaled) const {
-  return run(matrix, max_scaled, cluster::MetricKind::kJaccard);
+                                                 std::size_t max_scaled,
+                                                 const util::ExecutionContext& ctx) const {
+  return run(matrix, max_scaled, cluster::MetricKind::kJaccard, ctx);
 }
 
 }  // namespace rolediet::core::methods

@@ -48,15 +48,21 @@ class HnswGroupFinder final : public GroupFinder {
 
   [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
-  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
-  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
-                                        std::size_t max_hamming) const override;
+  using GroupFinder::find_same;
+  using GroupFinder::find_similar;
+  using GroupFinder::find_similar_jaccard;
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix,
+                                     const util::ExecutionContext& ctx) const override;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix, std::size_t max_hamming,
+                                        const util::ExecutionContext& ctx) const override;
   [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                std::size_t max_scaled) const override;
+                                                std::size_t max_scaled,
+                                                const util::ExecutionContext& ctx) const override;
 
  private:
   [[nodiscard]] RoleGroups run(const linalg::CsrMatrix& matrix, std::size_t radius,
-                               cluster::MetricKind metric) const;
+                               cluster::MetricKind metric,
+                               const util::ExecutionContext& ctx) const;
 
   Options options_{};
   /// Counters of the latest find_* call (see GroupFinder::last_work).

@@ -1,12 +1,11 @@
 #include "core/methods/cooccurrence.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 
 #include "cluster/metric.hpp"
-#include "cluster/union_find.hpp"
 #include "core/methods/method_common.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,52 +13,25 @@ namespace rolediet::core::methods {
 
 namespace {
 
-/// Result of a (possibly parallel) co-occurrence sweep: the union-find forest
-/// over all rows plus the deterministic work counters accumulated on the way.
-struct SweepOutcome {
-  cluster::UnionFind forest;
-  std::size_t pairs_evaluated = 0;
-  std::size_t pairs_matched = 0;
-};
-
-/// Sweeps the inverted index accumulating g(i, j) for all j > i that share at
-/// least one column with row i, uniting i and j whenever `pred(i, j, g)`
-/// holds.
+/// Stage 1 for the co-occurrence variants: sweeps the inverted index
+/// accumulating g(i, j) for all j > i that share at least one column with
+/// row i, emitting each (i, j, g) into the shared pipeline, where `pred`
+/// verifies it.
 ///
 /// Cost: sum over columns of degree(column)^2 / 2 counter increments — the
 /// sparse equivalent of forming the nonzero upper triangle of C = A A^T.
-///
-/// Parallel mode splits the row range into chunks, each with private scratch
-/// counters and a private union-find; chunk forests merge into the shared
-/// forest under a mutex. The united pair *set* is identical for every split,
-/// and connected components do not depend on union order, so the canonical
-/// groups (and the pair counters) are byte-identical for any thread count.
+/// The scratch counters live in the generator, so each worker chunk gets its
+/// own; the emitted pair set is split-independent.
 template <typename Predicate>
-SweepOutcome sweep_and_unite(const linalg::CsrMatrix& matrix, std::size_t threads,
-                             Predicate&& pred) {
+PairPipelineOutcome cooccurrence_sweep(const linalg::CsrMatrix& matrix, std::size_t threads,
+                                       const util::ExecutionContext& ctx, Predicate&& pred) {
   const std::size_t n = matrix.rows();
   const linalg::CsrMatrix transpose = matrix.transpose();
-
-  SweepOutcome out{cluster::UnionFind(n)};
-  std::atomic<std::size_t> pairs{0};
-  std::atomic<std::size_t> matched{0};
-  std::mutex merge_mutex;
-
-  util::Parallelism par(threads);
-  par.parallel_for(
-      n,
-      [&](std::size_t begin, std::size_t end) {
-        cluster::UnionFind local(n);
-        // Spanning unions of the chunk-local forest (<= n-1 pairs): enough to
-        // reconstruct its components, so the shared merge replays these
-        // instead of scanning all n roots — mutex-held work shrinks from
-        // O(n) to O(local merges).
-        std::vector<std::pair<std::uint32_t, std::uint32_t>> spanning;
-        std::vector<std::uint32_t> count(n, 0);
-        std::vector<std::uint32_t> touched;
-        std::size_t local_pairs = 0;
-        std::size_t local_matched = 0;
-        for (std::size_t i = begin; i < end; ++i) {
+  return pair_pipeline(
+      n, n, threads, /*grain=*/256, ctx,  // over-decompose: later rows see fewer j > i pairs
+      [&] {
+        return [&matrix, &transpose, count = std::vector<std::uint32_t>(matrix.rows(), 0),
+                touched = std::vector<std::uint32_t>()](std::size_t i, auto&& emit) mutable {
           for (std::uint32_t col : matrix.row(i)) {
             for (std::uint32_t j : transpose.row(col)) {
               if (j <= i) continue;
@@ -67,146 +39,122 @@ SweepOutcome sweep_and_unite(const linalg::CsrMatrix& matrix, std::size_t thread
               ++count[j];
             }
           }
-          local_pairs += touched.size();
           for (std::uint32_t j : touched) {
-            if (pred(i, static_cast<std::size_t>(j), static_cast<std::size_t>(count[j]))) {
-              if (local.unite(i, j)) {
-                spanning.emplace_back(static_cast<std::uint32_t>(i), j);
-              }
-              ++local_matched;
-            }
+            emit(i, static_cast<std::size_t>(j), static_cast<std::size_t>(count[j]));
             count[j] = 0;
           }
           touched.clear();
-        }
-        pairs.fetch_add(local_pairs, std::memory_order_relaxed);
-        matched.fetch_add(local_matched, std::memory_order_relaxed);
-        std::scoped_lock lock(merge_mutex);
-        for (const auto& [a, b] : spanning) out.forest.unite(a, b);
+        };
       },
-      /*grain=*/256);  // over-decompose: later rows see fewer j > i pairs
-
-  out.pairs_evaluated = pairs.load();
-  out.pairs_matched = matched.load();
-  return out;
-}
-
-/// Builds canonical groups from the forest and fills the work counters.
-/// `merges` derives from the final groups (spanning unions), so it too is
-/// independent of union order and thread count.
-RoleGroups finalize_groups(SweepOutcome&& sweep, std::size_t rows, FinderWorkStats& work) {
-  RoleGroups out;
-  out.groups = sweep.forest.groups(2);
-  out.normalize();
-  work = {};
-  work.rows_processed = rows;
-  work.pairs_evaluated = sweep.pairs_evaluated;
-  work.pairs_matched = sweep.pairs_matched;
-  work.merges = out.roles_in_groups() - out.group_count();
-  work.merge_conflicts = work.pairs_matched - work.merges;
-  return out;
+      pred);
 }
 
 }  // namespace
 
-RoleGroups RoleDietGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
+RoleGroups RoleDietGroupFinder::find_same(const linalg::CsrMatrix& matrix,
+                                          const util::ExecutionContext& ctx) const {
   switch (options_.same_strategy) {
     case SameStrategy::kRowHash:
-      return find_same_hash(matrix);
+      return find_same_hash(matrix, ctx);
     case SameStrategy::kCooccurrenceMatrix:
-      return find_same_cooccurrence(matrix);
+      return find_same_cooccurrence(matrix, ctx);
   }
   return {};
 }
 
-RoleGroups RoleDietGroupFinder::find_same_hash(const linalg::CsrMatrix& matrix) const {
+RoleGroups RoleDietGroupFinder::find_same_hash(const linalg::CsrMatrix& matrix,
+                                               const util::ExecutionContext& ctx) const {
   const std::size_t n = matrix.rows();
 
   // Digest every row in parallel — disjoint output slots, so any split of the
-  // range produces the same hashes. Bucketing stays sequential: it is O(n)
-  // and visiting rows in index order keeps the class partition deterministic.
+  // range produces the same hashes. The hashed flags keep a cancelled run
+  // from bucketing rows that were never digested (their slots would all read
+  // zero and pile into one pathological bucket).
   std::vector<std::uint64_t> hashes(n);
+  std::vector<std::uint8_t> hashed(n, 0);
   util::Parallelism par(options_.threads);
   par.parallel_for(
       n,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
+          if ((r & 255U) == 0 && ctx.expired()) break;
           if (matrix.row_size(r) > 0) hashes[r] = matrix.row_hash(r);
+          hashed[r] = 1;
         }
       },
       /*grain=*/512);
 
-  // Bucket rows by digest, then split buckets by exact set equality so a
-  // digest collision can never merge distinct roles.
+  // Bucket rows by digest — O(n), sequential, index order. Buckets with a
+  // single member cannot group and are dropped here, exactly as before.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
   buckets.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
-    if (matrix.row_size(r) == 0) continue;
+    if (matrix.row_size(r) == 0 || !hashed[r]) continue;
     buckets[hashes[r]].push_back(r);
   }
-
-  std::size_t comparisons = 0;
-  std::size_t placements = 0;
-  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::vector<std::size_t>> bucket_list;
+  bucket_list.reserve(buckets.size());
   for (auto& [digest, members] : buckets) {
-    if (members.size() < 2) continue;
-    // Partition the bucket into equality classes. Buckets are almost always
-    // a single class; the loop is quadratic only in the bucket size.
-    std::vector<std::vector<std::size_t>> classes;
-    for (std::size_t row : members) {
-      bool placed = false;
-      for (auto& cls : classes) {
-        ++comparisons;
-        if (matrix.rows_equal(cls.front(), row)) {
-          cls.push_back(row);
-          placed = true;
-          ++placements;
-          break;
-        }
-      }
-      if (!placed) classes.push_back({row});
-    }
-    for (auto& cls : classes) {
-      if (cls.size() >= 2) groups.push_back(std::move(cls));
-    }
+    if (members.size() >= 2) bucket_list.push_back(std::move(members));
   }
 
-  RoleGroups out;
-  out.groups = std::move(groups);
-  out.normalize();
-  work_ = {};
-  work_.rows_processed = n;
-  work_.pairs_evaluated = comparisons;
-  work_.pairs_matched = placements;
-  work_.merges = out.roles_in_groups() - out.group_count();
-  work_.merge_conflicts = work_.pairs_matched - work_.merges;
-  return out;
+  // Stage 1 generates candidate pairs per bucket by partitioning it into
+  // equality classes against class representatives; stage 2 verifies with the
+  // exact set comparison, so a digest collision can never merge distinct
+  // roles. The generator branches on the emit verdict — that is what makes
+  // the class structure (and the comparison count) identical to the
+  // sequential partition. Buckets are almost always a single class; the scan
+  // is quadratic only in the bucket size.
+  PairPipelineOutcome outcome = pair_pipeline(
+      bucket_list.size(), n, options_.threads, /*grain=*/64, ctx,
+      [&] {
+        return [&bucket_list, reps = std::vector<std::size_t>()](std::size_t bucket,
+                                                                 auto&& emit) mutable {
+          reps.clear();
+          for (std::size_t row : bucket_list[bucket]) {
+            bool placed = false;
+            for (std::size_t rep : reps) {
+              if (emit(rep, row, 0)) {
+                placed = true;
+                break;
+              }
+            }
+            if (!placed) reps.push_back(row);
+          }
+        };
+      },
+      [&matrix](std::size_t a, std::size_t b, std::size_t) { return matrix.rows_equal(a, b); });
+
+  return finalize_pipeline(std::move(outcome), /*rows_processed=*/n, work_);
 }
 
-RoleGroups RoleDietGroupFinder::find_same_cooccurrence(const linalg::CsrMatrix& matrix) const {
+RoleGroups RoleDietGroupFinder::find_same_cooccurrence(const linalg::CsrMatrix& matrix,
+                                                       const util::ExecutionContext& ctx) const {
   // The paper's indicator: |Ri| = g = |Rj| (empty rows never co-occur, so
   // they are naturally excluded here).
-  SweepOutcome sweep = sweep_and_unite(
-      matrix, options_.threads, [&](std::size_t i, std::size_t j, std::size_t g) {
+  PairPipelineOutcome outcome = cooccurrence_sweep(
+      matrix, options_.threads, ctx, [&](std::size_t i, std::size_t j, std::size_t g) {
         return matrix.row_size(i) == g && matrix.row_size(j) == g;
       });
-  return finalize_groups(std::move(sweep), matrix.rows(), work_);
+  return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 
 RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
-                                             std::size_t max_hamming) const {
-  if (max_hamming == 0) return find_same(matrix);
+                                             std::size_t max_hamming,
+                                             const util::ExecutionContext& ctx) const {
+  if (max_hamming == 0) return find_same(matrix, ctx);
 
   // Pairs sharing at least one column: hamming = |Ri| + |Rj| - 2g.
-  SweepOutcome sweep = sweep_and_unite(
-      matrix, options_.threads, [&](std::size_t i, std::size_t j, std::size_t g) {
+  PairPipelineOutcome outcome = cooccurrence_sweep(
+      matrix, options_.threads, ctx, [&](std::size_t i, std::size_t j, std::size_t g) {
         return matrix.row_size(i) + matrix.row_size(j) - 2 * g <= max_hamming;
       });
 
   // Pairs sharing no column have hamming = |Ri| + |Rj|, which can still be
   // within threshold when both norms are tiny (|Ri|, |Rj| >= 1, so only
   // roles with |R| < max_hamming qualify). A norm-sorted sweep unites every
-  // such pair without computing any distance. Rare rows — stays sequential.
+  // such pair without computing any distance. Rare rows — stays sequential,
+  // feeding the same outcome forest and counters as the main sweep.
   std::vector<std::pair<std::size_t, std::size_t>> tiny;  // (norm, row)
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     const std::size_t norm = matrix.row_size(r);
@@ -214,54 +162,55 @@ RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
   }
   std::sort(tiny.begin(), tiny.end());
   for (std::size_t a = 0; a < tiny.size(); ++a) {
+    if (ctx.expired()) break;
     for (std::size_t b = a + 1; b < tiny.size(); ++b) {
       if (tiny[a].first + tiny[b].first > max_hamming) break;  // norms ascending
-      ++sweep.pairs_evaluated;
-      ++sweep.pairs_matched;
-      sweep.forest.unite(tiny[a].second, tiny[b].second);
+      ++outcome.pairs_evaluated;
+      ++outcome.pairs_matched;
+      outcome.forest.unite(tiny[a].second, tiny[b].second);
     }
   }
 
-  // Empty rows are excluded by definition; drop any group polluted by them.
-  // (Empty rows never co-occur and have norm 0 < 1, so they are never united;
-  // groups() can only contain rows touched by unite calls plus singletons,
-  // and singletons are filtered by min_size = 2 — nothing to drop. Kept as
-  // an invariant comment rather than code.)
-  return finalize_groups(std::move(sweep), matrix.rows(), work_);
+  // Empty rows are excluded by definition; they never co-occur and have norm
+  // 0 < 1, so they are never united — groups() with min_size = 2 cannot
+  // contain them.
+  return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 
 RoleGroups RoleDietGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                     std::size_t max_scaled) const {
-  if (max_scaled == 0) return find_same(matrix);
+                                                     std::size_t max_scaled,
+                                                     const util::ExecutionContext& ctx) const {
+  if (max_scaled == 0) return find_same(matrix, ctx);
 
   if (max_scaled >= cluster::kJaccardScale) {
     // Threshold admits fully disjoint sets: every non-empty row groups with
     // every other (Jaccard distance is at most kJaccardScale by definition).
-    SweepOutcome sweep{cluster::UnionFind(matrix.rows())};
+    PairPipelineOutcome outcome{cluster::UnionFind(matrix.rows())};
     std::ptrdiff_t first = -1;
     for (std::size_t r = 0; r < matrix.rows(); ++r) {
+      if ((r & 255U) == 0 && ctx.expired()) break;
       if (matrix.row_size(r) == 0) continue;
       if (first < 0) {
         first = static_cast<std::ptrdiff_t>(r);
       } else {
-        ++sweep.pairs_evaluated;
-        ++sweep.pairs_matched;
-        sweep.forest.unite(static_cast<std::size_t>(first), r);
+        ++outcome.pairs_evaluated;
+        ++outcome.pairs_matched;
+        outcome.forest.unite(static_cast<std::size_t>(first), r);
       }
     }
-    return finalize_groups(std::move(sweep), matrix.rows(), work_);
+    return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
   }
 
   // Below the ceiling a qualifying pair needs g >= 1, i.e. at least one
   // shared column — exactly the pairs the sweep enumerates. The scaled
   // distance uses the same integer formula as the dense kernel, so the
   // exact methods stay bit-identical.
-  SweepOutcome sweep = sweep_and_unite(
-      matrix, options_.threads, [&](std::size_t i, std::size_t j, std::size_t g) {
+  PairPipelineOutcome outcome = cooccurrence_sweep(
+      matrix, options_.threads, ctx, [&](std::size_t i, std::size_t j, std::size_t g) {
         return cluster::jaccard_scaled_from_counts(matrix.row_size(i), matrix.row_size(j), g) <=
                max_scaled;
       });
-  return finalize_groups(std::move(sweep), matrix.rows(), work_);
+  return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 
 }  // namespace rolediet::core::methods

@@ -63,19 +63,26 @@ class RoleDietGroupFinder final : public GroupFinder {
 
   [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
-  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
-  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
-                                        std::size_t max_hamming) const override;
+  using GroupFinder::find_same;
+  using GroupFinder::find_similar;
+  using GroupFinder::find_similar_jaccard;
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix,
+                                     const util::ExecutionContext& ctx) const override;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix, std::size_t max_hamming,
+                                        const util::ExecutionContext& ctx) const override;
   /// Relative similarity via the same sparse sweep: Jaccard dissimilarity is
   /// a function of (|Ri|, |Rj|, g) only, and any pair below the
   /// kJaccardScale ceiling shares at least one column, so the inverted-index
   /// sweep finds every qualifying pair — exact, like the Hamming variant.
   [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                std::size_t max_scaled) const override;
+                                                std::size_t max_scaled,
+                                                const util::ExecutionContext& ctx) const override;
 
  private:
-  [[nodiscard]] RoleGroups find_same_hash(const linalg::CsrMatrix& matrix) const;
-  [[nodiscard]] RoleGroups find_same_cooccurrence(const linalg::CsrMatrix& matrix) const;
+  [[nodiscard]] RoleGroups find_same_hash(const linalg::CsrMatrix& matrix,
+                                          const util::ExecutionContext& ctx) const;
+  [[nodiscard]] RoleGroups find_same_cooccurrence(const linalg::CsrMatrix& matrix,
+                                                  const util::ExecutionContext& ctx) const;
 
   Options options_{};
   /// Counters of the latest find_* call (see GroupFinder::last_work).

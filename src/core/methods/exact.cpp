@@ -1,49 +1,62 @@
 #include "core/methods/exact.hpp"
 
-#include "cluster/dbscan.hpp"
+#include "cluster/metric.hpp"
 #include "core/methods/method_common.hpp"
 
 namespace rolediet::core::methods {
 
 RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t eps,
-                                  cluster::MetricKind metric) const {
+                                  cluster::MetricKind metric,
+                                  const util::ExecutionContext& ctx) const {
   const std::vector<std::size_t> selected = nonempty_rows(matrix);
   const SelectedRowStore rows = select_row_store(matrix, selected, options_.backend);
+  const linalg::RowStore store = rows.store();
+  const std::size_t n = selected.size();
 
-  cluster::DbscanParams params;
-  params.eps = eps;
-  params.min_pts = 2;
-  params.metric = metric;
-  params.threads = options_.threads;
+  // Candidate generation is the paper's exact-baseline behaviour: one
+  // brute-force region query per row, each scanning all n rows (sklearn on
+  // high-dimensional binary data — the quadratic footprint of Fig. 3).
+  // With min_pts = 2 a point is core iff it has any neighbor within eps, and
+  // a noise point is never inside another point's eps-neighborhood, so
+  // DBSCAN's clusters are exactly the connected components of the
+  // "distance <= eps" graph — which is what the union stage computes.
+  // cluster::dbscan (the full core/border/noise machinery) remains the
+  // reference implementation; dbscan_test pins this finder against it.
+  PairPipelineOutcome outcome = pair_pipeline(
+      n, n, options_.threads, /*grain=*/64, ctx,
+      [&] {
+        return [&store, metric, eps](std::size_t i, auto&& emit) {
+          for (std::size_t j = 0; j < store.rows(); ++j) {
+            // Hamming early-exits past eps; only the verdict matters, and it
+            // is identical on both backends.
+            emit(i, j, cluster::distance_bounded(metric, store, i, j, eps));
+          }
+        };
+      },
+      [eps](std::size_t i, std::size_t j, std::size_t d) { return i != j && d <= eps; });
 
-  const cluster::DbscanResult result = cluster::dbscan(rows.store(), params);
-  RoleGroups out = remap_groups(result.clusters(), selected);
-
-  // Map DBSCAN's counters onto the shared work-stats vocabulary: a region
-  // query processes one row, each distance evaluation examines one pair, and
-  // the matched pairs are the spanning unions plus each extra same-cluster
-  // neighbor link (epsilon-neighbors within an already-formed cluster).
-  work_ = {};
-  work_.rows_processed = result.region_queries;
-  work_.pairs_evaluated = result.distance_evaluations;
-  work_.merges = out.roles_in_groups() - out.group_count();
-  work_.pairs_matched = work_.merges;
-  work_.merge_conflicts = 0;
-  return out;
+  // Region queries report neighborhoods, not unite attempts, so the matched
+  // counter keeps DBSCAN's historical vocabulary: derived from the spanning
+  // unions (see MatchAccounting).
+  return finalize_pipeline(std::move(outcome), selected, /*rows_processed=*/n, work_,
+                           MatchAccounting::kDeriveFromMerges);
 }
 
-RoleGroups DbscanGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
-  return run(matrix, 0, cluster::MetricKind::kHamming);
+RoleGroups DbscanGroupFinder::find_same(const linalg::CsrMatrix& matrix,
+                                        const util::ExecutionContext& ctx) const {
+  return run(matrix, 0, cluster::MetricKind::kHamming, ctx);
 }
 
 RoleGroups DbscanGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
-                                           std::size_t max_hamming) const {
-  return run(matrix, max_hamming, cluster::MetricKind::kHamming);
+                                           std::size_t max_hamming,
+                                           const util::ExecutionContext& ctx) const {
+  return run(matrix, max_hamming, cluster::MetricKind::kHamming, ctx);
 }
 
 RoleGroups DbscanGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                   std::size_t max_scaled) const {
-  return run(matrix, max_scaled, cluster::MetricKind::kJaccard);
+                                                   std::size_t max_scaled,
+                                                   const util::ExecutionContext& ctx) const {
+  return run(matrix, max_scaled, cluster::MetricKind::kJaccard, ctx);
 }
 
 }  // namespace rolediet::core::methods

@@ -1,13 +1,39 @@
-// Shared helpers for the group-finder implementations.
+// Shared helpers for the group-finder implementations, and the
+// candidate → verify → union pipeline every method runs on.
+//
+// All four finders (§III-C: DBSCAN, HNSW, MinHash-LSH, co-occurrence) share
+// one three-stage shape — the enumerate-candidates-then-verify framing of the
+// role-mining literature:
+//   1. candidate generation  — method-specific: brute-force region scans,
+//      HNSW range queries, LSH band buckets, inverted-index co-occurrence
+//      sweeps, digest buckets;
+//   2. exact verification    — a predicate over RowStore kernel integers.
+//      Approximation only ever loses candidates, never verdicts, so every
+//      united pair is a true positive for every method;
+//   3. union-find grouping   — connected components of the verified pairs,
+//      canonicalized into RoleGroups.
+//
+// pair_pipeline() below implements stages 2-3 plus every cross-cutting
+// concern the methods used to duplicate: thread fan-out with chunk-local
+// forests and spanning-pair replay, deterministic FinderWorkStats
+// accounting, and cooperative cancellation via util::ExecutionContext.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
+#include "cluster/union_find.hpp"
+#include "core/group_finder.hpp"
 #include "core/taxonomy.hpp"
 #include "linalg/bit_matrix.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "linalg/row_store.hpp"
+#include "util/execution_context.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rolediet::core::methods {
 
@@ -69,6 +95,132 @@ struct SelectedRowStore {
   return out;
 }
 
+// ===== The shared candidate → verify → union pipeline =======================
+
+/// Stages 2-3 of the pipeline, before group extraction: the forest of all
+/// verified unions plus the pair counters accumulated on the way.
+struct PairPipelineOutcome {
+  cluster::UnionFind forest;
+  std::size_t pairs_evaluated = 0;  ///< candidates handed to the verifier
+  std::size_t pairs_matched = 0;    ///< candidates that passed (unite attempts)
+};
+
+/// Runs the shared stages over a candidate generator.
+///
+/// `domain_size` indexes the method's candidate domain — matrix rows for the
+/// sweep/query methods, LSH candidate-pair slots, digest buckets — and
+/// `num_points` sizes the forest. `generator_factory()` is invoked once per
+/// worker chunk and must return a callable `(std::size_t item, auto&& emit)`;
+/// chunk-local scratch (e.g. co-occurrence counters) lives in the returned
+/// callable. For every candidate the generator calls `emit(i, j, g)`, which
+/// runs `verify(i, j, g)` (an exact predicate over RowStore kernel integers),
+/// counts it, unites on success, and returns the verdict — generators whose
+/// candidate structure depends on prior verdicts (digest-bucket equality
+/// classes) branch on the return value.
+///
+/// Cross-cutting behaviour, implemented once here for all methods:
+///  - thread fan-out under the util/thread_pool.hpp knob convention: each
+///    chunk unites into a private forest and replays only its spanning pairs
+///    into the shared forest under a mutex, so the mutex-held merge is
+///    O(chunk merges), not O(num_points);
+///  - determinism: the verified pair *set* and the counters are sums over
+///    domain items, independent of how the domain splits, so groups and
+///    FinderWorkStats are byte-identical at every thread count;
+///  - cancellation: `ctx` is checked once per domain item (region-query /
+///    candidate-batch granularity). A chunk that observes expiry stops
+///    generating; pairs already verified stay united, so a cancelled run's
+///    groups are a co-membership subset of the complete run's groups.
+template <typename GeneratorFactory, typename Verify>
+[[nodiscard]] PairPipelineOutcome pair_pipeline(std::size_t domain_size, std::size_t num_points,
+                                                std::size_t threads, std::size_t grain,
+                                                const util::ExecutionContext& ctx,
+                                                GeneratorFactory&& generator_factory,
+                                                Verify&& verify) {
+  PairPipelineOutcome out{cluster::UnionFind(num_points)};
+  std::atomic<std::size_t> evaluated{0};
+  std::atomic<std::size_t> matched{0};
+  std::mutex merge_mutex;
+
+  util::Parallelism par(threads);
+  par.parallel_for(
+      domain_size,
+      [&](std::size_t begin, std::size_t end) {
+        cluster::UnionFind local(num_points);
+        // Spanning unions of the chunk-local forest (<= num_points - 1):
+        // enough to reconstruct its components in the shared forest.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> spanning;
+        std::size_t local_evaluated = 0;
+        std::size_t local_matched = 0;
+        auto emit = [&](std::size_t i, std::size_t j, std::size_t g) -> bool {
+          ++local_evaluated;
+          if (!verify(i, j, g)) return false;
+          ++local_matched;
+          if (local.unite(i, j)) {
+            spanning.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+          }
+          return true;
+        };
+        auto generate = generator_factory();
+        for (std::size_t item = begin; item < end; ++item) {
+          if (ctx.expired()) break;
+          generate(item, emit);
+        }
+        evaluated.fetch_add(local_evaluated, std::memory_order_relaxed);
+        matched.fetch_add(local_matched, std::memory_order_relaxed);
+        std::scoped_lock lock(merge_mutex);
+        for (const auto& [a, b] : spanning) out.forest.unite(a, b);
+      },
+      grain);
+
+  out.pairs_evaluated = evaluated.load();
+  out.pairs_matched = matched.load();
+  return out;
+}
+
+/// How finalize_pipeline() fills the matched/merge counters.
+enum class MatchAccounting {
+  /// The generator emits individual candidate pairs: report the pipeline's
+  /// own counters; merge_conflicts = pairs_matched - merges (the redundant,
+  /// already-connected matches).
+  kFromPipeline,
+  /// The method's vocabulary has no per-pair match events (DBSCAN's region
+  /// queries report neighborhoods, not unite attempts): derive
+  /// pairs_matched = merges, merge_conflicts = 0 — the historical mapping in
+  /// FinderWorkStats terms.
+  kDeriveFromMerges,
+};
+
+/// Fills the work counters from a pipeline outcome and the final groups.
+/// `merges` always derives from the final groups (spanning unions), so it is
+/// independent of union order and thread count.
+inline void fill_pipeline_work(const RoleGroups& out, const PairPipelineOutcome& outcome,
+                               std::size_t rows_processed, FinderWorkStats& work,
+                               MatchAccounting accounting) {
+  work = {};
+  work.rows_processed = rows_processed;
+  work.pairs_evaluated = outcome.pairs_evaluated;
+  work.merges = out.roles_in_groups() - out.group_count();
+  if (accounting == MatchAccounting::kDeriveFromMerges) {
+    work.pairs_matched = work.merges;
+    work.merge_conflicts = 0;
+  } else {
+    work.pairs_matched = outcome.pairs_matched;
+    work.merge_conflicts = work.pairs_matched - work.merges;
+  }
+}
+
+/// Stage 3 tail shared by every method: extracts canonical groups (>= 2
+/// members) from the forest and fills the work counters.
+[[nodiscard]] inline RoleGroups finalize_pipeline(
+    PairPipelineOutcome&& outcome, std::size_t rows_processed, FinderWorkStats& work,
+    MatchAccounting accounting = MatchAccounting::kFromPipeline) {
+  RoleGroups out;
+  out.groups = outcome.forest.groups(2);
+  out.normalize();
+  fill_pipeline_work(out, outcome, rows_processed, work, accounting);
+  return out;
+}
+
 /// Maps groups over filtered indices back to original role ids and puts them
 /// in canonical form.
 [[nodiscard]] inline RoleGroups remap_groups(std::vector<std::vector<std::size_t>> filtered_groups,
@@ -82,6 +234,18 @@ struct SelectedRowStore {
     out.groups.push_back(std::move(mapped));
   }
   out.normalize();
+  return out;
+}
+
+/// finalize_pipeline over a filtered-row domain: the forest indexes positions
+/// in `selected`; groups are remapped to original role ids before the
+/// counters are filled.
+[[nodiscard]] inline RoleGroups finalize_pipeline(
+    PairPipelineOutcome&& outcome, const std::vector<std::size_t>& selected,
+    std::size_t rows_processed, FinderWorkStats& work,
+    MatchAccounting accounting = MatchAccounting::kFromPipeline) {
+  RoleGroups out = remap_groups(outcome.forest.groups(2), selected);
+  fill_pipeline_work(out, outcome, rows_processed, work, accounting);
   return out;
 }
 

@@ -1,27 +1,18 @@
 #include "core/methods/minhash_lsh.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "cluster/metric.hpp"
-#include "cluster/union_find.hpp"
+#include "core/methods/method_common.hpp"
 #include "linalg/convert.hpp"
 
 namespace rolediet::core::methods {
 
-namespace {
-
-/// Derives the order-independent merge counters from the final canonical
-/// groups: `merges` spanning unions, the rest of the matched pairs were
-/// redundant (already-connected) — see FinderWorkStats.
-void finish_work(const RoleGroups& out, FinderWorkStats& work) {
-  work.merges = out.roles_in_groups() - out.group_count();
-  work.merge_conflicts = work.pairs_matched - work.merges;
-}
-
-}  // namespace
-
 template <typename KeepPair>
-RoleGroups MinHashGroupFinder::run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const {
+PairPipelineOutcome MinHashGroupFinder::verified_candidates(const linalg::CsrMatrix& matrix,
+                                                            const util::ExecutionContext& ctx,
+                                                            KeepPair&& keep) const {
   const linalg::RowBackend backend =
       linalg::choose_backend(options_.backend, matrix.rows(), matrix.cols(), matrix.nnz());
   linalg::BitMatrix densified;
@@ -29,73 +20,71 @@ RoleGroups MinHashGroupFinder::run(const linalg::CsrMatrix& matrix, KeepPair&& k
   const linalg::RowStore store = backend == linalg::RowBackend::kDense
                                      ? linalg::RowStore(densified)
                                      : linalg::RowStore(matrix);
-  const cluster::MinHashLsh index(store, options_.lsh);
-  cluster::UnionFind forest(matrix.rows());
-  work_ = {};
-  work_.rows_processed = matrix.rows();
-  for (const auto& [a, b] : index.candidate_pairs()) {
-    // Exact verification: candidate generation is approximate, membership
-    // is not — no false merges.
-    ++work_.pairs_evaluated;
-    const std::size_t g = store.intersection(a, b);
-    if (keep(a, b, g)) {
-      forest.unite(a, b);
-      ++work_.pairs_matched;
-    }
-  }
-  RoleGroups out;
-  out.groups = forest.groups(2);
-  out.normalize();
-  finish_work(out, work_);
-  return out;
+  const cluster::MinHashLsh index(store, options_.lsh, ctx);
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs = index.candidate_pairs();
+
+  // Stage 2 fans out over the candidate list. Candidate generation is
+  // approximate, membership is not: the verifier sees the exact intersection
+  // size, so there are no false merges.
+  return pair_pipeline(
+      pairs.size(), matrix.rows(), options_.lsh.threads, /*grain=*/512, ctx,
+      [&] {
+        return [&pairs, &store](std::size_t k, auto&& emit) {
+          const auto& [a, b] = pairs[k];
+          emit(a, b, store.intersection(a, b));
+        };
+      },
+      keep);
 }
 
-RoleGroups MinHashGroupFinder::find_same(const linalg::CsrMatrix& matrix) const {
-  return run(matrix, [&](std::size_t a, std::size_t b, std::size_t g) {
-    return matrix.row_size(a) == g && matrix.row_size(b) == g;  // the paper's indicator
-  });
+RoleGroups MinHashGroupFinder::find_same(const linalg::CsrMatrix& matrix,
+                                         const util::ExecutionContext& ctx) const {
+  PairPipelineOutcome outcome =
+      verified_candidates(matrix, ctx, [&](std::size_t a, std::size_t b, std::size_t g) {
+        return matrix.row_size(a) == g && matrix.row_size(b) == g;  // the paper's indicator
+      });
+  return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 
 RoleGroups MinHashGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
-                                            std::size_t max_hamming) const {
-  RoleGroups lsh_groups = run(matrix, [&](std::size_t a, std::size_t b, std::size_t g) {
-    return matrix.row_size(a) + matrix.row_size(b) - 2 * g <= max_hamming;
-  });
-  if (max_hamming == 0) return lsh_groups;
-
-  // Disjoint tiny pairs are invisible to LSH (no shared element -> no shared
-  // min-hash); the norm-sorted sweep covers them exactly.
-  cluster::UnionFind forest(matrix.rows());
-  for (const auto& group : lsh_groups.groups) {
-    for (std::size_t member : group) forest.unite(group.front(), member);
-  }
-  std::vector<std::pair<std::size_t, std::size_t>> tiny;  // (norm, row)
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
-    const std::size_t norm = matrix.row_size(r);
-    if (norm >= 1 && norm < max_hamming) tiny.emplace_back(norm, r);
-  }
-  std::sort(tiny.begin(), tiny.end());
-  for (std::size_t a = 0; a < tiny.size(); ++a) {
-    for (std::size_t b = a + 1; b < tiny.size(); ++b) {
-      if (tiny[a].first + tiny[b].first > max_hamming) break;
-      ++work_.pairs_evaluated;
-      forest.unite(tiny[a].second, tiny[b].second);
-      ++work_.pairs_matched;
+                                            std::size_t max_hamming,
+                                            const util::ExecutionContext& ctx) const {
+  PairPipelineOutcome outcome =
+      verified_candidates(matrix, ctx, [&](std::size_t a, std::size_t b, std::size_t g) {
+        return matrix.row_size(a) + matrix.row_size(b) - 2 * g <= max_hamming;
+      });
+  if (max_hamming > 0) {
+    // Disjoint tiny pairs are invisible to LSH (no shared element -> no
+    // shared min-hash); the norm-sorted sweep covers them exactly, feeding
+    // the same outcome forest and counters as the banded candidates.
+    std::vector<std::pair<std::size_t, std::size_t>> tiny;  // (norm, row)
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+      const std::size_t norm = matrix.row_size(r);
+      if (norm >= 1 && norm < max_hamming) tiny.emplace_back(norm, r);
+    }
+    std::sort(tiny.begin(), tiny.end());
+    for (std::size_t a = 0; a < tiny.size(); ++a) {
+      if (ctx.expired()) break;
+      for (std::size_t b = a + 1; b < tiny.size(); ++b) {
+        if (tiny[a].first + tiny[b].first > max_hamming) break;
+        ++outcome.pairs_evaluated;
+        outcome.forest.unite(tiny[a].second, tiny[b].second);
+        ++outcome.pairs_matched;
+      }
     }
   }
-  RoleGroups out;
-  out.groups = forest.groups(2);
-  out.normalize();
-  finish_work(out, work_);
-  return out;
+  return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 
 RoleGroups MinHashGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                    std::size_t max_scaled) const {
-  return run(matrix, [&](std::size_t a, std::size_t b, std::size_t g) {
-    return cluster::jaccard_scaled_from_counts(matrix.row_size(a), matrix.row_size(b), g) <=
-           max_scaled;
-  });
+                                                    std::size_t max_scaled,
+                                                    const util::ExecutionContext& ctx) const {
+  PairPipelineOutcome outcome =
+      verified_candidates(matrix, ctx, [&](std::size_t a, std::size_t b, std::size_t g) {
+        return cluster::jaccard_scaled_from_counts(matrix.row_size(a), matrix.row_size(b), g) <=
+               max_scaled;
+      });
+  return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 
 }  // namespace rolediet::core::methods

@@ -19,6 +19,7 @@
 
 #include "cluster/minhash.hpp"
 #include "core/group_finder.hpp"
+#include "core/methods/method_common.hpp"
 
 namespace rolediet::core::methods {
 
@@ -41,15 +42,23 @@ class MinHashGroupFinder final : public GroupFinder {
 
   [[nodiscard]] FinderWorkStats last_work() const noexcept override { return work_; }
 
-  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix) const override;
-  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix,
-                                        std::size_t max_hamming) const override;
+  using GroupFinder::find_same;
+  using GroupFinder::find_similar;
+  using GroupFinder::find_similar_jaccard;
+  [[nodiscard]] RoleGroups find_same(const linalg::CsrMatrix& matrix,
+                                     const util::ExecutionContext& ctx) const override;
+  [[nodiscard]] RoleGroups find_similar(const linalg::CsrMatrix& matrix, std::size_t max_hamming,
+                                        const util::ExecutionContext& ctx) const override;
   [[nodiscard]] RoleGroups find_similar_jaccard(const linalg::CsrMatrix& matrix,
-                                                std::size_t max_scaled) const override;
+                                                std::size_t max_scaled,
+                                                const util::ExecutionContext& ctx) const override;
 
  private:
+  /// Stages 1-2: LSH banding candidates, exactly verified with `keep`.
   template <typename KeepPair>
-  [[nodiscard]] RoleGroups run(const linalg::CsrMatrix& matrix, KeepPair&& keep) const;
+  [[nodiscard]] PairPipelineOutcome verified_candidates(const linalg::CsrMatrix& matrix,
+                                                        const util::ExecutionContext& ctx,
+                                                        KeepPair&& keep) const;
 
   Options options_{};
   /// Counters of the latest find_* call (see GroupFinder::last_work).

@@ -159,6 +159,33 @@ void write_phase(JsonWriter& w, const char* name, const core::PhaseTiming& timin
   w.end_object();
 }
 
+/// Group-finding phases also carry the finder's work counters, so a
+/// budget-truncated phase is auditable from the report alone (how much of
+/// the candidate space was covered before the deadline hit).
+void write_phase(JsonWriter& w, const char* name, const core::PhaseTiming& timing,
+                 const core::FinderWorkStats& work) {
+  w.key(name);
+  w.begin_object();
+  w.key("seconds");
+  w.value(timing.seconds);
+  w.key("timed_out");
+  w.value(timing.timed_out);
+  w.key("work");
+  w.begin_object();
+  w.key("rows_processed");
+  w.value(work.rows_processed);
+  w.key("pairs_evaluated");
+  w.value(work.pairs_evaluated);
+  w.key("pairs_matched");
+  w.value(work.pairs_matched);
+  w.key("merges");
+  w.value(work.merges);
+  w.key("merge_conflicts");
+  w.value(work.merge_conflicts);
+  w.end_object();
+  w.end_object();
+}
+
 }  // namespace
 
 std::string report_to_json(const core::AuditReport& report, const core::RbacDataset& dataset) {
@@ -206,10 +233,11 @@ std::string report_to_json(const core::AuditReport& report, const core::RbacData
   w.key("timing");
   w.begin_object();
   write_phase(w, "structural", report.structural_time);
-  write_phase(w, "same_users", report.same_users_time);
-  write_phase(w, "same_permissions", report.same_permissions_time);
-  write_phase(w, "similar_users", report.similar_users_time);
-  write_phase(w, "similar_permissions", report.similar_permissions_time);
+  write_phase(w, "same_users", report.same_users_time, report.same_users_work);
+  write_phase(w, "same_permissions", report.same_permissions_time, report.same_permissions_work);
+  write_phase(w, "similar_users", report.similar_users_time, report.similar_users_work);
+  write_phase(w, "similar_permissions", report.similar_permissions_time,
+              report.similar_permissions_work);
   w.key("total_seconds");
   w.value(report.total_seconds());
   w.end_object();

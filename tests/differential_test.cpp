@@ -175,6 +175,48 @@ TEST_P(Differential, AuditReportsIdenticalAcrossBackends) {
   }
 }
 
+TEST_P(Differential, AuditReportsIdenticalAcrossThreadCountsAndBackends) {
+  // The pipeline determinism contract (methods/method_common.hpp): the
+  // verified-pair set and every work counter are sums over domain items,
+  // independent of how the pipeline chunks the domain across threads — so
+  // with no time budget, groups, reports, and FinderWorkStats are
+  // byte-identical for every threads value and either kernel backend.
+  const std::uint64_t seed = GetParam() ^ 0x7EADu;
+  // seed + 5 keeps (seed % 5), so both matrices have the same role count.
+  const core::RbacDataset dataset = dataset_from(workload(seed), workload(seed + 5));
+  for (Method method : {Method::kExactDbscan, Method::kApproxHnsw, Method::kApproxMinhash,
+                        Method::kRoleDiet}) {
+    core::AuditOptions ref_opts;
+    ref_opts.method = method;
+    ref_opts.threads = 1;
+    ref_opts.backend = linalg::RowBackend::kDense;
+    const core::AuditReport reference = core::audit(dataset, ref_opts);
+    const std::string ref_text = text_without_timings(reference);
+
+    for (linalg::RowBackend backend : {linalg::RowBackend::kDense, linalg::RowBackend::kSparse}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        core::AuditOptions opts;
+        opts.method = method;
+        opts.threads = threads;
+        opts.backend = backend;
+        const core::AuditReport report = core::audit(dataset, opts);
+        const std::string where = "method " + std::string(core::to_string(method)) +
+                                  ", backend " + std::to_string(static_cast<int>(backend)) +
+                                  ", threads " + std::to_string(threads);
+
+        EXPECT_EQ(text_without_timings(report), ref_text) << where;
+        expect_work_eq(report.same_users_work, reference.same_users_work, where + " same-users");
+        expect_work_eq(report.same_permissions_work, reference.same_permissions_work,
+                       where + " same-perms");
+        expect_work_eq(report.similar_users_work, reference.similar_users_work,
+                       where + " similar-users");
+        expect_work_eq(report.similar_permissions_work, reference.similar_permissions_work,
+                       where + " similar-perms");
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range<std::uint64_t>(0, 25));
 
 }  // namespace

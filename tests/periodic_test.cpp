@@ -1,6 +1,8 @@
 // Tests for periodic-run accumulation and the recall/precision metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <stdexcept>
 
 #include "core/methods/approx.hpp"
@@ -92,6 +94,45 @@ TEST(PairwiseRecall, OverMergeHurtsPrecisionNotRecall) {
 
 TEST(PairwiseRecall, EmptyTruthIsPerfect) {
   EXPECT_DOUBLE_EQ(pairwise_recall({}, make_groups({{0, 1}})), 1.0);
+}
+
+TEST(PeriodicAccumulator, AbsorbIsOrderIndependent) {
+  // Property: absorbing the same runs in any permutation yields the same
+  // canonical grouping — the set-union of co-membership pairs has no order.
+  // This is the algebraic fact that makes partial results safe: a cancelled
+  // run contributes a subset of its full pair set, and subsets union in
+  // any order to the same closure.
+  constexpr std::size_t kRoles = 64;
+  std::mt19937_64 rng(0xACC0BDULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A handful of random runs, each a few random small groups.
+    std::vector<RoleGroups> runs;
+    const std::size_t num_runs = 2 + rng() % 4;
+    for (std::size_t r = 0; r < num_runs; ++r) {
+      std::vector<std::vector<std::size_t>> groups;
+      const std::size_t num_groups = 1 + rng() % 4;
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        std::vector<std::size_t> members;
+        const std::size_t size = 2 + rng() % 4;
+        for (std::size_t m = 0; m < size; ++m) members.push_back(rng() % kRoles);
+        groups.push_back(std::move(members));
+      }
+      runs.push_back(make_groups(std::move(groups)));
+    }
+
+    PeriodicAccumulator forward(kRoles);
+    for (const RoleGroups& run : runs) forward.absorb(run);
+
+    // Several random permutations of the same runs.
+    std::vector<std::size_t> order(runs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (int perm = 0; perm < 5; ++perm) {
+      std::shuffle(order.begin(), order.end(), rng);
+      PeriodicAccumulator shuffled(kRoles);
+      for (std::size_t idx : order) shuffled.absorb(runs[idx]);
+      EXPECT_EQ(shuffled.current(), forward.current()) << "trial " << trial;
+    }
+  }
 }
 
 TEST(PeriodicConvergence, HnswRunsConvergeToExactGroups) {
