@@ -1,0 +1,286 @@
+// Steady-state re-audit bench: batch audit() vs AuditEngine::reaudit() after
+// small mutation deltas on the Fig. 3 workload (BENCH_reaudit.json).
+//
+// The engine's value claim is that a delta re-audit does work proportional to
+// the dirty frontier, not the dataset: after a <= 1% delta it must evaluate
+// strictly fewer similar-phase pairs than the batch run re-deriving
+// everything. This bench measures exactly that — per method and per delta
+// size (0.1% / 1% / 10% of edges, half revocations half new edges), it
+// records wall time and the verify-work counters for both paths, and CI
+// archives the JSON so the incremental advantage is a tracked data series.
+// For every exact method the findings of both paths are asserted identical
+// before anything is recorded (the bench doubles as an end-to-end check).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/framework.hpp"
+#include "io/json_writer.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+namespace {
+
+struct ReauditConfig {
+  std::size_t roles = 2000;
+  std::size_t threads = 1;
+  std::string out_path = "BENCH_reaudit.json";
+  std::vector<double> fractions{0.001, 0.01, 0.10};
+
+  static ReauditConfig parse(int argc, char** argv) {
+    ReauditConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.roles = 600;
+        config.fractions = {0.01, 0.10};
+      } else if (std::strcmp(argv[i], "--roles") == 0 && i + 1 < argc) {
+        config.roles = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--roles N] [--threads N] [--out F]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// Fig. 3 shape (§IV-A), same generator seeds as bench_pipeline.
+core::RbacDataset fig3_dataset(std::size_t roles) {
+  gen::MatrixGenParams params;
+  params.roles = roles;
+  params.cols = 1000;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.seed = 3000 + roles;
+  const linalg::CsrMatrix ruam = gen::generate_matrix(params).matrix;
+  params.seed = 7000 + roles;
+  const linalg::CsrMatrix rpam = gen::generate_matrix(params).matrix;
+
+  core::RbacDataset dataset;
+  dataset.add_users(ruam.cols());
+  dataset.add_permissions(rpam.cols());
+  dataset.add_roles(roles);
+  for (std::size_t r = 0; r < roles; ++r) {
+    for (std::uint32_t u : ruam.row(r)) dataset.assign_user(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : rpam.row(r)) dataset.grant_permission(static_cast<core::Id>(r), p);
+  }
+  return dataset;
+}
+
+/// Applies `count` effective mutations: alternating revocations of existing
+/// edges and additions of new ones, split evenly across both matrices.
+void mutate(core::AuditEngine& engine, const core::RbacDataset& base, std::size_t count,
+            util::Xoshiro256& rng) {
+  // Edge pools for revocations, drawn from the *base* dataset (the engine's
+  // current state is a superset minus earlier revokes; misses just retry).
+  std::vector<std::pair<core::Id, core::Id>> user_edges, perm_edges;
+  for (std::size_t r = 0; r < base.num_roles(); ++r) {
+    for (std::uint32_t u : base.ruam().row(r))
+      user_edges.emplace_back(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : base.rpam().row(r))
+      perm_edges.emplace_back(static_cast<core::Id>(r), p);
+  }
+  const auto users = static_cast<core::Id>(base.num_users());
+  const auto perms = static_cast<core::Id>(base.num_permissions());
+  const auto roles = static_cast<core::Id>(base.num_roles());
+  std::size_t applied = 0;
+  while (applied < count) {
+    const std::size_t op = applied % 4;
+    bool effective = false;
+    switch (op) {
+      case 0: {
+        const auto& [r, u] = user_edges[rng.bounded(user_edges.size())];
+        effective = engine.revoke_user(r, u);
+        break;
+      }
+      case 1:
+        effective = engine.assign_user(static_cast<core::Id>(rng.bounded(roles)),
+                                       static_cast<core::Id>(rng.bounded(users)));
+        break;
+      case 2: {
+        const auto& [r, p] = perm_edges[rng.bounded(perm_edges.size())];
+        effective = engine.revoke_permission(r, p);
+        break;
+      }
+      default:
+        effective = engine.grant_permission(static_cast<core::Id>(rng.bounded(roles)),
+                                            static_cast<core::Id>(rng.bounded(perms)));
+        break;
+    }
+    if (effective) ++applied;
+  }
+}
+
+std::size_t similar_pairs(const core::AuditReport& r) {
+  return r.similar_users_work.pairs_evaluated + r.similar_permissions_work.pairs_evaluated;
+}
+std::size_t similar_matched(const core::AuditReport& r) {
+  return r.similar_users_work.pairs_matched + r.similar_permissions_work.pairs_matched;
+}
+
+/// Findings-only rendering (timings, counters, and options stripped) for the
+/// exact-method identity assertion.
+std::string findings_text(core::AuditReport report) {
+  for (core::PhaseTiming* t :
+       {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
+        &report.similar_users_time, &report.similar_permissions_time}) {
+    t->seconds = 0.0;
+  }
+  for (core::FinderWorkStats* w : {&report.same_users_work, &report.same_permissions_work,
+                                   &report.similar_users_work, &report.similar_permissions_work}) {
+    *w = core::FinderWorkStats{};
+  }
+  report.options = core::AuditOptions{};
+  return report.to_text();
+}
+
+void write_side(io::JsonWriter& w, const char* name, double seconds,
+                const core::AuditReport& report) {
+  w.key(name);
+  w.begin_object();
+  w.key("seconds");
+  w.value(seconds);
+  w.key("similar_pairs_evaluated");
+  w.value(similar_pairs(report));
+  w.key("similar_pairs_matched");
+  w.value(similar_matched(report));
+  w.key("same_pairs_evaluated");
+  w.value(report.same_users_work.pairs_evaluated +
+          report.same_permissions_work.pairs_evaluated);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ReauditConfig config = ReauditConfig::parse(argc, argv);
+
+  std::printf("=== reaudit bench: batch audit vs engine delta re-audit (Fig. 3 workload) ===\n");
+  std::printf("roles=%zu users=1000 threads=%zu -> %s\n\n", config.roles, config.threads,
+              config.out_path.c_str());
+
+  const core::RbacDataset dataset = fig3_dataset(config.roles);
+  const std::size_t total_edges = dataset.ruam().nnz() + dataset.rpam().nnz();
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("reaudit");
+  w.key("workload");
+  w.begin_object();
+  w.key("figure");
+  w.value("fig3");
+  w.key("roles");
+  w.value(static_cast<std::uint64_t>(config.roles));
+  w.key("users");
+  w.value(std::uint64_t{1000});
+  w.key("permissions");
+  w.value(std::uint64_t{1000});
+  w.key("edges");
+  w.value(total_edges);
+  w.end_object();
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(config.threads));
+  w.key("methods");
+  w.begin_array();
+
+  bool ok = true;
+  const std::vector<core::Method> methods{core::Method::kExactDbscan, core::Method::kApproxHnsw,
+                                          core::Method::kApproxMinhash, core::Method::kRoleDiet};
+  for (core::Method method : methods) {
+    core::AuditOptions options;
+    options.method = method;
+    options.threads = config.threads;
+
+    w.begin_object();
+    w.key("method");
+    w.value(core::to_string(method));
+    w.key("deltas");
+    w.begin_array();
+
+    for (double fraction : config.fractions) {
+      const auto target =
+          static_cast<std::size_t>(static_cast<double>(total_edges) * fraction);
+      const std::size_t mutations = target == 0 ? 1 : target;
+
+      // Fresh engine per (method, fraction): one warm full pass seeds the
+      // artifacts, then the timed delta pass re-audits the mutated frontier.
+      core::AuditEngine engine(dataset, options);
+      util::Stopwatch full_watch;
+      core::AuditReport warm = engine.reaudit();
+      const double full_seconds = full_watch.seconds();
+
+      util::Xoshiro256 rng(0x2EAD17 + static_cast<std::uint64_t>(fraction * 1e6));
+      mutate(engine, dataset, mutations, rng);
+      const std::size_t dirty = engine.dirty_roles();
+
+      util::Stopwatch delta_watch;
+      const core::AuditReport live = engine.reaudit();
+      const double delta_seconds = delta_watch.seconds();
+
+      util::Stopwatch batch_watch;
+      const core::AuditReport batch = core::audit(engine.snapshot(), options);
+      const double batch_seconds = batch_watch.seconds();
+
+      if (method != core::Method::kApproxHnsw &&
+          findings_text(live) != findings_text(batch)) {
+        std::fprintf(stderr, "FINDINGS MISMATCH: method %s fraction %g\n",
+                     std::string(core::to_string(method)).c_str(), fraction);
+        ok = false;
+      }
+
+      w.begin_object();
+      w.key("fraction");
+      w.value(fraction);
+      w.key("mutations");
+      w.value(mutations);
+      w.key("dirty_roles");
+      w.value(dirty);
+      w.key("full_audit_seconds");
+      w.value(full_seconds);
+      write_side(w, "batch", batch_seconds, batch);
+      write_side(w, "engine", delta_seconds, live);
+      w.key("pairs_ratio");
+      const std::size_t bp = similar_pairs(batch);
+      w.value(bp == 0 ? 0.0
+                      : static_cast<double>(similar_pairs(live)) / static_cast<double>(bp));
+      w.end_object();
+
+      std::printf("%-14s delta %5.1f%% (%6zu mutations, %5zu dirty): "
+                  "batch %8.3f s / %9zu pairs  vs  engine %8.3f s / %9zu pairs\n",
+                  std::string(core::to_string(method)).c_str(), fraction * 100.0, mutations,
+                  dirty, batch_seconds, similar_pairs(batch), delta_seconds,
+                  similar_pairs(live));
+      std::fflush(stdout);
+      (void)warm;
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.key("findings_identical");
+  w.value(ok);
+  w.end_object();
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("\nwrote %s\n", config.out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -27,4 +27,10 @@ echo "############ bench_pipeline (threads=$threads) ############" >> "$out"
 ./build/bench/bench_pipeline --threads "$threads" --out /root/repo/BENCH_pipeline.json \
   >> "$out" 2>&1
 echo "" >> "$out"
+# Steady-state engine vs batch audit after small deltas: BENCH_reaudit.json
+# is the second JSON artifact CI archives per commit.
+echo "############ bench_reaudit (threads=$threads) ############" >> "$out"
+./build/bench/bench_reaudit --threads "$threads" --out /root/repo/BENCH_reaudit.json \
+  >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

@@ -7,12 +7,14 @@
 #include <optional>
 
 #include "core/consolidation.hpp"
+#include "core/engine.hpp"
 #include "core/framework.hpp"
 #include "core/remediation.hpp"
 #include "gen/matrix_generator.hpp"
 #include "gen/org_simulator.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
+#include "io/journal.hpp"
 #include "io/json_writer.hpp"
 #include "io/report_csv.hpp"
 #include "util/timer.hpp"
@@ -112,7 +114,8 @@ void write_text_file(const std::string& path, const std::string& content) {
 
 // ----------------------------------------------------------------- audit ---
 
-int cmd_audit(Args& args, std::ostream& out) {
+/// Audit-option flags shared by `audit` and `replay`.
+core::AuditOptions parse_audit_options(Args& args) {
   core::AuditOptions options;
   if (auto method = args.take_option("--method")) options.method = parse_method(*method);
   if (auto threshold = args.take_option("--threshold")) {
@@ -134,6 +137,11 @@ int cmd_audit(Args& args, std::ostream& out) {
   if (auto threads = args.take_option("--threads"))
     options.threads = parse_size(*threads, "--threads");
   if (auto backend = args.take_option("--backend")) options.backend = parse_backend(*backend);
+  return options;
+}
+
+int cmd_audit(Args& args, std::ostream& out) {
+  const core::AuditOptions options = parse_audit_options(args);
   const std::optional<std::string> json_path = args.take_option("--json");
   const std::optional<std::string> csv_path = args.take_option("--csv");
 
@@ -147,6 +155,60 @@ int cmd_audit(Args& args, std::ostream& out) {
 
   if (json_path) write_text_file(*json_path, io::report_to_json(report, dataset));
   if (csv_path) write_text_file(*csv_path, io::report_to_csv(report, dataset));
+  return 0;
+}
+
+// ---------------------------------------------------------------- replay ---
+
+int cmd_replay(Args& args, std::ostream& out) {
+  const core::AuditOptions options = parse_audit_options(args);
+  std::size_t every = 0;  // 0 = one re-audit at end of journal
+  if (auto value = args.take_option("--every")) {
+    every = parse_size(*value, "--every");
+    if (every == 0) throw UsageError("--every must be >= 1");
+  }
+  const std::optional<std::string> json_path = args.take_option("--json");
+
+  if (args.done()) throw UsageError("replay: missing dataset directory");
+  const std::string dir = args.take();
+  if (args.done()) throw UsageError("replay: missing journal file");
+  const std::string journal_path = args.take();
+  if (!args.done()) throw UsageError("replay: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset dataset = io::load_dataset(dir);
+  core::AuditEngine engine(dataset, options);
+
+  // Baseline pass: the engine's first reaudit is the full batch audit of the
+  // starting snapshot; later passes reuse its artifacts.
+  core::AuditReport report = engine.reaudit();
+  out << "replay: baseline audit of " << dir << " (version " << engine.version() << ")\n";
+  out << report.to_text();
+
+  std::ifstream journal(journal_path, std::ios::binary);
+  if (!journal) throw std::runtime_error("cannot open journal " + journal_path);
+  io::JournalReader reader(journal);
+  core::Mutation mutation;
+  core::RbacDelta batch;
+  std::size_t applied = 0;
+  auto reaudit_batch = [&] {
+    engine.apply(batch);
+    applied += batch.size();
+    batch.mutations.clear();
+    util::Stopwatch watch;
+    report = engine.reaudit();
+    out << "replay: " << applied << " mutations applied, version " << engine.version()
+        << ", dirty frontier re-audited in " << util::format_duration(watch.seconds()) << "\n";
+  };
+  while (reader.next(mutation)) {
+    batch.mutations.push_back(std::move(mutation));
+    if (every != 0 && batch.size() >= every) reaudit_batch();
+  }
+  if (!batch.empty() || applied == 0) reaudit_batch();
+
+  out << "replay: journal exhausted after " << applied << " mutations (" << engine.audits()
+      << " audits)\n";
+  out << report.to_text();
+  if (json_path) write_text_file(*json_path, io::report_to_json(report, engine.snapshot()));
   return 0;
 }
 
@@ -359,6 +421,12 @@ int cmd_help(std::ostream& out) {
          "                 groups are identical at every thread count)\n"
          "                 --backend auto|dense|sparse (row-kernel backend;\n"
          "                 reports are identical for every choice)\n"
+         "  replay DIR JOURNAL\n"
+         "                 stream a mutation journal into a steady-state\n"
+         "                 audit engine: baseline audit of DIR, then delta\n"
+         "                 re-audits that only re-verify mutated roles;\n"
+         "                 --every N (re-audit every N mutations; default:\n"
+         "                 once at end of journal) plus all audit options\n"
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
@@ -384,6 +452,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     }
     const std::string command = cursor.take();
     if (command == "audit") return cmd_audit(cursor, out);
+    if (command == "replay") return cmd_replay(cursor, out);
     if (command == "diet") return cmd_diet(cursor, out);
     if (command == "generate") return cmd_generate(cursor, out);
     if (command == "compare") return cmd_compare(cursor, out);

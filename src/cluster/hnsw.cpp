@@ -170,8 +170,66 @@ void HnswIndex::shrink_links(std::uint32_t node, int layer) {
 
 void HnswIndex::add(std::size_t id) {
   if (id >= points_.rows()) throw std::out_of_range("HnswIndex::add: row id out of range");
+  // The viewed matrix may have grown since construction (live engine index).
+  if (slot_of_id_.size() < points_.rows()) slot_of_id_.resize(points_.rows(), -1);
   if (slot_of_id_[id] != -1) throw std::invalid_argument("HnswIndex::add: id already indexed");
   add_with_level(id, draw_level());
+}
+
+void HnswIndex::remove(std::size_t id) {
+  if (id >= slot_of_id_.size() || slot_of_id_[id] < 0)
+    throw std::out_of_range("HnswIndex::remove: id not indexed");
+  // Tombstone only: links and anchors stay, so the node keeps routing and
+  // layer-0 reachability of everything behind it is preserved.
+  nodes_[static_cast<std::size_t>(slot_of_id_[id])].deleted = true;
+}
+
+bool HnswIndex::contains(std::size_t id) const noexcept {
+  return id < slot_of_id_.size() && slot_of_id_[id] >= 0 &&
+         !nodes_[static_cast<std::size_t>(slot_of_id_[id])].deleted;
+}
+
+void HnswIndex::reinsert(std::size_t id) {
+  if (id >= slot_of_id_.size() || slot_of_id_[id] < 0)
+    throw std::out_of_range("HnswIndex::reinsert: id not indexed");
+  const auto slot = static_cast<std::uint32_t>(slot_of_id_[id]);
+  nodes_[slot].deleted = false;
+  if (nodes_.size() == 1) return;  // nothing to link against
+
+  // Same two-phase descent as add_with_level(), against the node's *new* row
+  // contents. The node is already in the graph, so the searches can (and
+  // usually do) find it — it must be dropped from the candidate lists before
+  // neighbor selection, or it would be its own nearest neighbor.
+  const int level = nodes_[slot].level;
+  const QueryRef q{static_cast<std::ptrdiff_t>(id), {}};
+  Neighbor entry{nodes_[static_cast<std::size_t>(entry_point_)].id,
+                 dist_to(q, nodes_[static_cast<std::size_t>(entry_point_)].id)};
+  for (int layer = max_level_; layer > level; --layer) {
+    entry = greedy_step(q, entry, layer);
+  }
+  for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+    std::vector<Neighbor> found = search_layer(q, entry, params_.ef_construction, layer);
+    entry = found.front();  // self (dist 0) is a fine descent entry
+    std::erase_if(found, [id](const Neighbor& nb) { return nb.id == id; });
+    if (found.empty()) continue;
+
+    // Append-and-dedupe instead of replacing: existing edges are still valid
+    // graph edges (stale ones are harmless — consumers verify distances
+    // exactly), and dropping them could orphan a neighbor whose only in-link
+    // we were. shrink_links() re-prunes by the new distances.
+    auto& my_links = nodes_[slot].links[static_cast<std::size_t>(layer)];
+    for (std::uint32_t nb_slot : select_neighbors(id, std::move(found), params_.m)) {
+      if (nb_slot == slot) continue;
+      if (std::find(my_links.begin(), my_links.end(), nb_slot) == my_links.end())
+        my_links.push_back(nb_slot);
+      auto& their_links = nodes_[nb_slot].links[static_cast<std::size_t>(layer)];
+      if (std::find(their_links.begin(), their_links.end(), slot) == their_links.end()) {
+        their_links.push_back(slot);
+        shrink_links(nb_slot, layer);
+      }
+    }
+    shrink_links(slot, layer);
+  }
 }
 
 void HnswIndex::add_with_level(std::size_t id, int level) {
@@ -382,6 +440,9 @@ std::vector<Neighbor> HnswIndex::search_query(const QueryRef& q, std::size_t k) 
     entry = greedy_step(q, entry, layer);
   }
   std::vector<Neighbor> found = search_layer(q, entry, std::max(params_.ef_search, k), 0);
+  std::erase_if(found, [this](const Neighbor& nb) {
+    return nodes_[static_cast<std::size_t>(slot_of_id_[nb.id])].deleted;
+  });
   if (found.size() > k) found.resize(k);
   return found;
 }
@@ -411,7 +472,10 @@ std::vector<Neighbor> HnswIndex::range_search(std::size_t query_id, std::size_t 
   }
   std::vector<Neighbor> found =
       search_layer(q, entry, std::max(params_.ef_search, min_ef), 0);
-  std::erase_if(found, [radius](const Neighbor& nb) { return nb.dist > radius; });
+  std::erase_if(found, [this, radius](const Neighbor& nb) {
+    return nb.dist > radius ||
+           nodes_[static_cast<std::size_t>(slot_of_id_[nb.id])].deleted;
+  });
   return found;
 }
 

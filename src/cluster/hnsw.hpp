@@ -19,6 +19,15 @@
 //
 // Determinism: level draws come from a seeded xoshiro PRNG, so index
 // construction and therefore search results are reproducible.
+//
+// Steady-state maintenance (core::AuditEngine): remove() tombstones a node
+// instead of unlinking it — the dead node keeps routing traffic as a graph
+// waypoint but is filtered from results — and reinsert() revives a node in
+// place after its row mutated, re-running the insertion searches against the
+// row's new contents and appending the fresh edges. Tombstones make deletion
+// O(1) and preserve the spanning-tree anchors; the cost is that dead nodes
+// still pay distance evaluations during traversal, which is the right trade
+// for audit workloads where revoked roles are a small minority per delta.
 #pragma once
 
 #include <atomic>
@@ -60,8 +69,29 @@ class HnswIndex {
  public:
   HnswIndex(linalg::RowStore points, HnswParams params);
 
-  /// Inserts point `id` (a row of the matrix). Each id may be added once.
+  /// Inserts point `id` (a row of the matrix). Each id may be added once;
+  /// use reinsert() to refresh an id whose row contents changed, and
+  /// remove() to retire one. If the viewed matrix has grown since the last
+  /// insertion, the id map grows with it, so new rows can be added to a
+  /// live index.
   void add(std::size_t id);
+
+  /// Tombstones point `id`: it stops appearing in search results but stays
+  /// in the graph as a routing waypoint (its links and anchors are kept, so
+  /// layer-0 reachability is unaffected). Idempotent; throws only if `id`
+  /// was never indexed.
+  void remove(std::size_t id);
+
+  /// Revives point `id` in place after its row contents changed (and/or
+  /// after remove()): clears the tombstone, re-runs the insertion-time beam
+  /// searches against the new row contents, and appends the freshly selected
+  /// edges bidirectionally (existing edges are kept — stale links are
+  /// harmless because callers verify distances exactly; overfull lists are
+  /// re-pruned). Throws if `id` was never indexed.
+  void reinsert(std::size_t id);
+
+  /// True iff `id` is indexed and not tombstoned.
+  [[nodiscard]] bool contains(std::size_t id) const noexcept;
 
   /// Builds the index over all rows in index order. `ctx` is checked once
   /// per insert: a cancelled build leaves a valid index over the rows added
@@ -88,10 +118,13 @@ class HnswIndex {
   void add_all_parallel(std::size_t threads, std::size_t batch_size = 64,
                         const util::ExecutionContext& ctx = util::unlimited_context());
 
+  /// Number of graph nodes, *including* tombstones.
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 
   /// k approximate nearest neighbors of row `query_id`, nearest first.
   /// The query point itself is included if indexed (distance 0).
+  /// Tombstoned points never appear in results (here or in the other
+  /// search entry points), though they may have carried the beam.
   [[nodiscard]] std::vector<Neighbor> search(std::size_t query_id, std::size_t k) const;
 
   /// k approximate nearest neighbors of an external packed vector of
@@ -126,6 +159,9 @@ class HnswIndex {
   struct Node {
     std::size_t id = 0;
     int level = 0;
+    /// Tombstone: the node still routes searches (links/anchors intact) but
+    /// is filtered from every result list. Cleared by reinsert().
+    bool deleted = false;
     /// links[l] = neighbor slots at layer l, 0 <= l <= level.
     std::vector<std::vector<std::uint32_t>> links;
     /// Layer-0 anchor edges: one per adjacent spanning-tree edge. Anchors are

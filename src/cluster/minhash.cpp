@@ -7,6 +7,10 @@
 
 namespace rolediet::cluster {
 
+// The hash family, signature, and band-digest formulas below are shared by
+// the one-shot MinHashLsh and the maintained MinHashBandIndex; keeping them
+// in one place is what makes the two indexes candidate-set-equivalent (the
+// engine's delta re-audits rely on that — see core/engine.hpp).
 namespace {
 
 constexpr std::uint64_t kEmptySlot = std::numeric_limits<std::uint64_t>::max();
@@ -16,17 +20,43 @@ std::uint64_t slot_hash(std::uint64_t slot_key, std::uint32_t element) noexcept 
   return util::mix64(slot_key ^ util::mix64(element + 0x9E3779B97F4A7C15ULL));
 }
 
+/// Per-slot keys derived from the seed.
+std::vector<std::uint64_t> draw_slot_keys(const MinHashParams& params) {
+  std::vector<std::uint64_t> keys(params.signature_size());
+  util::Xoshiro256 rng(params.seed);
+  for (auto& key : keys) key = rng();
+  return keys;
+}
+
+/// sig_i(row) = min over elements of h_i; empty rows stay all-sentinel.
+void sign_row(const linalg::RowStore& rows, std::size_t r,
+              const std::vector<std::uint64_t>& slot_keys, std::vector<std::uint64_t>& sig) {
+  sig.assign(slot_keys.size(), kEmptySlot);
+  rows.for_each_set(r, [&](std::uint32_t element) {
+    for (std::size_t i = 0; i < slot_keys.size(); ++i) {
+      sig[i] = std::min(sig[i], slot_hash(slot_keys[i], element));
+    }
+  });
+}
+
+/// Digest of one band's slot run of a signature.
+std::uint64_t band_digest(const std::vector<std::uint64_t>& sig, std::size_t band,
+                          std::size_t rows_per_band) noexcept {
+  std::uint64_t digest = 0x243F6A8885A308D3ULL ^ util::mix64(band);
+  for (std::size_t i = 0; i < rows_per_band; ++i) {
+    digest ^= util::mix64(sig[band * rows_per_band + i] + i);
+    digest *= 0x100000001B3ULL;
+  }
+  return digest;
+}
+
 }  // namespace
 
 MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params,
                        const util::ExecutionContext& ctx)
     : params_(params) {
   const std::size_t k = params_.signature_size();
-
-  // Per-slot keys derived from the seed.
-  std::vector<std::uint64_t> slot_keys(k);
-  util::Xoshiro256 rng(params_.seed);
-  for (auto& key : slot_keys) key = rng();
+  const std::vector<std::uint64_t> slot_keys = draw_slot_keys(params_);
 
   util::Parallelism par(params_.threads);
 
@@ -38,13 +68,7 @@ MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
           if (ctx.expired()) break;  // unsigned rows stay empty; banding skips them
-          auto& sig = signatures_[r];
-          sig.assign(k, kEmptySlot);
-          rows.for_each_set(r, [&](std::uint32_t element) {
-            for (std::size_t i = 0; i < k; ++i) {
-              sig[i] = std::min(sig[i], slot_hash(slot_keys[i], element));
-            }
-          });
+          sign_row(rows, r, slot_keys, signatures_[r]);
         }
       },
       /*grain=*/64);
@@ -65,12 +89,8 @@ MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params,
             if (rows.row_size(r) == 0) continue;
             const auto& sig = signatures_[r];
             if (sig.size() < k) continue;  // row skipped by a cancelled signature pass
-            std::uint64_t digest = 0x243F6A8885A308D3ULL ^ util::mix64(band);
-            for (std::size_t i = 0; i < params_.rows_per_band; ++i) {
-              digest ^= util::mix64(sig[band * params_.rows_per_band + i] + i);
-              digest *= 0x100000001B3ULL;
-            }
-            bucket.emplace_back(digest, static_cast<std::uint32_t>(r));
+            bucket.emplace_back(band_digest(sig, band, params_.rows_per_band),
+                                static_cast<std::uint32_t>(r));
           }
           std::sort(bucket.begin(), bucket.end());
         }
@@ -99,6 +119,74 @@ std::vector<std::pair<std::size_t, std::size_t>> MinHashLsh::candidate_pairs() c
           }
         }
         run_begin = i;
+      }
+    }
+  }
+  for (auto& [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+// ------------------------------------------------------ MinHashBandIndex ---
+
+MinHashBandIndex::MinHashBandIndex(MinHashParams params)
+    : params_(params), slot_keys_(draw_slot_keys(params)), buckets_(params.bands) {}
+
+void MinHashBandIndex::update_row(const linalg::RowStore& rows, std::size_t r) {
+  if (r >= band_digests_.size()) band_digests_.resize(r + 1);
+  remove_row(r);
+  if (rows.row_size(r) == 0) return;  // empty rows stay unbanded
+
+  std::vector<std::uint64_t> sig;
+  sign_row(rows, r, slot_keys_, sig);
+  auto& digests = band_digests_[r];
+  digests.resize(params_.bands);
+  for (std::size_t band = 0; band < params_.bands; ++band) {
+    digests[band] = band_digest(sig, band, params_.rows_per_band);
+    buckets_[band][digests[band]].push_back(static_cast<std::uint32_t>(r));
+  }
+}
+
+void MinHashBandIndex::remove_row(std::size_t r) {
+  if (r >= band_digests_.size()) return;
+  auto& digests = band_digests_[r];
+  if (digests.empty()) return;
+  for (std::size_t band = 0; band < params_.bands; ++band) {
+    auto it = buckets_[band].find(digests[band]);
+    if (it == buckets_[band].end()) continue;
+    std::erase(it->second, static_cast<std::uint32_t>(r));
+    if (it->second.empty()) buckets_[band].erase(it);
+  }
+  digests.clear();
+}
+
+std::vector<std::uint32_t> MinHashBandIndex::partners(std::size_t r) const {
+  std::vector<std::uint32_t> out;
+  if (r >= band_digests_.size() || band_digests_[r].empty()) return out;
+  const auto& digests = band_digests_[r];
+  for (std::size_t band = 0; band < params_.bands; ++band) {
+    auto it = buckets_[band].find(digests[band]);
+    if (it == buckets_[band].end()) continue;
+    for (std::uint32_t member : it->second) {
+      if (member != static_cast<std::uint32_t>(r)) out.push_back(member);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> MinHashBandIndex::candidate_pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& band : buckets_) {
+    for (const auto& [digest, members] : band) {
+      for (std::size_t x = 0; x < members.size(); ++x) {
+        for (std::size_t y = x + 1; y < members.size(); ++y) {
+          pairs.emplace_back(members[x], members[y]);
+        }
       }
     }
   }

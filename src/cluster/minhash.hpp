@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,52 @@ class MinHashLsh {
   std::vector<std::vector<std::uint64_t>> signatures_;
   /// band_buckets_[band]: bucket digest -> member rows.
   std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> band_buckets_;
+};
+
+/// Mutable MinHash/LSH band index, maintained row-by-row across dataset
+/// versions (the steady-state counterpart of MinHashLsh, which is built once
+/// and discarded). Shares the exact hash family, signature, and band-digest
+/// formulas with MinHashLsh — for any row contents and seed, the candidate
+/// pair *set* of a fully-updated MinHashBandIndex equals
+/// MinHashLsh::candidate_pairs() on the same rows (pinned by minhash_test).
+///
+/// core/engine.hpp keeps one per matrix axis: after a delta it re-signs only
+/// the mutated rows (O(row_nnz * signature_size) each) and asks for their
+/// band partners instead of re-banding the whole matrix.
+class MinHashBandIndex {
+ public:
+  explicit MinHashBandIndex(MinHashParams params);
+
+  [[nodiscard]] const MinHashParams& params() const noexcept { return params_; }
+
+  /// Rows the index has capacity for (update_row grows it on demand).
+  [[nodiscard]] std::size_t rows() const noexcept { return band_digests_.size(); }
+
+  /// Recomputes row r's signature from `rows` and rebuckets it, replacing any
+  /// previous banding. Empty rows are unbanded (duplicate-empty roles are
+  /// type-2 findings, not candidates), matching MinHashLsh.
+  void update_row(const linalg::RowStore& rows, std::size_t r);
+
+  /// Drops row r from every band bucket (no-op when unbanded).
+  void remove_row(std::size_t r);
+
+  /// Rows sharing at least one band bucket with r, sorted, unique, excluding
+  /// r itself. Empty when r is unbanded.
+  [[nodiscard]] std::vector<std::uint32_t> partners(std::size_t r) const;
+
+  /// All candidate pairs (a < b, sorted, unique) — the batch-equivalence
+  /// surface: equals MinHashLsh::candidate_pairs() over the same row
+  /// contents and params.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> candidate_pairs() const;
+
+ private:
+  MinHashParams params_;
+  std::vector<std::uint64_t> slot_keys_;
+  /// band_digests_[row]: one digest per band; empty vector = row unbanded.
+  std::vector<std::vector<std::uint64_t>> band_digests_;
+  /// buckets_[band]: digest -> member rows (insertion order; order never
+  /// affects the candidate *set*).
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>> buckets_;
 };
 
 }  // namespace rolediet::cluster

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/engine.hpp"
 #include "core/methods/approx.hpp"
 #include "core/methods/cooccurrence.hpp"
 #include "core/methods/exact.hpp"
@@ -66,6 +67,17 @@ std::string AuditReport::to_text() const {
   };
 
   out << "RBAC inefficiency audit (method: " << method_name << ")\n";
+  out << "  options: threads=" << options.threads
+      << ", backend=" << linalg::to_string(options.backend);
+  if (options.time_budget_s > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", options.time_budget_s);
+    out << ", budget=" << buf << "s";
+  } else {
+    out << ", budget=unlimited";
+  }
+  if (!options.detect_similar) out << ", similar=off";
+  out << "\n";
   out << "  dataset: " << num_users << " users, " << num_roles << " roles, "
       << num_permissions << " permissions; " << num_user_assignments
       << " user assignments, " << num_permission_grants << " permission grants\n";
@@ -117,12 +129,9 @@ std::string AuditReport::to_text() const {
   return out.str();
 }
 
-namespace {
-
-/// Library-level mirror of the CLI flag checks (cli.cpp keeps its own
-/// messages): misconfigured options fail loudly instead of silently running
-/// with, say, a negative budget treated as "unlimited".
-void validate(const AuditOptions& options) {
+void validate_audit_options(const AuditOptions& options) {
+  // Misconfigured options fail loudly instead of silently running with, say,
+  // a negative budget treated as "unlimited" (cli.cpp keeps its own messages).
   if (!(options.jaccard_dissimilarity >= 0.0 && options.jaccard_dissimilarity <= 1.0)) {
     throw std::invalid_argument(
         "audit: AuditOptions::jaccard_dissimilarity must be within [0, 1]");
@@ -133,87 +142,12 @@ void validate(const AuditOptions& options) {
   }
 }
 
-}  // namespace
-
 AuditReport audit(const RbacDataset& dataset, const AuditOptions& options) {
-  validate(options);
-  AuditReport report;
-  report.num_users = dataset.num_users();
-  report.num_roles = dataset.num_roles();
-  report.num_permissions = dataset.num_permissions();
-  report.similarity_threshold = options.similarity_threshold;
-  report.similarity_mode = options.similarity_mode;
-  report.jaccard_dissimilarity = options.jaccard_dissimilarity;
-
-  GroupFinderOptions finder_options;
-  finder_options.threads = options.threads;
-  finder_options.backend = options.backend;
-  const std::unique_ptr<GroupFinder> finder = make_group_finder(options.method, finder_options);
-  report.method_name = finder->name();
-
-  // The deadline starts before the structural phase so the budget covers the
-  // whole audit, matching the previous total-stopwatch semantics. The
-  // structural detectors are linear-time and not checkpointed; only the
-  // group-finding phases observe the context.
-  const util::ExecutionContext ctx(options.time_budget_s);
-
-  {
-    util::Stopwatch watch;
-    // Compiling RUAM/RPAM (duplicate-edge collapse) is part of this phase.
-    const auto& ruam = dataset.ruam();
-    const auto& rpam = dataset.rpam();
-    report.num_user_assignments = ruam.nnz();
-    report.num_permission_grants = rpam.nnz();
-    report.structural = detect_structural(dataset);
-    report.structural_time.seconds = watch.seconds();
-  }
-
-  // Group-finding phases under one shared deadline covering the whole audit
-  // (the paper halted the baselines after 24 h on the real dataset). The
-  // context is threaded into every finder call and checked at region-query /
-  // candidate-batch granularity, so an over-budget phase stops *mid-phase*:
-  // its groups so far (verified true positives only) are reported and the
-  // phase is marked timed-out. Phases that never get to start are skipped
-  // (timed-out with zero seconds and empty groups), as before.
-  auto run_phase = [&](PhaseTiming& timing, RoleGroups& out, FinderWorkStats& work,
-                       auto&& compute) {
-    if (ctx.expired()) {
-      timing.timed_out = true;
-      return;
-    }
-    util::Stopwatch watch;
-    out = compute(ctx);
-    timing.seconds = watch.seconds();
-    work = finder->last_work();
-    // interrupted() latches on the first checkpoint that observes expiry, so
-    // a phase that ran is partial iff the context tripped by now.
-    timing.timed_out = ctx.interrupted();
-  };
-
-  run_phase(report.same_users_time, report.same_user_groups, report.same_users_work,
-            [&](const util::ExecutionContext& c) { return finder->find_same(dataset.ruam(), c); });
-  run_phase(report.same_permissions_time, report.same_permission_groups,
-            report.same_permissions_work,
-            [&](const util::ExecutionContext& c) { return finder->find_same(dataset.rpam(), c); });
-
-  if (options.detect_similar) {
-    auto find_similar_in = [&](const linalg::CsrMatrix& matrix, const util::ExecutionContext& c) {
-      if (options.similarity_mode == SimilarityMode::kJaccard) {
-        return finder->find_similar_jaccard(
-            matrix, jaccard_threshold(options.jaccard_dissimilarity), c);
-      }
-      return finder->find_similar(matrix, options.similarity_threshold, c);
-    };
-    run_phase(report.similar_users_time, report.similar_user_groups, report.similar_users_work,
-              [&](const util::ExecutionContext& c) { return find_similar_in(dataset.ruam(), c); });
-    run_phase(report.similar_permissions_time, report.similar_permission_groups,
-              report.similar_permissions_work,
-              [&](const util::ExecutionContext& c) { return find_similar_in(dataset.rpam(), c); });
-  } else {
-    report.similar_users_time.timed_out = false;
-    report.similar_permissions_time.timed_out = false;
-  }
-
+  // The engine's first re-audit is the full batch pass (engine.cpp), so this
+  // wrapper is behavior- and byte-compatible with the historical one-shot
+  // implementation.
+  AuditEngine engine(dataset, options);
+  AuditReport report = engine.reaudit();
   ROLEDIET_LOG_INFO("audit finished in %.3f s (method %s)", report.total_seconds(),
                     report.method_name.c_str());
   return report;

@@ -92,6 +92,9 @@ struct AuditReport {
 
   // Bookkeeping.
   std::string method_name;
+  /// The resolved options this audit ran with, echoed verbatim so a report
+  /// is self-describing (JSON and text both render them).
+  AuditOptions options;
   PhaseTiming structural_time;
   PhaseTiming same_users_time;
   PhaseTiming same_permissions_time;
@@ -121,12 +124,18 @@ struct AuditReport {
   [[nodiscard]] std::string to_text() const;
 };
 
-/// Runs the full detection framework over `dataset`.
+/// Library-level mirror of the CLI flag checks: throws std::invalid_argument
+/// when jaccard_dissimilarity is outside [0, 1] or time_budget_s is negative
+/// or non-finite.
+void validate_audit_options(const AuditOptions& options);
+
+/// Runs the full detection framework over `dataset`. One-shot convenience
+/// wrapper over core::AuditEngine (engine.hpp): constructs an engine and
+/// runs its first (full) re-audit, so the two entry points are one code
+/// path and byte-identical by construction.
 ///
-/// Validates `options` up front — throws std::invalid_argument when
-/// jaccard_dissimilarity is outside [0, 1] or time_budget_s is negative or
-/// non-finite — so library callers get the same guardrails the CLI enforces
-/// on its flags.
+/// Validates `options` up front (validate_audit_options) so library callers
+/// get the same guardrails the CLI enforces on its flags.
 [[nodiscard]] AuditReport audit(const RbacDataset& dataset, const AuditOptions& options = {});
 
 }  // namespace rolediet::core

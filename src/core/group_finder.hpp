@@ -14,8 +14,11 @@
 //    grouping thousands of empty rows together would only restate it.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/taxonomy.hpp"
 #include "linalg/csr_matrix.hpp"
@@ -88,6 +91,27 @@ class GroupFinder {
                                                 std::size_t max_scaled) const {
     return find_similar_jaccard(matrix, max_scaled, util::unlimited_context());
   }
+
+  /// Arms a sink that the *pair-verifying* detection paths fill with every
+  /// verified pair of the next find_* call (original row ids, normalized
+  /// a < b, may contain duplicates — consumers sort + unique). Honored by
+  /// find_similar / find_similar_jaccard at non-degenerate thresholds for all
+  /// four methods, and by the finders whose find_same verifies explicit pairs
+  /// (DBSCAN, HNSW, MinHash). NOT honored by paths whose matched set is not
+  /// the canonical pair set: the role-diet digest partition (find_same /
+  /// threshold-0 delegation emits representative pairs only) and the Jaccard
+  /// ceiling star-union — those leave the sink untouched. Pass nullptr to
+  /// disarm. Like last_work(), this is unsynchronized mutable bookkeeping:
+  /// do not call find_* concurrently on one finder object.
+  void collect_matched_pairs(std::vector<std::pair<std::uint32_t, std::uint32_t>>* sink) const
+      noexcept {
+    pair_sink_ = sink;
+  }
+
+ protected:
+  /// See collect_matched_pairs(). Implementations append to it (after
+  /// clearing) in the paths documented above.
+  mutable std::vector<std::pair<std::uint32_t, std::uint32_t>>* pair_sink_ = nullptr;
 };
 
 /// Converts a human-friendly dissimilarity fraction in [0, 1] to the scaled

@@ -71,6 +71,29 @@ Id IncrementalAuditor::add_role(std::string name) {
   return id;
 }
 
+namespace {
+
+std::optional<Id> lookup(const std::unordered_map<std::string, Id>& ids,
+                         const std::string& name) {
+  const auto it = ids.find(name);
+  if (it == ids.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+std::optional<Id> IncrementalAuditor::find_user(const std::string& name) const {
+  return lookup(user_ids_, name);
+}
+
+std::optional<Id> IncrementalAuditor::find_role(const std::string& name) const {
+  return lookup(role_ids_, name);
+}
+
+std::optional<Id> IncrementalAuditor::find_permission(const std::string& name) const {
+  return lookup(perm_ids_, name);
+}
+
 // ----------------------------------------------------------------- edges ---
 
 std::uint64_t IncrementalAuditor::digest_of(const std::vector<Id>& sorted_ids) {
@@ -149,14 +172,16 @@ StructuralFindings IncrementalAuditor::structural() const {
   return f;
 }
 
-RoleGroups IncrementalAuditor::same_user_groups() const {
+RoleGroups IncrementalAuditor::same_user_groups(FinderWorkStats* work) const {
   return user_axis_.groups(
-      [this](std::size_t a, std::size_t b) { return roles_[a].users == roles_[b].users; });
+      [this](std::size_t a, std::size_t b) { return roles_[a].users == roles_[b].users; },
+      work);
 }
 
-RoleGroups IncrementalAuditor::same_permission_groups() const {
+RoleGroups IncrementalAuditor::same_permission_groups(FinderWorkStats* work) const {
   return perm_axis_.groups(
-      [this](std::size_t a, std::size_t b) { return roles_[a].perms == roles_[b].perms; });
+      [this](std::size_t a, std::size_t b) { return roles_[a].perms == roles_[b].perms; },
+      work);
 }
 
 RbacDataset IncrementalAuditor::snapshot() const {

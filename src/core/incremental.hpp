@@ -12,20 +12,24 @@
 //  - type 4 (same users / same permissions) is maintained exactly via the
 //    same digest-bucket structure the role-diet finder uses, O(log row) per
 //    mutation + O(bucket) on group queries;
-//  - type 5 (similar) is intentionally NOT maintained incrementally — a
-//    single edge flip can restructure similarity groups globally, so the
-//    framework's batch detection remains the tool for that (run it on
-//    snapshot()).
+//  - type 5 (similar) is intentionally NOT maintained here — a single edge
+//    flip can restructure similarity groups globally, so this class only
+//    tracks *which roles mutated*; core::AuditEngine layers a dirty-frontier
+//    re-verification of type 5 on top (see engine.hpp), and the framework's
+//    batch detection remains available on snapshot().
 //
 // Consistency contract (tested property): after any mutation sequence, the
 // incremental results equal a fresh batch audit of snapshot().
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/group_finder.hpp"
 #include "core/model.hpp"
 #include "core/taxonomy.hpp"
 
@@ -40,9 +44,19 @@ class IncrementalAuditor {
   IncrementalAuditor() = default;
 
   // ---- entity management (ids are dense, append-only) --------------------
+  // Names are unique keys: adding a name that already exists is a no-op that
+  // returns the *existing* id — entities are never duplicated, renamed, or
+  // reset by a repeated add. Journals therefore replay idempotently: an
+  // `add-role` record for a known role cannot fork a second copy of it.
   Id add_user(std::string name);
   Id add_role(std::string name);
   Id add_permission(std::string name);
+
+  /// Id lookup by exact name; nullopt when the name was never added. The
+  /// journal applier uses these to make revocations of unknown names no-ops.
+  [[nodiscard]] std::optional<Id> find_user(const std::string& name) const;
+  [[nodiscard]] std::optional<Id> find_role(const std::string& name) const;
+  [[nodiscard]] std::optional<Id> find_permission(const std::string& name) const;
 
   [[nodiscard]] std::size_t num_users() const noexcept { return user_names_.size(); }
   [[nodiscard]] std::size_t num_roles() const noexcept { return roles_.size(); }
@@ -73,8 +87,12 @@ class IncrementalAuditor {
   [[nodiscard]] StructuralFindings structural() const;
 
   /// Type 4, identical to the role-diet finder on snapshot()'s RUAM/RPAM.
-  [[nodiscard]] RoleGroups same_user_groups() const;
-  [[nodiscard]] RoleGroups same_permission_groups() const;
+  /// With `work`, fills delta-audit counters: rows_processed = roles visited
+  /// in multi-member digest buckets, pairs_evaluated = exact comparisons
+  /// against class representatives, pairs_matched = merges = placements into
+  /// an existing class (each is a spanning union), merge_conflicts = 0.
+  [[nodiscard]] RoleGroups same_user_groups(FinderWorkStats* work = nullptr) const;
+  [[nodiscard]] RoleGroups same_permission_groups(FinderWorkStats* work = nullptr) const;
 
   /// Materializes the current state as an immutable dataset (for batch
   /// type-5 detection, consolidation, or export).
@@ -93,21 +111,28 @@ class IncrementalAuditor {
     void insert(std::size_t role, std::uint64_t digest);
     void erase(std::size_t role, std::uint64_t digest);
     /// Groups of >= 2 roles with equal digests, split by exact equality via
-    /// `equal(a, b)`; canonical form.
+    /// `equal(a, b)`; canonical form. With `work`, fills the counters
+    /// documented on same_user_groups().
     template <typename Equal>
-    [[nodiscard]] RoleGroups groups(Equal&& equal) const {
+    [[nodiscard]] RoleGroups groups(Equal&& equal, FinderWorkStats* work = nullptr) const {
       RoleGroups out;
       for (const auto& [digest, members] : buckets_) {
         if (members.size() < 2) continue;
+        if (work != nullptr) work->rows_processed += members.size();
         std::vector<std::vector<std::size_t>> classes;
         for (std::size_t role : members) {
           bool placed = false;
           for (auto& cls : classes) {
+            if (work != nullptr) ++work->pairs_evaluated;
             if (equal(cls.front(), role)) {
               cls.push_back(role);
               placed = true;
               break;
             }
+          }
+          if (placed && work != nullptr) {
+            ++work->pairs_matched;  // every placement is a spanning union
+            ++work->merges;
           }
           if (!placed) classes.push_back({role});
         }

@@ -27,6 +27,7 @@ RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t rad
   // so verification only has to drop the self-hit — the beam may miss true
   // neighbors (recall < 1) but never fabricates one.
   const std::size_t n = selected.size();
+  MatchedPairs collected;
   PairPipelineOutcome outcome = pair_pipeline(
       n, n, options_.threads, /*grain=*/64, ctx,
       [&] {
@@ -36,7 +37,17 @@ RoleGroups HnswGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t rad
           }
         };
       },
-      [](std::size_t i, std::size_t j, std::size_t) { return j != i; });
+      [](std::size_t i, std::size_t j, std::size_t) { return j != i; },
+      pair_sink_ != nullptr ? &collected : nullptr);
+
+  if (pair_sink_ != nullptr) {
+    // Remap pipeline positions (indices into `selected`) to original row ids.
+    pair_sink_->clear();
+    pair_sink_->reserve(collected.size());
+    for (const auto& [a, b] : collected) {
+      push_matched_pair(*pair_sink_, selected[a], selected[b]);
+    }
+  }
 
   return finalize_pipeline(std::move(outcome), selected, /*rows_processed=*/n, work_);
 }

@@ -24,7 +24,8 @@ namespace {
 /// own; the emitted pair set is split-independent.
 template <typename Predicate>
 PairPipelineOutcome cooccurrence_sweep(const linalg::CsrMatrix& matrix, std::size_t threads,
-                                       const util::ExecutionContext& ctx, Predicate&& pred) {
+                                       const util::ExecutionContext& ctx, Predicate&& pred,
+                                       MatchedPairs* matched_sink = nullptr) {
   const std::size_t n = matrix.rows();
   const linalg::CsrMatrix transpose = matrix.transpose();
   return pair_pipeline(
@@ -46,7 +47,7 @@ PairPipelineOutcome cooccurrence_sweep(const linalg::CsrMatrix& matrix, std::siz
           touched.clear();
         };
       },
-      pred);
+      pred, matched_sink);
 }
 
 }  // namespace
@@ -142,13 +143,18 @@ RoleGroups RoleDietGroupFinder::find_same_cooccurrence(const linalg::CsrMatrix& 
 RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
                                              std::size_t max_hamming,
                                              const util::ExecutionContext& ctx) const {
-  if (max_hamming == 0) return find_same(matrix, ctx);
+  if (max_hamming == 0) return find_same(matrix, ctx);  // digest path: sink not honored
+
+  MatchedPairs* sink = pair_sink_;
+  if (sink != nullptr) sink->clear();
 
   // Pairs sharing at least one column: hamming = |Ri| + |Rj| - 2g.
   PairPipelineOutcome outcome = cooccurrence_sweep(
-      matrix, options_.threads, ctx, [&](std::size_t i, std::size_t j, std::size_t g) {
+      matrix, options_.threads, ctx,
+      [&](std::size_t i, std::size_t j, std::size_t g) {
         return matrix.row_size(i) + matrix.row_size(j) - 2 * g <= max_hamming;
-      });
+      },
+      sink);
 
   // Pairs sharing no column have hamming = |Ri| + |Rj|, which can still be
   // within threshold when both norms are tiny (|Ri|, |Rj| >= 1, so only
@@ -168,6 +174,7 @@ RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
       ++outcome.pairs_evaluated;
       ++outcome.pairs_matched;
       outcome.forest.unite(tiny[a].second, tiny[b].second);
+      if (sink != nullptr) push_matched_pair(*sink, tiny[a].second, tiny[b].second);
     }
   }
 
@@ -180,9 +187,12 @@ RoleGroups RoleDietGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
 RoleGroups RoleDietGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& matrix,
                                                      std::size_t max_scaled,
                                                      const util::ExecutionContext& ctx) const {
-  if (max_scaled == 0) return find_same(matrix, ctx);
+  if (max_scaled == 0) return find_same(matrix, ctx);  // digest path: sink not honored
 
   if (max_scaled >= cluster::kJaccardScale) {
+    // Star-union (below): the matched pairs all share the first non-empty
+    // row, which is NOT the canonical "every qualifying pair" set — the sink
+    // is deliberately not honored here (see collect_matched_pairs()).
     // Threshold admits fully disjoint sets: every non-empty row groups with
     // every other (Jaccard distance is at most kJaccardScale by definition).
     PairPipelineOutcome outcome{cluster::UnionFind(matrix.rows())};
@@ -201,15 +211,20 @@ RoleGroups RoleDietGroupFinder::find_similar_jaccard(const linalg::CsrMatrix& ma
     return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
   }
 
+  MatchedPairs* sink = pair_sink_;
+  if (sink != nullptr) sink->clear();
+
   // Below the ceiling a qualifying pair needs g >= 1, i.e. at least one
   // shared column — exactly the pairs the sweep enumerates. The scaled
   // distance uses the same integer formula as the dense kernel, so the
   // exact methods stay bit-identical.
   PairPipelineOutcome outcome = cooccurrence_sweep(
-      matrix, options_.threads, ctx, [&](std::size_t i, std::size_t j, std::size_t g) {
+      matrix, options_.threads, ctx,
+      [&](std::size_t i, std::size_t j, std::size_t g) {
         return cluster::jaccard_scaled_from_counts(matrix.row_size(i), matrix.row_size(j), g) <=
                max_scaled;
-      });
+      },
+      sink);
   return finalize_pipeline(std::move(outcome), matrix.rows(), work_);
 }
 

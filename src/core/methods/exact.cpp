@@ -22,6 +22,7 @@ RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t e
   // "distance <= eps" graph — which is what the union stage computes.
   // cluster::dbscan (the full core/border/noise machinery) remains the
   // reference implementation; dbscan_test pins this finder against it.
+  MatchedPairs collected;
   PairPipelineOutcome outcome = pair_pipeline(
       n, n, options_.threads, /*grain=*/64, ctx,
       [&] {
@@ -33,7 +34,18 @@ RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t e
           }
         };
       },
-      [eps](std::size_t i, std::size_t j, std::size_t d) { return i != j && d <= eps; });
+      [eps](std::size_t i, std::size_t j, std::size_t d) { return i != j && d <= eps; },
+      pair_sink_ != nullptr ? &collected : nullptr);
+
+  if (pair_sink_ != nullptr) {
+    // The pipeline ran over positions in `selected`; the sink contract is
+    // original row ids.
+    pair_sink_->clear();
+    pair_sink_->reserve(collected.size());
+    for (const auto& [a, b] : collected) {
+      push_matched_pair(*pair_sink_, selected[a], selected[b]);
+    }
+  }
 
   // Region queries report neighborhoods, not unite attempts, so the matched
   // counter keeps DBSCAN's historical vocabulary: derived from the spanning

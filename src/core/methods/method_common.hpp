@@ -105,6 +105,18 @@ struct PairPipelineOutcome {
   std::size_t pairs_matched = 0;    ///< candidates that passed (unite attempts)
 };
 
+/// Normalized (a < b) verified pairs, collected for callers that cache
+/// verdicts across runs (core/engine.hpp). May contain duplicates when a
+/// generator emits a pair from both endpoints; consumers sort + unique.
+using MatchedPairs = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Appends pair (i, j) to `sink` in normalized (min, max) order.
+inline void push_matched_pair(MatchedPairs& sink, std::size_t i, std::size_t j) {
+  const auto a = static_cast<std::uint32_t>(i);
+  const auto b = static_cast<std::uint32_t>(j);
+  sink.emplace_back(std::min(a, b), std::max(a, b));
+}
+
 /// Runs the shared stages over a candidate generator.
 ///
 /// `domain_size` indexes the method's candidate domain — matrix rows for the
@@ -130,12 +142,20 @@ struct PairPipelineOutcome {
 ///    candidate-batch granularity). A chunk that observes expiry stops
 ///    generating; pairs already verified stay united, so a cancelled run's
 ///    groups are a co-membership subset of the complete run's groups.
+///
+/// When `matched_sink` is non-null every verified pair is also appended to it
+/// (normalized, possibly with duplicates; the pair *set* is thread-count
+/// independent even though the order is not — callers sort + unique). This is
+/// the dirty-set-restricted re-audit hook: core/engine.hpp caches the full
+/// matched pair set of a phase and later re-verifies only pairs touching
+/// mutated rows.
 template <typename GeneratorFactory, typename Verify>
 [[nodiscard]] PairPipelineOutcome pair_pipeline(std::size_t domain_size, std::size_t num_points,
                                                 std::size_t threads, std::size_t grain,
                                                 const util::ExecutionContext& ctx,
                                                 GeneratorFactory&& generator_factory,
-                                                Verify&& verify) {
+                                                Verify&& verify,
+                                                MatchedPairs* matched_sink = nullptr) {
   PairPipelineOutcome out{cluster::UnionFind(num_points)};
   std::atomic<std::size_t> evaluated{0};
   std::atomic<std::size_t> matched{0};
@@ -149,12 +169,14 @@ template <typename GeneratorFactory, typename Verify>
         // Spanning unions of the chunk-local forest (<= num_points - 1):
         // enough to reconstruct its components in the shared forest.
         std::vector<std::pair<std::uint32_t, std::uint32_t>> spanning;
+        MatchedPairs collected;
         std::size_t local_evaluated = 0;
         std::size_t local_matched = 0;
         auto emit = [&](std::size_t i, std::size_t j, std::size_t g) -> bool {
           ++local_evaluated;
           if (!verify(i, j, g)) return false;
           ++local_matched;
+          if (matched_sink != nullptr) push_matched_pair(collected, i, j);
           if (local.unite(i, j)) {
             spanning.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
           }
@@ -169,6 +191,9 @@ template <typename GeneratorFactory, typename Verify>
         matched.fetch_add(local_matched, std::memory_order_relaxed);
         std::scoped_lock lock(merge_mutex);
         for (const auto& [a, b] : spanning) out.forest.unite(a, b);
+        if (matched_sink != nullptr) {
+          matched_sink->insert(matched_sink->end(), collected.begin(), collected.end());
+        }
       },
       grain);
 

@@ -26,6 +26,7 @@ PairPipelineOutcome MinHashGroupFinder::verified_candidates(const linalg::CsrMat
   // Stage 2 fans out over the candidate list. Candidate generation is
   // approximate, membership is not: the verifier sees the exact intersection
   // size, so there are no false merges.
+  if (pair_sink_ != nullptr) pair_sink_->clear();
   return pair_pipeline(
       pairs.size(), matrix.rows(), options_.lsh.threads, /*grain=*/512, ctx,
       [&] {
@@ -34,7 +35,7 @@ PairPipelineOutcome MinHashGroupFinder::verified_candidates(const linalg::CsrMat
           emit(a, b, store.intersection(a, b));
         };
       },
-      keep);
+      keep, pair_sink_);
 }
 
 RoleGroups MinHashGroupFinder::find_same(const linalg::CsrMatrix& matrix,
@@ -70,6 +71,7 @@ RoleGroups MinHashGroupFinder::find_similar(const linalg::CsrMatrix& matrix,
         ++outcome.pairs_evaluated;
         outcome.forest.unite(tiny[a].second, tiny[b].second);
         ++outcome.pairs_matched;
+        if (pair_sink_ != nullptr) push_matched_pair(*pair_sink_, tiny[a].second, tiny[b].second);
       }
     }
   }

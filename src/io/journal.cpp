@@ -1,0 +1,129 @@
+#include "io/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"
+
+namespace rolediet::io {
+
+namespace {
+
+// Field-count contract per tag: add-* records carry one name, edge records
+// carry role + entity.
+bool is_edge_kind(core::MutationKind kind) {
+  switch (kind) {
+    case core::MutationKind::kAssignUser:
+    case core::MutationKind::kRevokeUser:
+    case core::MutationKind::kGrantPermission:
+    case core::MutationKind::kRevokePermission:
+      return true;
+    case core::MutationKind::kAddUser:
+    case core::MutationKind::kAddRole:
+    case core::MutationKind::kAddPermission:
+      return false;
+  }
+  return false;
+}
+
+bool parse_kind(const std::string& tag, core::MutationKind& kind) {
+  using core::MutationKind;
+  for (MutationKind candidate :
+       {MutationKind::kAddUser, MutationKind::kAddRole, MutationKind::kAddPermission,
+        MutationKind::kAssignUser, MutationKind::kRevokeUser, MutationKind::kGrantPermission,
+        MutationKind::kRevokePermission}) {
+    if (tag == core::to_string(candidate)) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw CsvError("journal line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string format_journal_record(const core::Mutation& mutation) {
+  std::string out{core::to_string(mutation.kind)};
+  if (is_edge_kind(mutation.kind)) {
+    out += ',';
+    out += escape_csv_field(mutation.role);
+  }
+  out += ',';
+  out += escape_csv_field(mutation.entity);
+  return out;
+}
+
+void write_journal(std::ostream& out, const core::RbacDelta& delta) {
+  for (const core::Mutation& mutation : delta.mutations) {
+    out << format_journal_record(mutation) << '\n';
+  }
+  if (!out) throw CsvError("journal: write failed");
+}
+
+void save_journal(const std::filesystem::path& path, const core::RbacDelta& delta) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw CsvError("journal: cannot open " + path.string() + " for writing");
+  write_journal(out, delta);
+  out.flush();
+  if (!out) throw CsvError("journal: write failed for " + path.string());
+}
+
+bool JournalReader::next(core::Mutation& mutation) {
+  std::string record;
+  std::size_t consumed = 0;  // read_csv_record reports per-record line counts
+  while (read_csv_record(*in_, record, consumed)) {
+    const std::size_t record_line = line_ + 1;  // first physical line of the record
+    line_ += consumed;
+    std::vector<std::string> fields;
+    try {
+      fields = parse_csv_line(record);
+    } catch (const CsvError& err) {
+      fail(record_line, err.what());
+    }
+    // A blank physical line parses as one empty field; skip it the way the
+    // dataset loaders do.
+    if (fields.empty() || (fields.size() == 1 && fields[0].empty())) continue;
+
+    core::MutationKind kind;
+    if (!parse_kind(fields[0], kind)) {
+      fail(record_line, "unknown mutation tag \"" + fields[0] + "\"");
+    }
+    const std::size_t expect = is_edge_kind(kind) ? 3 : 2;
+    if (fields.size() != expect) {
+      fail(record_line, "tag \"" + fields[0] + "\" takes " + std::to_string(expect - 1) +
+                            " field(s), got " + std::to_string(fields.size() - 1));
+    }
+    mutation.kind = kind;
+    if (is_edge_kind(kind)) {
+      mutation.role = std::move(fields[1]);
+      mutation.entity = std::move(fields[2]);
+    } else {
+      mutation.role.clear();
+      mutation.entity = std::move(fields[1]);
+    }
+    return true;
+  }
+  return false;
+}
+
+core::RbacDelta read_journal(std::istream& in) {
+  core::RbacDelta delta;
+  JournalReader reader(in);
+  core::Mutation mutation;
+  while (reader.next(mutation)) delta.mutations.push_back(std::move(mutation));
+  return delta;
+}
+
+core::RbacDelta load_journal(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CsvError("journal: cannot open " + path.string());
+  return read_journal(in);
+}
+
+}  // namespace rolediet::io

@@ -194,6 +194,29 @@ std::string report_to_json(const core::AuditReport& report, const core::RbacData
   w.key("method");
   w.value(report.method_name);
 
+  // Resolved options echoed verbatim, so a stored report says how it was
+  // produced without the invoking command line.
+  w.key("options");
+  w.begin_object();
+  w.key("method");
+  w.value(core::to_string(report.options.method));
+  w.key("detect_similar");
+  w.value(report.options.detect_similar);
+  w.key("similarity_mode");
+  w.value(report.options.similarity_mode == core::SimilarityMode::kJaccard ? "jaccard"
+                                                                           : "hamming");
+  w.key("similarity_threshold");
+  w.value(report.options.similarity_threshold);
+  w.key("jaccard_dissimilarity");
+  w.value(report.options.jaccard_dissimilarity);
+  w.key("time_budget_s");
+  w.value(report.options.time_budget_s);
+  w.key("threads");
+  w.value(report.options.threads);
+  w.key("backend");
+  w.value(linalg::to_string(report.options.backend));
+  w.end_object();
+
   w.key("dataset");
   w.begin_object();
   w.key("users");

@@ -132,6 +132,38 @@ TEST(Cli, AuditMissingDatasetFails) {
   // by the diet test below writing to an unwritable location.
 }
 
+TEST(Cli, ReplayStreamsJournalAndReaudits) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  {
+    std::ofstream journal(dir.path("journal.csv"));
+    journal << "add-user,U05\n"
+               "assign-user,R01,U05\n"
+               "revoke-user,R04,U03\n"
+               "grant-permission,R03,P02\n";
+  }
+  const CliResult r = run_cli({"replay", "--every", "2", "--json", dir.path("report.json"),
+                               dir.path("data"), dir.path("journal.csv")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("replay: baseline audit"), std::string::npos);
+  // 4 mutations at --every 2 -> two delta re-audits after the baseline.
+  EXPECT_NE(r.out.find("replay: 2 mutations applied, version 2"), std::string::npos);
+  EXPECT_NE(r.out.find("replay: 4 mutations applied, version 4"), std::string::npos);
+  EXPECT_NE(r.out.find("replay: journal exhausted after 4 mutations (3 audits)"),
+            std::string::npos);
+  const std::string json = slurp(dir.path("report.json"));
+  EXPECT_NE(json.find("\"options\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":1"), std::string::npos);
+}
+
+TEST(Cli, ReplayRejectsBadArguments) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  EXPECT_EQ(run_cli({"replay", dir.path("data")}).code, 2);  // missing journal
+  EXPECT_EQ(run_cli({"replay", "--every", "0", dir.path("data"), "j.csv"}).code, 2);
+  EXPECT_EQ(run_cli({"replay", dir.path("data"), dir.path("nope.csv")}).code, 1);
+}
+
 TEST(Cli, DietDryRunWritesNothing) {
   CliDir dir;
   io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));

@@ -101,14 +101,16 @@ void expect_work_eq(const core::FinderWorkStats& a, const core::FinderWorkStats&
   EXPECT_EQ(a.merge_conflicts, b.merge_conflicts) << where;
 }
 
-/// Renders a report with every timing zeroed, so two runs that only differ
-/// in wall clock compare byte-identical.
+/// Renders a report with every timing zeroed and the options echo reset, so
+/// two runs that only differ in wall clock or in the (intentionally varied)
+/// threads/backend knobs compare byte-identical.
 std::string text_without_timings(core::AuditReport report) {
   for (core::PhaseTiming* t :
        {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
         &report.similar_users_time, &report.similar_permissions_time}) {
     t->seconds = 0.0;
   }
+  report.options = core::AuditOptions{};
   return report.to_text();
 }
 
@@ -208,6 +210,45 @@ TEST_P(Differential, AuditReportsIdenticalAcrossThreadCountsAndBackends) {
         expect_work_eq(report.same_users_work, reference.same_users_work, where + " same-users");
         expect_work_eq(report.same_permissions_work, reference.same_permissions_work,
                        where + " same-perms");
+        expect_work_eq(report.similar_users_work, reference.similar_users_work,
+                       where + " similar-users");
+        expect_work_eq(report.similar_permissions_work, reference.similar_permissions_work,
+                       where + " similar-perms");
+      }
+    }
+  }
+}
+
+TEST_P(Differential, JaccardAuditReportsIdenticalAcrossThreadCountsAndBackends) {
+  // Same determinism contract as above, under the relative (Jaccard) type-5
+  // mode: the scaled-integer threshold comparison (cluster/metric.hpp) is
+  // exact, so every method stays byte-identical across the threads knob and
+  // both kernel backends in this mode too.
+  const std::uint64_t seed = GetParam() ^ 0x1ACCAu;
+  // seed + 5 keeps (seed % 5), so both matrices have the same role count.
+  const core::RbacDataset dataset = dataset_from(workload(seed), workload(seed + 5));
+  for (Method method : {Method::kExactDbscan, Method::kApproxHnsw, Method::kApproxMinhash,
+                        Method::kRoleDiet}) {
+    core::AuditOptions ref_opts;
+    ref_opts.method = method;
+    ref_opts.similarity_mode = core::SimilarityMode::kJaccard;
+    ref_opts.jaccard_dissimilarity = 0.2;
+    ref_opts.threads = 1;
+    ref_opts.backend = linalg::RowBackend::kDense;
+    const core::AuditReport reference = core::audit(dataset, ref_opts);
+    const std::string ref_text = text_without_timings(reference);
+
+    for (linalg::RowBackend backend : {linalg::RowBackend::kDense, linalg::RowBackend::kSparse}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        core::AuditOptions opts = ref_opts;
+        opts.threads = threads;
+        opts.backend = backend;
+        const core::AuditReport report = core::audit(dataset, opts);
+        const std::string where = "jaccard method " + std::string(core::to_string(method)) +
+                                  ", backend " + std::to_string(static_cast<int>(backend)) +
+                                  ", threads " + std::to_string(threads);
+
+        EXPECT_EQ(text_without_timings(report), ref_text) << where;
         expect_work_eq(report.similar_users_work, reference.similar_users_work,
                        where + " similar-users");
         expect_work_eq(report.similar_permissions_work, reference.similar_permissions_work,

@@ -206,6 +206,104 @@ TEST(Hnsw, LayerZeroStaysFullyReachable) {
   EXPECT_EQ(found, 40u);
 }
 
+// ------------------------------------------------ steady-state maintenance -
+
+TEST(Hnsw, RemoveTombstonesPointButKeepsRouting) {
+  const auto m = points_from_rows(20, {{1, 2}, {1, 2}, {1, 2, 3}, {10, 11}});
+  HnswIndex index(m, {});
+  index.add_all();
+  ASSERT_EQ(index.range_search(0, 0).size(), 2u);
+
+  index.remove(1);
+  EXPECT_FALSE(index.contains(1));
+  EXPECT_TRUE(index.contains(0));
+  // Tombstoned rows disappear from every result set...
+  for (const auto& hit : index.range_search(0, 1)) EXPECT_NE(hit.id, 1u);
+  for (const auto& hit : index.search(0, 4)) EXPECT_NE(hit.id, 1u);
+  // ...but size() still counts the node (it keeps routing as a waypoint).
+  EXPECT_EQ(index.size(), 4u);
+  // remove is idempotent.
+  index.remove(1);
+  EXPECT_FALSE(index.contains(1));
+}
+
+TEST(Hnsw, RemoveAndReinsertUnindexedIdThrows) {
+  const auto m = points_from_rows(10, {{1}, {2}});
+  HnswIndex index(m, {});
+  index.add(0);
+  EXPECT_THROW(index.remove(1), std::out_of_range);
+  EXPECT_THROW(index.remove(9), std::out_of_range);
+  EXPECT_THROW(index.reinsert(1), std::out_of_range);
+}
+
+TEST(Hnsw, ReinsertRestoresSearchability) {
+  const auto m = points_from_rows(20, {{1, 2}, {1, 2}, {1, 2, 3}, {10, 11}});
+  HnswIndex index(m, {});
+  index.add_all();
+  index.remove(1);
+  index.reinsert(1);
+  EXPECT_TRUE(index.contains(1));
+  bool found = false;
+  for (const auto& hit : index.range_search(0, 0)) found |= (hit.id == 1u);
+  EXPECT_TRUE(found);
+}
+
+TEST(Hnsw, ReinsertAfterRowMutationFindsNewNeighbors) {
+  // The engine's mutated-row path: the index views a matrix whose row
+  // contents changed in place; reinsert() re-runs the insertion descent so
+  // the node links toward its *new* neighborhood.
+  util::Xoshiro256 rng(41);
+  linalg::BitMatrix m(200, 512);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (int b = 0; b < 6; ++b) m.set(i, rng.bounded(512));
+  }
+  HnswIndex index(m, {});
+  index.add_all();
+
+  // Move row 7 to be an exact duplicate of row 100 (previously unrelated).
+  index.remove(7);
+  for (std::size_t c = 0; c < 512; ++c) m.set(7, c, m.get(100, c));
+  index.reinsert(7);
+
+  bool found = false;
+  for (const auto& hit : index.range_search(100, 0, /*min_ef=*/200)) found |= (hit.id == 7u);
+  EXPECT_TRUE(found) << "reinserted duplicate not reachable from its new neighborhood";
+}
+
+TEST(Hnsw, TombstonesDoNotDisconnectLayerZero) {
+  // Removing a batch of hub-ish nodes must not orphan live regions: the
+  // tombstones keep their links and continue to route.
+  util::Xoshiro256 rng(77);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::size_t> row;
+    for (int b = 0; b < 8; ++b) row.push_back(rng.bounded(1024));
+    rows.push_back(row);
+  }
+  // Plant duplicates so range_search(·, 0) has guaranteed answers.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (int i = 0; i < 30; ++i) {
+    pairs.emplace_back(static_cast<std::size_t>(i * 7), rows.size());
+    rows.push_back(rows[static_cast<std::size_t>(i * 7)]);
+  }
+  const auto m = points_from_rows(1024, rows);
+  HnswIndex index(m, {});
+  index.add_all();
+  for (std::size_t id = 1; id < 300; id += 3) {
+    if (id % 7 != 0) index.remove(id);  // keep the planted-pair anchors live
+  }
+  std::size_t found = 0;
+  for (const auto& [a, b] : pairs) {
+    for (const auto& hit : index.range_search(a, 0, /*min_ef=*/300)) {
+      if (hit.id == b) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(found, 28u) << "tombstones degraded recall: " << found << "/30";
+}
+
 TEST(Hnsw, MaxLevelGrowsWithSize) {
   util::Xoshiro256 rng(23);
   std::vector<std::vector<std::size_t>> rows;

@@ -2,6 +2,7 @@
 // property under randomized mutation sequences.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/detector.hpp"
@@ -49,6 +50,46 @@ TEST(Incremental, EdgeMutationsAreIdempotent) {
   EXPECT_FALSE(live.assign_user(r, u));  // already present
   EXPECT_TRUE(live.revoke_user(r, u));
   EXPECT_FALSE(live.revoke_user(r, u));  // already absent
+}
+
+TEST(Incremental, DuplicateEntityNamesReturnExistingIds) {
+  // add_* are interning operations: a name is a unique key, so re-adding it
+  // returns the existing id and changes nothing. Journals (io/journal.hpp)
+  // rely on this to replay idempotently.
+  IncrementalAuditor live;
+  const Id u = live.add_user("alice");
+  const Id r = live.add_role("admins");
+  const Id p = live.add_permission("s3:Get");
+  EXPECT_EQ(live.add_user("alice"), u);
+  EXPECT_EQ(live.add_role("admins"), r);
+  EXPECT_EQ(live.add_permission("s3:Get"), p);
+  EXPECT_EQ(live.num_users(), 1u);
+  EXPECT_EQ(live.num_roles(), 1u);
+  EXPECT_EQ(live.num_permissions(), 1u);
+
+  // Edges attached before the duplicate add survive it.
+  EXPECT_TRUE(live.assign_user(r, u));
+  EXPECT_EQ(live.add_role("admins"), r);
+  EXPECT_FALSE(live.assign_user(r, u));  // edge still present
+
+  // Names are distinct keys per entity kind, not globally.
+  const Id r2 = live.add_role("alice");
+  EXPECT_NE(r2, r);
+  EXPECT_EQ(live.num_roles(), 2u);
+  EXPECT_EQ(live.num_users(), 1u);
+}
+
+TEST(Incremental, FindByNameMirrorsInterning) {
+  IncrementalAuditor live;
+  EXPECT_EQ(live.find_user("alice"), std::nullopt);
+  const Id u = live.add_user("alice");
+  const Id r = live.add_role("admins");
+  const Id p = live.add_permission("s3:Get");
+  EXPECT_EQ(live.find_user("alice"), std::optional<Id>{u});
+  EXPECT_EQ(live.find_role("admins"), std::optional<Id>{r});
+  EXPECT_EQ(live.find_permission("s3:Get"), std::optional<Id>{p});
+  EXPECT_EQ(live.find_role("alice"), std::nullopt);  // per-kind namespaces
+  EXPECT_EQ(live.find_permission("admins"), std::nullopt);
 }
 
 TEST(Incremental, RevokeBreaksDuplicateGroup) {

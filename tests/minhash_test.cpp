@@ -110,6 +110,69 @@ TEST(MinHash, DeterministicInSeed) {
 
 // ------------------------------------------------------------ group finder ---
 
+// ------------------------------------------------------------- band index ---
+//
+// MinHashBandIndex must share MinHashLsh's hash family exactly: a fully
+// updated band index and a batch LSH build over the same rows and params
+// produce the same candidate pair set, for any seed. core/engine.hpp's
+// incremental minhash path is sound only because of this equivalence.
+
+TEST(MinHashBandIndex, MatchesBatchLshCandidates) {
+  for (std::uint64_t seed : {1234ull, 7ull, 0xFEEDull}) {
+    gen::MatrixGenParams params;
+    params.roles = 150;
+    params.cols = 96;
+    params.perturb_bits = 1;
+    params.ensure_unique_rows = false;
+    params.seed = 0xBA2D + seed;
+    const linalg::CsrMatrix m = gen::generate_matrix(params).matrix;
+    const linalg::RowStore store(m);
+
+    cluster::MinHashParams mh;
+    mh.seed = seed;
+    const cluster::MinHashLsh batch(store, mh);
+    cluster::MinHashBandIndex live(mh);
+    for (std::size_t r = 0; r < m.rows(); ++r) live.update_row(store, r);
+
+    EXPECT_EQ(live.candidate_pairs(), batch.candidate_pairs()) << "seed " << seed;
+  }
+}
+
+TEST(MinHashBandIndex, UpdateRowTracksMutations) {
+  const auto before = csr_from_rows(100, {{1, 5, 9}, {1, 5, 9}, {2, 6}, {}});
+  const auto after = csr_from_rows(100, {{1, 5, 9}, {2, 6}, {2, 6}, {1, 5, 9}});
+  cluster::MinHashParams mh;
+  cluster::MinHashBandIndex live(mh);
+  {
+    const linalg::RowStore store(before);
+    for (std::size_t r = 0; r < before.rows(); ++r) live.update_row(store, r);
+  }
+  EXPECT_EQ(live.partners(0), std::vector<std::uint32_t>{1});
+  EXPECT_TRUE(live.partners(3).empty());  // empty rows are unbanded
+
+  // Mutate rows 1..3 and re-sign only those; the index must now agree with a
+  // from-scratch batch build of the new contents.
+  const linalg::RowStore store(after);
+  for (std::size_t r = 1; r < after.rows(); ++r) live.update_row(store, r);
+  EXPECT_EQ(live.partners(0), std::vector<std::uint32_t>{3});
+  EXPECT_EQ(live.partners(1), std::vector<std::uint32_t>{2});
+  EXPECT_EQ(live.candidate_pairs(), cluster::MinHashLsh(store, mh).candidate_pairs());
+}
+
+TEST(MinHashBandIndex, RemoveRowDropsAllCandidacy) {
+  const auto m = csr_from_rows(50, {{1, 2}, {1, 2}, {1, 2}});
+  cluster::MinHashBandIndex live({});
+  const linalg::RowStore store(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) live.update_row(store, r);
+  ASSERT_EQ(live.candidate_pairs().size(), 3u);  // all three pairs
+  live.remove_row(1);
+  const auto pairs = live.candidate_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+  live.remove_row(1);  // idempotent
+  EXPECT_EQ(live.candidate_pairs().size(), 1u);
+}
+
 TEST(MinHashFinder, FindSameIsExactOnPlantedDuplicates) {
   // Deterministic guarantee: identical signatures -> always candidates ->
   // exact verification. Must match the role-diet grouping exactly.
