@@ -142,6 +142,9 @@ std::string findings_text(core::AuditReport report) {
                                    &report.similar_users_work, &report.similar_permissions_work}) {
     *w = core::FinderWorkStats{};
   }
+  // The live engine's version differs from the fresh batch engine's; the
+  // dataset digest must agree, so it stays in the compared text.
+  report.engine_version = 0;
   report.options = core::AuditOptions{};
   return report.to_text();
 }

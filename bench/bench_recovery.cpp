@@ -1,0 +1,324 @@
+// Durable-store recovery bench: checkpoint cost and recover-from-snapshot vs
+// cold WAL replay on the Fig. 3 workload (BENCH_recovery.json).
+//
+// The store's value claim is that a checkpoint makes restart cheap: after a
+// 1% delta, open()-from-snapshot restores the cached pair verdicts and the
+// follow-up re-audit does verify work proportional to the dirty frontier,
+// while a cold start (fresh engine + full journal replay + batch audit)
+// re-derives everything. Per method this bench records the snapshot size,
+// checkpoint latency, recovery wall time, and the similar-phase verify
+// counters of both paths, asserting strictly less recovered work for every
+// cache-carrying method (HNSW rebuilds by design and is exempt) and
+// byte-identical findings for all of them before anything is written.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/framework.hpp"
+#include "io/json_writer.hpp"
+#include "store/engine_store.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+// Fig. 3 dataset builder shared with bench_reaudit (same shape and seeds).
+#include "gen/matrix_generator.hpp"
+
+using namespace rolediet;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RecoveryConfig {
+  std::size_t roles = 2000;
+  std::size_t threads = 1;
+  double fraction = 0.01;  ///< delta size between checkpoint and crash
+  std::string out_path = "BENCH_recovery.json";
+
+  static RecoveryConfig parse(int argc, char** argv) {
+    RecoveryConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.roles = 600;
+      } else if (std::strcmp(argv[i], "--roles") == 0 && i + 1 < argc) {
+        config.roles = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--roles N] [--threads N] [--out F]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// Fig. 3 shape (§IV-A), same generator seeds as bench_pipeline/bench_reaudit.
+core::RbacDataset fig3_dataset(std::size_t roles) {
+  gen::MatrixGenParams params;
+  params.roles = roles;
+  params.cols = 1000;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.seed = 3000 + roles;
+  const linalg::CsrMatrix ruam = gen::generate_matrix(params).matrix;
+  params.seed = 7000 + roles;
+  const linalg::CsrMatrix rpam = gen::generate_matrix(params).matrix;
+
+  core::RbacDataset dataset;
+  dataset.add_users(ruam.cols());
+  dataset.add_permissions(rpam.cols());
+  dataset.add_roles(roles);
+  for (std::size_t r = 0; r < roles; ++r) {
+    for (std::uint32_t u : ruam.row(r)) dataset.assign_user(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : rpam.row(r)) dataset.grant_permission(static_cast<core::Id>(r), p);
+  }
+  return dataset;
+}
+
+/// Builds a name-based mutation trace of `count` *effective* single
+/// mutations (alternating revocations of existing edges and fresh
+/// additions), validated against a scratch engine so no-ops don't count.
+std::vector<core::Mutation> build_trace(const core::RbacDataset& base, std::size_t count,
+                                        util::Xoshiro256& rng) {
+  std::vector<std::pair<core::Id, core::Id>> user_edges, perm_edges;
+  for (std::size_t r = 0; r < base.num_roles(); ++r) {
+    for (std::uint32_t u : base.ruam().row(r))
+      user_edges.emplace_back(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : base.rpam().row(r))
+      perm_edges.emplace_back(static_cast<core::Id>(r), p);
+  }
+  const auto users = static_cast<core::Id>(base.num_users());
+  const auto perms = static_cast<core::Id>(base.num_permissions());
+  const auto roles = static_cast<core::Id>(base.num_roles());
+
+  core::AuditEngine scratch(base, {});
+  std::vector<core::Mutation> trace;
+  while (trace.size() < count) {
+    const std::uint64_t before = scratch.version();
+    core::RbacDelta one;
+    switch (trace.size() % 4) {
+      case 0: {
+        const auto& [r, u] = user_edges[rng.bounded(user_edges.size())];
+        one.revoke_user(base.role_name(r), base.user_name(u));
+        break;
+      }
+      case 1:
+        one.assign_user(base.role_name(static_cast<core::Id>(rng.bounded(roles))),
+                        base.user_name(static_cast<core::Id>(rng.bounded(users))));
+        break;
+      case 2: {
+        const auto& [r, p] = perm_edges[rng.bounded(perm_edges.size())];
+        one.revoke_permission(base.role_name(r), base.permission_name(p));
+        break;
+      }
+      default:
+        one.grant_permission(base.role_name(static_cast<core::Id>(rng.bounded(roles))),
+                             base.permission_name(static_cast<core::Id>(rng.bounded(perms))));
+        break;
+    }
+    scratch.apply(one);
+    if (scratch.version() != before) trace.push_back(std::move(one.mutations.front()));
+  }
+  return trace;
+}
+
+std::size_t similar_pairs(const core::AuditReport& r) {
+  return r.similar_users_work.pairs_evaluated + r.similar_permissions_work.pairs_evaluated;
+}
+
+/// Findings-only rendering for the identity assertion. Unlike bench_reaudit,
+/// the engine version stays: the recovered engine must land on exactly the
+/// cold engine's version (same effective mutation count).
+std::string findings_text(core::AuditReport report) {
+  for (core::PhaseTiming* t :
+       {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
+        &report.similar_users_time, &report.similar_permissions_time}) {
+    *t = core::PhaseTiming{};
+  }
+  for (core::FinderWorkStats* w : {&report.same_users_work, &report.same_permissions_work,
+                                   &report.similar_users_work, &report.similar_permissions_work}) {
+    *w = core::FinderWorkStats{};
+  }
+  return report.to_text();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RecoveryConfig config = RecoveryConfig::parse(argc, argv);
+
+  std::printf("=== recovery bench: checkpoint + recover vs cold replay (Fig. 3 workload) ===\n");
+  std::printf("roles=%zu users=1000 threads=%zu delta=%.1f%% -> %s\n\n", config.roles,
+              config.threads, config.fraction * 100.0, config.out_path.c_str());
+
+  const core::RbacDataset dataset = fig3_dataset(config.roles);
+  const std::size_t total_edges = dataset.ruam().nnz() + dataset.rpam().nnz();
+  const auto mutations =
+      static_cast<std::size_t>(static_cast<double>(total_edges) * config.fraction);
+  util::Xoshiro256 rng(0x5707E + config.roles);
+  const std::vector<core::Mutation> trace =
+      build_trace(dataset, mutations == 0 ? 1 : mutations, rng);
+
+  const fs::path root =
+      fs::temp_directory_path() / ("rolediet_bench_recovery_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("recovery");
+  w.key("workload");
+  w.begin_object();
+  w.key("figure");
+  w.value("fig3");
+  w.key("roles");
+  w.value(static_cast<std::uint64_t>(config.roles));
+  w.key("users");
+  w.value(std::uint64_t{1000});
+  w.key("permissions");
+  w.value(std::uint64_t{1000});
+  w.key("edges");
+  w.value(total_edges);
+  w.key("delta_fraction");
+  w.value(config.fraction);
+  w.key("delta_mutations");
+  w.value(trace.size());
+  w.end_object();
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(config.threads));
+  w.key("methods");
+  w.begin_array();
+
+  bool ok = true;
+  const std::vector<core::Method> methods{core::Method::kExactDbscan, core::Method::kApproxHnsw,
+                                          core::Method::kApproxMinhash, core::Method::kRoleDiet};
+  for (core::Method method : methods) {
+    core::AuditOptions options;
+    options.method = method;
+    options.threads = config.threads;
+    const fs::path dir = root / std::string(core::to_string(method));
+
+    store::StoreOptions store_options;
+    store_options.fsync = store::FsyncPolicy::kNone;  // measure CPU, not the disk
+
+    // Build the store, warm the engine, and checkpoint: the snapshot carries
+    // the warm pass's cached pair verdicts with an empty dirty frontier.
+    std::uintmax_t snapshot_bytes = 0;
+    double checkpoint_seconds = 0.0;
+    {
+      store::EngineStore store =
+          store::EngineStore::create(dir, dataset, options, store_options);
+      (void)store.engine().reaudit();
+      util::Stopwatch checkpoint_watch;
+      const fs::path snapshot = store.checkpoint();
+      checkpoint_seconds = checkpoint_watch.seconds();
+      snapshot_bytes = fs::file_size(snapshot);
+
+      // The 1% delta lands in the WAL after the checkpoint, then the
+      // process "crashes" (store closed without another checkpoint).
+      for (const core::Mutation& m : trace) {
+        core::RbacDelta one;
+        one.mutations.push_back(m);
+        store.apply(one);
+      }
+    }
+
+    // Warm restart: recover from the snapshot + WAL tail, then re-audit.
+    util::Stopwatch open_watch;
+    store::EngineStore recovered = store::EngineStore::open(dir, options, store_options);
+    const double open_seconds = open_watch.seconds();
+    util::Stopwatch reaudit_watch;
+    const core::AuditReport warm = recovered.engine().reaudit();
+    const double reaudit_seconds = reaudit_watch.seconds();
+
+    // Cold restart: no snapshot — fresh engine, full journal, batch audit.
+    util::Stopwatch cold_watch;
+    core::AuditEngine cold(dataset, options);
+    core::RbacDelta all;
+    all.mutations = trace;
+    cold.apply(all);
+    const core::AuditReport batch = cold.reaudit();
+    const double cold_seconds = cold_watch.seconds();
+
+    if (findings_text(warm) != findings_text(batch)) {
+      std::fprintf(stderr, "FINDINGS MISMATCH: method %s\n",
+                   std::string(core::to_string(method)).c_str());
+      ok = false;
+    }
+    // The store's headline claim: recovery re-verifies only the frontier.
+    const bool strictly_less = similar_pairs(warm) < similar_pairs(batch);
+    if (method != core::Method::kApproxHnsw && !strictly_less) {
+      std::fprintf(stderr, "NO WORK SAVED: method %s recovered %zu pairs vs cold %zu\n",
+                   std::string(core::to_string(method)).c_str(), similar_pairs(warm),
+                   similar_pairs(batch));
+      ok = false;
+    }
+
+    w.begin_object();
+    w.key("method");
+    w.value(core::to_string(method));
+    w.key("snapshot_bytes");
+    w.value(static_cast<std::uint64_t>(snapshot_bytes));
+    w.key("checkpoint_seconds");
+    w.value(checkpoint_seconds);
+    w.key("replayed_records");
+    w.value(recovered.recovery().replayed_records);
+    w.key("recover");
+    w.begin_object();
+    w.key("open_seconds");
+    w.value(open_seconds);
+    w.key("reaudit_seconds");
+    w.value(reaudit_seconds);
+    w.key("similar_pairs_evaluated");
+    w.value(similar_pairs(warm));
+    w.end_object();
+    w.key("cold");
+    w.begin_object();
+    w.key("seconds");
+    w.value(cold_seconds);
+    w.key("similar_pairs_evaluated");
+    w.value(similar_pairs(batch));
+    w.end_object();
+    w.key("pairs_ratio");
+    const std::size_t cold_pairs = similar_pairs(batch);
+    w.value(cold_pairs == 0
+                ? 0.0
+                : static_cast<double>(similar_pairs(warm)) / static_cast<double>(cold_pairs));
+    w.end_object();
+
+    std::printf("%-14s snapshot %8ju B, checkpoint %7.3f s: recover %7.3f s / %9zu pairs"
+                "  vs  cold %7.3f s / %9zu pairs\n",
+                std::string(core::to_string(method)).c_str(),
+                static_cast<std::uintmax_t>(snapshot_bytes), checkpoint_seconds,
+                open_seconds + reaudit_seconds, similar_pairs(warm), cold_seconds,
+                similar_pairs(batch));
+    std::fflush(stdout);
+  }
+
+  w.end_array();
+  w.key("ok");
+  w.value(ok);
+  w.end_object();
+
+  fs::remove_all(root);
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("\nwrote %s\n", config.out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -33,4 +33,10 @@ echo "############ bench_reaudit (threads=$threads) ############" >> "$out"
 ./build/bench/bench_reaudit --threads "$threads" --out /root/repo/BENCH_reaudit.json \
   >> "$out" 2>&1
 echo "" >> "$out"
+# Durable-store checkpoint/recover vs cold replay: BENCH_recovery.json is
+# the third JSON artifact CI archives per commit.
+echo "############ bench_recovery (threads=$threads) ############" >> "$out"
+./build/bench/bench_recovery --threads "$threads" --out /root/repo/BENCH_recovery.json \
+  >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

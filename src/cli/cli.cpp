@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/framework.hpp"
 #include "core/remediation.hpp"
+#include "core/version.hpp"
 #include "gen/matrix_generator.hpp"
 #include "gen/org_simulator.hpp"
 #include "io/binary.hpp"
@@ -17,6 +18,7 @@
 #include "io/journal.hpp"
 #include "io/json_writer.hpp"
 #include "io/report_csv.hpp"
+#include "store/engine_store.hpp"
 #include "util/timer.hpp"
 
 namespace rolediet::cli {
@@ -158,14 +160,54 @@ int cmd_audit(Args& args, std::ostream& out) {
   return 0;
 }
 
+// ----------------------------------------------------------------- store ---
+
+store::StoreOptions parse_store_options(Args& args) {
+  store::StoreOptions store_options;
+  if (auto fsync = args.take_option("--fsync")) {
+    if (*fsync == "record") {
+      store_options.fsync = store::FsyncPolicy::kEveryRecord;
+    } else if (*fsync == "batch") {
+      store_options.fsync = store::FsyncPolicy::kEveryBatch;
+    } else if (*fsync == "none") {
+      store_options.fsync = store::FsyncPolicy::kNone;
+    } else {
+      throw UsageError("unknown --fsync policy '" + *fsync +
+                       "' (expected record, batch, or none)");
+    }
+  }
+  return store_options;
+}
+
+void print_recovery(const store::RecoveryInfo& info, std::ostream& out) {
+  out << "recover: snapshot " << info.snapshot_path.filename().string() << " ("
+      << info.snapshot_records << " records baked in)"
+      << (info.used_fallback_snapshot ? " [newest snapshot invalid: fell back]" : "") << "\n";
+  out << "recover: replayed " << info.replayed_records << " WAL records -> "
+      << info.total_records << " committed records total\n";
+  if (info.truncated_bytes > 0)
+    out << "recover: truncated " << info.truncated_bytes << " torn tail bytes\n";
+  if (info.dropped_torn_segment) out << "recover: dropped torn-header final segment\n";
+  if (info.caches_dropped)
+    out << "recover: audit options changed since checkpoint; cached verdicts dropped\n";
+}
+
 // ---------------------------------------------------------------- replay ---
 
 int cmd_replay(Args& args, std::ostream& out) {
   const core::AuditOptions options = parse_audit_options(args);
+  const store::StoreOptions store_options = parse_store_options(args);
   std::size_t every = 0;  // 0 = one re-audit at end of journal
   if (auto value = args.take_option("--every")) {
     every = parse_size(*value, "--every");
     if (every == 0) throw UsageError("--every must be >= 1");
+  }
+  const std::optional<std::string> store_dir = args.take_option("--store");
+  std::size_t checkpoint_every = 0;  // 0 = one checkpoint at end of journal
+  if (auto value = args.take_option("--checkpoint-every")) {
+    if (!store_dir) throw UsageError("--checkpoint-every requires --store");
+    checkpoint_every = parse_size(*value, "--checkpoint-every");
+    if (checkpoint_every == 0) throw UsageError("--checkpoint-every must be >= 1");
   }
   const std::optional<std::string> json_path = args.take_option("--json");
 
@@ -176,7 +218,19 @@ int cmd_replay(Args& args, std::ostream& out) {
   if (!args.done()) throw UsageError("replay: unexpected argument '" + args.peek() + "'");
 
   const core::RbacDataset dataset = io::load_dataset(dir);
-  core::AuditEngine engine(dataset, options);
+
+  // With --store the engine lives inside a durable store: every batch is
+  // WAL-logged before it is applied, and checkpoints collapse the log.
+  std::optional<store::EngineStore> durable;
+  std::optional<core::AuditEngine> local;
+  if (store_dir) {
+    durable.emplace(store::EngineStore::create(*store_dir, dataset, options, store_options));
+    out << "replay: durable store at " << *store_dir << " (fsync "
+        << store::to_string(store_options.fsync) << ")\n";
+  } else {
+    local.emplace(dataset, options);
+  }
+  core::AuditEngine& engine = durable ? durable->engine() : *local;
 
   // Baseline pass: the engine's first reaudit is the full batch audit of the
   // starting snapshot; later passes reuse its artifacts.
@@ -190,14 +244,25 @@ int cmd_replay(Args& args, std::ostream& out) {
   core::Mutation mutation;
   core::RbacDelta batch;
   std::size_t applied = 0;
+  std::uint64_t last_checkpoint = 0;
   auto reaudit_batch = [&] {
-    engine.apply(batch);
+    if (durable) {
+      durable->apply(batch);
+    } else {
+      engine.apply(batch);
+    }
     applied += batch.size();
     batch.mutations.clear();
     util::Stopwatch watch;
     report = engine.reaudit();
     out << "replay: " << applied << " mutations applied, version " << engine.version()
         << ", dirty frontier re-audited in " << util::format_duration(watch.seconds()) << "\n";
+    if (durable && checkpoint_every != 0 &&
+        durable->records() - last_checkpoint >= checkpoint_every) {
+      durable->checkpoint();
+      last_checkpoint = durable->records();
+      out << "replay: checkpoint at " << last_checkpoint << " records\n";
+    }
   };
   while (reader.next(mutation)) {
     batch.mutations.push_back(std::move(mutation));
@@ -207,8 +272,61 @@ int cmd_replay(Args& args, std::ostream& out) {
 
   out << "replay: journal exhausted after " << applied << " mutations (" << engine.audits()
       << " audits)\n";
+  if (durable) {
+    const std::filesystem::path snapshot = durable->checkpoint();
+    out << "replay: final checkpoint " << snapshot.filename().string() << " ("
+        << durable->records() << " records)\n";
+  }
   out << report.to_text();
   if (json_path) write_text_file(*json_path, io::report_to_json(report, engine.snapshot()));
+  return 0;
+}
+
+// ------------------------------------------------------ checkpoint/recover ---
+
+int cmd_checkpoint(Args& args, std::ostream& out) {
+  const core::AuditOptions options = parse_audit_options(args);
+  const store::StoreOptions store_options = parse_store_options(args);
+  if (args.done()) throw UsageError("checkpoint: missing dataset directory");
+  const std::string dir = args.take();
+  if (args.done()) throw UsageError("checkpoint: missing store directory");
+  const std::string store_dir = args.take();
+  if (!args.done()) throw UsageError("checkpoint: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset dataset = io::load_dataset(dir);
+  const store::EngineStore durable =
+      store::EngineStore::create(store_dir, dataset, options, store_options);
+  out << "checkpoint: initialized store " << store_dir << " from " << dir << " ("
+      << dataset.num_users() << " users, " << dataset.num_roles() << " roles, "
+      << dataset.num_permissions() << " permissions)\n";
+  out << "checkpoint: baseline snapshot "
+      << durable.recovery().snapshot_path.filename().string() << " at record 0\n";
+  return 0;
+}
+
+int cmd_recover(Args& args, std::ostream& out) {
+  const core::AuditOptions options = parse_audit_options(args);
+  const store::StoreOptions store_options = parse_store_options(args);
+  const std::optional<std::string> json_path = args.take_option("--json");
+  if (args.done()) throw UsageError("recover: missing store directory");
+  const std::string store_dir = args.take();
+  if (!args.done()) throw UsageError("recover: unexpected argument '" + args.peek() + "'");
+
+  store::EngineStore durable = store::EngineStore::open(store_dir, options, store_options);
+  print_recovery(durable.recovery(), out);
+  const core::AuditReport report = durable.engine().reaudit();
+  out << report.to_text();
+  if (json_path)
+    write_text_file(*json_path, io::report_to_json(report, durable.engine().snapshot()));
+  return 0;
+}
+
+// --------------------------------------------------------------- version ---
+
+int cmd_version(std::ostream& out) {
+  out << "rolediet " << core::kLibraryVersion << " (" << core::kBuildType << " build)\n";
+  out << "store formats: snapshot v" << core::kSnapshotFormatVersion << ", wal v"
+      << core::kWalFormatVersion << "\n";
   return 0;
 }
 
@@ -426,7 +544,20 @@ int cmd_help(std::ostream& out) {
          "                 audit engine: baseline audit of DIR, then delta\n"
          "                 re-audits that only re-verify mutated roles;\n"
          "                 --every N (re-audit every N mutations; default:\n"
-         "                 once at end of journal) plus all audit options\n"
+         "                 once at end of journal) plus all audit options;\n"
+         "                 --store STORE (make the engine durable: WAL-log\n"
+         "                 every batch into a new store at STORE)\n"
+         "                 --checkpoint-every N (snapshot + prune the WAL\n"
+         "                 every N logged records; default: once at end)\n"
+         "                 --fsync record|batch|none (WAL durability)\n"
+         "  checkpoint DIR STORE\n"
+         "                 initialize a durable store at STORE from dataset\n"
+         "                 DIR (baseline snapshot + empty WAL); audit\n"
+         "                 options fix the engine configuration\n"
+         "  recover STORE  rebuild the engine from the newest valid snapshot\n"
+         "                 plus the WAL tail (truncating a torn final\n"
+         "                 record), report what recovery did, and re-audit;\n"
+         "                 --json FILE plus all audit options\n"
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
@@ -435,6 +566,7 @@ int cmd_help(std::ostream& out) {
          "  compare DIR    [--threshold N] [--threads N] [--backend B]\n"
          "                 run all detection methods side by side\n"
          "  convert IN OUT directory = CSV dataset, file = binary format\n"
+         "  version        library version + store format versions\n"
          "  help           this text\n\n"
          "Datasets are directories of CSV files: entities.csv (kind,name),\n"
          "assignments.csv (role,user), grants.csv (role,permission).\n";
@@ -457,6 +589,9 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (command == "generate") return cmd_generate(cursor, out);
     if (command == "compare") return cmd_compare(cursor, out);
     if (command == "convert") return cmd_convert(cursor, out);
+    if (command == "checkpoint") return cmd_checkpoint(cursor, out);
+    if (command == "recover") return cmd_recover(cursor, out);
+    if (command == "version" || command == "--version" || command == "-v") return cmd_version(out);
     if (command == "help" || command == "--help" || command == "-h") return cmd_help(out);
     throw UsageError("unknown subcommand '" + command + "'");
   } catch (const UsageError& e) {

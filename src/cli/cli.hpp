@@ -22,6 +22,25 @@
 //       Run all three detection methods on the dataset and print a timing /
 //       agreement table.
 //
+//   rolediet replay DIR JOURNAL [--every N] [--store STORE]
+//                               [--checkpoint-every N] [--fsync MODE]
+//       Stream a mutation journal through the incremental engine, delta
+//       re-auditing every N mutations. With --store, mutations are written
+//       through a durable store (WAL + periodic snapshots) so the run
+//       survives a crash.
+//
+//   rolediet checkpoint DIR STORE [--fsync record|batch|none]
+//       Initialize a durable store from a dataset (baseline snapshot at
+//       record 0 plus an empty WAL). Refuses an already-initialized STORE.
+//
+//   rolediet recover STORE [--json FILE]
+//       Rebuild the engine from the newest valid snapshot + WAL tail
+//       (truncating a torn final record), print what recovery had to do,
+//       and re-audit.
+//
+//   rolediet version
+//       Library version, build type, and on-disk format versions.
+//
 //   rolediet help [SUBCOMMAND]
 //
 // The binary in tools/rolediet.cpp is a thin wrapper; tests drive run()

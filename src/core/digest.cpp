@@ -1,0 +1,66 @@
+#include "core/digest.hpp"
+
+#include <string>
+
+namespace rolediet::core {
+
+namespace {
+
+/// FNV-1a with length-prefixed fields, so ("ab", "c") and ("a", "bc") feed
+/// different byte streams. Same constants as the io/binary checksum.
+class ContentDigest {
+ public:
+  void bytes(const void* data, std::size_t size) noexcept {
+    const auto* b = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= b[i];
+      state_ *= 0x100000001B3ULL;
+    }
+  }
+  void u64(std::uint64_t v) noexcept {
+    unsigned char buf[8];
+    for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(buf, sizeof(buf));
+  }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ULL;
+};
+
+/// Works for both RbacDataset and IncrementalAuditor: they expose the same
+/// accessor names, differing only in return types (span vs vector).
+template <typename State>
+std::uint64_t digest_of(const State& state) {
+  ContentDigest d;
+  d.u64(state.num_users());
+  d.u64(state.num_roles());
+  d.u64(state.num_permissions());
+  for (std::size_t u = 0; u < state.num_users(); ++u) d.str(state.user_name(static_cast<Id>(u)));
+  for (std::size_t r = 0; r < state.num_roles(); ++r) d.str(state.role_name(static_cast<Id>(r)));
+  for (std::size_t p = 0; p < state.num_permissions(); ++p)
+    d.str(state.permission_name(static_cast<Id>(p)));
+  for (std::size_t r = 0; r < state.num_roles(); ++r) {
+    const auto& users = state.users_of_role(static_cast<Id>(r));
+    d.u64(users.size());
+    for (std::uint32_t u : users) d.u64(u);
+    const auto& perms = state.permissions_of_role(static_cast<Id>(r));
+    d.u64(perms.size());
+    for (std::uint32_t p : perms) d.u64(p);
+  }
+  return d.value();
+}
+
+}  // namespace
+
+std::uint64_t dataset_content_digest(const RbacDataset& dataset) { return digest_of(dataset); }
+
+std::uint64_t dataset_content_digest(const IncrementalAuditor& state) {
+  return digest_of(state);
+}
+
+}  // namespace rolediet::core

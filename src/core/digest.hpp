@@ -1,0 +1,23 @@
+// Canonical content digest of an RBAC state.
+//
+// Audit reports carry the engine version() and this digest so a stored
+// report can be matched to the exact store state that produced it (and two
+// reports can be proven to describe the same data without diffing datasets).
+// The digest is FNV-1a over a canonical serialization: entity counts, every
+// name in id order, then every role's sorted user and permission sets. Two
+// states with identical interned entities and identical edge sets digest
+// identically whether materialized as an RbacDataset or live inside an
+// IncrementalAuditor — pinned by a round-trip test.
+#pragma once
+
+#include <cstdint>
+
+#include "core/incremental.hpp"
+#include "core/model.hpp"
+
+namespace rolediet::core {
+
+[[nodiscard]] std::uint64_t dataset_content_digest(const RbacDataset& dataset);
+[[nodiscard]] std::uint64_t dataset_content_digest(const IncrementalAuditor& state);
+
+}  // namespace rolediet::core

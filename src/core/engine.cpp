@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "cluster/metric.hpp"
+#include "core/digest.hpp"
 #include "core/methods/approx.hpp"
 #include "util/timer.hpp"
 
@@ -205,6 +207,64 @@ std::size_t AuditEngine::dirty_roles() const noexcept {
     count += (users || perms) ? 1 : 0;
   }
   return count;
+}
+
+EnginePersistentState AuditEngine::persistent_state() const {
+  EnginePersistentState out;
+  out.version = version_;
+  out.audits = audits_;
+  out.audited_once = audited_once_;
+  auto pack = [](const Axis& axis) {
+    EnginePersistentState::AxisState s;
+    s.dirty = axis.dirty;
+    s.similar_valid = axis.similar.valid;
+    if (axis.similar.valid) s.similar_pairs = axis.similar.pairs;
+    return s;
+  };
+  out.users = pack(users_axis_);
+  out.perms = pack(perms_axis_);
+  return out;
+}
+
+void AuditEngine::restore_persistent_state(EnginePersistentState state) {
+  const std::size_t roles = state_.num_roles();
+  for (const EnginePersistentState::AxisState* axis : {&state.users, &state.perms}) {
+    if (axis->dirty.size() > roles) {
+      throw std::invalid_argument(
+          "restore_persistent_state: dirty flags exceed the dataset's role count");
+    }
+    for (const auto& [a, b] : axis->similar_pairs) {
+      if (a >= roles || b >= roles) {
+        throw std::invalid_argument(
+            "restore_persistent_state: cached pair outside the dataset's role range");
+      }
+    }
+  }
+  version_ = state.version;
+  audits_ = state.audits;
+  audited_once_ = state.audited_once;
+  const bool hnsw = options_.method == Method::kApproxHnsw;
+  auto unpack = [&](Axis& axis, EnginePersistentState::AxisState&& s) {
+    axis.dirty = std::move(s.dirty);
+    axis.similar.valid = s.similar_valid && !hnsw;
+    axis.similar.pairs =
+        axis.similar.valid ? std::move(s.similar_pairs) : methods::MatchedPairs{};
+    // Candidate artifacts are rebuild-marked: the next delta pass re-derives
+    // them from the restored matrices. (Field-wise reset: HnswIndex pins
+    // itself by address, so the artifact is not assignable.)
+    axis.minhash.built = false;
+    axis.minhash.index.reset();
+    axis.hnsw.built = false;
+    axis.hnsw.index.reset();
+    axis.hnsw.points = linalg::CsrMatrix{};
+    axis.hnsw.slotted.clear();
+  };
+  unpack(users_axis_, std::move(state.users));
+  unpack(perms_axis_, std::move(state.perms));
+  // HNSW's maintained graph depends on insertion history; with it gone, the
+  // deterministic full batch pass is the only path that reproduces what a
+  // from-scratch engine on the same data reports.
+  if (hnsw) audited_once_ = false;
 }
 
 void AuditEngine::set_time_budget(double seconds) {
@@ -480,6 +540,8 @@ AuditReport AuditEngine::reaudit() {
   report.similarity_mode = options_.similarity_mode;
   report.jaccard_dissimilarity = options_.jaccard_dissimilarity;
   report.options = options_;
+  report.engine_version = version_;
+  report.dataset_digest = dataset_content_digest(state_);
 
   GroupFinderOptions finder_options;
   finder_options.threads = options_.threads;

@@ -93,6 +93,26 @@ struct RbacDelta {
   [[nodiscard]] bool operator==(const RbacDelta&) const = default;
 };
 
+/// The engine state a durable checkpoint must carry beyond the dataset
+/// itself: version counters, the pending dirty frontier, and the cached
+/// type-5 matched-pair verdicts. The maintained candidate artifacts (MinHash
+/// band index, HNSW graph) are deliberately NOT part of it — they are
+/// rebuild-marked on restore and the next reaudit() reconstructs them from
+/// the restored matrices, which keeps snapshots small and the on-disk format
+/// independent of artifact internals (store/snapshot.hpp serializes this).
+struct EnginePersistentState {
+  struct AxisState {
+    std::vector<std::uint8_t> dirty;  ///< per-role "mutated since last reaudit"
+    bool similar_valid = false;       ///< pair cache usable for a delta pass
+    methods::MatchedPairs similar_pairs;  ///< sorted unique matched pairs
+  };
+  std::uint64_t version = 0;
+  std::uint64_t audits = 0;
+  bool audited_once = false;
+  AxisState users;
+  AxisState perms;
+};
+
 class AuditEngine {
  public:
   /// Copies the snapshot's structure; options are fixed for the engine's
@@ -156,6 +176,23 @@ class AuditEngine {
 
   /// Roles currently dirty on at least one axis (the pending frontier).
   [[nodiscard]] std::size_t dirty_roles() const noexcept;
+
+  // ---- durability ---------------------------------------------------------
+
+  /// Everything a durable checkpoint needs beyond snapshot() itself. Pair
+  /// caches are exported only when valid (an invalid cache is pure rebuild
+  /// work, not state).
+  [[nodiscard]] EnginePersistentState persistent_state() const;
+
+  /// Restores counters, the dirty frontier, and the pair caches captured by
+  /// persistent_state(), on an engine freshly constructed from the matching
+  /// snapshot() dataset. Throws std::invalid_argument when the state does
+  /// not fit the current dataset (dirty flags or cached pair ids outside the
+  /// role range). For kApproxHnsw the similar caches are dropped and
+  /// audited_once is reset instead: the maintained graph is approximate and
+  /// history-dependent, so recovery re-runs the deterministic batch pass and
+  /// yields exactly what a cold rebuild on the same data yields.
+  void restore_persistent_state(EnginePersistentState state);
 
   /// Replaces the per-reaudit wall-clock budget (seconds; 0 = unlimited).
   /// The one option that may change mid-life: replay drivers lift a budget

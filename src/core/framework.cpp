@@ -81,6 +81,13 @@ std::string AuditReport::to_text() const {
   out << "  dataset: " << num_users << " users, " << num_roles << " roles, "
       << num_permissions << " permissions; " << num_user_assignments
       << " user assignments, " << num_permission_grants << " permission grants\n";
+  {
+    char digest_buf[24];
+    std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                  static_cast<unsigned long long>(dataset_digest));
+    out << "  state: engine version " << engine_version << ", dataset digest " << digest_buf
+        << "\n";
+  }
   out << "  [type 1] standalone users:        " << structural.standalone_users.size() << "\n";
   out << "  [type 1] standalone roles:        " << structural.standalone_roles.size() << "\n";
   out << "  [type 1] standalone permissions:  " << structural.standalone_permissions.size()

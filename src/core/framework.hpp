@@ -92,6 +92,12 @@ struct AuditReport {
 
   // Bookkeeping.
   std::string method_name;
+  /// Dataset version of the engine that produced these findings (0 for a
+  /// one-shot audit(); the effective-mutation count for a live engine), and
+  /// the canonical content digest of that dataset (core/digest.hpp) — enough
+  /// to match a stored report to the exact store state it describes.
+  std::uint64_t engine_version = 0;
+  std::uint64_t dataset_digest = 0;
   /// The resolved options this audit ran with, echoed verbatim so a report
   /// is self-describing (JSON and text both render them).
   AuditOptions options;

@@ -62,6 +62,14 @@ class IncrementalAuditor {
   [[nodiscard]] std::size_t num_roles() const noexcept { return roles_.size(); }
   [[nodiscard]] std::size_t num_permissions() const noexcept { return perm_names_.size(); }
 
+  /// Name lookup by id (RbacDataset-compatible accessors; core/digest.hpp
+  /// digests both representations through one template).
+  [[nodiscard]] const std::string& user_name(Id user) const { return user_names_.at(user); }
+  [[nodiscard]] const std::string& role_name(Id role) const { return roles_.at(role).name; }
+  [[nodiscard]] const std::string& permission_name(Id perm) const {
+    return perm_names_.at(perm);
+  }
+
   /// Current sorted user / permission set of a role (live view; invalidated
   /// by the next mutation of that role).
   [[nodiscard]] const std::vector<Id>& users_of_role(Id role) const {

@@ -10,123 +10,114 @@ namespace {
 
 constexpr char kMagic[8] = {'R', 'D', 'I', 'E', 'T', '1', '\n', '\0'};
 
-/// Streaming FNV-1a over the payload (everything after the magic).
-class Checksum {
- public:
-  void feed(const void* data, std::size_t size) noexcept {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      state_ ^= bytes[i];
-      state_ *= 0x100000001B3ULL;
-    }
+std::uint64_t fnv1a(std::uint64_t state, const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= 0x100000001B3ULL;
   }
-  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
-
- private:
-  std::uint64_t state_ = 0xCBF29CE484222325ULL;
-};
-
-class Writer {
- public:
-  explicit Writer(const std::filesystem::path& path) : out_(path, std::ios::binary) {
-    if (!out_) throw BinaryError("cannot write " + path.string());
-  }
-
-  void raw(const void* data, std::size_t size) {
-    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
-  }
-  void payload(const void* data, std::size_t size) {
-    raw(data, size);
-    checksum_.feed(data, size);
-  }
-  // Integers are serialized explicitly little-endian (byte by byte, not a
-  // memcpy of the native representation) so files written on one host load
-  // on any other. The checksum is fed the serialized bytes via payload().
-  void u64(std::uint64_t v) {
-    unsigned char buf[8];
-    for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
-    payload(buf, sizeof(buf));
-  }
-  void u32(std::uint32_t v) {
-    unsigned char buf[4];
-    for (std::size_t i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
-    payload(buf, sizeof(buf));
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    payload(s.data(), s.size());
-  }
-  void finish() {
-    const std::uint64_t digest = checksum_.value();
-    unsigned char buf[8];
-    for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(digest >> (8 * i));
-    raw(buf, sizeof(buf));
-    out_.flush();
-    if (!out_) throw BinaryError("write failure while finishing binary dataset");
-  }
-
- private:
-  std::ofstream out_;
-  Checksum checksum_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::filesystem::path& path) : in_(path, std::ios::binary) {
-    if (!in_) throw BinaryError("cannot open " + path.string());
-  }
-
-  void raw(void* data, std::size_t size) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-    if (in_.gcount() != static_cast<std::streamsize>(size))
-      throw BinaryError("unexpected end of file (truncated binary dataset)");
-  }
-  void payload(void* data, std::size_t size) {
-    raw(data, size);
-    checksum_.feed(data, size);
-  }
-  // Mirrors Writer: bytes on disk are little-endian regardless of host.
-  std::uint64_t u64() {
-    unsigned char buf[8];
-    payload(buf, sizeof(buf));
-    std::uint64_t v = 0;
-    for (std::size_t i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
-    return v;
-  }
-  std::uint32_t u32() {
-    unsigned char buf[4];
-    payload(buf, sizeof(buf));
-    std::uint32_t v = 0;
-    for (std::size_t i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
-    return v;
-  }
-  std::string str(std::size_t sane_limit = 1 << 20) {
-    const std::uint32_t size = u32();
-    if (size > sane_limit) throw BinaryError("corrupt name length in binary dataset");
-    std::string s(size, '\0');
-    payload(s.data(), size);
-    return s;
-  }
-  void verify_checksum() {
-    const std::uint64_t expected = checksum_.value();
-    unsigned char buf[8];
-    raw(buf, sizeof(buf));
-    std::uint64_t stored = 0;
-    for (std::size_t i = 0; i < 8; ++i) stored |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
-    if (stored != expected) throw BinaryError("checksum mismatch (corrupt binary dataset)");
-  }
-
- private:
-  std::ifstream in_;
-  Checksum checksum_;
-};
+  return state;
+}
 
 }  // namespace
 
-void save_dataset_binary(const core::RbacDataset& dataset,
-                         const std::filesystem::path& path) {
-  Writer w(path);
-  w.raw(kMagic, sizeof(kMagic));
+// --------------------------------------------------------------- writer ---
+
+void BinaryWriter::raw(const void* data, std::size_t size) {
+  out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+}
+
+void BinaryWriter::payload(const void* data, std::size_t size) {
+  raw(data, size);
+  digest_ = fnv1a(digest_, data, size);
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  payload(buf, sizeof(buf));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  unsigned char buf[4];
+  for (std::size_t i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  payload(buf, sizeof(buf));
+}
+
+void BinaryWriter::u8(std::uint8_t v) {
+  const unsigned char byte = v;
+  payload(&byte, 1);
+}
+
+void BinaryWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  payload(s.data(), s.size());
+}
+
+void BinaryWriter::finish() {
+  const std::uint64_t value = digest_;
+  unsigned char buf[8];
+  for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  raw(buf, sizeof(buf));
+  out_->flush();
+  if (!*out_) throw BinaryError("write failure while finishing binary file");
+}
+
+// --------------------------------------------------------------- reader ---
+
+void BinaryReader::raw(void* data, std::size_t size) {
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (in_->gcount() != static_cast<std::streamsize>(size))
+    throw BinaryError("unexpected end of file (truncated binary file)");
+}
+
+void BinaryReader::payload(void* data, std::size_t size) {
+  raw(data, size);
+  digest_ = fnv1a(digest_, data, size);
+}
+
+std::uint64_t BinaryReader::u64() {
+  unsigned char buf[8];
+  payload(buf, sizeof(buf));
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  unsigned char buf[4];
+  payload(buf, sizeof(buf));
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint8_t BinaryReader::u8() {
+  unsigned char byte = 0;
+  payload(&byte, 1);
+  return byte;
+}
+
+std::string BinaryReader::str(std::size_t sane_limit) {
+  const std::uint32_t size = u32();
+  if (size > sane_limit) throw BinaryError("corrupt string length in binary file");
+  std::string s(size, '\0');
+  payload(s.data(), size);
+  return s;
+}
+
+void BinaryReader::verify_digest() {
+  const std::uint64_t expected = digest_;
+  unsigned char buf[8];
+  raw(buf, sizeof(buf));
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < 8; ++i) stored |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  if (stored != expected) throw BinaryError("checksum mismatch (corrupt binary file)");
+}
+
+// --------------------------------------------------------- dataset body ---
+
+void write_dataset_body(BinaryWriter& w, const core::RbacDataset& dataset) {
   w.u64(dataset.num_users());
   w.u64(dataset.num_roles());
   w.u64(dataset.num_permissions());
@@ -153,16 +144,9 @@ void save_dataset_binary(const core::RbacDataset& dataset,
       w.u32(p);
     }
   }
-  w.finish();
 }
 
-core::RbacDataset load_dataset_binary(const std::filesystem::path& path) {
-  Reader r(path);
-  char magic[sizeof(kMagic)];
-  r.raw(magic, sizeof(magic));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw BinaryError(path.string() + " is not a rolediet binary dataset");
-
+core::RbacDataset read_dataset_body(BinaryReader& r) {
   const std::uint64_t users = r.u64();
   const std::uint64_t roles = r.u64();
   const std::uint64_t perms = r.u64();
@@ -194,7 +178,31 @@ core::RbacDataset load_dataset_binary(const std::filesystem::path& path) {
       throw BinaryError("grant edge outside entity range in binary dataset");
     dataset.grant_permission(role, perm);
   }
-  r.verify_checksum();
+  return dataset;
+}
+
+// --------------------------------------------------------- file formats ---
+
+void save_dataset_binary(const core::RbacDataset& dataset,
+                         const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw BinaryError("cannot write " + path.string());
+  BinaryWriter w(out);
+  w.raw(kMagic, sizeof(kMagic));
+  write_dataset_body(w, dataset);
+  w.finish();
+}
+
+core::RbacDataset load_dataset_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw BinaryError("cannot open " + path.string());
+  BinaryReader r(in);
+  char magic[sizeof(kMagic)];
+  r.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw BinaryError(path.string() + " is not a rolediet binary dataset");
+  core::RbacDataset dataset = read_dataset_body(r);
+  r.verify_digest();
   return dataset;
 }
 

@@ -16,10 +16,19 @@
 // Loading validates the magic, all counts/ids, and the checksum, raising
 // BinaryError with a description on any mismatch — truncated files, flipped
 // bytes, and wrong-format files are all rejected rather than misparsed.
+//
+// The little-endian integer codec, the streaming FNV-1a digest, and the
+// dataset body layout are exposed as BinaryWriter / BinaryReader so other
+// binary artifacts (engine snapshots, store/snapshot.hpp) share one
+// convention instead of reinventing framing per file format.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "core/model.hpp"
 
@@ -29,6 +38,69 @@ class BinaryError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Little-endian binary emitter over a caller-owned stream, with a running
+/// FNV-1a digest of every payload() byte. Integers are serialized byte by
+/// byte (not a memcpy of the native representation) so files written on one
+/// host load on any other.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes bytes without feeding the digest (magics, the digest itself).
+  void raw(const void* data, std::size_t size);
+  /// Writes bytes and feeds them to the digest.
+  void payload(const void* data, std::size_t size);
+  void u64(std::uint64_t v);
+  void u32(std::uint32_t v);
+  void u8(std::uint8_t v);
+  void str(const std::string& s);
+
+  /// FNV-1a over every payload() byte written so far.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  /// Appends the current digest (raw, little-endian) — the closing record of
+  /// every rolediet binary format — and flushes. Throws BinaryError if the
+  /// stream failed at any point.
+  void finish();
+
+ private:
+  std::ostream* out_;
+  std::uint64_t digest_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+};
+
+/// Mirror of BinaryWriter for loading: little-endian decode + running FNV-1a
+/// digest. Short reads throw BinaryError (truncated file).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(&in) {}
+
+  void raw(void* data, std::size_t size);
+  void payload(void* data, std::size_t size);
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::string str(std::size_t sane_limit = 1 << 20);
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  /// Reads the closing digest and compares it to the running digest of every
+  /// payload() byte consumed; throws BinaryError on mismatch.
+  void verify_digest();
+
+ private:
+  std::istream* in_;
+  std::uint64_t digest_ = 0xCBF29CE484222325ULL;
+};
+
+/// Serializes the dataset body (counts, names, compiled deduplicated edges —
+/// everything between the magic and the checksum of the standalone format)
+/// into an already-open writer, so composite formats can embed a dataset.
+void write_dataset_body(BinaryWriter& w, const core::RbacDataset& dataset);
+
+/// Reads a dataset body written by write_dataset_body, validating counts and
+/// edge ids. Throws BinaryError on any structural corruption.
+[[nodiscard]] core::RbacDataset read_dataset_body(BinaryReader& r);
 
 /// Writes the dataset to `path` (overwriting).
 void save_dataset_binary(const core::RbacDataset& dataset, const std::filesystem::path& path);

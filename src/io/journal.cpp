@@ -46,6 +46,33 @@ bool parse_kind(const std::string& tag, core::MutationKind& kind) {
   throw CsvError("journal line " + std::to_string(line) + ": " + what);
 }
 
+/// Shared tag/field-count validation behind parse_journal_record and the
+/// streaming reader (which parses the CSV once and owns line numbers).
+core::Mutation mutation_from_fields(std::vector<std::string>&& fields) {
+  core::MutationKind kind;
+  if (!parse_kind(fields[0], kind)) {
+    throw CsvError("unknown mutation tag \"" + fields[0] + "\"");
+  }
+  const std::size_t expect = is_edge_kind(kind) ? 3 : 2;
+  if (fields.size() != expect) {
+    throw CsvError("tag \"" + fields[0] + "\" takes " + std::to_string(expect - 1) +
+                   " field(s), got " + std::to_string(fields.size() - 1));
+  }
+  core::Mutation mutation;
+  mutation.kind = kind;
+  if (is_edge_kind(kind)) {
+    mutation.role = std::move(fields[1]);
+    mutation.entity = std::move(fields[2]);
+  } else {
+    mutation.entity = std::move(fields[1]);
+  }
+  return mutation;
+}
+
+bool is_blank_record(const std::vector<std::string>& fields) {
+  return fields.empty() || (fields.size() == 1 && fields[0].empty());
+}
+
 }  // namespace
 
 std::string format_journal_record(const core::Mutation& mutation) {
@@ -74,6 +101,12 @@ void save_journal(const std::filesystem::path& path, const core::RbacDelta& delt
   if (!out) throw CsvError("journal: write failed for " + path.string());
 }
 
+core::Mutation parse_journal_record(const std::string& record) {
+  std::vector<std::string> fields = parse_csv_line(record);
+  if (is_blank_record(fields)) throw CsvError("empty journal record");
+  return mutation_from_fields(std::move(fields));
+}
+
 bool JournalReader::next(core::Mutation& mutation) {
   std::string record;
   std::size_t consumed = 0;  // read_csv_record reports per-record line counts
@@ -88,24 +121,11 @@ bool JournalReader::next(core::Mutation& mutation) {
     }
     // A blank physical line parses as one empty field; skip it the way the
     // dataset loaders do.
-    if (fields.empty() || (fields.size() == 1 && fields[0].empty())) continue;
-
-    core::MutationKind kind;
-    if (!parse_kind(fields[0], kind)) {
-      fail(record_line, "unknown mutation tag \"" + fields[0] + "\"");
-    }
-    const std::size_t expect = is_edge_kind(kind) ? 3 : 2;
-    if (fields.size() != expect) {
-      fail(record_line, "tag \"" + fields[0] + "\" takes " + std::to_string(expect - 1) +
-                            " field(s), got " + std::to_string(fields.size() - 1));
-    }
-    mutation.kind = kind;
-    if (is_edge_kind(kind)) {
-      mutation.role = std::move(fields[1]);
-      mutation.entity = std::move(fields[2]);
-    } else {
-      mutation.role.clear();
-      mutation.entity = std::move(fields[1]);
+    if (is_blank_record(fields)) continue;
+    try {
+      mutation = mutation_from_fields(std::move(fields));
+    } catch (const CsvError& err) {
+      fail(record_line, err.what());
     }
     return true;
   }

@@ -34,6 +34,13 @@ namespace rolediet::io {
 /// Serializes one mutation as a single CSV record (no trailing newline).
 [[nodiscard]] std::string format_journal_record(const core::Mutation& mutation);
 
+/// Parses one serialized journal record (the inverse of
+/// format_journal_record). Throws CsvError on an unknown tag, wrong field
+/// count, bad quoting, or an empty record — without line-number context,
+/// which only stream readers have. The durable store's WAL
+/// (store/wal.hpp) frames exactly these payloads.
+[[nodiscard]] core::Mutation parse_journal_record(const std::string& record);
+
 /// Writes the delta, one record per line. Throws CsvError on I/O failure.
 void write_journal(std::ostream& out, const core::RbacDelta& delta);
 void save_journal(const std::filesystem::path& path, const core::RbacDelta& delta);

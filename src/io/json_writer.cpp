@@ -194,6 +194,18 @@ std::string report_to_json(const core::AuditReport& report, const core::RbacData
   w.key("method");
   w.value(report.method_name);
 
+  // Provenance: which dataset version (and exact content) produced this
+  // report, so it can be matched to the durable-store state it describes.
+  w.key("engine_version");
+  w.value(report.engine_version);
+  {
+    char digest_buf[24];
+    std::snprintf(digest_buf, sizeof(digest_buf), "%016llx",
+                  static_cast<unsigned long long>(report.dataset_digest));
+    w.key("dataset_digest");
+    w.value(digest_buf);
+  }
+
   // Resolved options echoed verbatim, so a stored report says how it was
   // produced without the invoking command line.
   w.key("options");

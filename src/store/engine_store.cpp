@@ -1,0 +1,199 @@
+#include "store/engine_store.hpp"
+
+#include <algorithm>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#include "io/csv.hpp"
+#include "io/journal.hpp"
+
+namespace rolediet::store {
+
+namespace fs = std::filesystem;
+
+EngineStore::EngineStore(fs::path dir, StoreOptions store_options)
+    : dir_(std::move(dir)),
+      store_options_(store_options),
+      wal_(dir_, store_options.fsync, store_options.wal_segment_bytes) {}
+
+EngineStore EngineStore::create(const fs::path& dir, const core::RbacDataset& dataset,
+                                const core::AuditOptions& options, StoreOptions store_options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw StoreError("store: cannot create directory " + dir.string() + ": " + ec.message());
+  if (!list_snapshots(dir).empty() || !list_wal_segments(dir).empty())
+    throw StoreError("store: " + dir.string() + " already holds a store");
+
+  EngineStore store(dir, store_options);
+  store.engine_ = std::make_unique<core::AuditEngine>(dataset, options);
+  store.recovery_.snapshot_path = SnapshotWriter(dir).write(capture_snapshot(*store.engine_, 0));
+  store.wal_.start(0, std::nullopt, 0);
+  return store;
+}
+
+EngineStore EngineStore::open(const fs::path& dir, const core::AuditOptions& options,
+                              StoreOptions store_options) {
+  if (!fs::is_directory(dir)) throw StoreError("store: no such directory " + dir.string());
+  EngineStore store(dir, store_options);
+
+  // 1. Newest snapshot that validates end to end.
+  const std::vector<fs::path> snaps = list_snapshots(dir);
+  if (snaps.empty()) throw StoreError("store: no snapshot in " + dir.string());
+  std::optional<EngineSnapshot> snap;
+  bool newest_failed = false;
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    try {
+      snap = SnapshotReader(*it).read();
+      store.recovery_.snapshot_path = *it;
+      break;
+    } catch (const std::exception&) {
+      newest_failed = true;  // fall back to the previous snapshot
+    }
+  }
+  if (!snap) throw StoreError("store: no readable snapshot in " + dir.string());
+  store.recovery_.used_fallback_snapshot = newest_failed;
+  store.recovery_.snapshot_records = snap->wal_records;
+  const std::uint64_t n0 = snap->wal_records;
+
+  // 2. Engine from the snapshot dataset + restored persistent state. A
+  // different option fingerprint silently invalidates the cached verdicts
+  // (they answer a different question) but keeps the dirty frontier.
+  store.engine_ = std::make_unique<core::AuditEngine>(snap->dataset, options);
+  core::EnginePersistentState state = std::move(snap->engine);
+  if (!(OptionFingerprint::of(options) == snap->fingerprint)) {
+    state.users.similar_valid = false;
+    state.users.similar_pairs.clear();
+    state.perms.similar_valid = false;
+    state.perms.similar_pairs.clear();
+    store.recovery_.caches_dropped = true;
+  }
+  try {
+    store.engine_->restore_persistent_state(std::move(state));
+  } catch (const std::invalid_argument& e) {
+    throw StoreError("store: snapshot state does not fit its dataset: " + std::string(e.what()));
+  }
+
+  // 3. Scan the WAL in segment order, replaying records >= n0. Damage is
+  // only survivable at the very tail of the log.
+  const std::vector<fs::path> segments = list_wal_segments(dir);
+  core::RbacDelta replay;
+  std::optional<std::uint64_t> expected;
+  std::optional<fs::path> resume;
+  std::uint64_t resume_offset = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    std::unique_ptr<WalSegmentReader> reader;
+    try {
+      reader = std::make_unique<WalSegmentReader>(segments[i]);
+    } catch (const WalTornHeader& e) {
+      if (!last) throw StoreError("store: WAL damage before the log tail: " + std::string(e.what()));
+      // Crash during segment creation: the segment holds nothing committed.
+      std::error_code ec;
+      fs::remove(segments[i], ec);
+      if (ec)
+        throw StoreError("store: cannot drop torn segment " + segments[i].string() + ": " +
+                         ec.message());
+      store.recovery_.dropped_torn_segment = true;
+      break;
+    } catch (const WalError& e) {
+      throw StoreError("store: " + std::string(e.what()));
+    }
+
+    if (expected && reader->start_record() != *expected) {
+      throw StoreError("store: WAL gap: segment " + segments[i].string() +
+                       " starts at record " + std::to_string(reader->start_record()) +
+                       ", expected " + std::to_string(*expected));
+    }
+    if (!expected && reader->start_record() > n0) {
+      throw StoreError("store: WAL is missing records " + std::to_string(n0) + ".." +
+                       std::to_string(reader->start_record()) + " needed by snapshot " +
+                       store.recovery_.snapshot_path.string());
+    }
+
+    std::string payload;
+    while (true) {
+      try {
+        if (!reader->next(payload)) break;
+      } catch (const WalTornTail& e) {
+        if (!last)
+          throw StoreError("store: WAL damage before the log tail: " + std::string(e.what()));
+        // Crash mid-append: discard the torn bytes so the next append
+        // continues from the last committed record boundary.
+        std::error_code ec;
+        const std::uintmax_t size = fs::file_size(segments[i], ec);
+        if (!ec) fs::resize_file(segments[i], reader->offset(), ec);
+        if (ec)
+          throw StoreError("store: cannot truncate torn tail of " + segments[i].string() + ": " +
+                           ec.message());
+        store.recovery_.truncated_bytes = size - reader->offset();
+        break;
+      }
+      if (reader->record_index() - 1 >= n0) {
+        try {
+          replay.mutations.push_back(io::parse_journal_record(payload));
+        } catch (const io::CsvError& e) {
+          // CRC-valid but unparseable payload: not a torn write, real damage.
+          throw StoreError("store: corrupt WAL record " +
+                           std::to_string(reader->record_index() - 1) + ": " +
+                           std::string(e.what()));
+        }
+      }
+    }
+    expected = reader->record_index();
+    resume = segments[i];
+    resume_offset = reader->offset();
+  }
+
+  const std::uint64_t log_end = expected.value_or(n0);
+  // Under FsyncPolicy::kNone the snapshot can be ahead of the surviving log;
+  // the snapshot is authoritative (its records were applied by definition).
+  const std::uint64_t total = std::max(n0, log_end);
+  if (!replay.empty()) store.engine_->apply(replay);
+  store.recovery_.replayed_records = replay.size();
+  store.recovery_.total_records = total;
+
+  // 4. Reopen for appending: continue the last surviving segment when it
+  // ends exactly at the committed record count, else start a fresh one.
+  if (resume && log_end == total) {
+    store.wal_.start(total, resume, resume_offset);
+  } else {
+    store.wal_.start(total, std::nullopt, 0);
+  }
+  return store;
+}
+
+void EngineStore::apply(const core::RbacDelta& delta) {
+  wal_.append_batch(delta);
+  engine_->apply(delta);
+}
+
+fs::path EngineStore::checkpoint() {
+  // Make sure everything the snapshot will claim as "in the log" is durable
+  // before the snapshot that supersedes older segments exists.
+  wal_.sync();
+  const std::uint64_t records = wal_.next_record();
+  fs::path path;
+  try {
+    path = SnapshotWriter(dir_).write(capture_snapshot(*engine_, records));
+  } catch (const SnapshotError& e) {
+    throw StoreError("store: checkpoint failed: " + std::string(e.what()));
+  }
+  wal_.rotate();
+
+  // Retention: keep the newest keep_snapshots snapshots and every WAL
+  // segment the oldest kept one still needs for replay.
+  const std::vector<fs::path> snaps = list_snapshots(dir_);
+  const std::size_t keep = std::max<std::size_t>(1, store_options_.keep_snapshots);
+  const std::size_t drop = snaps.size() > keep ? snaps.size() - keep : 0;
+  for (std::size_t i = 0; i < drop; ++i) {
+    std::error_code ec;
+    fs::remove(snaps[i], ec);
+    if (ec)
+      throw StoreError("store: cannot prune snapshot " + snaps[i].string() + ": " + ec.message());
+  }
+  wal_.prune_below(*snapshot_records(snaps[drop]));
+  return path;
+}
+
+}  // namespace rolediet::store

@@ -1,0 +1,127 @@
+// Durable audit engine: crash-safe snapshot + WAL store.
+//
+// EngineStore is the facade over snapshot.hpp and wal.hpp that gives
+// core::AuditEngine the durability the in-memory engine lacks: every
+// mutation batch is written to the WAL *before* it reaches the engine, and
+// checkpoint() periodically collapses the log into an atomic snapshot. A
+// store directory holds only two kinds of files —
+//
+//   snap-<N>.rdsnap   engine image with WAL records [0, N) applied
+//   wal-<S>.log       mutation records [S, next segment's start)
+//
+// — and open() reconstructs the exact pre-crash engine from them:
+//
+//   1. pick the newest snapshot that reads and validates end-to-end (a
+//      corrupt newest snapshot falls back to the previous one — retention
+//      keeps two, plus every WAL segment the older one still needs);
+//   2. build an AuditEngine from its dataset and restore the persistent
+//      state (counters, dirty frontier, pair caches; caches are dropped when
+//      the requested audit options' fingerprint differs);
+//   3. replay WAL records >= N through AuditEngine::apply(), verifying
+//      segment contiguity. A torn final record (crash mid-append) is
+//      truncated away; a torn-header final segment (crash mid-creation)
+//      is deleted; the same damage anywhere but the log tail is corruption
+//      and fails the open.
+//
+// The recovered engine is then bit-for-bit the engine a clean process would
+// have after applying the same committed prefix — the fault-injection suite
+// (tests/store_fault_injection_test.cpp) asserts reaudit() byte-identity at
+// every truncation point.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "core/framework.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+
+namespace rolediet::store {
+
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct StoreOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEveryBatch;
+  /// Rotation threshold for WAL segments.
+  std::size_t wal_segment_bytes = 4u << 20;
+  /// Snapshots retained by checkpoint(); >= 2 keeps a fallback for a corrupt
+  /// newest snapshot. Values below 1 are treated as 1.
+  std::size_t keep_snapshots = 2;
+};
+
+/// What open() had to do to bring the store back — surfaced so callers (the
+/// CLI `recover` command, tests) can report and assert on it.
+struct RecoveryInfo {
+  std::filesystem::path snapshot_path;  ///< snapshot the engine was built from
+  std::uint64_t snapshot_records = 0;   ///< WAL records baked into it
+  std::uint64_t replayed_records = 0;   ///< WAL records replayed on top
+  std::uint64_t total_records = 0;      ///< committed records after recovery
+  std::uint64_t truncated_bytes = 0;    ///< torn-tail bytes discarded
+  bool dropped_torn_segment = false;    ///< torn-header final segment deleted
+  bool used_fallback_snapshot = false;  ///< newest snapshot was invalid
+  bool caches_dropped = false;          ///< option fingerprint mismatch
+};
+
+class EngineStore {
+ public:
+  /// Initializes `dir` (created if missing, must not already hold a store)
+  /// with the dataset's baseline snapshot at record 0 and an empty first WAL
+  /// segment. Throws StoreError on an existing store or I/O failure.
+  [[nodiscard]] static EngineStore create(const std::filesystem::path& dir,
+                                          const core::RbacDataset& dataset,
+                                          const core::AuditOptions& options,
+                                          StoreOptions store_options = {});
+
+  /// Recovers the engine from `dir` (see file comment for the algorithm)
+  /// and reopens the WAL for appending. Throws StoreError when no valid
+  /// snapshot exists or the surviving log is inconsistent (gaps, damage
+  /// before the tail).
+  [[nodiscard]] static EngineStore open(const std::filesystem::path& dir,
+                                        const core::AuditOptions& options,
+                                        StoreOptions store_options = {});
+
+  EngineStore(EngineStore&&) = default;
+  EngineStore& operator=(EngineStore&&) = delete;  // wal dir is part of identity
+  EngineStore(const EngineStore&) = delete;
+  EngineStore& operator=(const EngineStore&) = delete;
+
+  /// Durably logs the batch, then applies it to the engine. The WAL-first
+  /// order is the crash-safety invariant: a mutation the engine has seen is
+  /// always in the log (under FsyncPolicy::kNone the OS may still lose the
+  /// tail — then recovery yields the surviving prefix).
+  void apply(const core::RbacDelta& delta);
+
+  /// Writes an atomic snapshot at the current WAL position, rotates the log,
+  /// and prunes snapshots/segments no retained snapshot needs. Returns the
+  /// snapshot path. On failure the store is still readable from the previous
+  /// snapshot (nothing is pruned before the new snapshot is durable).
+  std::filesystem::path checkpoint();
+
+  /// The live engine. Mutating it directly bypasses the WAL — use apply()
+  /// for anything that must survive a crash; reaudit() and reads are fine.
+  [[nodiscard]] core::AuditEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const core::AuditEngine& engine() const noexcept { return *engine_; }
+
+  /// Committed WAL records so far (the position checkpoint() would use).
+  [[nodiscard]] std::uint64_t records() const noexcept { return wal_.next_record(); }
+
+  [[nodiscard]] const RecoveryInfo& recovery() const noexcept { return recovery_; }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  EngineStore(std::filesystem::path dir, StoreOptions store_options);
+
+  std::filesystem::path dir_;
+  StoreOptions store_options_;
+  std::unique_ptr<core::AuditEngine> engine_;  // non-movable (HNSW view pins it)
+  Wal wal_;
+  RecoveryInfo recovery_;
+};
+
+}  // namespace rolediet::store

@@ -1,0 +1,313 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "core/version.hpp"
+#include "io/journal.hpp"
+#include "util/crc32.hpp"
+
+namespace rolediet::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::array<char, 8> kWalMagic{'R', 'D', 'W', 'A', 'L', '1', '\n', '\0'};
+constexpr std::size_t kHeaderBytes = kWalMagic.size() + 4 + 8;
+/// A frame length beyond this is treated as tail corruption, not a record: a
+/// single journal CSV record is a few names, never megabytes.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const fs::path& file) {
+  throw WalError(what + " " + file.string() + ": " + std::strerror(errno));
+}
+
+void fsync_fd(int fd, const fs::path& file) {
+  if (::fsync(fd) != 0) throw_errno("wal: fsync failed for", file);
+}
+
+/// Makes a just-created/renamed/deleted directory entry durable. Best effort:
+/// some filesystems refuse fsync on directories, which is not worth failing
+/// the append for.
+void fsync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void write_fully(int fd, const char* data, std::size_t size, const fs::path& file) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("wal: write failed for", file);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(FsyncPolicy policy) noexcept {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord: return "every-record";
+    case FsyncPolicy::kEveryBatch: return "every-batch";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
+std::string wal_segment_name(std::uint64_t start_record) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(start_record));
+  return buf;
+}
+
+std::optional<std::uint64_t> wal_segment_start(const fs::path& file) {
+  const std::string name = file.filename().string();
+  // wal- + 20 digits + .log
+  if (name.size() != 28 || name.rfind("wal-", 0) != 0 || name.substr(24) != ".log")
+    return std::nullopt;
+  std::uint64_t start = 0;
+  for (std::size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    start = start * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return start;
+}
+
+std::vector<fs::path> list_wal_segments(const fs::path& dir) {
+  std::vector<fs::path> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (wal_segment_start(entry.path())) segments.push_back(entry.path());
+  }
+  if (ec) throw WalError("wal: cannot list directory " + dir.string() + ": " + ec.message());
+  std::sort(segments.begin(), segments.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return *wal_segment_start(a) < *wal_segment_start(b);
+            });
+  return segments;
+}
+
+// ---- WalSegmentReader ----
+
+WalSegmentReader::WalSegmentReader(const fs::path& file)
+    : in_(file, std::ios::binary), file_(file) {
+  if (!in_.is_open()) throw WalError("wal: cannot open segment " + file.string());
+  std::array<unsigned char, kHeaderBytes> header{};
+  in_.read(reinterpret_cast<char*>(header.data()), static_cast<std::streamsize>(header.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(header.size())) {
+    throw WalTornHeader("wal: torn segment header in " + file.string() + " (" +
+                        std::to_string(in_.gcount()) + " of " + std::to_string(kHeaderBytes) +
+                        " bytes)");
+  }
+  if (std::memcmp(header.data(), kWalMagic.data(), kWalMagic.size()) != 0)
+    throw WalError("wal: bad magic in " + file.string());
+  const std::uint32_t format = get_u32(header.data() + kWalMagic.size());
+  if (format != core::kWalFormatVersion) {
+    throw WalError("wal: segment " + file.string() + " has format version " +
+                   std::to_string(format) + "; this build reads version " +
+                   std::to_string(core::kWalFormatVersion));
+  }
+  start_record_ = get_u64(header.data() + kWalMagic.size() + 4);
+  const auto named = wal_segment_start(file);
+  if (named && *named != start_record_) {
+    throw WalError("wal: segment " + file.string() + " header claims start record " +
+                   std::to_string(start_record_));
+  }
+  good_offset_ = kHeaderBytes;
+}
+
+bool WalSegmentReader::next(std::string& payload) {
+  std::array<unsigned char, 8> frame{};
+  in_.read(reinterpret_cast<char*>(frame.data()), static_cast<std::streamsize>(frame.size()));
+  const auto got = in_.gcount();
+  if (got == 0 && in_.eof()) return false;  // clean end: exactly at a boundary
+  if (got != static_cast<std::streamsize>(frame.size())) {
+    throw WalTornTail("wal: torn frame header at offset " + std::to_string(good_offset_) +
+                      " in " + file_.string());
+  }
+  const std::uint32_t length = get_u32(frame.data());
+  const std::uint32_t crc = get_u32(frame.data() + 4);
+  if (length > kMaxRecordBytes) {
+    throw WalTornTail("wal: implausible record length " + std::to_string(length) +
+                      " at offset " + std::to_string(good_offset_) + " in " + file_.string());
+  }
+  payload.resize(length);
+  in_.read(payload.data(), static_cast<std::streamsize>(length));
+  if (in_.gcount() != static_cast<std::streamsize>(length)) {
+    throw WalTornTail("wal: torn record payload at offset " + std::to_string(good_offset_) +
+                      " in " + file_.string());
+  }
+  if (util::crc32(payload.data(), payload.size()) != crc) {
+    throw WalTornTail("wal: CRC mismatch at offset " + std::to_string(good_offset_) + " in " +
+                      file_.string());
+  }
+  good_offset_ += 8 + length;
+  ++count_;
+  return true;
+}
+
+// ---- Wal ----
+
+Wal::Wal(fs::path dir, FsyncPolicy policy, std::size_t segment_bytes)
+    : dir_(std::move(dir)), policy_(policy), segment_bytes_(segment_bytes) {
+  if (segment_bytes_ < kHeaderBytes + 16)
+    throw WalError("wal: segment_bytes too small to hold any record");
+}
+
+Wal::~Wal() { close_active(); }
+
+Wal::Wal(Wal&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      policy_(other.policy_),
+      segment_bytes_(other.segment_bytes_),
+      fd_(std::exchange(other.fd_, -1)),
+      active_path_(std::move(other.active_path_)),
+      active_bytes_(other.active_bytes_),
+      next_record_(other.next_record_) {}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    close_active();
+    dir_ = std::move(other.dir_);
+    policy_ = other.policy_;
+    segment_bytes_ = other.segment_bytes_;
+    fd_ = std::exchange(other.fd_, -1);
+    active_path_ = std::move(other.active_path_);
+    active_bytes_ = other.active_bytes_;
+    next_record_ = other.next_record_;
+  }
+  return *this;
+}
+
+void Wal::close_active() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Wal::open_segment(std::uint64_t start_record) {
+  close_active();
+  active_path_ = dir_ / wal_segment_name(start_record);
+  fd_ = ::open(active_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_errno("wal: cannot create segment", active_path_);
+  std::string header;
+  header.reserve(kHeaderBytes);
+  header.append(kWalMagic.data(), kWalMagic.size());
+  put_u32(header, core::kWalFormatVersion);
+  put_u64(header, start_record);
+  write_fully(fd_, header.data(), header.size(), active_path_);
+  active_bytes_ = header.size();
+  if (policy_ != FsyncPolicy::kNone) {
+    fsync_fd(fd_, active_path_);
+    fsync_dir(dir_);
+  }
+}
+
+void Wal::start(std::uint64_t next_record, const std::optional<fs::path>& resume,
+                std::uint64_t resume_offset) {
+  next_record_ = next_record;
+  if (resume) {
+    close_active();
+    // Recovery already truncated the file to the last good boundary; reopen
+    // for appending at exactly that offset.
+    active_path_ = *resume;
+    fd_ = ::open(active_path_.c_str(), O_WRONLY | O_APPEND);
+    if (fd_ < 0) throw_errno("wal: cannot reopen segment", active_path_);
+    active_bytes_ = resume_offset;
+    return;
+  }
+  open_segment(next_record);
+}
+
+void Wal::append_payload(const std::string& payload, bool sync_now) {
+  if (fd_ < 0) throw WalError("wal: append before start()");
+  if (active_bytes_ >= segment_bytes_) open_segment(next_record_);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, util::crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  write_fully(fd_, frame.data(), frame.size(), active_path_);
+  active_bytes_ += frame.size();
+  ++next_record_;
+  if (sync_now) fsync_fd(fd_, active_path_);
+}
+
+void Wal::append(const core::Mutation& mutation) {
+  append_payload(io::format_journal_record(mutation), policy_ != FsyncPolicy::kNone);
+}
+
+void Wal::append_batch(const core::RbacDelta& delta) {
+  for (const core::Mutation& mutation : delta.mutations)
+    append_payload(io::format_journal_record(mutation), policy_ == FsyncPolicy::kEveryRecord);
+  if (policy_ == FsyncPolicy::kEveryBatch && !delta.empty()) sync();
+}
+
+void Wal::sync() {
+  if (fd_ >= 0) fsync_fd(fd_, active_path_);
+}
+
+void Wal::rotate() {
+  if (fd_ >= 0 && policy_ != FsyncPolicy::kNone) fsync_fd(fd_, active_path_);
+  open_segment(next_record_);
+}
+
+void Wal::prune_below(std::uint64_t record) {
+  const std::vector<fs::path> segments = list_wal_segments(dir_);
+  bool removed = false;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i covers [start_i, start_{i+1}); prunable only when that whole
+    // range is below the snapshot's record count.
+    if (*wal_segment_start(segments[i + 1]) > record) break;
+    if (segments[i] == active_path_) break;
+    std::error_code ec;
+    fs::remove(segments[i], ec);
+    if (ec)
+      throw WalError("wal: cannot prune segment " + segments[i].string() + ": " + ec.message());
+    removed = true;
+  }
+  if (removed && policy_ != FsyncPolicy::kNone) fsync_dir(dir_);
+}
+
+}  // namespace rolediet::store

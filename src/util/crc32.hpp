@@ -1,0 +1,51 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for WAL record
+// framing.
+//
+// The store's write-ahead log frames every record with a CRC so a torn tail
+// (partial write at crash) or a flipped byte is detected before the record is
+// replayed into an engine. FNV-1a (io/binary.hpp) stays the whole-file digest
+// for snapshots; CRC32 is the per-record check because a fixed-size 4-byte
+// code keeps frame overhead small on high-rate mutation streams.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rolediet::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC32: crc32(b, n) == crc32_update(crc32_update(0, b, k), b + k, n - k).
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                                std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = detail::kCrc32Table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// One-shot CRC32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace rolediet::util

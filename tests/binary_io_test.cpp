@@ -14,24 +14,12 @@ namespace {
 
 namespace fs = std::filesystem;
 
-class BinDir {
+/// Shared RAII temp dir (test_helpers.hpp), tagged for this suite.
+class BinDir : public testing::ScopedTempDir {
  public:
-  BinDir() {
-    dir_ = fs::temp_directory_path() /
-           ("rolediet_bin_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
-    fs::create_directories(dir_);
-  }
-  ~BinDir() {
-    std::error_code ec;
-    fs::remove_all(dir_, ec);
-  }
-  [[nodiscard]] fs::path file(const std::string& name = "data.rdb") const {
-    return dir_ / name;
-  }
-
- private:
-  static inline int counter_ = 0;
-  fs::path dir_;
+  BinDir() : ScopedTempDir("bin") {}
+  using ScopedTempDir::file;
+  [[nodiscard]] fs::path file() const { return file("data.rdb"); }
 };
 
 std::vector<char> slurp_bytes(const fs::path& path) {

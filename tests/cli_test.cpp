@@ -16,24 +16,12 @@ namespace {
 
 namespace fs = std::filesystem;
 
-class CliDir {
+/// Shared RAII temp dir (test_helpers.hpp), tagged for this suite; path()
+/// keeps this suite's string-typed accessor (cli::run takes strings).
+class CliDir : public testing::ScopedTempDir {
  public:
-  CliDir() {
-    dir_ = fs::temp_directory_path() /
-           ("rolediet_cli_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
-    fs::create_directories(dir_);
-  }
-  ~CliDir() {
-    std::error_code ec;
-    fs::remove_all(dir_, ec);
-  }
-  [[nodiscard]] std::string path(const std::string& sub = "") const {
-    return sub.empty() ? dir_.string() : (dir_ / sub).string();
-  }
-
- private:
-  static inline int counter_ = 0;
-  fs::path dir_;
+  CliDir() : ScopedTempDir("cli") {}
+  [[nodiscard]] std::string path(const std::string& sub = "") const { return str(sub); }
 };
 
 struct CliResult {
@@ -276,6 +264,73 @@ TEST(Cli, AuditWithMinhashMethod) {
   const CliResult r = run_cli({"audit", "--method", "approx-minhash", dir.path("data")});
   ASSERT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("method: approx-minhash"), std::string::npos);
+}
+
+TEST(Cli, VersionPrintsLibraryAndFormatVersions) {
+  for (const char* flag : {"version", "--version", "-v"}) {
+    const CliResult r = run_cli({flag});
+    ASSERT_EQ(r.code, 0) << flag;
+    EXPECT_NE(r.out.find("rolediet "), std::string::npos) << flag;
+    EXPECT_NE(r.out.find("build)"), std::string::npos) << flag;
+    EXPECT_NE(r.out.find("store formats: snapshot v"), std::string::npos) << flag;
+    EXPECT_NE(r.out.find("wal v"), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, CheckpointThenRecoverRoundTrips) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  const CliResult init = run_cli({"checkpoint", dir.path("data"), dir.path("store")});
+  ASSERT_EQ(init.code, 0) << init.err;
+  EXPECT_NE(init.out.find("checkpoint: initialized store"), std::string::npos);
+  EXPECT_NE(init.out.find("baseline snapshot snap-"), std::string::npos);
+
+  // A second init of the same directory must refuse, not clobber.
+  EXPECT_EQ(run_cli({"checkpoint", dir.path("data"), dir.path("store")}).code, 1);
+
+  const CliResult rec = run_cli({"recover", "--json", dir.path("report.json"),
+                                 dir.path("store")});
+  ASSERT_EQ(rec.code, 0) << rec.err;
+  EXPECT_NE(rec.out.find("recover: snapshot snap-"), std::string::npos);
+  EXPECT_NE(rec.out.find("replayed 0 WAL records"), std::string::npos);
+  EXPECT_NE(rec.out.find("dataset digest"), std::string::npos);
+  EXPECT_NE(slurp(dir.path("report.json")).find("\"dataset_digest\""), std::string::npos);
+}
+
+TEST(Cli, ReplayWithStorePersistsAcrossRecover) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  {
+    std::ofstream journal(dir.path("journal.csv"));
+    journal << "add-user,U05\n"
+               "assign-user,R01,U05\n"
+               "revoke-user,R04,U03\n"
+               "grant-permission,R03,P02\n";
+  }
+  const CliResult r = run_cli({"replay", "--every", "2", "--store", dir.path("store"),
+                               "--checkpoint-every", "2", "--fsync", "none", dir.path("data"),
+                               dir.path("journal.csv")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("replay: checkpoint at 2 records"), std::string::npos);
+  EXPECT_NE(r.out.find("replay: final checkpoint snap-"), std::string::npos);
+  EXPECT_NE(r.out.find("(4 records)"), std::string::npos);
+
+  // The store now recovers to the journal's end state with nothing to replay.
+  const CliResult rec = run_cli({"recover", dir.path("store")});
+  ASSERT_EQ(rec.code, 0) << rec.err;
+  EXPECT_NE(rec.out.find("recover: snapshot snap-00000000000000000004"), std::string::npos);
+  EXPECT_NE(rec.out.find("replayed 0 WAL records -> 4 committed records"), std::string::npos);
+}
+
+TEST(Cli, StoreCommandsRejectBadArguments) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  EXPECT_EQ(run_cli({"checkpoint", dir.path("data")}).code, 2);  // missing store dir
+  EXPECT_EQ(run_cli({"recover"}).code, 2);                       // missing store dir
+  EXPECT_EQ(run_cli({"recover", dir.path("nostore")}).code, 1);  // no snapshot there
+  EXPECT_EQ(run_cli({"replay", "--fsync", "sometimes", dir.path("data"), "j.csv"}).code, 2);
+  // --checkpoint-every without --store makes no sense.
+  EXPECT_EQ(run_cli({"replay", "--checkpoint-every", "2", dir.path("data"), "j.csv"}).code, 2);
 }
 
 TEST(Cli, DeterministicGenerate) {

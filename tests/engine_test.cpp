@@ -47,6 +47,10 @@ std::string canonical_text(AuditReport report) {
                                    &report.similar_users_work, &report.similar_permissions_work}) {
     *w = core::FinderWorkStats{};
   }
+  // The live engine's version counter differs from a fresh batch engine's
+  // (which starts at 0); the dataset digest must NOT differ, so it stays —
+  // it is part of what the identity contract covers.
+  report.engine_version = 0;
   report.options = AuditOptions{};
   return report.to_text();
 }

@@ -20,22 +20,10 @@ namespace {
 
 namespace fs = std::filesystem;
 
-class TempDir {
+/// Shared RAII temp dir (test_helpers.hpp), tagged for this suite.
+class TempDir : public testing::ScopedTempDir {
  public:
-  TempDir() {
-    dir_ = fs::temp_directory_path() /
-           ("rolediet_rt_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
-    fs::create_directories(dir_);
-  }
-  ~TempDir() {
-    std::error_code ec;
-    fs::remove_all(dir_, ec);
-  }
-  [[nodiscard]] const fs::path& path() const { return dir_; }
-
- private:
-  static inline int counter_ = 0;
-  fs::path dir_;
+  TempDir() : ScopedTempDir("rt") {}
 };
 
 /// Names that stress every quoting path: separators, quotes, line breaks in

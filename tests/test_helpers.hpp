@@ -1,13 +1,53 @@
 // Shared fixtures for the rolediet test suite.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/model.hpp"
 #include "linalg/csr_matrix.hpp"
 
 namespace rolediet::testing {
+
+/// RAII temp directory: a unique path under the system temp dir (tagged per
+/// suite, unique per process and instance), recursively removed on
+/// destruction. Every test that touches the filesystem goes through this so
+/// parallel ctest runs never collide and failures never leak directories.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag = "test") {
+    static std::atomic<int> counter{0};
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rolediet_" + tag + "_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return dir_; }
+
+  /// An entry inside the directory.
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const { return dir_ / name; }
+
+  /// String form for CLI-style call sites.
+  [[nodiscard]] std::string str(const std::string& sub = "") const {
+    return sub.empty() ? dir_.string() : (dir_ / sub).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
 
 /// The paper's Fig. 1 worked example: users U01-U04, roles R01-R05,
 /// permissions P01-P06, with every inefficiency the figure calls out:
