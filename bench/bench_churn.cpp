@@ -1,0 +1,424 @@
+// Long-horizon churn bench: a multi-year org lifecycle streamed through the
+// durable EngineStore (BENCH_churn.json).
+//
+// gen/churn emits one mutation batch per simulated day — steady hiring and
+// attrition, quarterly reorg bursts, tenant onboarding waves, permission
+// sprawl, an annual layoff — starting from an empty dataset. This bench
+// replays the full stream through an EngineStore and records the operational
+// cost curves the steady-state engine exists to flatten:
+//
+//   * findings drift: inefficiency counts at every re-audit boundary, the
+//     paper's "accumulate over time" premise as a data series;
+//   * verify work: re-audit wall time, dirty-frontier size, and similar-phase
+//     pairs evaluated per delta re-audit vs a cold batch audit of the same
+//     state at each year end;
+//   * durability cost: checkpoint wall time and snapshot bytes per quarter,
+//     plus recovery (open a copy of the store) wall time per year end.
+//
+// For exact methods the engine findings are asserted identical to the cold
+// batch audit before anything is recorded, so the bench doubles as a
+// long-horizon end-to-end check at a scale the unit suite cannot afford.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/framework.hpp"
+#include "gen/churn.hpp"
+#include "io/json_writer.hpp"
+#include "store/engine_store.hpp"
+#include "util/timer.hpp"
+
+using namespace rolediet;
+
+namespace {
+
+core::Method parse_method(const char* name) {
+  if (std::strcmp(name, "role-diet") == 0) return core::Method::kRoleDiet;
+  if (std::strcmp(name, "exact-dbscan") == 0) return core::Method::kExactDbscan;
+  if (std::strcmp(name, "approx-hnsw") == 0) return core::Method::kApproxHnsw;
+  if (std::strcmp(name, "approx-minhash") == 0) return core::Method::kApproxMinhash;
+  std::fprintf(stderr, "unknown method '%s'\n", name);
+  std::exit(2);
+}
+
+struct ChurnBenchConfig {
+  std::size_t employees = 60'000;
+  std::size_t years = 3;
+  std::uint64_t seed = 1;
+  std::size_t reaudit_days = 30;
+  std::size_t checkpoint_days = 91;
+  std::size_t threads = 1;
+  core::Method method = core::Method::kRoleDiet;
+  std::string out_path = "BENCH_churn.json";
+  std::filesystem::path store_dir;  // empty -> <tmp>/bench_churn_store
+
+  static ChurnBenchConfig parse(int argc, char** argv) {
+    ChurnBenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.employees = 2'000;
+        config.years = 2;
+      } else if (std::strcmp(argv[i], "--employees") == 0 && i + 1 < argc) {
+        config.employees = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--years") == 0 && i + 1 < argc) {
+        config.years = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        config.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--reaudit-days") == 0 && i + 1 < argc) {
+        config.reaudit_days = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--checkpoint-days") == 0 && i + 1 < argc) {
+        config.checkpoint_days =
+            static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+        config.method = parse_method(argv[++i]);
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+        config.store_dir = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--employees N] [--years N] [--seed N]\n"
+                     "          [--reaudit-days N] [--checkpoint-days N] [--threads N]\n"
+                     "          [--method M] [--out F] [--dir STORE_DIR]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    if (config.years == 0) config.years = 1;
+    if (config.reaudit_days == 0) config.reaudit_days = 1;
+    if (config.checkpoint_days == 0) config.checkpoint_days = 1;
+    if (config.store_dir.empty())
+      config.store_dir = std::filesystem::temp_directory_path() / "bench_churn_store";
+    return config;
+  }
+};
+
+struct YearMark {
+  std::size_t day = 0;
+  std::uint64_t records = 0;
+  double engine_seconds = 0.0;
+  std::size_t engine_pairs = 0;
+  double batch_seconds = 0.0;
+  std::size_t batch_pairs = 0;
+  double recovery_seconds = 0.0;
+  std::uint64_t recovery_replayed = 0;
+};
+
+struct CheckpointMark {
+  std::size_t day = 0;
+  std::uint64_t records = 0;
+  double seconds = 0.0;
+  std::uintmax_t snapshot_bytes = 0;
+  std::uintmax_t store_bytes = 0;
+};
+
+std::size_t similar_pairs(const core::AuditReport& r) {
+  return r.similar_users_work.pairs_evaluated + r.similar_permissions_work.pairs_evaluated;
+}
+
+/// Findings-only rendering (timings, counters, and live-engine bookkeeping
+/// stripped) for the engine-vs-batch identity assertion.
+std::string findings_text(core::AuditReport report) {
+  for (core::PhaseTiming* t :
+       {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
+        &report.similar_users_time, &report.similar_permissions_time}) {
+    t->seconds = 0.0;
+  }
+  for (core::FinderWorkStats* w : {&report.same_users_work, &report.same_permissions_work,
+                                   &report.similar_users_work, &report.similar_permissions_work}) {
+    *w = core::FinderWorkStats{};
+  }
+  report.engine_version = 0;
+  report.options = core::AuditOptions{};
+  return report.to_text();
+}
+
+void write_findings(io::JsonWriter& w, const core::AuditReport& report) {
+  w.key("findings");
+  w.begin_object();
+  w.key("standalone_users");
+  w.value(report.structural.standalone_users.size());
+  w.key("standalone_roles");
+  w.value(report.structural.standalone_roles.size());
+  w.key("standalone_permissions");
+  w.value(report.structural.standalone_permissions.size());
+  w.key("roles_without_users");
+  w.value(report.structural.roles_without_users.size());
+  w.key("roles_without_permissions");
+  w.value(report.structural.roles_without_permissions.size());
+  w.key("single_user_roles");
+  w.value(report.structural.single_user_roles.size());
+  w.key("single_permission_roles");
+  w.value(report.structural.single_permission_roles.size());
+  w.key("same_user_groups");
+  w.value(report.same_user_groups.groups.size());
+  w.key("same_permission_groups");
+  w.value(report.same_permission_groups.groups.size());
+  w.key("similar_user_groups");
+  w.value(report.similar_user_groups.groups.size());
+  w.key("similar_permission_groups");
+  w.value(report.similar_permission_groups.groups.size());
+  w.end_object();
+}
+
+std::uintmax_t directory_bytes(const std::filesystem::path& dir) {
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ChurnBenchConfig config = ChurnBenchConfig::parse(argc, argv);
+
+  gen::ChurnConfig churn;
+  churn.seed = config.seed;
+  churn.initial_employees = config.employees;
+  churn.years = config.years;
+
+  core::AuditOptions options;
+  options.method = config.method;
+  options.threads = config.threads;
+
+  store::StoreOptions store_options;
+  store_options.fsync = store::FsyncPolicy::kNone;  // measure CPU, not the disk
+
+  std::printf("=== churn bench: %zu employees over %zu years through a durable store ===\n",
+              config.employees, config.years);
+  std::printf("method=%s threads=%zu reaudit every %zu days, checkpoint every %zu days "
+              "-> %s\n\n",
+              std::string(core::to_string(config.method)).c_str(), config.threads,
+              config.reaudit_days, config.checkpoint_days, config.out_path.c_str());
+
+  std::filesystem::remove_all(config.store_dir);
+  const std::filesystem::path recover_dir = config.store_dir.string() + ".recover";
+  store::EngineStore durable =
+      store::EngineStore::create(config.store_dir, core::RbacDataset{}, options, store_options);
+
+  gen::ChurnSimulator sim(churn);
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("churn");
+  w.key("workload");
+  w.begin_object();
+  w.key("employees");
+  w.value(static_cast<std::uint64_t>(config.employees));
+  w.key("years");
+  w.value(static_cast<std::uint64_t>(config.years));
+  w.key("seed");
+  w.value(config.seed);
+  w.key("reaudit_days");
+  w.value(static_cast<std::uint64_t>(config.reaudit_days));
+  w.key("checkpoint_days");
+  w.value(static_cast<std::uint64_t>(config.checkpoint_days));
+  w.end_object();
+  w.key("method");
+  w.value(core::to_string(config.method));
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(config.threads));
+
+  bool ok = true;
+  double apply_seconds = 0.0;
+  std::vector<YearMark> year_marks;
+  std::vector<CheckpointMark> checkpoints;
+
+  w.key("reaudits");
+  w.begin_array();
+
+  while (!sim.done()) {
+    const std::size_t day = sim.day();
+    const gen::ChurnPhase phase = sim.phase_of(day);
+    const core::RbacDelta delta = sim.next_day();
+    if (!delta.empty()) {
+      util::Stopwatch apply_watch;
+      durable.apply(delta);
+      apply_seconds += apply_watch.seconds();
+    }
+    const bool last = sim.done();
+
+    const bool year_boundary = day > 0 && day % churn.days_per_year == 0;
+    if (day % config.reaudit_days == 0 || last || year_boundary ||
+        phase == gen::ChurnPhase::kLayoff) {
+      const std::size_t dirty = durable.engine().dirty_roles();
+      util::Stopwatch watch;
+      const core::AuditReport report = durable.engine().reaudit();
+      const double seconds = watch.seconds();
+
+      w.begin_object();
+      w.key("day");
+      w.value(static_cast<std::uint64_t>(day));
+      w.key("phase");
+      w.value(gen::to_string(phase));
+      w.key("records");
+      w.value(durable.records());
+      w.key("users");
+      w.value(report.num_users);
+      w.key("roles");
+      w.value(report.num_roles);
+      w.key("dirty_roles");
+      w.value(dirty);
+      w.key("reaudit_seconds");
+      w.value(seconds);
+      w.key("similar_pairs_evaluated");
+      w.value(similar_pairs(report));
+      write_findings(w, report);
+      w.end_object();
+
+      if (day % (10 * config.reaudit_days) == 0 || last) {
+        std::printf("day %5zu (%-15s) %8llu records, %5zu dirty, re-audit %7.3f ms, "
+                    "%zu/%zu standalone u/p, %zu+%zu dup/similar groups\n",
+                    day, std::string(gen::to_string(phase)).c_str(),
+                    static_cast<unsigned long long>(durable.records()), dirty,
+                    seconds * 1e3, report.structural.standalone_users.size(),
+                    report.structural.standalone_permissions.size(),
+                    report.same_user_groups.groups.size() +
+                        report.same_permission_groups.groups.size(),
+                    report.similar_user_groups.groups.size() +
+                        report.similar_permission_groups.groups.size());
+        std::fflush(stdout);
+      }
+
+      // Year mark: cold batch audit + recovery cost against the same state.
+      if (year_boundary || last) {
+        util::Stopwatch batch_watch;
+        const core::AuditReport batch = core::audit(durable.engine().snapshot(), options);
+        const double batch_seconds = batch_watch.seconds();
+
+        if (config.method != core::Method::kApproxHnsw &&
+            findings_text(report) != findings_text(batch)) {
+          std::fprintf(stderr, "FINDINGS MISMATCH: engine vs batch at day %zu\n", day);
+          ok = false;
+        }
+
+        // Recovery cost: open a copy of the store (the live WAL handle stays
+        // untouched); the copy itself is outside the timed region.
+        std::filesystem::remove_all(recover_dir);
+        std::filesystem::copy(config.store_dir, recover_dir);
+        util::Stopwatch recover_watch;
+        const store::EngineStore recovered =
+            store::EngineStore::open(recover_dir, options, store_options);
+        const double recover_seconds = recover_watch.seconds();
+
+        year_marks.push_back({day, durable.records(), seconds, similar_pairs(report),
+                              batch_seconds, similar_pairs(batch), recover_seconds,
+                              recovered.recovery().replayed_records});
+        std::printf("  year mark day %zu: engine %7.3f ms vs batch %8.3f ms, "
+                    "recovery %7.3f ms (%llu records replayed)\n",
+                    day, seconds * 1e3, batch_seconds * 1e3, recover_seconds * 1e3,
+                    static_cast<unsigned long long>(recovered.recovery().replayed_records));
+        std::fflush(stdout);
+        std::filesystem::remove_all(recover_dir);
+      }
+    }
+
+    if (day > 0 && (day % config.checkpoint_days == 0 || last)) {
+      util::Stopwatch ckpt_watch;
+      const std::filesystem::path snap = durable.checkpoint();
+      const double ckpt_seconds = ckpt_watch.seconds();
+      checkpoints.push_back({day, durable.records(), ckpt_seconds,
+                             std::filesystem::file_size(snap),
+                             directory_bytes(config.store_dir)});
+    }
+  }
+  w.end_array();
+
+  w.key("year_marks");
+  w.begin_array();
+  for (const YearMark& m : year_marks) {
+    w.begin_object();
+    w.key("day");
+    w.value(static_cast<std::uint64_t>(m.day));
+    w.key("records");
+    w.value(m.records);
+    w.key("engine_reaudit_seconds");
+    w.value(m.engine_seconds);
+    w.key("engine_similar_pairs");
+    w.value(m.engine_pairs);
+    w.key("batch_audit_seconds");
+    w.value(m.batch_seconds);
+    w.key("batch_similar_pairs");
+    w.value(m.batch_pairs);
+    w.key("recovery_seconds");
+    w.value(m.recovery_seconds);
+    w.key("recovery_replayed_records");
+    w.value(m.recovery_replayed);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("checkpoints");
+  w.begin_array();
+  for (const CheckpointMark& m : checkpoints) {
+    w.begin_object();
+    w.key("day");
+    w.value(static_cast<std::uint64_t>(m.day));
+    w.key("records");
+    w.value(m.records);
+    w.key("checkpoint_seconds");
+    w.value(m.seconds);
+    w.key("snapshot_bytes");
+    w.value(static_cast<std::uint64_t>(m.snapshot_bytes));
+    w.key("store_bytes");
+    w.value(static_cast<std::uint64_t>(m.store_bytes));
+    w.end_object();
+  }
+  w.end_array();
+
+  const gen::ChurnStats& stats = sim.stats();
+  w.key("stream");
+  w.begin_object();
+  w.key("days");
+  w.value(stats.days);
+  w.key("mutations");
+  w.value(stats.mutations);
+  w.key("hires");
+  w.value(stats.hires);
+  w.key("departures");
+  w.value(stats.departures);
+  w.key("transfers");
+  w.value(stats.transfers);
+  w.key("provisions");
+  w.value(stats.provisions);
+  w.key("decommissions");
+  w.value(stats.decommissions);
+  w.key("role_clones");
+  w.value(stats.role_clones);
+  w.key("role_forks");
+  w.value(stats.role_forks);
+  w.key("shadow_roles");
+  w.value(stats.shadow_roles);
+  w.key("tenants_onboarded");
+  w.value(stats.tenants_onboarded);
+  w.key("layoff_days");
+  w.value(stats.layoff_days);
+  w.key("apply_seconds_total");
+  w.value(apply_seconds);
+  w.end_object();
+  w.key("findings_identical");
+  w.value(ok);
+  w.end_object();
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("\n%zu mutations over %zu days (apply total %.3f s)\nwrote %s\n",
+              stats.mutations, stats.days, apply_seconds, config.out_path.c_str());
+  std::filesystem::remove_all(config.store_dir);
+  return ok ? 0 : 1;
+}

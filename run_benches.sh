@@ -39,4 +39,13 @@ echo "############ bench_recovery (threads=$threads) ############" >> "$out"
 ./build/bench/bench_recovery --threads "$threads" --out /root/repo/BENCH_recovery.json \
   >> "$out" 2>&1
 echo "" >> "$out"
+# Long-horizon churn through the durable engine (findings drift, verify
+# work, checkpoint/recovery cost over simulated years): BENCH_churn.json is
+# the fourth JSON artifact CI archives per commit. Small default scale here
+# (--quick: 2k employees, 2 years); pass --employees/--years to bench_churn
+# directly for the paper-scale 60k-employee run.
+echo "############ bench_churn (threads=$threads) ############" >> "$out"
+./build/bench/bench_churn --quick --threads "$threads" --out /root/repo/BENCH_churn.json \
+  >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

@@ -11,6 +11,8 @@
 #include "core/framework.hpp"
 #include "core/remediation.hpp"
 #include "core/version.hpp"
+#include "gen/adversarial.hpp"
+#include "gen/churn.hpp"
 #include "gen/matrix_generator.hpp"
 #include "gen/org_simulator.hpp"
 #include "io/binary.hpp"
@@ -282,6 +284,115 @@ int cmd_replay(Args& args, std::ostream& out) {
   return 0;
 }
 
+// ----------------------------------------------------------------- churn ---
+
+/// One-line findings summary for the per-quarter churn progress output.
+std::string findings_summary(const core::AuditReport& r) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "standalone %zu/%zu/%zu  one-sided %zu/%zu  single %zu/%zu  "
+                "dup-groups %zu  similar-groups %zu",
+                r.structural.standalone_users.size(), r.structural.standalone_roles.size(),
+                r.structural.standalone_permissions.size(),
+                r.structural.roles_without_users.size(),
+                r.structural.roles_without_permissions.size(),
+                r.structural.single_user_roles.size(),
+                r.structural.single_permission_roles.size(),
+                r.same_user_groups.group_count() + r.same_permission_groups.group_count(),
+                r.similar_user_groups.group_count() +
+                    r.similar_permission_groups.group_count());
+  return line;
+}
+
+int cmd_churn(Args& args, std::ostream& out) {
+  const core::AuditOptions options = parse_audit_options(args);
+  const store::StoreOptions store_options = parse_store_options(args);
+
+  gen::ChurnConfig config;
+  if (auto seed = args.take_option("--seed")) config.seed = parse_size(*seed, "--seed");
+  if (auto employees = args.take_option("--employees"))
+    config.initial_employees = parse_size(*employees, "--employees");
+  if (auto years = args.take_option("--years")) {
+    config.years = parse_size(*years, "--years");
+    if (config.years == 0) throw UsageError("--years must be >= 1");
+  }
+  const std::optional<std::string> journal_path = args.take_option("--journal");
+
+  // Journal-only mode: emit the stream and stop (corpus regeneration).
+  if (args.take_flag("--journal-only")) {
+    if (!journal_path) throw UsageError("churn: --journal-only requires --journal FILE");
+    if (!args.done()) throw UsageError("churn: unexpected argument '" + args.peek() + "'");
+    std::ofstream journal(*journal_path, std::ios::binary);
+    if (!journal) throw std::runtime_error("cannot write journal " + *journal_path);
+    const gen::ChurnStats stats = gen::write_churn_journal(journal, config);
+    out << "churn: " << stats.mutations << " mutations over " << stats.days << " days ("
+        << config.years << " years, seed " << config.seed << ") -> " << *journal_path
+        << "\n";
+    out << "churn: " << stats.hires << " hires, " << stats.departures << " departures, "
+        << stats.transfers << " transfers, " << stats.provisions << " provisions, "
+        << stats.tenants_onboarded << " tenants, " << stats.layoff_days
+        << " layoff days\n";
+    return 0;
+  }
+
+  std::size_t reaudit_days = 91;  // quarterly
+  if (auto value = args.take_option("--reaudit-days")) {
+    reaudit_days = parse_size(*value, "--reaudit-days");
+    if (reaudit_days == 0) throw UsageError("--reaudit-days must be >= 1");
+  }
+  std::size_t checkpoint_days = 91;
+  if (auto value = args.take_option("--checkpoint-days")) {
+    checkpoint_days = parse_size(*value, "--checkpoint-days");
+    if (checkpoint_days == 0) throw UsageError("--checkpoint-days must be >= 1");
+  }
+  if (args.done()) throw UsageError("churn: missing store directory");
+  const std::string store_dir = args.take();
+  if (!args.done()) throw UsageError("churn: unexpected argument '" + args.peek() + "'");
+
+  std::optional<std::ofstream> journal;
+  if (journal_path) {
+    journal.emplace(*journal_path, std::ios::binary);
+    if (!*journal) throw std::runtime_error("cannot write journal " + *journal_path);
+  }
+
+  // The stream starts from an empty dataset (day 0 bootstraps the org), so
+  // the store's baseline snapshot is empty and the whole history is WAL.
+  gen::ChurnSimulator sim(config);
+  store::EngineStore durable =
+      store::EngineStore::create(store_dir, core::RbacDataset{}, options, store_options);
+  out << "churn: simulating " << config.initial_employees << " employees over "
+      << config.years << " years (seed " << config.seed << ") into " << store_dir << "\n";
+
+  core::AuditReport report;
+  while (!sim.done()) {
+    const std::size_t day = sim.day();
+    const core::RbacDelta delta = sim.next_day();
+    if (journal) io::write_journal(*journal, delta);
+    if (!delta.empty()) durable.apply(delta);
+    const bool last = sim.done();
+    if (day % reaudit_days == 0 || last) {
+      util::Stopwatch watch;
+      report = durable.engine().reaudit();
+      out << "churn: day " << day << " (" << gen::to_string(sim.phase_of(day)) << "), "
+          << durable.records() << " records, version " << durable.engine().version()
+          << ", re-audit " << util::format_duration(watch.seconds()) << ": "
+          << findings_summary(report) << "\n";
+    }
+    if (day % checkpoint_days == 0 || last) {
+      const std::filesystem::path snapshot = durable.checkpoint();
+      out << "churn: checkpoint " << snapshot.filename().string() << " ("
+          << durable.records() << " records)\n";
+    }
+  }
+  const gen::ChurnStats& stats = sim.stats();
+  out << "churn: done — " << stats.mutations << " mutations, " << stats.hires << " hires, "
+      << stats.departures << " departures, " << stats.transfers << " transfers, "
+      << stats.provisions << " provisions, " << stats.tenants_onboarded << " tenants, "
+      << stats.layoff_days << " layoff days\n";
+  out << report.to_text();
+  return 0;
+}
+
 // ------------------------------------------------------ checkpoint/recover ---
 
 int cmd_checkpoint(Args& args, std::ostream& out) {
@@ -449,7 +560,55 @@ int cmd_generate(Args& args, std::ostream& out) {
     return 0;
   }
 
-  throw UsageError("generate: unknown kind '" + kind + "' (expected org or matrix)");
+  if (kind == "adversarial") {
+    gen::AdversarialParams params;
+    if (auto seed = args.take_option("--seed")) params.seed = parse_size(*seed, "--seed");
+    if (auto scale = args.take_option("--scale")) {
+      params.scale = parse_size(*scale, "--scale");
+      if (params.scale == 0) throw UsageError("--scale must be >= 1");
+    }
+    if (auto threshold = args.take_option("--threshold"))
+      params.similarity_threshold = parse_size(*threshold, "--threshold");
+    if (auto jaccard = args.take_option("--jaccard")) {
+      params.jaccard_dissimilarity = parse_double(*jaccard, "--jaccard");
+      if (params.jaccard_dissimilarity < 0.0 || params.jaccard_dissimilarity > 1.0)
+        throw UsageError("--jaccard must be within [0, 1]");
+    }
+    if (args.done()) throw UsageError("generate adversarial: missing scenario (or 'all')");
+    const std::string which = args.take();
+    if (args.done()) throw UsageError("generate adversarial: missing output directory");
+    const std::string dir = args.take();
+    if (!args.done())
+      throw UsageError("generate adversarial: unexpected argument '" + args.peek() + "'");
+
+    std::vector<gen::AdversarialScenario> scenarios;
+    if (which == "all") {
+      scenarios.assign(gen::kAllAdversarialScenarios.begin(),
+                       gen::kAllAdversarialScenarios.end());
+    } else {
+      try {
+        scenarios.push_back(gen::parse_adversarial_scenario(which));
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(std::string(e.what()) +
+                         " (expected similarity-wall, hub-permissions, clone-chains, "
+                         "hostile-names, standalone-storm, or all)");
+      }
+    }
+    for (gen::AdversarialScenario scenario : scenarios) {
+      const core::RbacDataset dataset = gen::make_adversarial(scenario, params);
+      const std::filesystem::path target =
+          which == "all" ? std::filesystem::path(dir) / gen::to_string(scenario)
+                         : std::filesystem::path(dir);
+      io::save_dataset(dataset, target);
+      out << "generated " << gen::to_string(scenario) << ": " << dataset.num_users()
+          << " users, " << dataset.num_roles() << " roles, " << dataset.num_permissions()
+          << " permissions -> " << target.string() << "\n";
+    }
+    return 0;
+  }
+
+  throw UsageError("generate: unknown kind '" + kind +
+                   "' (expected org, matrix, or adversarial)");
 }
 
 // --------------------------------------------------------------- compare ---
@@ -561,8 +720,22 @@ int cmd_help(std::ostream& out) {
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
+         "  churn STORE    simulate a multi-year org lifecycle (hiring,\n"
+         "                 reorg bursts, tenant onboarding, sprawl, layoffs)\n"
+         "                 and replay it through a durable engine store;\n"
+         "                 --employees N  --years N  --seed N\n"
+         "                 --reaudit-days N (default 91)\n"
+         "                 --checkpoint-days N (default 91)\n"
+         "                 --journal FILE (tee the mutation stream)\n"
+         "                 --journal-only (write the stream, skip the store;\n"
+         "                 STORE positional not needed) plus audit + fsync\n"
+         "                 options\n"
          "  generate org DIR     [--paper-scale] [--seed N]\n"
          "  generate matrix DIR  [--roles N] [--users N] [--seed N]\n"
+         "  generate adversarial SCENARIO DIR  [--scale N] [--seed N]\n"
+         "                 hostile corpus: similarity-wall, hub-permissions,\n"
+         "                 clone-chains, hostile-names, standalone-storm, or\n"
+         "                 all (writes one dataset per scenario under DIR)\n"
          "  compare DIR    [--threshold N] [--threads N] [--backend B]\n"
          "                 run all detection methods side by side\n"
          "  convert IN OUT directory = CSV dataset, file = binary format\n"
@@ -589,6 +762,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (command == "generate") return cmd_generate(cursor, out);
     if (command == "compare") return cmd_compare(cursor, out);
     if (command == "convert") return cmd_convert(cursor, out);
+    if (command == "churn") return cmd_churn(cursor, out);
     if (command == "checkpoint") return cmd_checkpoint(cursor, out);
     if (command == "recover") return cmd_recover(cursor, out);
     if (command == "version" || command == "--version" || command == "-v") return cmd_version(out);

@@ -16,7 +16,12 @@
 //
 //   rolediet generate org DIR [--paper-scale] [--seed N]
 //   rolediet generate matrix DIR [--roles N] [--users N] [--seed N]
-//       Produce a synthetic dataset in CSV form.
+//   rolediet generate adversarial SCENARIO DIR [--scale N] [--seed N]
+//                                              [--threshold N] [--jaccard F]
+//       Produce a synthetic dataset in CSV form. Adversarial scenarios are
+//       hostile stress corpora (similarity-wall, hub-permissions,
+//       clone-chains, hostile-names, standalone-storm); SCENARIO may be
+//       "all", which writes one dataset per scenario under DIR.
 //
 //   rolediet compare DIR [--threshold N]
 //       Run all three detection methods on the dataset and print a timing /
@@ -37,6 +42,16 @@
 //       Rebuild the engine from the newest valid snapshot + WAL tail
 //       (truncating a torn final record), print what recovery had to do,
 //       and re-audit.
+//
+//   rolediet churn STORE [--employees N] [--years N] [--seed N]
+//                        [--reaudit-days N] [--checkpoint-days N]
+//                        [--journal FILE] [--journal-only] [--fsync MODE]
+//       Simulate a seeded multi-year organization lifecycle (steady hiring
+//       and attrition, quarterly reorg bursts, tenant onboarding waves,
+//       permission sprawl, an annual layoff) and replay the mutation stream
+//       through a durable engine store with periodic delta re-audits and
+//       checkpoints. --journal tees the stream in io/journal format;
+//       --journal-only writes the stream without building a store.
 //
 //   rolediet version
 //       Library version, build type, and on-disk format versions.

@@ -1,0 +1,396 @@
+#include "gen/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "io/journal.hpp"
+
+namespace rolediet::gen {
+
+using core::Id;
+
+std::string_view to_string(ChurnPhase phase) noexcept {
+  switch (phase) {
+    case ChurnPhase::kBootstrap: return "bootstrap";
+    case ChurnPhase::kSteady: return "steady";
+    case ChurnPhase::kReorgBurst: return "reorg-burst";
+    case ChurnPhase::kOnboardingWave: return "onboarding-wave";
+    case ChurnPhase::kLayoff: return "layoff";
+  }
+  return "?";
+}
+
+ChurnSimulator::ChurnSimulator(ChurnConfig config)
+    : config_(config), rng_(config.seed) {}
+
+ChurnPhase ChurnSimulator::phase_of(std::size_t day) const noexcept {
+  if (day == 0) return ChurnPhase::kBootstrap;
+  const std::size_t year_len = config_.days_per_year;
+  const std::size_t day_of_year = (day - 1) % year_len;
+
+  // Layoff: one fixed day late in each year (11/12ths in), if enabled.
+  if (config_.layoff_fraction > 0.0 && day_of_year == (year_len * 11) / 12)
+    return ChurnPhase::kLayoff;
+
+  // Onboarding waves: evenly spaced through the year.
+  if (config_.onboarding_waves_per_year > 0) {
+    const std::size_t spacing = year_len / (config_.onboarding_waves_per_year + 1);
+    if (spacing > 0 && day_of_year > 0 && day_of_year % spacing == 0 &&
+        day_of_year / spacing <= config_.onboarding_waves_per_year)
+      return ChurnPhase::kOnboardingWave;
+  }
+
+  // Reorg bursts: a window ending at each quarter boundary.
+  const std::size_t quarter = year_len / 4;
+  if (quarter > 0 && config_.reorg_burst_days > 0) {
+    const std::size_t in_quarter = day_of_year % quarter;
+    const std::size_t window =
+        std::min(config_.reorg_burst_days, quarter);  // degenerate tiny years
+    if (in_quarter >= quarter - window) return ChurnPhase::kReorgBurst;
+  }
+  return ChurnPhase::kSteady;
+}
+
+core::RbacDelta ChurnSimulator::next_day() {
+  core::RbacDelta delta;
+  delta_ = &delta;
+  switch (phase_of(day_)) {
+    case ChurnPhase::kBootstrap: bootstrap(); break;
+    case ChurnPhase::kSteady: steady_day(); break;
+    case ChurnPhase::kReorgBurst: reorg_day(); break;
+    case ChurnPhase::kOnboardingWave: onboarding_day(); break;
+    case ChurnPhase::kLayoff: layoff_day(); break;
+  }
+  delta_ = nullptr;
+  ++day_;
+  ++stats_.days;
+  stats_.mutations += delta.size();
+  return delta;
+}
+
+// ------------------------------------------------------------ emission ---
+
+Id ChurnSimulator::emit_user() {
+  const std::string name = "emp" + std::to_string(next_user_++);
+  const Id id = org_.add_user(name);
+  if (id == user_roles_.size()) user_roles_.emplace_back();
+  delta_->add_user(name);
+  return id;
+}
+
+Id ChurnSimulator::emit_role() {
+  const std::string name = "role" + std::to_string(next_role_++);
+  const Id id = org_.add_role(name);
+  delta_->add_role(name);
+  return id;
+}
+
+Id ChurnSimulator::emit_permission() {
+  const std::string name = "perm" + std::to_string(next_perm_++);
+  const Id id = org_.add_permission(name);
+  if (id == perm_roles_.size()) perm_roles_.emplace_back();
+  delta_->add_permission(name);
+  return id;
+}
+
+void ChurnSimulator::emit_assign(Id role, Id user) {
+  if (!org_.assign_user(role, user)) return;  // already a member: nothing to say
+  user_roles_[user].push_back(role);
+  delta_->assign_user(org_.role_name(role), org_.user_name(user));
+}
+
+void ChurnSimulator::emit_revoke(Id role, Id user) {
+  if (!org_.revoke_user(role, user)) return;
+  std::erase(user_roles_[user], role);
+  delta_->revoke_user(org_.role_name(role), org_.user_name(user));
+}
+
+void ChurnSimulator::emit_grant(Id role, Id perm) {
+  if (!org_.grant_permission(role, perm)) return;
+  perm_roles_[perm].push_back(role);
+  delta_->grant_permission(org_.role_name(role), org_.permission_name(perm));
+}
+
+void ChurnSimulator::emit_revoke_grant(Id role, Id perm) {
+  if (!org_.revoke_permission(role, perm)) return;
+  std::erase(perm_roles_[perm], role);
+  delta_->revoke_permission(org_.role_name(role), org_.permission_name(perm));
+}
+
+// --------------------------------------------------------------- draws ---
+
+std::size_t ChurnSimulator::quota(double expectation, double& carry) {
+  carry += expectation;
+  const double whole = std::floor(carry);
+  carry -= whole;
+  return static_cast<std::size_t>(whole);
+}
+
+std::optional<Id> ChurnSimulator::random_role(std::size_t min_users, std::size_t min_perms) {
+  const std::size_t n = org_.num_roles();
+  if (n == 0) return std::nullopt;
+  const std::size_t start = rng_.bounded(n);
+  // Bounded probe: at churn scale a full scan per draw would dominate, and
+  // qualifying roles are dense in practice.
+  const std::size_t probes = std::min<std::size_t>(n, 64);
+  for (std::size_t k = 0; k < probes; ++k) {
+    const Id role = static_cast<Id>((start + k) % n);
+    if (org_.users_of_role(role).size() >= min_users &&
+        org_.permissions_of_role(role).size() >= min_perms)
+      return role;
+  }
+  return std::nullopt;
+}
+
+std::optional<Id> ChurnSimulator::random_assigned_user() {
+  const std::size_t n = org_.num_users();
+  if (n == 0) return std::nullopt;
+  const std::size_t start = rng_.bounded(n);
+  const std::size_t probes = std::min<std::size_t>(n, 256);
+  for (std::size_t k = 0; k < probes; ++k) {
+    const Id user = static_cast<Id>((start + k) % n);
+    if (!user_roles_[user].empty()) return user;
+  }
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------- phases ---
+
+void ChurnSimulator::bootstrap() {
+  const std::size_t employees = config_.initial_employees;
+  const auto roles = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(employees) * config_.roles_per_employee));
+  const auto perms = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(employees) * config_.permissions_per_employee));
+
+  for (std::size_t u = 0; u < employees; ++u) (void)emit_user();
+  for (std::size_t p = 0; p < perms; ++p) (void)emit_permission();
+  for (std::size_t r = 0; r < roles; ++r) {
+    const Id role = emit_role();
+    if (perms > 0) {
+      const std::size_t grants = 3 + rng_.bounded(4);
+      for (std::size_t k = 0; k < grants; ++k)
+        emit_grant(role, static_cast<Id>(rng_.bounded(perms)));
+    }
+  }
+  // Everyone joins 1-3 roles; teams are locality-biased (consecutive hires
+  // land near the same roles) so realistic same/similar structure exists
+  // from day one.
+  if (roles > 0) {
+    for (std::size_t u = 0; u < employees; ++u) {
+      const std::size_t home = (u * roles) / std::max<std::size_t>(employees, 1);
+      const std::size_t memberships = 1 + rng_.bounded(3);
+      for (std::size_t k = 0; k < memberships; ++k) {
+        const std::size_t jitter = rng_.bounded(5);
+        emit_assign(static_cast<Id>((home + jitter) % roles), static_cast<Id>(u));
+      }
+    }
+  }
+}
+
+void ChurnSimulator::steady_day() {
+  const auto employees = static_cast<double>(org_.num_users());
+  const auto roles = static_cast<double>(org_.num_roles());
+  const std::size_t hires = quota(employees * config_.daily_hire_rate, hire_carry_);
+  const std::size_t departures =
+      quota(employees * config_.daily_attrition_rate, attrition_carry_);
+  const std::size_t transfers =
+      quota(employees * config_.daily_transfer_rate, transfer_carry_);
+  const std::size_t sprawl = quota(roles * config_.daily_sprawl_rate, sprawl_carry_);
+  const std::size_t decommissions =
+      quota(roles * config_.daily_sprawl_rate * 0.25, decommission_carry_);
+
+  for (std::size_t k = 0; k < hires; ++k) hire();
+  for (std::size_t k = 0; k < departures; ++k) depart_random();
+  for (std::size_t k = 0; k < transfers; ++k) transfer();
+  for (std::size_t k = 0; k < sprawl; ++k) sprawl_step();
+  for (std::size_t k = 0; k < decommissions; ++k) decommission_step();
+}
+
+void ChurnSimulator::reorg_day() {
+  steady_day();  // the org keeps living through a reorg
+  const std::size_t events = quota(
+      static_cast<double>(org_.num_roles()) * config_.reorg_intensity, reorg_carry_);
+  for (std::size_t k = 0; k < events; ++k) {
+    switch (rng_.bounded(4)) {
+      case 0: clone_role(); break;
+      case 1: fork_role(); break;
+      case 2: shadow_role(); break;
+      default: transfer(); break;
+    }
+  }
+}
+
+void ChurnSimulator::onboarding_day() {
+  steady_day();
+  const std::size_t tenant = next_tenant_++;
+  const auto size = std::max<std::size_t>(
+      4, static_cast<std::size_t>(static_cast<double>(org_.num_users()) *
+                                  config_.onboarding_wave_fraction));
+  const std::string prefix = "tenant" + std::to_string(tenant) + "/";
+
+  // A tenant arrives as a prefixed block: its own permissions and roles,
+  // plus `size` employees wired into them in bulk.
+  std::vector<Id> tenant_perms;
+  for (std::size_t p = 0; p < std::max<std::size_t>(2, size / 8); ++p) {
+    const std::string name = prefix + "perm" + std::to_string(p);
+    const Id id = org_.add_permission(name);
+    if (id == perm_roles_.size()) perm_roles_.emplace_back();
+    delta_->add_permission(name);
+    tenant_perms.push_back(id);
+  }
+  std::vector<Id> tenant_roles;
+  for (std::size_t r = 0; r < std::max<std::size_t>(2, size / 10); ++r) {
+    const std::string name = prefix + "role" + std::to_string(r);
+    const Id id = org_.add_role(name);
+    delta_->add_role(name);
+    tenant_roles.push_back(id);
+    const std::size_t grants = 1 + rng_.bounded(tenant_perms.size());
+    for (std::size_t k = 0; k < grants; ++k)
+      emit_grant(id, tenant_perms[rng_.bounded(tenant_perms.size())]);
+  }
+  for (std::size_t u = 0; u < size; ++u) {
+    const std::string name = prefix + "emp" + std::to_string(u);
+    const Id id = org_.add_user(name);
+    if (id == user_roles_.size()) user_roles_.emplace_back();
+    delta_->add_user(name);
+    emit_assign(tenant_roles[rng_.bounded(tenant_roles.size())], id);
+    if (rng_.bernoulli(0.3))
+      emit_assign(tenant_roles[rng_.bounded(tenant_roles.size())], id);
+  }
+  ++stats_.tenants_onboarded;
+}
+
+void ChurnSimulator::layoff_day() {
+  const auto target = static_cast<std::size_t>(
+      static_cast<double>(org_.num_users()) * config_.layoff_fraction);
+  std::size_t cut = 0;
+  const std::size_t n = org_.num_users();
+  const std::size_t start = n == 0 ? 0 : rng_.bounded(n);
+  for (std::size_t k = 0; k < n && cut < target; ++k) {
+    const Id user = static_cast<Id>((start + k) % n);
+    if (depart(user)) ++cut;
+  }
+  ++stats_.layoff_days;
+}
+
+// -------------------------------------------------------------- events ---
+
+void ChurnSimulator::hire() {
+  const Id user = emit_user();
+  const std::size_t memberships = 1 + rng_.bounded(2);
+  for (std::size_t k = 0; k < memberships; ++k) {
+    if (const auto role = random_role(1, 0)) emit_assign(*role, user);
+  }
+  ++stats_.hires;
+}
+
+bool ChurnSimulator::depart(Id user) {
+  if (user_roles_[user].empty()) return false;
+  // Revoke exactly the live memberships; the user entity lingers — the
+  // paper's standalone-user inefficiency, at stream scale.
+  const std::vector<Id> memberships = user_roles_[user];
+  for (Id role : memberships) emit_revoke(role, user);
+  ++stats_.departures;
+  return true;
+}
+
+void ChurnSimulator::depart_random() {
+  if (const auto user = random_assigned_user()) (void)depart(*user);
+}
+
+void ChurnSimulator::transfer() {
+  const auto from = random_role(2, 0);
+  const auto to = random_role(1, 0);
+  if (!from || !to || *from == *to) return;
+  const auto& users = org_.users_of_role(*from);
+  const Id user = users[rng_.bounded(users.size())];
+  emit_revoke(*from, user);
+  emit_assign(*to, user);
+  ++stats_.transfers;
+}
+
+void ChurnSimulator::sprawl_step() {
+  const auto role = random_role(0, 0);
+  if (!role) return;
+  // Sprawl: mostly re-granting existing permissions ever wider; a tenth of
+  // the drift mints a brand-new permission.
+  if (org_.num_permissions() == 0 || rng_.bernoulli(0.1)) {
+    emit_grant(*role, emit_permission());
+  } else {
+    emit_grant(*role, static_cast<Id>(rng_.bounded(org_.num_permissions())));
+  }
+  ++stats_.provisions;
+}
+
+void ChurnSimulator::decommission_step() {
+  const std::size_t n = org_.num_permissions();
+  if (n == 0) return;
+  const std::size_t start = rng_.bounded(n);
+  const std::size_t probes = std::min<std::size_t>(n, 64);
+  for (std::size_t k = 0; k < probes; ++k) {
+    const Id perm = static_cast<Id>((start + k) % n);
+    if (perm_roles_[perm].empty()) continue;
+    const std::vector<Id> grants = perm_roles_[perm];
+    for (Id role : grants) emit_revoke_grant(role, perm);
+    ++stats_.decommissions;
+    return;
+  }
+}
+
+void ChurnSimulator::clone_role() {
+  const auto source = random_role(1, 1);
+  if (!source) return;
+  const Id clone = emit_role();
+  const std::vector<Id> users = org_.users_of_role(*source);
+  const std::vector<Id> perms = org_.permissions_of_role(*source);
+  // Same split as gen/evolution: half the clones duplicate the user set,
+  // half the permission set; the other axis is a partial copy.
+  if (rng_.bernoulli(0.5)) {
+    for (Id u : users) emit_assign(clone, u);
+    for (Id p : perms)
+      if (rng_.bernoulli(0.7)) emit_grant(clone, p);
+  } else {
+    for (Id p : perms) emit_grant(clone, p);
+    for (Id u : users)
+      if (rng_.bernoulli(0.7)) emit_assign(clone, u);
+  }
+  ++stats_.role_clones;
+}
+
+void ChurnSimulator::fork_role() {
+  const auto source = random_role(2, 1);
+  if (!source) return;
+  const Id fork = emit_role();
+  const std::vector<Id> users = org_.users_of_role(*source);
+  const std::size_t skip = rng_.bounded(users.size());
+  for (std::size_t k = 0; k < users.size(); ++k) {
+    if (k != skip) emit_assign(fork, users[k]);
+  }
+  for (Id p : org_.permissions_of_role(*source))
+    if (rng_.bernoulli(0.5)) emit_grant(fork, p);
+  ++stats_.role_forks;
+}
+
+void ChurnSimulator::shadow_role() {
+  const Id role = emit_role();
+  if (rng_.bernoulli(0.5)) {
+    if (const auto donor = random_role(0, 1)) {
+      for (Id p : org_.permissions_of_role(*donor))
+        if (rng_.bernoulli(0.5)) emit_grant(role, p);
+    }
+  }
+  ++stats_.shadow_roles;
+}
+
+// ------------------------------------------------------------- journal ---
+
+ChurnStats write_churn_journal(std::ostream& out, const ChurnConfig& config) {
+  ChurnSimulator sim(config);
+  while (!sim.done()) io::write_journal(out, sim.next_day());
+  return sim.stats();
+}
+
+}  // namespace rolediet::gen

@@ -33,13 +33,20 @@ OrgEvolution::OrgEvolution(core::IncrementalAuditor& auditor, std::uint64_t seed
   }
   for (std::size_t r = 0; r < initial_roles; ++r) {
     const Id role = auditor_.add_role("role" + std::to_string(next_role_++));
-    const std::size_t users = 3 + rng_.bounded(6);
-    for (std::size_t k = 0; k < users; ++k) {
-      auditor_.assign_user(role, static_cast<Id>(rng_.bounded(initial_users)));
+    // Degenerate starting orgs are legal: with no users (or permissions) to
+    // draw from, roles are seeded empty on that axis instead of assigning
+    // out-of-range ids.
+    if (initial_users > 0) {
+      const std::size_t users = 3 + rng_.bounded(6);
+      for (std::size_t k = 0; k < users; ++k) {
+        auditor_.assign_user(role, static_cast<Id>(rng_.bounded(initial_users)));
+      }
     }
-    const std::size_t perms = 3 + rng_.bounded(4);
-    for (std::size_t k = 0; k < perms; ++k) {
-      auditor_.grant_permission(role, static_cast<Id>(rng_.bounded(initial_permissions)));
+    if (initial_permissions > 0) {
+      const std::size_t perms = 3 + rng_.bounded(4);
+      for (std::size_t k = 0; k < perms; ++k) {
+        auditor_.grant_permission(role, static_cast<Id>(rng_.bounded(initial_permissions)));
+      }
     }
   }
 }

@@ -63,13 +63,19 @@ class OrgEvolution {
  public:
   /// Seeds a small healthy organization directly into `auditor` (roles with
   /// 3-8 users and 3-6 permissions each) and prepares the event stream.
+  /// Degenerate starting orgs (zero users, roles, or permissions) are legal:
+  /// roles are seeded empty on an axis with no entities to draw from.
   OrgEvolution(core::IncrementalAuditor& auditor, std::uint64_t seed,
                std::size_t initial_users = 200, std::size_t initial_roles = 60,
                std::size_t initial_permissions = 150, EvolutionMix mix = {});
 
   /// Applies one random event; returns which kind ran. Events that need a
-  /// precondition (e.g. a departure needs an assigned user) retry with a
-  /// different draw a few times and fall back to kHire.
+  /// precondition retry with a different draw a few times and fall back to
+  /// kHire (which always succeeds — with no roles to join, the hire lands
+  /// unassigned). Precondition failures are silent no-ops, never throws: a
+  /// departure/decommission drawn against an org with no assigned user /
+  /// granted permission left simply reports false internally and the next
+  /// draw runs, so any mix is safe on any org, including empty ones.
   OrgEvent step();
 
   /// Applies `n` events.

@@ -1,0 +1,263 @@
+// Long-horizon churn replay through the durable store.
+//
+// A compact three-simulated-year gen/churn stream (every phase of the
+// calendar model: bootstrap, steady drift, quarterly reorg bursts, tenant
+// onboarding waves, annual layoffs) is streamed day-by-day through an
+// EngineStore, for every method x row backend x thread count. At every
+// checkpoint boundary the suite pins the two contracts the operational
+// pipeline stands on:
+//
+//   1. engine == batch: the delta re-audit of the live engine is
+//      byte-identical to a cold core::audit() of the same state (kApproxHnsw
+//      exempt per its documented contract — its maintained graph is
+//      approximate);
+//   2. recovery == replay: opening a copy of the store (newest snapshot +
+//      the WAL tail written since) yields an engine whose findings are
+//      byte-identical to a from-scratch engine that applied the same
+//      committed prefix — for every method, including kApproxHnsw, because
+//      recovery rebuild-marks the artifacts.
+//
+// Case names end in T1/T8 so the TSan job can select the 8-thread replays
+// with --gtest_filter=*T8*.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/framework.hpp"
+#include "gen/churn.hpp"
+#include "io/journal.hpp"
+#include "store/engine_store.hpp"
+#include "test_helpers.hpp"
+
+namespace rolediet {
+namespace {
+
+namespace fs = std::filesystem;
+
+using rolediet::testing::ScopedTempDir;
+
+/// Compact calendar: three years of 120 days keeps every phase (30-day
+/// quarters with reorg windows, two onboarding waves, a layoff day per year)
+/// while the whole stream stays a few thousand mutations. Rates are scaled
+/// up so an 80-employee org still churns visibly every day.
+gen::ChurnConfig compact_config(std::uint64_t seed) {
+  gen::ChurnConfig config;
+  config.seed = seed;
+  config.initial_employees = 80;
+  config.years = 3;
+  config.days_per_year = 120;
+  config.daily_hire_rate = 0.004;
+  config.daily_attrition_rate = 0.003;
+  config.daily_transfer_rate = 0.004;
+  config.daily_sprawl_rate = 0.01;
+  config.reorg_burst_days = 6;
+  config.reorg_intensity = 0.05;
+  config.onboarding_wave_fraction = 0.05;
+  config.layoff_fraction = 0.1;
+  return config;
+}
+
+/// Findings rendering with only non-deterministic fields (wall-clock
+/// timings, per-thread work-split counters) zeroed. Version and digest stay:
+/// recovery must land on the same logical state.
+std::string findings_text(core::AuditReport report) {
+  for (core::PhaseTiming* t :
+       {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
+        &report.similar_users_time, &report.similar_permissions_time}) {
+    *t = core::PhaseTiming{};
+  }
+  for (core::FinderWorkStats* w : {&report.same_users_work, &report.same_permissions_work,
+                                   &report.similar_users_work, &report.similar_permissions_work}) {
+    *w = core::FinderWorkStats{};
+  }
+  return report.to_text();
+}
+
+/// Same, but additionally blind to the live engine's version (a one-shot
+/// batch audit reports version 0 while the live engine counts mutations).
+std::string findings_text_vs_batch(core::AuditReport report) {
+  report.engine_version = 0;
+  return findings_text(std::move(report));
+}
+
+struct ReplayCase {
+  core::Method method;
+  linalg::RowBackend backend;
+  std::size_t threads;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ReplayCase>& info) {
+  const ReplayCase& c = info.param;
+  std::string name;
+  switch (c.method) {
+    case core::Method::kExactDbscan: name = "Exact"; break;
+    case core::Method::kApproxHnsw: name = "Hnsw"; break;
+    case core::Method::kApproxMinhash: name = "Minhash"; break;
+    case core::Method::kRoleDiet: name = "RoleDiet"; break;
+  }
+  name += c.backend == linalg::RowBackend::kDense ? "Dense" : "Sparse";
+  name += "T" + std::to_string(c.threads);
+  return name;
+}
+
+std::vector<ReplayCase> all_cases() {
+  std::vector<ReplayCase> cases;
+  for (core::Method method : {core::Method::kExactDbscan, core::Method::kApproxHnsw,
+                              core::Method::kApproxMinhash, core::Method::kRoleDiet}) {
+    for (linalg::RowBackend backend : {linalg::RowBackend::kDense, linalg::RowBackend::kSparse}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        cases.push_back({method, backend, threads});
+      }
+    }
+  }
+  return cases;
+}
+
+core::AuditOptions options_for(const ReplayCase& c) {
+  core::AuditOptions options;
+  options.method = c.method;
+  options.detect_similar = true;
+  options.similarity_threshold = 1;
+  options.threads = c.threads;
+  options.backend = c.backend;
+  return options;
+}
+
+class ChurnReplayTest : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(ChurnReplayTest, EngineMatchesBatchAndRecoveryMatchesReplayAtEveryCheckpoint) {
+  const core::AuditOptions options = options_for(GetParam());
+  const gen::ChurnConfig config = compact_config(/*seed=*/17);
+  constexpr std::size_t kCheckpointDays = 30;
+
+  ScopedTempDir root("churn");
+  const fs::path store_dir = root.file("store");
+  store::StoreOptions store_options;
+  store_options.fsync = store::FsyncPolicy::kNone;
+
+  store::EngineStore durable =
+      store::EngineStore::create(store_dir, core::RbacDataset{}, options, store_options);
+
+  gen::ChurnSimulator sim(config);
+  core::RbacDelta history;  // every mutation emitted so far, in stream order
+  std::size_t checkpoints_verified = 0;
+
+  while (!sim.done()) {
+    const std::size_t day = sim.day();
+    const core::RbacDelta delta = sim.next_day();
+    history.mutations.insert(history.mutations.end(), delta.mutations.begin(),
+                             delta.mutations.end());
+    if (!delta.empty()) durable.apply(delta);
+
+    const bool boundary = day % kCheckpointDays == 0 || sim.done();
+    if (!boundary) continue;
+    SCOPED_TRACE("day " + std::to_string(day) + ", " + std::to_string(history.size()) +
+                 " mutations");
+
+    // Contract 2 first, while the WAL tail since the previous checkpoint is
+    // still unpruned: recovery from (snapshot + tail) must match an engine
+    // that replayed the whole stream from scratch.
+    const fs::path copy = root.file("recover-" + std::to_string(day));
+    fs::copy(store_dir, copy, fs::copy_options::recursive);
+    store::EngineStore recovered = store::EngineStore::open(copy, options, store_options);
+    EXPECT_EQ(recovered.records(), durable.records());
+
+    core::AuditEngine from_scratch(core::RbacDataset{}, options);
+    from_scratch.apply(history);
+    EXPECT_EQ(findings_text(recovered.engine().reaudit()),
+              findings_text(from_scratch.reaudit()));
+    fs::remove_all(copy);
+
+    // Contract 1: the live engine's delta re-audit vs a cold batch audit of
+    // the identical dataset.
+    const core::AuditReport live = durable.engine().reaudit();
+    if (options.method != core::Method::kApproxHnsw) {
+      const core::AuditReport batch = core::audit(durable.engine().snapshot(), options);
+      EXPECT_EQ(findings_text_vs_batch(live), findings_text_vs_batch(batch));
+    }
+
+    (void)durable.checkpoint();
+    ++checkpoints_verified;
+  }
+
+  // Three compact years, one boundary per 30-day checkpoint period plus the
+  // bootstrap-day and final boundaries.
+  EXPECT_GE(checkpoints_verified, 3 * (config.days_per_year / kCheckpointDays));
+  EXPECT_GT(sim.stats().layoff_days, 0u);
+  EXPECT_GT(sim.stats().tenants_onboarded, 0u);
+  EXPECT_GT(sim.stats().role_clones + sim.stats().role_forks + sim.stats().shadow_roles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ChurnReplayTest, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+/// The generated stream and the engine agree on what a journal means: tee
+/// the same simulation to journal text, read it back record by record, and
+/// the parsed mutations must equal the deltas the simulator emitted.
+TEST(ChurnJournalTest, WrittenJournalParsesBackToTheEmittedStream) {
+  const gen::ChurnConfig config = compact_config(/*seed=*/5);
+
+  std::ostringstream journal;
+  const gen::ChurnStats stats = gen::write_churn_journal(journal, config);
+
+  gen::ChurnSimulator sim(config);
+  core::RbacDelta expected;
+  while (!sim.done()) {
+    const core::RbacDelta delta = sim.next_day();
+    expected.mutations.insert(expected.mutations.end(), delta.mutations.begin(),
+                              delta.mutations.end());
+  }
+  ASSERT_EQ(stats.mutations, expected.size());
+
+  std::istringstream in(journal.str());
+  io::JournalReader reader(in);
+  core::Mutation mutation;
+  std::size_t index = 0;
+  while (reader.next(mutation)) {
+    ASSERT_LT(index, expected.size());
+    EXPECT_EQ(mutation, expected.mutations[index]) << "record " << index + 1;
+    ++index;
+  }
+  EXPECT_EQ(index, expected.size());
+}
+
+/// Identical seeds give identical streams; different seeds diverge.
+TEST(ChurnJournalTest, StreamsAreSeedDeterministic) {
+  std::ostringstream a, b, c;
+  (void)gen::write_churn_journal(a, compact_config(9));
+  (void)gen::write_churn_journal(b, compact_config(9));
+  (void)gen::write_churn_journal(c, compact_config(10));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str(), c.str());
+}
+
+/// The calendar covers every phase, and phase_of agrees with what next_day
+/// is about to do (day 0 is the bootstrap).
+TEST(ChurnCalendarTest, PhaseModelCoversEveryPhase) {
+  const gen::ChurnConfig config = compact_config(3);
+  gen::ChurnSimulator sim(config);
+  ASSERT_EQ(sim.phase_of(0), gen::ChurnPhase::kBootstrap);
+
+  std::size_t steady = 0, reorg = 0, onboarding = 0, layoff = 0;
+  for (std::size_t day = 1; day < sim.days_total(); ++day) {
+    switch (sim.phase_of(day)) {
+      case gen::ChurnPhase::kBootstrap: FAIL() << "bootstrap after day 0"; break;
+      case gen::ChurnPhase::kSteady: ++steady; break;
+      case gen::ChurnPhase::kReorgBurst: ++reorg; break;
+      case gen::ChurnPhase::kOnboardingWave: ++onboarding; break;
+      case gen::ChurnPhase::kLayoff: ++layoff; break;
+    }
+  }
+  EXPECT_GT(steady, 0u);
+  EXPECT_GT(reorg, 0u);
+  EXPECT_EQ(onboarding, config.years * config.onboarding_waves_per_year);
+  EXPECT_EQ(layoff, config.years);
+}
+
+}  // namespace
+}  // namespace rolediet

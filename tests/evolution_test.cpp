@@ -134,5 +134,126 @@ TEST(Evolution, DietResetsAccumulatedDuplicates) {
   EXPECT_LT(slim.num_roles(), decayed.num_roles());
 }
 
+// ------------------------------------------------------ event-mix edge cases ---
+
+/// A mix with all weight on exactly one event.
+EvolutionMix only(OrgEvent event) {
+  EvolutionMix mix{.hire = 0, .departure = 0, .transfer = 0, .provision = 0,
+                   .decommission = 0, .clone_role = 0, .fork_role = 0, .shadow_role = 0};
+  switch (event) {
+    case OrgEvent::kHire: mix.hire = 1; break;
+    case OrgEvent::kDeparture: mix.departure = 1; break;
+    case OrgEvent::kTransfer: mix.transfer = 1; break;
+    case OrgEvent::kProvision: mix.provision = 1; break;
+    case OrgEvent::kDecommission: mix.decommission = 1; break;
+    case OrgEvent::kCloneRole: mix.clone_role = 1; break;
+    case OrgEvent::kForkRole: mix.fork_role = 1; break;
+    case OrgEvent::kShadowRole: mix.shadow_role = 1; break;
+  }
+  return mix;
+}
+
+TEST(EvolutionMixEdge, AllWeightOnOneEventRunsForEveryEvent) {
+  // Each single-event mix must run without throwing on a healthy org; the
+  // step either applies that event or falls back to kHire after retries.
+  for (OrgEvent event :
+       {OrgEvent::kHire, OrgEvent::kDeparture, OrgEvent::kTransfer, OrgEvent::kProvision,
+        OrgEvent::kDecommission, OrgEvent::kCloneRole, OrgEvent::kForkRole,
+        OrgEvent::kShadowRole}) {
+    SCOPED_TRACE(std::string(to_string(event)));
+    core::IncrementalAuditor auditor;
+    OrgEvolution evolution(auditor, 29, 30, 8, 25, only(event));
+    for (int i = 0; i < 50; ++i) {
+      const OrgEvent ran = evolution.step();
+      EXPECT_TRUE(ran == event || ran == OrgEvent::kHire)
+          << "got " << to_string(ran) << " at step " << i;
+    }
+    EXPECT_EQ(evolution.events_applied(), 50u);
+  }
+}
+
+TEST(EvolutionMixEdge, ZeroUserStartingOrgIsLegal) {
+  // Regression: seeding roles used to draw user ids from an empty pool and
+  // throw std::out_of_range. Roles must instead be seeded user-empty.
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 31, /*initial_users=*/0, /*initial_roles=*/10,
+                         /*initial_permissions=*/20);
+  EXPECT_EQ(auditor.num_users(), 0u);
+  EXPECT_EQ(auditor.num_roles(), 10u);
+  EXPECT_EQ(auditor.structural().roles_without_users.size(), 10u);
+  evolution.run(100);  // and the org must be able to live on from there
+  EXPECT_GT(auditor.num_users(), 0u);
+}
+
+TEST(EvolutionMixEdge, ZeroPermissionStartingOrgIsLegal) {
+  core::IncrementalAuditor auditor;
+  OrgEvolution evolution(auditor, 37, /*initial_users=*/20, /*initial_roles=*/10,
+                         /*initial_permissions=*/0);
+  EXPECT_EQ(auditor.num_permissions(), 0u);
+  EXPECT_EQ(auditor.structural().roles_without_permissions.size(), 10u);
+  evolution.run(100);
+}
+
+TEST(EvolutionMixEdge, ZeroRoleAndEmptyStartingOrgsAreLegal) {
+  {
+    core::IncrementalAuditor auditor;
+    OrgEvolution evolution(auditor, 41, 20, /*initial_roles=*/0, 20);
+    evolution.run(100);  // hires land unassigned until role events create roles
+  }
+  {
+    core::IncrementalAuditor auditor;
+    OrgEvolution evolution(auditor, 43, 0, 0, 0);
+    evolution.run(100);
+    EXPECT_GT(auditor.num_users(), 0u);  // fallback hires still grow the org
+  }
+}
+
+TEST(EvolutionMixEdge, DepartureAndDecommissionOnNothingAssignableFallBackToHire) {
+  // Documented semantics: precondition failures are silent no-ops, never a
+  // throw; after the retries every step lands on the kHire fallback.
+  {
+    core::IncrementalAuditor auditor;
+    OrgEvolution evolution(auditor, 47, 0, 0, 0, only(OrgEvent::kDeparture));
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(evolution.step(), OrgEvent::kHire);
+  }
+  {
+    core::IncrementalAuditor auditor;
+    OrgEvolution evolution(auditor, 53, 0, 0, 0, only(OrgEvent::kDecommission));
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(evolution.step(), OrgEvent::kHire);
+  }
+  // With entities present but nothing assigned/granted, same story.
+  {
+    core::IncrementalAuditor auditor;
+    OrgEvolution evolution(auditor, 59, 10, /*initial_roles=*/0, 10,
+                           only(OrgEvent::kDecommission));
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(evolution.step(), OrgEvent::kHire);
+  }
+}
+
+TEST(EvolutionMixEdge, IdenticalSeedsAreDeterministicAcrossAuditThreadCounts) {
+  // The simulator's determinism must be independent of how the resulting
+  // dataset is audited: identical seeds give identical datasets, and those
+  // datasets audit identically at 1, 2, and 8 threads.
+  core::IncrementalAuditor a;
+  core::IncrementalAuditor b;
+  OrgEvolution ea(a, 61);
+  OrgEvolution eb(b, 61);
+  ea.run(400);
+  eb.run(400);
+  const core::RbacDataset da = a.snapshot();
+  const core::RbacDataset db = b.snapshot();
+  ASSERT_EQ(da.ruam(), db.ruam());
+  ASSERT_EQ(da.rpam(), db.rpam());
+
+  const core::AuditReport serial = core::audit(da, {.threads = 1});
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const core::AuditReport parallel = core::audit(db, {.threads = threads});
+    EXPECT_EQ(parallel.same_user_groups, serial.same_user_groups) << threads << " threads";
+    EXPECT_EQ(parallel.same_permission_groups, serial.same_permission_groups);
+    EXPECT_EQ(parallel.similar_user_groups, serial.similar_user_groups);
+    EXPECT_EQ(parallel.similar_permission_groups, serial.similar_permission_groups);
+  }
+}
+
 }  // namespace
 }  // namespace rolediet::gen

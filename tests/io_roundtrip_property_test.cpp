@@ -10,9 +10,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "gen/churn.hpp"
 #include "io/binary.hpp"
 #include "io/csv.hpp"
 #include "io/groups_io.hpp"
+#include "io/journal.hpp"
 #include "test_helpers.hpp"
 
 namespace rolediet::io {
@@ -182,6 +184,127 @@ TEST(CsvStrict, ContentAfterClosingQuoteRejected) {
   // A comma or end-of-record right after the close quote stays legal.
   EXPECT_EQ(parse_csv_line("\"a\",b"), (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(parse_csv_line("\"a\"\r"), (std::vector<std::string>{"a"}));
+}
+
+// ---------------------------------------------------------- journal streams ---
+
+/// Compact churn calendar whose shape varies with the seed, so the property
+/// runs cover different phase mixes (and always at least one layoff,
+/// onboarding wave, and reorg window).
+gen::ChurnConfig stream_config(std::uint64_t seed) {
+  gen::ChurnConfig config;
+  config.seed = seed;
+  config.initial_employees = 30 + seed % 50;
+  config.years = 1 + seed % 2;
+  config.days_per_year = 60 + (seed % 3) * 30;
+  config.daily_hire_rate = 0.005;
+  config.daily_attrition_rate = 0.004;
+  config.daily_transfer_rate = 0.005;
+  config.daily_sprawl_rate = 0.02;
+  config.reorg_burst_days = 5;
+  config.reorg_intensity = 0.1;
+  config.onboarding_wave_fraction = 0.08;
+  config.layoff_fraction = 0.1;
+  return config;
+}
+
+TEST(JournalStream, GeneratedChurnStreamsRoundTripAcrossSeeds) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 1337ULL, 0xDEADBEEFULL, 7'777'777ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const gen::ChurnConfig config = stream_config(seed);
+
+    std::ostringstream out;
+    const gen::ChurnStats stats = gen::write_churn_journal(out, config);
+
+    // Reference stream: an independent simulator run with the same config.
+    gen::ChurnSimulator sim(config);
+    std::vector<core::Mutation> expected;
+    while (!sim.done()) {
+      core::RbacDelta day = sim.next_day();
+      for (core::Mutation& m : day.mutations) expected.push_back(std::move(m));
+    }
+    ASSERT_EQ(stats.mutations, expected.size());
+    ASSERT_GT(expected.size(), 0u);
+
+    std::istringstream in(out.str());
+    JournalReader reader(in);
+    core::Mutation mutation;
+    std::size_t index = 0;
+    while (reader.next(mutation)) {
+      ASSERT_LT(index, expected.size());
+      ASSERT_EQ(mutation, expected[index]) << "record " << index + 1;
+      ++index;
+    }
+    EXPECT_EQ(index, expected.size());
+    // Churn names never contain line breaks, so records == physical lines.
+    EXPECT_EQ(reader.line(), expected.size());
+  }
+}
+
+TEST(JournalStream, MalformedRecordMidStreamReportsItsOneBasedLine) {
+  // Serialize a real churn stream, then wound one record at a known line.
+  std::ostringstream out;
+  (void)gen::write_churn_journal(out, stream_config(3));
+  std::vector<std::string> lines;
+  {
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 20u);
+
+  const std::vector<std::string> wounds{
+      "frobnicate,role0,emp0",  // unknown tag
+      "assign-user,role0",      // missing field
+      "add-user,a,b,c",         // excess fields
+      "\"torn quote,x",         // unterminated quote
+  };
+  for (std::size_t w = 0; w < wounds.size(); ++w) {
+    SCOPED_TRACE(wounds[w]);
+    const std::size_t at = 10 + w * 3;  // 0-based index -> 1-based line at+1
+    std::string text;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      text += i == at ? wounds[w] : lines[i];
+      text += '\n';
+    }
+    std::istringstream in(text);
+    JournalReader reader(in);
+    core::Mutation mutation;
+    for (std::size_t i = 0; i < at; ++i) ASSERT_TRUE(reader.next(mutation)) << "record " << i;
+    try {
+      reader.next(mutation);
+      FAIL() << "expected CsvError at line " << at + 1;
+    } catch (const CsvError& e) {
+      EXPECT_NE(std::string(e.what()).find("journal line " + std::to_string(at + 1)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(JournalStream, LineNumbersCountPhysicalLinesThroughMultiLineNames) {
+  // A quoted name spanning three physical lines shifts every later line
+  // number; the reader must report the *physical* line of the bad record.
+  core::RbacDelta delta;
+  delta.add_user("multi\nline\nuser").assign_user("role", "multi\nline\nuser");
+  std::ostringstream out;
+  write_journal(out, delta);
+  std::string text = out.str();
+  text += "bogus-tag,x\n";  // physical line 7: 3 + 3 + 1
+
+  std::istringstream in(text);
+  JournalReader reader(in);
+  core::Mutation mutation;
+  ASSERT_TRUE(reader.next(mutation));
+  EXPECT_EQ(reader.line(), 3u);
+  ASSERT_TRUE(reader.next(mutation));
+  EXPECT_EQ(reader.line(), 6u);
+  try {
+    reader.next(mutation);
+    FAIL() << "expected CsvError at line 7";
+  } catch (const CsvError& e) {
+    EXPECT_NE(std::string(e.what()).find("journal line 7"), std::string::npos) << e.what();
+  }
 }
 
 // --------------------------------------------------------- binary endianness ---
