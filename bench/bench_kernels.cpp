@@ -1,0 +1,250 @@
+// Kernel dispatch bench: batched SIMD verify kernels vs the scalar
+// one-pair-at-a-time baseline, per dispatch target this host can run,
+// written as machine-readable JSON (BENCH_kernels.json).
+//
+// Every target computes identical integers (the linalg/kernels contract), so
+// the only thing that can differ between rows of this bench is throughput.
+// The JSON records the host's capability string — a scalar-only CI runner
+// explains itself instead of silently benching scalar against scalar — and,
+// per (target, op, width), the speedup of the batched dispatched kernel over
+// the scalar single-pair loop the verify stage used to run.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/json_writer.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+namespace kernels = linalg::kernels;
+
+namespace {
+
+struct KernelBenchConfig {
+  std::size_t runs = 5;
+  std::size_t rows = 4096;  ///< candidate rows scored per pass
+  std::size_t reps = 32;    ///< passes per timed run
+  std::string out_path = "BENCH_kernels.json";
+  std::vector<std::size_t> widths = {8, 32, 129};  ///< words per row (129 = ragged tail)
+
+  static KernelBenchConfig parse(int argc, char** argv) {
+    KernelBenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.runs = 2;
+        config.rows = 1024;
+        config.reps = 8;
+        config.widths = {8, 33};
+      } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+        config.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+        config.rows = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--runs N] [--rows N] [--out F]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// The verify stage's batch granularity (core/methods/method_common.hpp).
+constexpr std::size_t kBlock = 256;
+
+/// Random packed matrix: rows * words uint64 words, dense layout.
+std::vector<std::uint64_t> random_words(std::size_t rows, std::size_t words,
+                                        std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> data(rows * words);
+  for (std::uint64_t& word : data) word = rng();
+  return data;
+}
+
+enum class Op { kHamming, kHammingBounded, kIntersection };
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kHamming: return "hamming";
+    case Op::kHammingBounded: return "hamming_bounded";
+    case Op::kIntersection: return "intersection";
+  }
+  return "?";
+}
+
+/// One pass, single-pair loop: score the query against every row through the
+/// one-pair function pointers — the shape the verify stage had before
+/// batching. Returns a checksum so the loop cannot be optimized away.
+std::size_t pass_single(const kernels::KernelOps& ops, Op op, const std::uint64_t* q,
+                        const std::uint64_t* rows, std::size_t n_rows, std::size_t words,
+                        std::size_t limit) {
+  std::size_t sum = 0;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::uint64_t* row = rows + r * words;
+    switch (op) {
+      case Op::kHamming: sum += ops.hamming(q, row, words); break;
+      case Op::kHammingBounded: sum += ops.hamming_bounded(q, row, words, limit); break;
+      case Op::kIntersection: sum += ops.intersection(q, row, words); break;
+    }
+  }
+  return sum;
+}
+
+/// One pass, batched: score the query against every row in kBlock-row tiles
+/// through the block entry points — the shape the verify stage runs now.
+std::size_t pass_block(const kernels::KernelOps& ops, Op op, const std::uint64_t* q,
+                       const std::uint64_t* rows, std::size_t n_rows, std::size_t words,
+                       std::size_t limit, std::size_t* scratch) {
+  std::size_t sum = 0;
+  for (std::size_t first = 0; first < n_rows; first += kBlock) {
+    const std::size_t count = std::min(kBlock, n_rows - first);
+    const std::uint64_t* tile = rows + first * words;
+    switch (op) {
+      case Op::kHamming: ops.hamming_block(q, tile, words, count, words, scratch); break;
+      case Op::kHammingBounded:
+        ops.hamming_bounded_block(q, tile, words, count, words, limit, scratch);
+        break;
+      case Op::kIntersection:
+        ops.intersection_block(q, tile, words, count, words, scratch);
+        break;
+    }
+    for (std::size_t k = 0; k < count; ++k) sum += scratch[k];
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KernelBenchConfig config = KernelBenchConfig::parse(argc, argv);
+
+  std::vector<kernels::KernelIsa> targets{kernels::KernelIsa::kScalar};
+  for (kernels::KernelIsa isa : {kernels::KernelIsa::kAvx2, kernels::KernelIsa::kAvx512,
+                                 kernels::KernelIsa::kNeon}) {
+    if (kernels::isa_supported(isa)) targets.push_back(isa);
+  }
+
+  const std::string capability = kernels::capability_string();
+  std::printf("=== kernel bench: batched dispatch vs scalar single-pair ===\n");
+  std::printf("capability: %s  (active: %s)\n", capability.c_str(),
+              std::string(kernels::to_string(kernels::active_isa())).c_str());
+  std::printf("rows=%zu reps=%zu runs=%zu -> %s\n\n", config.rows, config.reps, config.runs,
+              config.out_path.c_str());
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("kernels");
+  w.key("capability");
+  w.value(capability);
+  w.key("rows");
+  w.value(static_cast<std::uint64_t>(config.rows));
+  w.key("reps");
+  w.value(static_cast<std::uint64_t>(config.reps));
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(config.runs));
+  w.key("block");
+  w.value(static_cast<std::uint64_t>(kBlock));
+  w.key("results");
+  w.begin_array();
+
+  volatile std::size_t sink = 0;  // keeps checksums alive
+  bool any_block_speedup = false;
+  const kernels::KernelOps& scalar = kernels::scalar_ops();
+
+  for (std::size_t words : config.widths) {
+    const std::vector<std::uint64_t> matrix =
+        random_words(config.rows, words, 0xBE7C * words + 11);
+    const std::vector<std::uint64_t> query = random_words(1, words, 0x9D * words + 5);
+    // A mid-range limit: roughly half the expected distance, so the bounded
+    // kernels exercise both the early exit and full scans.
+    const std::size_t limit = words * 64 / 4;
+    std::vector<std::size_t> scratch(kBlock);
+
+    std::printf("-- %zu words/row (%zu bits) --\n", words, words * 64);
+    std::printf("%-8s %-16s %14s %14s %9s\n", "target", "op", "single", "block",
+                "x scalar");
+
+    // The regression baseline: scalar ops through the single-pair loop.
+    std::vector<double> scalar_single_s(3, 0.0);
+    for (Op op : {Op::kHamming, Op::kHammingBounded, Op::kIntersection}) {
+      const util::RunStats stats = util::time_runs(config.runs, [&](std::size_t) {
+        for (std::size_t rep = 0; rep < config.reps; ++rep)
+          sink = sink + pass_single(scalar, op, query.data(), matrix.data(), config.rows,
+                                    words, limit);
+      });
+      scalar_single_s[static_cast<std::size_t>(op)] = stats.mean_s;
+    }
+
+    for (kernels::KernelIsa isa : targets) {
+      const kernels::KernelOps& ops = kernels::ops_for(isa);
+      for (Op op : {Op::kHamming, Op::kHammingBounded, Op::kIntersection}) {
+        const util::RunStats single = util::time_runs(config.runs, [&](std::size_t) {
+          for (std::size_t rep = 0; rep < config.reps; ++rep)
+            sink = sink + pass_single(ops, op, query.data(), matrix.data(), config.rows,
+                                      words, limit);
+        });
+        const util::RunStats block = util::time_runs(config.runs, [&](std::size_t) {
+          for (std::size_t rep = 0; rep < config.reps; ++rep)
+            sink = sink + pass_block(ops, op, query.data(), matrix.data(), config.rows,
+                                     words, limit, scratch.data());
+        });
+        const double pairs =
+            static_cast<double>(config.rows) * static_cast<double>(config.reps);
+        const double baseline = scalar_single_s[static_cast<std::size_t>(op)];
+        const double speedup = block.mean_s > 0.0 ? baseline / block.mean_s : 0.0;
+        if (isa != kernels::KernelIsa::kScalar && speedup > 1.0) any_block_speedup = true;
+
+        w.begin_object();
+        w.key("target");
+        w.value(kernels::to_string(isa));
+        w.key("op");
+        w.value(to_string(op));
+        w.key("words");
+        w.value(static_cast<std::uint64_t>(words));
+        w.key("single_seconds");
+        w.value(single.mean_s);
+        w.key("block_seconds");
+        w.value(block.mean_s);
+        w.key("mpairs_per_s_single");
+        w.value(single.mean_s > 0.0 ? pairs / single.mean_s / 1e6 : 0.0);
+        w.key("mpairs_per_s_block");
+        w.value(block.mean_s > 0.0 ? pairs / block.mean_s / 1e6 : 0.0);
+        w.key("speedup_vs_scalar_single");
+        w.value(speedup);
+        w.end_object();
+
+        std::printf("%-8s %-16s %11.1f Mp/s %11.1f Mp/s %8.2fx\n",
+                    std::string(kernels::to_string(isa)).c_str(), to_string(op),
+                    single.mean_s > 0.0 ? pairs / single.mean_s / 1e6 : 0.0,
+                    block.mean_s > 0.0 ? pairs / block.mean_s / 1e6 : 0.0, speedup);
+        std::fflush(stdout);
+      }
+    }
+    std::printf("\n");
+  }
+
+  w.end_array();
+  w.key("batched_dispatch_beats_scalar_single");
+  w.value(any_block_speedup);
+  w.end_object();
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("batched dispatched kernel beats scalar single-pair: %s\n",
+              any_block_speedup ? "yes" : "no (see capability above)");
+  std::printf("wrote %s\n", config.out_path.c_str());
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/framework.hpp"
@@ -35,7 +36,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--paper-scale") == 0) {
       paper_scale = true;
     } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      threshold = static_cast<std::size_t>(std::stoul(argv[++i]));
+      try {
+        std::size_t pos = 0;
+        threshold = static_cast<std::size_t>(std::stoull(argv[++i], &pos));
+        if (pos != std::strlen(argv[i]) || argv[i][0] == '-') throw std::invalid_argument("");
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --threshold '%s': expected a non-negative integer\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--save-csv") == 0 && i + 1 < argc) {

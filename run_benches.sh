@@ -48,4 +48,11 @@ echo "############ bench_churn (threads=$threads) ############" >> "$out"
 ./build/bench/bench_churn --quick --threads "$threads" --out /root/repo/BENCH_churn.json \
   >> "$out" 2>&1
 echo "" >> "$out"
+# SIMD kernel dispatch: batched verify kernels vs scalar single-pair, per
+# dispatch target the host supports. BENCH_kernels.json is the fifth JSON
+# artifact CI archives per commit; its "capability" field says which ISAs
+# this run could actually exercise.
+echo "############ bench_kernels ############" >> "$out"
+./build/bench/bench_kernels --out /root/repo/BENCH_kernels.json >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

@@ -20,6 +20,7 @@
 #include "io/journal.hpp"
 #include "io/json_writer.hpp"
 #include "io/report_csv.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "store/engine_store.hpp"
 #include "util/timer.hpp"
 
@@ -88,6 +89,11 @@ double parse_double(const std::string& text, const std::string& what) {
     std::size_t pos = 0;
     const double value = std::stod(text, &pos);
     if (pos != text.size()) throw std::invalid_argument(text);
+    // stod happily parses "nan" and "inf" (and overflows to inf past
+    // DBL_MAX), which sail through range checks like `< 0.0 || > 1.0` —
+    // NaN compares false against everything. No numeric option here means
+    // anything non-finite, so reject it at the helper.
+    if (!std::isfinite(value)) throw std::invalid_argument(text);
     return value;
   } catch (const std::exception&) {
     throw UsageError("invalid " + what + ": '" + text + "'");
@@ -438,6 +444,10 @@ int cmd_version(std::ostream& out) {
   out << "rolediet " << core::kLibraryVersion << " (" << core::kBuildType << " build)\n";
   out << "store formats: snapshot v" << core::kSnapshotFormatVersion << ", wal v"
       << core::kWalFormatVersion << "\n";
+  // Hardware capability lives here and in BENCH_kernels.json — never in audit
+  // reports, which must stay byte-identical across dispatch targets.
+  out << "kernels: active " << linalg::kernels::to_string(linalg::kernels::active_isa())
+      << " (supported: " << linalg::kernels::capability_string() << ")\n";
   return 0;
 }
 
@@ -739,8 +749,16 @@ int cmd_help(std::ostream& out) {
          "  compare DIR    [--threshold N] [--threads N] [--backend B]\n"
          "                 run all detection methods side by side\n"
          "  convert IN OUT directory = CSV dataset, file = binary format\n"
-         "  version        library version + store format versions\n"
+         "  version        library version, store format versions, and the\n"
+         "                 active SIMD kernel target\n"
          "  help           this text\n\n"
+         "global options:\n"
+         "  --kernel auto|scalar|avx2|avx512|neon\n"
+         "                 force the SIMD dispatch target for batch verify\n"
+         "                 kernels (default: best the CPU supports, or the\n"
+         "                 ROLEDIET_KERNEL environment variable). Every\n"
+         "                 target computes identical results; this changes\n"
+         "                 throughput only.\n\n"
          "Datasets are directories of CSV files: entities.csv (kind,name),\n"
          "assignments.csv (role,user), grants.csv (role,permission).\n";
   return 0;
@@ -751,6 +769,22 @@ int cmd_help(std::ostream& out) {
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   try {
     Args cursor(args);
+    // Global flag, valid before or after the subcommand: forces the SIMD
+    // dispatch target for the whole process (ROLEDIET_KERNEL is the env
+    // equivalent; the flag wins because it is applied last). Every target
+    // computes identical integers, so this changes throughput, never output.
+    if (auto kernel = cursor.take_option("--kernel")) {
+      const auto isa = linalg::kernels::parse_kernel_isa(*kernel);
+      if (!isa)
+        throw UsageError("unknown --kernel '" + *kernel +
+                         "' (expected auto, scalar, avx2, avx512, or neon)");
+      try {
+        linalg::kernels::set_active_isa(*isa);
+      } catch (const std::invalid_argument&) {
+        throw UsageError("--kernel " + *kernel + " not supported on this CPU (supported: " +
+                         linalg::kernels::capability_string() + ")");
+      }
+    }
     if (cursor.done()) {
       cmd_help(out);
       return 2;

@@ -12,17 +12,24 @@ namespace rolediet::cluster {
 
 namespace {
 
+/// Rows scored per batched region-scan kernel call (see distance_bounded_block).
+constexpr std::size_t kRegionBlock = 256;
+
 /// Brute-force region query: all points within eps of `center` (inclusive),
 /// including `center` itself — matching the original paper's definition of
-/// the eps-neighborhood.
+/// the eps-neighborhood. Scans in contiguous blocks through the
+/// SIMD-dispatched batch kernel; the bounded contract keeps verdicts
+/// identical to the old pair-at-a-time loop on every backend and target.
 std::vector<std::size_t> region_query(const linalg::RowStore& points, std::size_t center,
                                       const DbscanParams& params) {
   std::vector<std::size_t> neighbors;
-  for (std::size_t j = 0; j < points.rows(); ++j) {
-    // Hamming queries early-exit past eps; only the "within eps" verdict
-    // matters, and it is identical on both backends.
-    const std::size_t d = distance_bounded(params.metric, points, center, j, params.eps);
-    if (d <= params.eps) neighbors.push_back(j);
+  std::size_t scores[kRegionBlock];
+  for (std::size_t first = 0; first < points.rows(); first += kRegionBlock) {
+    const std::size_t count = std::min(kRegionBlock, points.rows() - first);
+    distance_bounded_block(params.metric, points, center, first, count, params.eps, scores);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (scores[k] <= params.eps) neighbors.push_back(first + k);
+    }
   }
   return neighbors;
 }

@@ -47,6 +47,17 @@ int HnswIndex::draw_level() noexcept {
   return std::min(level, 48);
 }
 
+void HnswIndex::dist_to_gather(const QueryRef& q, std::span<const std::uint32_t> ids,
+                               std::size_t* out) const noexcept {
+  distance_evals_.fetch_add(ids.size(), std::memory_order_relaxed);
+  if (q.row >= 0) {
+    distance_gather(params_.metric, points_, static_cast<std::size_t>(q.row), ids, out);
+    return;
+  }
+  for (std::size_t k = 0; k < ids.size(); ++k)
+    out[k] = distance_to_packed(params_.metric, points_, q.packed, ids[k]);
+}
+
 Neighbor HnswIndex::greedy_step(const QueryRef& q, Neighbor entry, int layer) const {
   bool improved = true;
   while (improved) {
@@ -76,6 +87,13 @@ std::vector<Neighbor> HnswIndex::search_layer(const QueryRef& q, Neighbor entry,
   candidates.push(entry);
   results.push(entry);
 
+  // Per-expansion scratch: the unvisited neighbors of the current node are
+  // gathered and scored in one batched kernel pass, then folded into the
+  // heaps in the same order the per-link loop used — distances don't depend
+  // on heap state, so the search trajectory is unchanged.
+  std::vector<std::uint32_t> batch_ids;
+  std::vector<std::size_t> batch_dist;
+
   while (!candidates.empty()) {
     const Neighbor current = candidates.top();
     candidates.pop();
@@ -83,10 +101,18 @@ std::vector<Neighbor> HnswIndex::search_layer(const QueryRef& q, Neighbor entry,
 
     const auto& links = nodes_[static_cast<std::size_t>(slot_of_id_[current.id])]
                             .links[static_cast<std::size_t>(layer)];
+    batch_ids.clear();
     for (std::uint32_t nb_slot : links) {
       const std::size_t nb_id = nodes_[nb_slot].id;
       if (!visited.insert(nb_id).second) continue;
-      const std::size_t d = dist_to(q, nb_id);
+      batch_ids.push_back(static_cast<std::uint32_t>(nb_id));
+    }
+    if (batch_ids.empty()) continue;
+    batch_dist.resize(batch_ids.size());
+    dist_to_gather(q, batch_ids, batch_dist.data());
+    for (std::size_t k = 0; k < batch_ids.size(); ++k) {
+      const std::size_t nb_id = batch_ids[k];
+      const std::size_t d = batch_dist[k];
       if (results.size() < ef || d < results.top().dist) {
         candidates.push({nb_id, d});
         results.push({nb_id, d});

@@ -192,6 +192,12 @@ class HnswIndex {
     return distance_to_packed(params_.metric, points_, q.packed, b);
   }
 
+  /// Batched dist_to over a gathered id list: out[k] = dist_to(q, ids[k]),
+  /// scored through the SIMD-dispatched gather kernels for row queries
+  /// (identical integers, one distance_evals bump per id).
+  void dist_to_gather(const QueryRef& q, std::span<const std::uint32_t> ids,
+                      std::size_t* out) const noexcept;
+
   /// Greedy descent at one layer from `entry`, moving to any strictly closer
   /// neighbor until a local minimum (Alg. 2 specialized to ef = 1).
   [[nodiscard]] Neighbor greedy_step(const QueryRef& q, Neighbor entry, int layer) const;

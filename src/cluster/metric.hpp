@@ -85,9 +85,11 @@ inline constexpr std::size_t kJaccardScale = 1'000'000;
   return 0;  // unreachable
 }
 
-/// Threshold variant: for Hamming/Manhattan, may return any value > `limit`
-/// once the running distance exceeds it (early exit); Jaccard has no cheap
-/// running bound and computes the exact distance.
+/// BOUNDED threshold variant — the result is only comparable against
+/// `limit`. For Hamming/Manhattan the kernel early-exits and returns exactly
+/// `limit + 1` once the running distance exceeds the limit (the
+/// RowStore::hamming_bounded contract); Jaccard has no cheap running bound
+/// and computes the exact distance.
 [[nodiscard]] inline std::size_t distance_bounded(MetricKind kind, const linalg::RowStore& rows,
                                                   std::size_t a, std::size_t b,
                                                   std::size_t limit) noexcept {
@@ -100,6 +102,71 @@ inline constexpr std::size_t kJaccardScale = 1'000'000;
                                         rows.intersection(a, b));
   }
   return 0;  // unreachable
+}
+
+/// Batched distance_bounded over the contiguous rows [first, first + count):
+/// out[k] = distance_bounded(kind, rows, a, first + k, limit), computed via
+/// the SIMD-dispatched block kernels on the dense backend. Same bounded
+/// contract (Hamming results past `limit` come back as limit + 1), same
+/// integers as count single-pair calls on every backend and dispatch target.
+inline void distance_bounded_block(MetricKind kind, const linalg::RowStore& rows, std::size_t a,
+                                   std::size_t first, std::size_t count, std::size_t limit,
+                                   std::size_t* out) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      rows.hamming_bounded_block(a, first, count, limit, out);
+      return;
+    case MetricKind::kJaccard: {
+      // Jaccard derives from the batched co-occurrence counts; the division
+      // is the same integer formula as the single-pair path.
+      rows.intersection_block(a, first, count, out);
+      const std::size_t na = rows.row_size(a);
+      for (std::size_t k = 0; k < count; ++k)
+        out[k] = jaccard_scaled_from_counts(na, rows.row_size(first + k), out[k]);
+      return;
+    }
+  }
+}
+
+/// Batched distance_bounded over a gathered index list: out[k] =
+/// distance_bounded(kind, rows, a, idx[k], limit), same bounded contract.
+inline void distance_bounded_gather(MetricKind kind, const linalg::RowStore& rows, std::size_t a,
+                                    std::span<const std::uint32_t> idx, std::size_t limit,
+                                    std::size_t* out) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      rows.hamming_bounded_gather(a, idx, limit, out);
+      return;
+    case MetricKind::kJaccard: {
+      rows.intersection_gather(a, idx, out);
+      const std::size_t na = rows.row_size(a);
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        out[k] = jaccard_scaled_from_counts(na, rows.row_size(idx[k]), out[k]);
+      return;
+    }
+  }
+}
+
+/// Batched distance over a gathered index list: out[k] = distance(kind,
+/// rows, a, idx[k]). Amortizes the kernel dispatch-table fetch over the
+/// list; identical integers to idx.size() single-pair calls.
+inline void distance_gather(MetricKind kind, const linalg::RowStore& rows, std::size_t a,
+                            std::span<const std::uint32_t> idx, std::size_t* out) noexcept {
+  switch (kind) {
+    case MetricKind::kHamming:
+    case MetricKind::kManhattan:
+      rows.hamming_gather(a, idx, out);
+      return;
+    case MetricKind::kJaccard: {
+      rows.intersection_gather(a, idx, out);
+      const std::size_t na = rows.row_size(a);
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        out[k] = jaccard_scaled_from_counts(na, rows.row_size(idx[k]), out[k]);
+      return;
+    }
+  }
 }
 
 /// Distance from a packed query vector (util::words_for_bits(rows.cols())

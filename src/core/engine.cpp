@@ -390,13 +390,16 @@ RoleGroups AuditEngine::delta_similar(Axis& axis, const linalg::CsrMatrix& matri
     outcome = methods::pair_pipeline(
         dirty.size(), matrix.rows(), options_.threads, /*grain=*/1, ctx,
         [&] {
-          return [&](std::size_t d_slot, auto&& emit) {
+          // Candidates are gathered per dirty row and scored in one batched
+          // intersection pass (same integers as per-pair calls).
+          return [&, cand = std::vector<std::uint32_t>(),
+                  g = std::vector<std::size_t>()](std::size_t d_slot, auto&& emit) mutable {
             const std::size_t d = dirty[d_slot];
             const std::size_t d_norm = store.row_size(d);
             if (d_norm == 0) return;
+            cand.clear();
             for (std::uint32_t j : index.partners(d)) {
-              if (!emits_pair(d, j)) continue;
-              emit(d, j, store.intersection(d, j));
+              if (emits_pair(d, j)) cand.push_back(j);
             }
             // Disjoint tiny pairs are invisible to LSH; the batch finder
             // covers them with a norm sweep, the frontier covers them here.
@@ -405,9 +408,12 @@ RoleGroups AuditEngine::delta_similar(Axis& axis, const linalg::CsrMatrix& matri
                 const std::size_t j_norm = store.row_size(j);
                 if (j == d || j_norm == 0 || j_norm >= thr) continue;
                 if (d_norm + j_norm > thr || !emits_pair(d, j)) continue;
-                emit(d, j, store.intersection(d, j));
+                cand.push_back(static_cast<std::uint32_t>(j));
               }
             }
+            g.resize(cand.size());
+            store.intersection_gather(d, cand, g.data());
+            for (std::size_t k = 0; k < cand.size(); ++k) emit(d, cand[k], g[k]);
           };
         },
         [&](std::size_t a, std::size_t b, std::size_t g) {
@@ -441,18 +447,23 @@ RoleGroups AuditEngine::delta_similar(Axis& axis, const linalg::CsrMatrix& matri
         dirty.size(), matrix.rows(), options_.threads, /*grain=*/1, ctx,
         [&] {
           // Per-worker dedupe stamps: each dirty row's candidates come from
-          // several column lists, but every (d, j) is evaluated once.
+          // several column lists, but every (d, j) is evaluated once. The
+          // deduped candidate list is scored in one batched bounded-distance
+          // pass (same integers as per-pair calls).
           return [&, seen = std::vector<std::size_t>(matrix.rows(), 0),
-                  stamp = std::size_t{0}](std::size_t d_slot, auto&& emit) mutable {
+                  stamp = std::size_t{0}, cand = std::vector<std::uint32_t>(),
+                  scores = std::vector<std::size_t>()](std::size_t d_slot,
+                                                       auto&& emit) mutable {
             const std::size_t d = dirty[d_slot];
             const std::size_t d_norm = store.row_size(d);
             if (d_norm == 0) return;
             ++stamp;
+            cand.clear();
             for (std::uint32_t c : matrix.row(d)) {
               for (std::uint32_t j : by_col[c]) {
                 if (j == d || seen[j] == stamp || !emits_pair(d, j)) continue;
                 seen[j] = stamp;
-                emit(d, j, cluster::distance_bounded(metric, store, d, j, thr));
+                cand.push_back(j);
               }
             }
             if (!jaccard_mode && d_norm < thr) {
@@ -460,9 +471,12 @@ RoleGroups AuditEngine::delta_similar(Axis& axis, const linalg::CsrMatrix& matri
                 if (j == d || seen[j] == stamp || !emits_pair(d, j)) continue;
                 if (d_norm + store.row_size(j) > thr) continue;
                 seen[j] = stamp;
-                emit(d, j, cluster::distance_bounded(metric, store, d, j, thr));
+                cand.push_back(j);
               }
             }
+            scores.resize(cand.size());
+            cluster::distance_bounded_gather(metric, store, d, cand, thr, scores.data());
+            for (std::size_t k = 0; k < cand.size(); ++k) emit(d, cand[k], scores[k]);
           };
         },
         [thr](std::size_t, std::size_t, std::size_t v) { return v <= thr; }, &fresh);

@@ -1,5 +1,8 @@
 #include "core/methods/exact.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "cluster/metric.hpp"
 #include "core/methods/method_common.hpp"
 
@@ -26,11 +29,21 @@ RoleGroups DbscanGroupFinder::run(const linalg::CsrMatrix& matrix, std::size_t e
   PairPipelineOutcome outcome = pair_pipeline(
       n, n, options_.threads, /*grain=*/64, ctx,
       [&] {
-        return [&store, metric, eps](std::size_t i, auto&& emit) {
-          for (std::size_t j = 0; j < store.rows(); ++j) {
-            // Hamming early-exits past eps; only the verdict matters, and it
-            // is identical on both backends.
-            emit(i, j, cluster::distance_bounded(metric, store, i, j, eps));
+        // Each region query scans the store in contiguous blocks through the
+        // SIMD-dispatched batch kernel: row i's words stay hot in registers
+        // across the block, many candidates are scored per memory pass, and
+        // the bounded contract (limit + 1 past eps) keeps the emitted
+        // integers identical to the old pair-at-a-time scan on every
+        // backend and dispatch target.
+        return [&store, metric, eps,
+                scores = std::vector<std::size_t>(kVerifyBlock)](std::size_t i,
+                                                                 auto&& emit) mutable {
+          const std::size_t rows = store.rows();
+          for (std::size_t first = 0; first < rows; first += kVerifyBlock) {
+            const std::size_t count = std::min(kVerifyBlock, rows - first);
+            cluster::distance_bounded_block(metric, store, i, first, count, eps,
+                                            scores.data());
+            for (std::size_t k = 0; k < count; ++k) emit(i, first + k, scores[k]);
           }
         };
       },

@@ -7,7 +7,12 @@
 //   1. candidate generation  — method-specific: brute-force region scans,
 //      HNSW range queries, LSH band buckets, inverted-index co-occurrence
 //      sweeps, digest buckets;
-//   2. exact verification    — a predicate over RowStore kernel integers.
+//   2. exact verification    — a predicate over RowStore kernel integers,
+//      fed in BATCHES: generators score a block of candidates per call into
+//      the SIMD-dispatched batch kernels (linalg/kernels — one query row
+//      register-tiled against many stored rows per memory pass) and then
+//      emit each scored pair. Every dispatch target computes identical
+//      integers, so batching changes throughput, never verdicts.
 //      Approximation only ever loses candidates, never verdicts, so every
 //      united pair is a true positive for every method;
 //   3. union-find grouping   — connected components of the verified pairs,
@@ -36,6 +41,12 @@
 #include "util/thread_pool.hpp"
 
 namespace rolediet::core::methods {
+
+/// Candidates scored per batched-verify kernel call. Large enough to
+/// amortize the dispatch-table fetch and keep the block kernels' register
+/// tiling fed; small enough that a block of scores stays L1-resident and
+/// cancellation latency stays at sub-millisecond granularity.
+inline constexpr std::size_t kVerifyBlock = 256;
 
 /// Indices of rows with at least one entry. Group finders operate on these
 /// only (empty roles are type-2 findings, see group_finder.hpp).

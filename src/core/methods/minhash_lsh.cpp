@@ -1,7 +1,9 @@
 #include "core/methods/minhash_lsh.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "cluster/metric.hpp"
 #include "core/methods/method_common.hpp"
@@ -23,16 +25,25 @@ PairPipelineOutcome MinHashGroupFinder::verified_candidates(const linalg::CsrMat
   const cluster::MinHashLsh index(store, options_.lsh, ctx);
   const std::vector<std::pair<std::size_t, std::size_t>> pairs = index.candidate_pairs();
 
-  // Stage 2 fans out over the candidate list. Candidate generation is
-  // approximate, membership is not: the verifier sees the exact intersection
-  // size, so there are no false merges.
+  // Stage 2 fans out over the candidate list in batches: each domain item is
+  // a block of gathered pairs scored in one intersection_pairs call (the
+  // dispatch-table fetch amortizes over the block), then emitted one by one.
+  // Candidate generation is approximate, membership is not: the verifier
+  // sees the exact intersection size, so there are no false merges.
   if (pair_sink_ != nullptr) pair_sink_->clear();
+  const std::size_t num_blocks = (pairs.size() + kVerifyBlock - 1) / kVerifyBlock;
   return pair_pipeline(
-      pairs.size(), matrix.rows(), options_.lsh.threads, /*grain=*/512, ctx,
+      num_blocks, matrix.rows(), options_.lsh.threads, /*grain=*/2, ctx,
       [&] {
-        return [&pairs, &store](std::size_t k, auto&& emit) {
-          const auto& [a, b] = pairs[k];
-          emit(a, b, store.intersection(a, b));
+        return [&pairs, &store, g = std::vector<std::size_t>(kVerifyBlock)](
+                   std::size_t blk, auto&& emit) mutable {
+          const std::size_t first = blk * kVerifyBlock;
+          const std::size_t count = std::min(kVerifyBlock, pairs.size() - first);
+          store.intersection_pairs(std::span(pairs).subspan(first, count), g.data());
+          for (std::size_t k = 0; k < count; ++k) {
+            const auto& [a, b] = pairs[first + k];
+            emit(a, b, g[k]);
+          }
         };
       },
       keep, pair_sink_);

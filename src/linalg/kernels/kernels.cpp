@@ -1,0 +1,242 @@
+// Scalar reference kernels + runtime dispatch for the kernel layer.
+//
+// The scalar table is the portable contract: every other target must compute
+// the same integers (kernels.hpp). Dispatch resolves once, at first use, and
+// is overridable for testing via ROLEDIET_KERNEL / set_active_isa().
+#include "linalg/kernels/kernels.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rolediet::linalg::kernels {
+
+namespace {
+
+// ---- Scalar reference implementations (bit-for-bit util/bitops.hpp) -------
+
+std::size_t scalar_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i]));
+  return total;
+}
+
+std::size_t scalar_hamming(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+std::size_t scalar_hamming_bounded(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                                   std::size_t limit) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+    if (total > limit) return limit + 1;  // normalized over-limit return
+  }
+  return total;
+}
+
+std::size_t scalar_intersection(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+bool scalar_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+void scalar_hamming_block(const std::uint64_t* q, const std::uint64_t* rows, std::size_t stride,
+                          std::size_t count, std::size_t n, std::size_t* out) {
+  for (std::size_t r = 0; r < count; ++r) out[r] = scalar_hamming(q, rows + r * stride, n);
+}
+
+void scalar_hamming_bounded_block(const std::uint64_t* q, const std::uint64_t* rows,
+                                  std::size_t stride, std::size_t count, std::size_t n,
+                                  std::size_t limit, std::size_t* out) {
+  for (std::size_t r = 0; r < count; ++r)
+    out[r] = scalar_hamming_bounded(q, rows + r * stride, n, limit);
+}
+
+void scalar_intersection_block(const std::uint64_t* q, const std::uint64_t* rows,
+                               std::size_t stride, std::size_t count, std::size_t n,
+                               std::size_t* out) {
+  for (std::size_t r = 0; r < count; ++r) out[r] = scalar_intersection(q, rows + r * stride, n);
+}
+
+constexpr KernelOps kScalarOps = {
+    .popcount = scalar_popcount,
+    .hamming = scalar_hamming,
+    .hamming_bounded = scalar_hamming_bounded,
+    .intersection = scalar_intersection,
+    .equal = scalar_equal,
+    .hamming_block = scalar_hamming_block,
+    .hamming_bounded_block = scalar_hamming_bounded_block,
+    .intersection_block = scalar_intersection_block,
+};
+
+}  // namespace
+
+const KernelOps& scalar_ops() noexcept { return kScalarOps; }
+
+// Tables compiled in separate TUs with per-file -m flags; only referenced
+// when the matching macro is on, and only called after runtime detection.
+#if defined(ROLEDIET_KERNELS_AVX2)
+const KernelOps& avx2_ops() noexcept;  // kernels_avx2.cpp
+#endif
+#if defined(ROLEDIET_KERNELS_AVX512)
+const KernelOps& avx512_ops() noexcept;  // kernels_avx512.cpp
+#endif
+#if defined(ROLEDIET_KERNELS_NEON)
+const KernelOps& neon_ops() noexcept;  // kernels_neon.cpp
+#endif
+
+std::string_view to_string(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kAuto: return "auto";
+    case KernelIsa::kScalar: return "scalar";
+    case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx512: return "avx512";
+    case KernelIsa::kNeon: return "neon";
+  }
+  return "?";
+}
+
+std::optional<KernelIsa> parse_kernel_isa(std::string_view name) noexcept {
+  if (name == "auto") return KernelIsa::kAuto;
+  if (name == "scalar") return KernelIsa::kScalar;
+  if (name == "avx2") return KernelIsa::kAvx2;
+  if (name == "avx512") return KernelIsa::kAvx512;
+  if (name == "neon") return KernelIsa::kNeon;
+  return std::nullopt;
+}
+
+bool isa_supported(KernelIsa isa) noexcept {
+  switch (isa) {
+    case KernelIsa::kAuto:
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+#if defined(ROLEDIET_KERNELS_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case KernelIsa::kAvx512:
+#if defined(ROLEDIET_KERNELS_AVX512)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+      return false;
+#endif
+    case KernelIsa::kNeon:
+#if defined(ROLEDIET_KERNELS_NEON)
+      return true;  // NEON is baseline on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelIsa detect_isa() noexcept {
+  if (isa_supported(KernelIsa::kAvx512)) return KernelIsa::kAvx512;
+  if (isa_supported(KernelIsa::kAvx2)) return KernelIsa::kAvx2;
+  if (isa_supported(KernelIsa::kNeon)) return KernelIsa::kNeon;
+  return KernelIsa::kScalar;
+}
+
+std::string capability_string() {
+  std::string caps = "scalar";
+  for (KernelIsa isa : {KernelIsa::kNeon, KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+    if (isa_supported(isa)) {
+      caps += ',';
+      caps += to_string(isa);
+    }
+  }
+  return caps;
+}
+
+const KernelOps& ops_for(KernelIsa isa) noexcept {
+  switch (isa) {
+#if defined(ROLEDIET_KERNELS_AVX2)
+    case KernelIsa::kAvx2:
+      return avx2_ops();
+#endif
+#if defined(ROLEDIET_KERNELS_AVX512)
+    case KernelIsa::kAvx512:
+      return avx512_ops();
+#endif
+#if defined(ROLEDIET_KERNELS_NEON)
+    case KernelIsa::kNeon:
+      return neon_ops();
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+namespace {
+
+/// Resolves the startup default: ROLEDIET_KERNEL when runnable, else
+/// detection. Never fails — a bad env value is a warning, not an abort, so a
+/// pinned CI job can export one value across heterogeneous hosts.
+KernelIsa resolve_default_isa() noexcept {
+  if (const char* env = std::getenv("ROLEDIET_KERNEL"); env != nullptr && env[0] != '\0') {
+    const std::optional<KernelIsa> requested = parse_kernel_isa(env);
+    if (!requested.has_value()) {
+      std::fprintf(stderr,
+                   "rolediet: ignoring unknown ROLEDIET_KERNEL='%s' "
+                   "(expected auto, scalar, avx2, avx512, or neon)\n",
+                   env);
+    } else if (*requested != KernelIsa::kAuto && !isa_supported(*requested)) {
+      std::fprintf(stderr,
+                   "rolediet: ROLEDIET_KERNEL='%s' is not runnable on this host "
+                   "(capabilities: %s); falling back to auto-detection\n",
+                   env, capability_string().c_str());
+    } else if (*requested != KernelIsa::kAuto) {
+      return *requested;
+    }
+  }
+  return detect_isa();
+}
+
+/// The resolved active target. kAuto doubles as "not yet resolved"; the
+/// first reader resolves it. Identical-integers makes the benign race here
+/// harmless: two resolvers compute the same value.
+std::atomic<KernelIsa> g_active_isa{KernelIsa::kAuto};
+
+}  // namespace
+
+KernelIsa active_isa() noexcept {
+  KernelIsa isa = g_active_isa.load(std::memory_order_acquire);
+  if (isa == KernelIsa::kAuto) {
+    isa = resolve_default_isa();
+    g_active_isa.store(isa, std::memory_order_release);
+  }
+  return isa;
+}
+
+const KernelOps& active() noexcept { return ops_for(active_isa()); }
+
+void set_active_isa(KernelIsa isa) {
+  if (isa == KernelIsa::kAuto) {
+    g_active_isa.store(resolve_default_isa(), std::memory_order_release);
+    return;
+  }
+  if (!isa_supported(isa)) {
+    throw std::invalid_argument("kernel target '" + std::string(to_string(isa)) +
+                                "' is not runnable on this host (capabilities: " +
+                                capability_string() + ")");
+  }
+  g_active_isa.store(isa, std::memory_order_release);
+}
+
+}  // namespace rolediet::linalg::kernels

@@ -1,0 +1,141 @@
+// SIMD-dispatched batch verification kernels.
+//
+// Every detection method bottoms out in a handful of integer kernels over
+// packed 64-bit words (util/bitops.hpp): Hamming distance, bounded Hamming,
+// intersection (co-occurrence), equality, popcount. This layer provides the
+// same five operations — plus *batch* entry points that score one query row
+// against a whole block of rows per memory pass — compiled for several
+// instruction sets and selected once at startup by runtime CPU detection:
+//
+//   scalar   portable fallback, bit-for-bit the util/bitops.hpp loops;
+//   avx2     256-bit XOR/AND + Mula's vpshufb nibble-count popcount;
+//   avx512   512-bit lanes + the VPOPCNTDQ per-word popcount instruction;
+//   neon     128-bit lanes + vcnt byte counts (aarch64 builds only).
+//
+// The contract every target must honor: ALL dispatch targets compute
+// IDENTICAL INTEGERS for every operation on every input. Popcounts are exact
+// in any lane width, so this holds by construction for hamming /
+// intersection / equality / popcount; for the bounded kernel the over-limit
+// return is normalized to exactly `limit + 1` (see hamming_bounded below) so
+// even its raw values — not just its verdicts — agree across targets.
+// Groups, reports, and FinderWorkStats therefore stay byte-identical
+// whichever target runs; the differential suite pins every target available
+// on the host against the scalar reference.
+//
+// Batch shape (the way marian-lite blocks its batched integer GEMM): the
+// query row's words are streamed once per word-chunk and reused across a
+// register block of candidate rows, so scoring B rows costs one pass over
+// the block plus one hot-in-register query instead of B separate two-row
+// passes. Candidate rows must be consecutive (BitMatrix rows are contiguous
+// at a fixed word stride); gathered candidate lists go through the *_gather
+// wrappers in linalg/row_store.hpp, which amortize the dispatch lookup but
+// stream pairs one at a time.
+//
+// Selection: `active()` resolves once, at first use, to the best target the
+// CPU supports, overridable by the ROLEDIET_KERNEL environment variable or
+// the CLI `--kernel` flag (set_active_isa). Forcing a target the host cannot
+// run is an error, never a crash: set_active_isa throws, and an unsupported
+// env value falls back to auto-detection with a warning on stderr.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rolediet::linalg::kernels {
+
+/// Dispatch targets. kAuto is a request ("best supported"), never a resolved
+/// target: active_isa() always reports one of the four concrete ISAs.
+enum class KernelIsa {
+  kAuto,
+  kScalar,
+  kAvx2,
+  kAvx512,  ///< AVX-512F + VPOPCNTDQ
+  kNeon,
+};
+
+[[nodiscard]] std::string_view to_string(KernelIsa isa) noexcept;
+
+/// Parses "auto" / "scalar" / "avx2" / "avx512" / "neon"; nullopt otherwise.
+[[nodiscard]] std::optional<KernelIsa> parse_kernel_isa(std::string_view name) noexcept;
+
+/// One dispatch target's kernel table. All function pointers are non-null in
+/// every table; `n` is the word count of each span.
+struct KernelOps {
+  /// Total set bits across `a[0..n)`.
+  std::size_t (*popcount)(const std::uint64_t* a, std::size_t n);
+
+  /// Hamming distance (differing bits) between `a` and `b`.
+  std::size_t (*hamming)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+
+  /// Bounded Hamming distance. Contract (identical for every target): the
+  /// exact distance when it is <= `limit`, and exactly `limit + 1` when the
+  /// distance exceeds `limit` — the kernel may stop scanning as soon as the
+  /// running count passes the limit. Callers must only ever compare the
+  /// result against `limit`; it is NOT the true distance past the limit.
+  std::size_t (*hamming_bounded)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                                 std::size_t limit);
+
+  /// Bits set in both spans — the co-occurrence count g(Ri, Rj).
+  std::size_t (*intersection)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+
+  /// True when the spans are bit-for-bit identical.
+  bool (*equal)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+
+  // ---- Batch entry points: one query row vs a block of consecutive rows.
+  // Row r of the block starts at rows + r * stride (stride >= n words);
+  // out[r] receives the score of (q, row r).
+
+  /// out[r] = hamming(q, row r) for r in [0, count).
+  void (*hamming_block)(const std::uint64_t* q, const std::uint64_t* rows, std::size_t stride,
+                        std::size_t count, std::size_t n, std::size_t* out);
+
+  /// out[r] = bounded hamming(q, row r) under the hamming_bounded contract:
+  /// exact when <= limit, exactly limit + 1 otherwise.
+  void (*hamming_bounded_block)(const std::uint64_t* q, const std::uint64_t* rows,
+                                std::size_t stride, std::size_t count, std::size_t n,
+                                std::size_t limit, std::size_t* out);
+
+  /// out[r] = intersection(q, row r) for r in [0, count).
+  void (*intersection_block)(const std::uint64_t* q, const std::uint64_t* rows,
+                             std::size_t stride, std::size_t count, std::size_t n,
+                             std::size_t* out);
+};
+
+/// The portable reference table (bit-for-bit the util/bitops.hpp loops).
+[[nodiscard]] const KernelOps& scalar_ops() noexcept;
+
+/// True when this process can run `isa` (compiled in AND supported by the
+/// CPU). kAuto and kScalar are always supported.
+[[nodiscard]] bool isa_supported(KernelIsa isa) noexcept;
+
+/// Best target the host supports: avx512 > avx2 > neon > scalar.
+[[nodiscard]] KernelIsa detect_isa() noexcept;
+
+/// Comma-separated list of the targets this process can run, best last
+/// (e.g. "scalar,avx2,avx512") — lets a scalar-only host explain itself in
+/// bench output and reports.
+[[nodiscard]] std::string capability_string();
+
+/// Kernel table for a *supported* resolved target. Precondition:
+/// isa_supported(isa) && isa != kAuto.
+[[nodiscard]] const KernelOps& ops_for(KernelIsa isa) noexcept;
+
+/// The process-wide active target, resolved on first use: ROLEDIET_KERNEL if
+/// set to a runnable target (an unrunnable or unknown value warns on stderr
+/// and falls back), else detect_isa(). Never returns kAuto.
+[[nodiscard]] KernelIsa active_isa() noexcept;
+
+/// Kernel table of active_isa(). Fetch once per batch, not per pair.
+[[nodiscard]] const KernelOps& active() noexcept;
+
+/// Forces the active target (CLI --kernel, differential tests). kAuto
+/// re-resolves via env/detection. Throws std::invalid_argument when the host
+/// cannot run `isa`. Safe to call between audits; concurrent readers see
+/// either the old or the new table — both compute identical integers, so
+/// results are unaffected either way.
+void set_active_isa(KernelIsa isa);
+
+}  // namespace rolediet::linalg::kernels

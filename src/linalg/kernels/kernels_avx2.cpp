@@ -1,0 +1,209 @@
+// AVX2 kernel target: 256-bit XOR/AND with Mula's vpshufb nibble-count
+// popcount (AVX2 has no per-word popcount instruction). Compiled with -mavx2
+// for this file only; the dispatcher calls in here only after
+// __builtin_cpu_supports("avx2") says the host can run it.
+//
+// Identical-integers contract: the nibble-LUT popcount is an exact bit
+// count, and the bounded kernel normalizes its over-limit return to
+// limit + 1 exactly like the scalar reference, so every value leaving this
+// TU matches kernels.cpp bit for bit.
+#if defined(ROLEDIET_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace rolediet::linalg::kernels {
+
+namespace {
+
+/// Per-byte popcount of v via two 16-entry nibble lookups (Mula), then
+/// widened to four 64-bit lane sums with SAD against zero.
+inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                                          0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo), _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline std::size_t horizontal_sum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::size_t>(_mm_extract_epi64(sum, 1));
+}
+
+std::size_t avx2_popcount(const std::uint64_t* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, popcount_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i))));
+  }
+  std::size_t total = horizontal_sum(acc);
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i]));
+  return total;
+}
+
+std::size_t avx2_hamming(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_xor_si256(va, vb)));
+  }
+  std::size_t total = horizontal_sum(acc);
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+std::size_t avx2_hamming_bounded(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                                 std::size_t limit) {
+  // Early exit at 4-word chunk granularity; coarser than the scalar kernel's
+  // per-word check, but the normalized over-limit return (limit + 1) makes
+  // the result identical regardless of where the scan stops.
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    total += horizontal_sum(popcount_epi64(_mm256_xor_si256(va, vb)));
+    if (total > limit) return limit + 1;
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+    if (total > limit) return limit + 1;
+  }
+  return total;
+}
+
+std::size_t avx2_intersection(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_and_si256(va, vb)));
+  }
+  std::size_t total = horizontal_sum(acc);
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+bool avx2_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi64(va, vb)) != -1) return false;
+  }
+  for (; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+/// Register-blocked batch core: 4 candidate rows share every loaded query
+/// chunk, so the query streams once per chunk and the four accumulators live
+/// in registers across the whole word loop — GEMM-style tiling with rows as
+/// the register-blocked dimension.
+template <typename Combine, typename ScalarCombine>
+inline void block4(const std::uint64_t* q, const std::uint64_t* r0, const std::uint64_t* r1,
+                   const std::uint64_t* r2, const std::uint64_t* r3, std::size_t n,
+                   std::size_t* out, Combine&& combine, ScalarCombine&& scalar_combine) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vq = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+    acc0 = _mm256_add_epi64(
+        acc0, popcount_epi64(combine(
+                  vq, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + i)))));
+    acc1 = _mm256_add_epi64(
+        acc1, popcount_epi64(combine(
+                  vq, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r1 + i)))));
+    acc2 = _mm256_add_epi64(
+        acc2, popcount_epi64(combine(
+                  vq, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r2 + i)))));
+    acc3 = _mm256_add_epi64(
+        acc3, popcount_epi64(combine(
+                  vq, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r3 + i)))));
+  }
+  out[0] = horizontal_sum(acc0);
+  out[1] = horizontal_sum(acc1);
+  out[2] = horizontal_sum(acc2);
+  out[3] = horizontal_sum(acc3);
+  for (; i < n; ++i) {
+    out[0] += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r0[i])));
+    out[1] += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r1[i])));
+    out[2] += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r2[i])));
+    out[3] += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r3[i])));
+  }
+}
+
+void avx2_hamming_block(const std::uint64_t* q, const std::uint64_t* rows, std::size_t stride,
+                        std::size_t count, std::size_t n, std::size_t* out) {
+  std::size_t r = 0;
+  const auto xor_combine = [](__m256i x, __m256i y) { return _mm256_xor_si256(x, y); };
+  const auto xor_scalar = [](std::uint64_t x, std::uint64_t y) { return x ^ y; };
+  for (; r + 4 <= count; r += 4) {
+    const std::uint64_t* base = rows + r * stride;
+    block4(q, base, base + stride, base + 2 * stride, base + 3 * stride, n, out + r,
+           xor_combine, xor_scalar);
+  }
+  for (; r < count; ++r) out[r] = avx2_hamming(q, rows + r * stride, n);
+}
+
+void avx2_hamming_bounded_block(const std::uint64_t* q, const std::uint64_t* rows,
+                                std::size_t stride, std::size_t count, std::size_t n,
+                                std::size_t limit, std::size_t* out) {
+  // Bounded scoring early-exits per row, so rows are processed one at a time
+  // with the word-chunked bounded kernel (the query stays hot in cache across
+  // the whole block regardless).
+  for (std::size_t r = 0; r < count; ++r)
+    out[r] = avx2_hamming_bounded(q, rows + r * stride, n, limit);
+}
+
+void avx2_intersection_block(const std::uint64_t* q, const std::uint64_t* rows,
+                             std::size_t stride, std::size_t count, std::size_t n,
+                             std::size_t* out) {
+  std::size_t r = 0;
+  const auto and_combine = [](__m256i x, __m256i y) { return _mm256_and_si256(x, y); };
+  const auto and_scalar = [](std::uint64_t x, std::uint64_t y) { return x & y; };
+  for (; r + 4 <= count; r += 4) {
+    const std::uint64_t* base = rows + r * stride;
+    block4(q, base, base + stride, base + 2 * stride, base + 3 * stride, n, out + r,
+           and_combine, and_scalar);
+  }
+  for (; r < count; ++r) out[r] = avx2_intersection(q, rows + r * stride, n);
+}
+
+constexpr KernelOps kAvx2Ops = {
+    .popcount = avx2_popcount,
+    .hamming = avx2_hamming,
+    .hamming_bounded = avx2_hamming_bounded,
+    .intersection = avx2_intersection,
+    .equal = avx2_equal,
+    .hamming_block = avx2_hamming_block,
+    .hamming_bounded_block = avx2_hamming_bounded_block,
+    .intersection_block = avx2_intersection_block,
+};
+
+}  // namespace
+
+const KernelOps& avx2_ops() noexcept { return kAvx2Ops; }
+
+}  // namespace rolediet::linalg::kernels
+
+#endif  // ROLEDIET_KERNELS_AVX2

@@ -1,0 +1,202 @@
+// AVX-512 kernel target: 512-bit XOR/AND plus the VPOPCNTDQ per-word
+// popcount instruction — the widest path, one instruction per 8-word
+// popcount, masked loads for the tail so no scalar cleanup loop is needed.
+// Compiled with -mavx512f -mavx512vpopcntdq -mavx512bw for this file only;
+// dispatch requires both avx512f and avx512vpopcntdq at runtime.
+//
+// Identical-integers contract: VPOPCNTQ is an exact per-word popcount and the
+// bounded kernel normalizes its over-limit return to limit + 1, so every
+// value leaving this TU matches the scalar reference bit for bit.
+#if defined(ROLEDIET_KERNELS_AVX512)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace rolediet::linalg::kernels {
+
+namespace {
+
+/// Load mask covering the k < 8 tail words of a span.
+inline __mmask8 tail_load_mask(std::size_t k) {
+  return static_cast<__mmask8>((1u << k) - 1u);
+}
+
+std::size_t avx512_popcount(const std::uint64_t* a, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_load_mask(n - i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(m, a + i)));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+std::size_t avx512_hamming(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_load_mask(n - i);
+    const __m512i x = _mm512_xor_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+std::size_t avx512_hamming_bounded(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                                   std::size_t limit) {
+  // Early exit at 8-word chunk granularity; the normalized limit + 1 return
+  // makes the result identical to the scalar per-word early exit.
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    total += static_cast<std::size_t>(_mm512_reduce_add_epi64(_mm512_popcnt_epi64(x)));
+    if (total > limit) return limit + 1;
+  }
+  if (i < n) {
+    const __mmask8 m = tail_load_mask(n - i);
+    const __m512i x = _mm512_xor_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    total += static_cast<std::size_t>(_mm512_reduce_add_epi64(_mm512_popcnt_epi64(x)));
+    if (total > limit) return limit + 1;
+  }
+  return total;
+}
+
+std::size_t avx512_intersection(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_load_mask(n - i);
+    const __m512i x = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+bool avx512_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 eq =
+        _mm512_cmpeq_epi64_mask(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    if (eq != 0xff) return false;
+  }
+  if (i < n) {
+    const __mmask8 m = tail_load_mask(n - i);
+    const __mmask8 eq = _mm512_mask_cmpeq_epi64_mask(m, _mm512_maskz_loadu_epi64(m, a + i),
+                                                     _mm512_maskz_loadu_epi64(m, b + i));
+    if (eq != m) return false;
+  }
+  return true;
+}
+
+/// Register-blocked batch core: 4 candidate rows reuse each loaded query
+/// chunk, accumulators stay in zmm registers across the whole word loop.
+/// Masked tail loads fold the <8-word tail into the same vector path.
+template <typename Combine>
+inline void block4(const std::uint64_t* q, const std::uint64_t* r0, const std::uint64_t* r1,
+                   const std::uint64_t* r2, const std::uint64_t* r3, std::size_t n,
+                   std::size_t* out, Combine&& combine) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vq = _mm512_loadu_si512(q + i);
+    acc0 = _mm512_add_epi64(
+        acc0, _mm512_popcnt_epi64(combine(vq, _mm512_loadu_si512(r0 + i))));
+    acc1 = _mm512_add_epi64(
+        acc1, _mm512_popcnt_epi64(combine(vq, _mm512_loadu_si512(r1 + i))));
+    acc2 = _mm512_add_epi64(
+        acc2, _mm512_popcnt_epi64(combine(vq, _mm512_loadu_si512(r2 + i))));
+    acc3 = _mm512_add_epi64(
+        acc3, _mm512_popcnt_epi64(combine(vq, _mm512_loadu_si512(r3 + i))));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_load_mask(n - i);
+    const __m512i vq = _mm512_maskz_loadu_epi64(m, q + i);
+    acc0 = _mm512_add_epi64(
+        acc0, _mm512_popcnt_epi64(combine(vq, _mm512_maskz_loadu_epi64(m, r0 + i))));
+    acc1 = _mm512_add_epi64(
+        acc1, _mm512_popcnt_epi64(combine(vq, _mm512_maskz_loadu_epi64(m, r1 + i))));
+    acc2 = _mm512_add_epi64(
+        acc2, _mm512_popcnt_epi64(combine(vq, _mm512_maskz_loadu_epi64(m, r2 + i))));
+    acc3 = _mm512_add_epi64(
+        acc3, _mm512_popcnt_epi64(combine(vq, _mm512_maskz_loadu_epi64(m, r3 + i))));
+  }
+  out[0] = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc0));
+  out[1] = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc1));
+  out[2] = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc2));
+  out[3] = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc3));
+}
+
+void avx512_hamming_block(const std::uint64_t* q, const std::uint64_t* rows, std::size_t stride,
+                          std::size_t count, std::size_t n, std::size_t* out) {
+  std::size_t r = 0;
+  const auto xor_combine = [](__m512i x, __m512i y) { return _mm512_xor_si512(x, y); };
+  for (; r + 4 <= count; r += 4) {
+    const std::uint64_t* base = rows + r * stride;
+    block4(q, base, base + stride, base + 2 * stride, base + 3 * stride, n, out + r,
+           xor_combine);
+  }
+  for (; r < count; ++r) out[r] = avx512_hamming(q, rows + r * stride, n);
+}
+
+void avx512_hamming_bounded_block(const std::uint64_t* q, const std::uint64_t* rows,
+                                  std::size_t stride, std::size_t count, std::size_t n,
+                                  std::size_t limit, std::size_t* out) {
+  // Bounded scoring early-exits per row; rows go one at a time through the
+  // chunked bounded kernel with the query hot in cache across the block.
+  for (std::size_t r = 0; r < count; ++r)
+    out[r] = avx512_hamming_bounded(q, rows + r * stride, n, limit);
+}
+
+void avx512_intersection_block(const std::uint64_t* q, const std::uint64_t* rows,
+                               std::size_t stride, std::size_t count, std::size_t n,
+                               std::size_t* out) {
+  std::size_t r = 0;
+  const auto and_combine = [](__m512i x, __m512i y) { return _mm512_and_si512(x, y); };
+  for (; r + 4 <= count; r += 4) {
+    const std::uint64_t* base = rows + r * stride;
+    block4(q, base, base + stride, base + 2 * stride, base + 3 * stride, n, out + r,
+           and_combine);
+  }
+  for (; r < count; ++r) out[r] = avx512_intersection(q, rows + r * stride, n);
+}
+
+constexpr KernelOps kAvx512Ops = {
+    .popcount = avx512_popcount,
+    .hamming = avx512_hamming,
+    .hamming_bounded = avx512_hamming_bounded,
+    .intersection = avx512_intersection,
+    .equal = avx512_equal,
+    .hamming_block = avx512_hamming_block,
+    .hamming_bounded_block = avx512_hamming_bounded_block,
+    .intersection_block = avx512_intersection_block,
+};
+
+}  // namespace
+
+const KernelOps& avx512_ops() noexcept { return kAvx512Ops; }
+
+}  // namespace rolediet::linalg::kernels
+
+#endif  // ROLEDIET_KERNELS_AVX512

@@ -1,0 +1,158 @@
+// NEON kernel target (aarch64): 128-bit XOR/AND with vcnt byte counts
+// widened via paired-add to 64-bit lane sums. NEON is baseline on aarch64 so
+// no runtime feature check is needed — the macro alone gates compilation.
+//
+// Identical-integers contract: vcnt is an exact per-byte popcount and the
+// bounded kernel normalizes its over-limit return to limit + 1, so every
+// value leaving this TU matches the scalar reference bit for bit.
+#if defined(ROLEDIET_KERNELS_NEON)
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace rolediet::linalg::kernels {
+
+namespace {
+
+/// Popcount of both 64-bit lanes of v, summed.
+inline std::uint64_t popcount_u64x2(uint64x2_t v) {
+  const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+  return vaddvq_u8(bytes);  // sums 16 byte-counts (max 128) into one scalar
+}
+
+std::size_t neon_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) total += popcount_u64x2(vld1q_u64(a + i));
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i]));
+  return total;
+}
+
+std::size_t neon_hamming(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    total += popcount_u64x2(veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+std::size_t neon_hamming_bounded(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                                 std::size_t limit) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    total += popcount_u64x2(veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+    if (total > limit) return limit + 1;
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+    if (total > limit) return limit + 1;
+  }
+  return total;
+}
+
+std::size_t neon_intersection(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    total += popcount_u64x2(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  for (; i < n; ++i) total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return total;
+}
+
+bool neon_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    if ((vgetq_lane_u64(x, 0) | vgetq_lane_u64(x, 1)) != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+/// Register-blocked batch core: 4 candidate rows reuse each loaded query
+/// chunk; per-row byte-count accumulators stay in registers.
+template <typename Combine, typename ScalarCombine>
+inline void block4(const std::uint64_t* q, const std::uint64_t* r0, const std::uint64_t* r1,
+                   const std::uint64_t* r2, const std::uint64_t* r3, std::size_t n,
+                   std::size_t* out, Combine&& combine, ScalarCombine&& scalar_combine) {
+  std::size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t vq = vld1q_u64(q + i);
+    t0 += popcount_u64x2(combine(vq, vld1q_u64(r0 + i)));
+    t1 += popcount_u64x2(combine(vq, vld1q_u64(r1 + i)));
+    t2 += popcount_u64x2(combine(vq, vld1q_u64(r2 + i)));
+    t3 += popcount_u64x2(combine(vq, vld1q_u64(r3 + i)));
+  }
+  for (; i < n; ++i) {
+    t0 += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r0[i])));
+    t1 += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r1[i])));
+    t2 += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r2[i])));
+    t3 += static_cast<std::size_t>(std::popcount(scalar_combine(q[i], r3[i])));
+  }
+  out[0] = t0;
+  out[1] = t1;
+  out[2] = t2;
+  out[3] = t3;
+}
+
+void neon_hamming_block(const std::uint64_t* q, const std::uint64_t* rows, std::size_t stride,
+                        std::size_t count, std::size_t n, std::size_t* out) {
+  std::size_t r = 0;
+  const auto xor_combine = [](uint64x2_t x, uint64x2_t y) { return veorq_u64(x, y); };
+  const auto xor_scalar = [](std::uint64_t x, std::uint64_t y) { return x ^ y; };
+  for (; r + 4 <= count; r += 4) {
+    const std::uint64_t* base = rows + r * stride;
+    block4(q, base, base + stride, base + 2 * stride, base + 3 * stride, n, out + r,
+           xor_combine, xor_scalar);
+  }
+  for (; r < count; ++r) out[r] = neon_hamming(q, rows + r * stride, n);
+}
+
+void neon_hamming_bounded_block(const std::uint64_t* q, const std::uint64_t* rows,
+                                std::size_t stride, std::size_t count, std::size_t n,
+                                std::size_t limit, std::size_t* out) {
+  for (std::size_t r = 0; r < count; ++r)
+    out[r] = neon_hamming_bounded(q, rows + r * stride, n, limit);
+}
+
+void neon_intersection_block(const std::uint64_t* q, const std::uint64_t* rows,
+                             std::size_t stride, std::size_t count, std::size_t n,
+                             std::size_t* out) {
+  std::size_t r = 0;
+  const auto and_combine = [](uint64x2_t x, uint64x2_t y) { return vandq_u64(x, y); };
+  const auto and_scalar = [](std::uint64_t x, std::uint64_t y) { return x & y; };
+  for (; r + 4 <= count; r += 4) {
+    const std::uint64_t* base = rows + r * stride;
+    block4(q, base, base + stride, base + 2 * stride, base + 3 * stride, n, out + r,
+           and_combine, and_scalar);
+  }
+  for (; r < count; ++r) out[r] = neon_intersection(q, rows + r * stride, n);
+}
+
+constexpr KernelOps kNeonOps = {
+    .popcount = neon_popcount,
+    .hamming = neon_hamming,
+    .hamming_bounded = neon_hamming_bounded,
+    .intersection = neon_intersection,
+    .equal = neon_equal,
+    .hamming_block = neon_hamming_block,
+    .hamming_bounded_block = neon_hamming_bounded_block,
+    .intersection_block = neon_intersection_block,
+};
+
+}  // namespace
+
+const KernelOps& neon_ops() noexcept { return kNeonOps; }
+
+}  // namespace rolediet::linalg::kernels
+
+#endif  // ROLEDIET_KERNELS_NEON

@@ -1,6 +1,7 @@
 #include "linalg/row_store.hpp"
 
 #include "linalg/convert.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "util/prng.hpp"
 
 namespace rolediet::linalg {
@@ -30,7 +31,9 @@ std::size_t RowStore::hamming_bounded(std::size_t a, std::size_t b,
                                       std::size_t limit) const noexcept {
   if (sparse_ == nullptr) return dense_->row_hamming_bounded(a, b, limit);
   // Merge the two sorted index runs counting symmetric-difference entries;
-  // once the running count exceeds `limit` the exact value no longer matters.
+  // the over-limit return is normalized to limit + 1 (the bounded contract,
+  // util::hamming_words_bounded) so the raw values — not just the verdicts —
+  // match the dense backend and every kernel dispatch target.
   const auto ra = sparse_->row(a);
   const auto rb = sparse_->row(b);
   std::size_t diff = 0;
@@ -47,9 +50,102 @@ std::size_t RowStore::hamming_bounded(std::size_t a, std::size_t b,
       ++i;
       ++j;
     }
-    if (diff > limit) return diff;
+    if (diff > limit) return limit + 1;
   }
-  return diff + (ra.size() - i) + (rb.size() - j);
+  diff += (ra.size() - i) + (rb.size() - j);
+  return diff > limit ? limit + 1 : diff;
+}
+
+void RowStore::hamming_block(std::size_t q, std::size_t first, std::size_t count,
+                             std::size_t* out) const noexcept {
+  if (count == 0) return;
+  if (sparse_ == nullptr) {
+    // BitMatrix rows are contiguous at a fixed word stride, so the block is
+    // one slab the kernel can register-tile against the query.
+    const auto& ops = kernels::active();
+    ops.hamming_block(dense_->row(q).data(), dense_->row(first).data(),
+                      dense_->words_per_row(), count, dense_->words_per_row(), out);
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k) out[k] = sparse_->row_hamming(q, first + k);
+}
+
+void RowStore::hamming_bounded_block(std::size_t q, std::size_t first, std::size_t count,
+                                     std::size_t limit, std::size_t* out) const noexcept {
+  if (count == 0) return;
+  if (sparse_ == nullptr) {
+    const auto& ops = kernels::active();
+    ops.hamming_bounded_block(dense_->row(q).data(), dense_->row(first).data(),
+                              dense_->words_per_row(), count, dense_->words_per_row(), limit,
+                              out);
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k) out[k] = hamming_bounded(q, first + k, limit);
+}
+
+void RowStore::intersection_block(std::size_t q, std::size_t first, std::size_t count,
+                                  std::size_t* out) const noexcept {
+  if (count == 0) return;
+  if (sparse_ == nullptr) {
+    const auto& ops = kernels::active();
+    ops.intersection_block(dense_->row(q).data(), dense_->row(first).data(),
+                           dense_->words_per_row(), count, dense_->words_per_row(), out);
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k) out[k] = sparse_->row_intersection(q, first + k);
+}
+
+void RowStore::hamming_gather(std::size_t q, std::span<const std::uint32_t> idx,
+                              std::size_t* out) const noexcept {
+  if (sparse_ == nullptr) {
+    const auto& ops = kernels::active();
+    const auto qr = dense_->row(q);
+    const std::size_t n = dense_->words_per_row();
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      out[k] = ops.hamming(qr.data(), dense_->row(idx[k]).data(), n);
+    return;
+  }
+  for (std::size_t k = 0; k < idx.size(); ++k) out[k] = sparse_->row_hamming(q, idx[k]);
+}
+
+void RowStore::hamming_bounded_gather(std::size_t q, std::span<const std::uint32_t> idx,
+                                      std::size_t limit, std::size_t* out) const noexcept {
+  if (sparse_ == nullptr) {
+    const auto& ops = kernels::active();
+    const auto qr = dense_->row(q);
+    const std::size_t n = dense_->words_per_row();
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      out[k] = ops.hamming_bounded(qr.data(), dense_->row(idx[k]).data(), n, limit);
+    return;
+  }
+  for (std::size_t k = 0; k < idx.size(); ++k) out[k] = hamming_bounded(q, idx[k], limit);
+}
+
+void RowStore::intersection_gather(std::size_t q, std::span<const std::uint32_t> idx,
+                                   std::size_t* out) const noexcept {
+  if (sparse_ == nullptr) {
+    const auto& ops = kernels::active();
+    const auto qr = dense_->row(q);
+    const std::size_t n = dense_->words_per_row();
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      out[k] = ops.intersection(qr.data(), dense_->row(idx[k]).data(), n);
+    return;
+  }
+  for (std::size_t k = 0; k < idx.size(); ++k) out[k] = sparse_->row_intersection(q, idx[k]);
+}
+
+void RowStore::intersection_pairs(std::span<const std::pair<std::size_t, std::size_t>> pairs,
+                                  std::size_t* out) const noexcept {
+  if (sparse_ == nullptr) {
+    const auto& ops = kernels::active();
+    const std::size_t n = dense_->words_per_row();
+    for (std::size_t k = 0; k < pairs.size(); ++k)
+      out[k] = ops.intersection(dense_->row(pairs[k].first).data(),
+                                dense_->row(pairs[k].second).data(), n);
+    return;
+  }
+  for (std::size_t k = 0; k < pairs.size(); ++k)
+    out[k] = sparse_->row_intersection(pairs[k].first, pairs[k].second);
 }
 
 std::uint64_t RowStore::row_hash(std::size_t r) const noexcept {

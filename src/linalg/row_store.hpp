@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "linalg/bit_matrix.hpp"
 #include "linalg/csr_matrix.hpp"
@@ -84,9 +85,10 @@ class RowStore {
     return sparse_ != nullptr ? sparse_->row_hamming(a, b) : dense_->row_hamming(a, b);
   }
 
-  /// Hamming distance with early exit: returns a value > `limit` as soon as
-  /// the running distance exceeds it (same contract as
-  /// util::hamming_words_bounded — callers may only compare against `limit`).
+  /// BOUNDED Hamming distance (util::hamming_words_bounded contract): the
+  /// exact distance when <= `limit`, exactly `limit + 1` otherwise — callers
+  /// may only compare the result against `limit`. Both backends and every
+  /// kernel dispatch target return the same normalized values.
   [[nodiscard]] std::size_t hamming_bounded(std::size_t a, std::size_t b,
                                             std::size_t limit) const noexcept;
 
@@ -104,6 +106,47 @@ class RowStore {
   /// order). BitMatrix::row_hash folds packed words instead and would give a
   /// different digest, so RowStore deliberately does not delegate to it.
   [[nodiscard]] std::uint64_t row_hash(std::size_t r) const noexcept;
+
+  // ---- Batch entry points (SIMD-dispatched on the dense backend) ----------
+  //
+  // Score row q against many rows per call. On the dense backend these feed
+  // the active linalg/kernels dispatch target: block variants hand the
+  // kernel a contiguous [first, first + count) slab of packed rows so it can
+  // register-tile them against the query; gather variants amortize the
+  // dispatch-table lookup over an arbitrary index list. On the sparse
+  // backend they loop the merge kernels. All variants produce exactly the
+  // integers the corresponding single-pair kernel produces.
+
+  /// out[k] = hamming(q, first + k) for k in [0, count).
+  void hamming_block(std::size_t q, std::size_t first, std::size_t count,
+                     std::size_t* out) const noexcept;
+
+  /// out[k] = hamming_bounded(q, first + k, limit) for k in [0, count),
+  /// under the bounded contract (exact when <= limit, limit + 1 otherwise).
+  void hamming_bounded_block(std::size_t q, std::size_t first, std::size_t count,
+                             std::size_t limit, std::size_t* out) const noexcept;
+
+  /// out[k] = intersection(q, first + k) for k in [0, count).
+  void intersection_block(std::size_t q, std::size_t first, std::size_t count,
+                          std::size_t* out) const noexcept;
+
+  /// out[k] = hamming(q, idx[k]) for k in [0, idx.size()).
+  void hamming_gather(std::size_t q, std::span<const std::uint32_t> idx,
+                      std::size_t* out) const noexcept;
+
+  /// out[k] = hamming_bounded(q, idx[k], limit) for k in [0, idx.size()).
+  void hamming_bounded_gather(std::size_t q, std::span<const std::uint32_t> idx,
+                              std::size_t limit, std::size_t* out) const noexcept;
+
+  /// out[k] = intersection(q, idx[k]) for k in [0, idx.size()).
+  void intersection_gather(std::size_t q, std::span<const std::uint32_t> idx,
+                           std::size_t* out) const noexcept;
+
+  /// out[k] = intersection(pairs[k].first, pairs[k].second): the gathered
+  /// candidate-pair shape LSH verification produces, where both endpoints
+  /// vary per element.
+  void intersection_pairs(std::span<const std::pair<std::size_t, std::size_t>> pairs,
+                          std::size_t* out) const noexcept;
 
   /// Calls `fn(col)` for every set column of row r in ascending order.
   template <typename Fn>

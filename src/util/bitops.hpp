@@ -38,16 +38,22 @@ namespace rolediet::util {
   return total;
 }
 
-/// Hamming distance with early exit: returns a value > `limit` as soon as the
-/// running distance exceeds `limit`. Used by DBSCAN region queries where only
-/// "within eps" matters, not the exact distance.
+/// BOUNDED Hamming distance — the result is only comparable against `limit`,
+/// never a true distance past it. Contract: returns the exact distance when
+/// it is <= `limit`, and exactly `limit + 1` when the distance exceeds
+/// `limit` (the scan stops early as soon as the running count passes the
+/// limit). Normalizing the over-limit return — instead of leaking whatever
+/// partial sum the early exit happened to reach — keeps the raw values, not
+/// just the verdicts, identical across the scalar path, every SIMD dispatch
+/// target (linalg/kernels), and the sparse backend's merge loop. Used by
+/// DBSCAN region queries where only "within eps" matters.
 [[nodiscard]] inline std::size_t hamming_words_bounded(std::span<const std::uint64_t> a,
                                                        std::span<const std::uint64_t> b,
                                                        std::size_t limit) noexcept {
   std::size_t total = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-    if (total > limit) return total;
+    if (total > limit) return limit + 1;
   }
   return total;
 }

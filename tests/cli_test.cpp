@@ -9,6 +9,7 @@
 
 #include "cli/cli.hpp"
 #include "io/csv.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "test_helpers.hpp"
 
 namespace rolediet::cli {
@@ -110,6 +111,73 @@ TEST(Cli, AuditRejectsBadOptions) {
   EXPECT_EQ(run_cli({"audit", "--jaccard", "1.5", dir.path("data")}).code, 2);
   EXPECT_EQ(run_cli({"audit"}).code, 2);
   EXPECT_EQ(run_cli({"audit", dir.path("data"), "extra"}).code, 2);
+}
+
+TEST(Cli, NumericOptionsRejectOverflowAndNonFinite) {
+  // Regression: out-of-range integers used to escape std::stoull as an
+  // uncaught std::out_of_range (process abort), and "nan"/"inf" sailed
+  // through std::stod into range checks that NaN compares false against.
+  // All of these must exit 2 with a clean usage error instead.
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  const std::vector<std::vector<std::string>> bad = {
+      {"audit", "--threads", "99999999999999999999", dir.path("data")},
+      {"audit", "--threshold", "99999999999999999999", dir.path("data")},
+      {"audit", "--budget", "nan", dir.path("data")},
+      {"audit", "--budget", "inf", dir.path("data")},
+      {"audit", "--budget", "1e999", dir.path("data")},
+      {"audit", "--jaccard", "nan", dir.path("data")},
+      {"audit", "--jaccard", "-inf", dir.path("data")},
+      {"generate", "adversarial", "--jaccard", "nan", "similarity-wall", dir.path("adv")},
+  };
+  for (const auto& args : bad) {
+    const CliResult r = run_cli(args);
+    EXPECT_EQ(r.code, 2) << args[1] << " " << args[2];
+    EXPECT_NE(r.err.find("usage error"), std::string::npos) << args[1] << " " << args[2];
+  }
+}
+
+TEST(Cli, KernelFlagSelectsDispatchTarget) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+
+  // Forcing the always-available scalar target works with the flag before or
+  // after the subcommand, and the report is oblivious to the choice.
+  const CliResult before = run_cli({"--kernel", "scalar", "audit", dir.path("data")});
+  ASSERT_EQ(before.code, 0) << before.err;
+  EXPECT_NE(before.out.find("RBAC inefficiency audit"), std::string::npos);
+  EXPECT_EQ(before.out.find("scalar"), std::string::npos) << "report must not echo the kernel";
+
+  const CliResult after = run_cli({"audit", "--kernel", "scalar", dir.path("data")});
+  ASSERT_EQ(after.code, 0) << after.err;
+
+  const CliResult bogus = run_cli({"--kernel", "sse9", "audit", dir.path("data")});
+  EXPECT_EQ(bogus.code, 2);
+  EXPECT_NE(bogus.err.find("unknown --kernel"), std::string::npos);
+
+  // avx2 and neon are never both runnable, so at least one must be rejected
+  // with the capability list — on every host this test runs on.
+  std::size_t rejected = 0;
+  for (const char* isa : {"avx2", "neon"}) {
+    const CliResult r = run_cli({"--kernel", isa, "version"});
+    if (r.code == 2) {
+      ++rejected;
+      EXPECT_NE(r.err.find("not supported on this CPU"), std::string::npos) << isa;
+      EXPECT_NE(r.err.find("supported: scalar"), std::string::npos) << isa;
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+
+  // The flag mutates process-wide dispatch state; put detection back for the
+  // rest of the suite.
+  linalg::kernels::set_active_isa(linalg::kernels::KernelIsa::kAuto);
+}
+
+TEST(Cli, VersionReportsKernelCapability) {
+  const CliResult r = run_cli({"version"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("kernels: active "), std::string::npos);
+  EXPECT_NE(r.out.find("supported: scalar"), std::string::npos);
 }
 
 TEST(Cli, AuditMissingDatasetFails) {

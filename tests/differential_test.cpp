@@ -17,6 +17,7 @@
 #include "core/methods/exact.hpp"
 #include "core/methods/minhash_lsh.hpp"
 #include "gen/matrix_generator.hpp"
+#include "linalg/kernels/kernels.hpp"
 
 namespace rolediet {
 namespace {
@@ -255,6 +256,65 @@ TEST_P(Differential, JaccardAuditReportsIdenticalAcrossThreadCountsAndBackends) 
                        where + " similar-perms");
       }
     }
+  }
+}
+
+TEST_P(Differential, ReportsIdenticalAcrossKernelDispatchTargets) {
+  // The kernel-layer contract (linalg/kernels/kernels.hpp): every dispatch
+  // target — scalar, and whichever of avx2/avx512/neon this host supports —
+  // computes identical integers for all five kernel ops, so groups, reports,
+  // and FinderWorkStats are byte-identical whichever target the batched
+  // verify stage runs on, on either backend, at any thread count. The
+  // reference is the forced-scalar run: the target a host with no wide SIMD
+  // (or ROLEDIET_KERNEL=scalar, the CI leg) always resolves to.
+  namespace kernels = linalg::kernels;
+  std::vector<kernels::KernelIsa> targets{kernels::KernelIsa::kScalar};
+  for (kernels::KernelIsa isa : {kernels::KernelIsa::kAvx2, kernels::KernelIsa::kAvx512,
+                                 kernels::KernelIsa::kNeon}) {
+    if (kernels::isa_supported(isa)) targets.push_back(isa);
+  }
+
+  const std::uint64_t seed = GetParam() ^ 0x51D0u;
+  // seed + 5 keeps (seed % 5), so both matrices have the same role count.
+  const core::RbacDataset dataset = dataset_from(workload(seed), workload(seed + 5));
+  for (Method method : {Method::kExactDbscan, Method::kApproxHnsw, Method::kApproxMinhash,
+                        Method::kRoleDiet}) {
+    kernels::set_active_isa(kernels::KernelIsa::kScalar);
+    core::AuditOptions ref_opts;
+    ref_opts.method = method;
+    ref_opts.threads = 1;
+    ref_opts.backend = linalg::RowBackend::kDense;
+    const core::AuditReport reference = core::audit(dataset, ref_opts);
+    const std::string ref_text = text_without_timings(reference);
+
+    for (kernels::KernelIsa isa : targets) {
+      kernels::set_active_isa(isa);
+      for (linalg::RowBackend backend :
+           {linalg::RowBackend::kDense, linalg::RowBackend::kSparse}) {
+        for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+          core::AuditOptions opts;
+          opts.method = method;
+          opts.threads = threads;
+          opts.backend = backend;
+          const core::AuditReport report = core::audit(dataset, opts);
+          const std::string where = "method " + std::string(core::to_string(method)) +
+                                    ", kernel " + std::string(kernels::to_string(isa)) +
+                                    ", backend " + std::to_string(static_cast<int>(backend)) +
+                                    ", threads " + std::to_string(threads);
+
+          EXPECT_EQ(text_without_timings(report), ref_text) << where;
+          expect_work_eq(report.same_users_work, reference.same_users_work,
+                         where + " same-users");
+          expect_work_eq(report.same_permissions_work, reference.same_permissions_work,
+                         where + " same-perms");
+          expect_work_eq(report.similar_users_work, reference.similar_users_work,
+                         where + " similar-users");
+          expect_work_eq(report.similar_permissions_work, reference.similar_permissions_work,
+                         where + " similar-perms");
+        }
+      }
+    }
+    kernels::set_active_isa(kernels::KernelIsa::kAuto);  // restore detection
   }
 }
 

@@ -57,23 +57,21 @@ TEST(RowStoreParity, AllKernelsAgreeOnRandomMatrices) {
   }
 }
 
-TEST(RowStoreParity, BoundedHammingVerdictsAgree) {
-  // hamming_bounded may return any value > limit on early exit, so parity is
-  // on the *verdict* (<= limit) and on the exact value when within bounds.
+TEST(RowStoreParity, BoundedHammingValuesAgreeExactly) {
+  // The BOUNDED contract (util/bitops.hpp): the exact distance when it is
+  // <= limit, and exactly limit + 1 otherwise — on *both* backends, so the
+  // raw values (not just the <= limit verdicts) are interchangeable.
   const BothBackends m(random_matrix(7));
   const std::size_t n = m.sparse.rows();
   for (std::size_t limit : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{50}}) {
     for (std::size_t a = 0; a < n; ++a) {
       for (std::size_t b = a + 1; b < n; ++b) {
         const std::size_t exact = m.dense_view.hamming(a, b);
-        const std::size_t sp = m.sparse_view.hamming_bounded(a, b, limit);
-        const std::size_t de = m.dense_view.hamming_bounded(a, b, limit);
-        EXPECT_EQ(sp <= limit, exact <= limit) << "sparse verdict, limit " << limit;
-        EXPECT_EQ(de <= limit, exact <= limit) << "dense verdict, limit " << limit;
-        if (exact <= limit) {
-          EXPECT_EQ(sp, exact);
-          EXPECT_EQ(de, exact);
-        }
+        const std::size_t expected = exact <= limit ? exact : limit + 1;
+        EXPECT_EQ(m.sparse_view.hamming_bounded(a, b, limit), expected)
+            << "sparse, limit " << limit << ", rows " << a << "," << b;
+        EXPECT_EQ(m.dense_view.hamming_bounded(a, b, limit), expected)
+            << "dense, limit " << limit << ", rows " << a << "," << b;
       }
     }
   }
