@@ -29,6 +29,10 @@ struct BenchConfig {
   /// setup; 0 = all cores). Groups stay identical at every value, so the
   /// figures can be regenerated at 1/2/N threads and compared point-by-point.
   std::size_t threads = 1;
+  /// --shards: 0 = the paper's single-engine cells; N >= 1 re-times every
+  /// cell through the range-partitioned core::ShardedEngine instead (findings
+  /// identical for every method except approx-hnsw — see sweep_common.hpp).
+  std::size_t shards = 0;
 
   static BenchConfig parse(int argc, char** argv) {
     BenchConfig config;
@@ -40,8 +44,11 @@ struct BenchConfig {
         config.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+        config.shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       } else {
-        std::fprintf(stderr, "usage: %s [--quick] [--runs N] [--threads N]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--quick] [--runs N] [--threads N] [--shards N]\n",
+                     argv[0]);
         std::exit(2);
       }
     }

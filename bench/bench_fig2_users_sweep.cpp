@@ -8,7 +8,11 @@
 // Expected shape (paper): all three methods are nearly flat in the user
 // count; HNSW is slowest (index construction dominates at 1,000 rows);
 // exact DBSCAN is much faster; the custom role-diet algorithm is fastest.
-#include "bench_common.hpp"
+//
+// --shards N re-times every cell through the range-partitioned
+// core::ShardedEngine on the same workload (shared with bench_shard via
+// sweep_common.hpp); bench_shard extends this sweep to 1M-10M users.
+#include "sweep_common.hpp"
 
 using namespace rolediet;
 using namespace rolediet::bench;
@@ -17,7 +21,9 @@ int main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::parse(argc, argv);
 
   std::printf("=== Fig. 2: duration vs user count (roles = 1000, same-users detection) ===\n");
-  std::printf("runs per cell: %zu\n\n", config.runs);
+  std::printf("runs per cell: %zu", config.runs);
+  if (config.shards > 0) std::printf(", sharded engine: %zu shards", config.shards);
+  std::printf("\n\n");
   print_header("users");
 
   std::vector<std::size_t> user_counts;
@@ -25,22 +31,31 @@ int main(int argc, char** argv) {
   if (config.quick) user_counts = {1000, 5000, 10'000};
 
   for (std::size_t users : user_counts) {
-    gen::MatrixGenParams params;
-    params.roles = 1000;
-    params.cols = users;
-    params.clustered_fraction = 0.2;
-    params.max_cluster_size = 10;
-    params.seed = 1000 + users;
-    const gen::GeneratedMatrix workload = gen::generate_matrix(params);
+    const gen::GeneratedMatrix workload = fig2_matrix(users);
+    const core::RbacDataset dataset =
+        config.shards > 0 ? dataset_from_ruam(workload.matrix) : core::RbacDataset{};
 
     std::printf("%-10zu", users);
     for (core::Method method : all_methods()) {
-      const auto finder = core::make_group_finder(method, config.finder_options());
-      core::RoleGroups sink;
-      const Cell cell =
-          time_cell(config.runs, [&] { sink = finder->find_same(workload.matrix); });
+      std::size_t recovered = 0;
+      Cell cell;
+      if (config.shards > 0) {
+        core::AuditOptions options;
+        options.method = method;
+        options.threads = config.threads;
+        options.detect_similar = false;  // same-users detection, as in the figure
+        const ShardCell sharded =
+            time_sharded_audit(dataset, config.shards, options, config.runs);
+        cell = sharded.cell;
+        recovered = sharded.same_roles_in_groups;
+      } else {
+        const auto finder = core::make_group_finder(method, config.finder_options());
+        core::RoleGroups sink;
+        cell = time_cell(config.runs, [&] { sink = finder->find_same(workload.matrix); });
+        recovered = sink.roles_in_groups();
+      }
       std::printf(" | %s", cell.to_string().c_str());
-      if (sink.roles_in_groups() < workload.planted.roles_in_groups() &&
+      if (recovered < workload.planted.roles_in_groups() &&
           method != core::Method::kApproxHnsw) {
         std::printf("(!)");  // exact methods must recover every planted role
       }

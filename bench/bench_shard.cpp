@@ -1,0 +1,264 @@
+// Sharded-engine scale sweep: the Fig. 2 workload pushed to 1M-10M users
+// across a shard-count ladder (BENCH_shard.json).
+//
+// The sharded similar pipeline's claim is that almost all candidate work
+// stays shard-local: only compact signatures (band digests / hashed column
+// buckets) travel between shards, and the cross-shard candidate set they
+// gather is small against the shard-local pair volume. This bench measures
+// exactly that — per user count, role ordering, method, and shard count it
+// records the full reaudit wall time plus the per-shard work counters
+// (core::ShardSimilarStats), and CI archives the JSON so the local/cross
+// work split is a tracked data series.
+//
+// Each sweep point runs two role orderings: "shuffled" (the generator's
+// order — duplicates scattered, so every matched pair crosses shards with
+// probability 1 - 1/S, the adversarial bound) and "id-local" (cluster
+// members renumbered adjacent — the id-locality real role sprawl has, which
+// range partitioning turns into shard-local work).
+//
+// Findings identity is asserted before anything is recorded: at every cell
+// the sharded report's findings must equal the unsharded AuditEngine's
+// (work counters and timings excluded — sharding legitimately changes how
+// much candidate work exists; that delta is the thing measured here).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "io/json_writer.hpp"
+#include "sweep_common.hpp"
+
+using namespace rolediet;
+using namespace rolediet::bench;
+
+namespace {
+
+struct ShardBenchConfig {
+  std::size_t runs = 3;
+  std::size_t threads = 1;
+  std::size_t threshold = 2;  // hamming; exercises the verify kernels
+  std::size_t roles = 2000;
+  std::string out_path = "BENCH_shard.json";
+  std::vector<std::size_t> user_counts{1'000'000, 2'000'000, 5'000'000, 10'000'000};
+  std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+
+  static ShardBenchConfig parse(int argc, char** argv) {
+    ShardBenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.runs = 2;
+        config.user_counts = {1'000'000, 10'000'000};
+        config.shard_counts = {1, 4};
+      } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+        config.runs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+        config.threshold = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--roles") == 0 && i + 1 < argc) {
+        config.roles = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--runs N] [--threads N] [--threshold T] "
+                     "[--roles N] [--out F]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// Renumbers rows so planted cluster members occupy adjacent ids — the
+/// "duplicates created in id-adjacent bursts" shape real role sprawl has and
+/// range partitioning exploits (cluster pairs stay in one shard). The
+/// generator's shuffled order is the adversarial opposite: every duplicate
+/// pair lands cross-shard with probability 1 - 1/S.
+linalg::CsrMatrix cluster_adjacent(const gen::GeneratedMatrix& workload) {
+  std::vector<std::size_t> order;
+  order.reserve(workload.matrix.rows());
+  std::vector<char> placed(workload.matrix.rows(), 0);
+  for (const auto& group : workload.planted.groups) {
+    for (const std::size_t r : group) {
+      order.push_back(r);
+      placed[r] = 1;
+    }
+  }
+  for (std::size_t r = 0; r < workload.matrix.rows(); ++r) {
+    if (!placed[r]) order.push_back(r);
+  }
+  std::vector<std::size_t> row_ptr{0};
+  std::vector<std::uint32_t> cols;
+  for (const std::size_t r : order) {
+    const auto row = workload.matrix.row(r);
+    cols.insert(cols.end(), row.begin(), row.end());
+    row_ptr.push_back(cols.size());
+  }
+  return linalg::CsrMatrix::from_csr(workload.matrix.cols(), std::move(row_ptr),
+                                     std::move(cols));
+}
+
+/// Findings-only rendering for the sharded/unsharded identity assertion
+/// (same stripping as tests/sharded_engine_test.cpp).
+std::string findings_text(core::AuditReport report) {
+  for (core::PhaseTiming* t :
+       {&report.structural_time, &report.same_users_time, &report.same_permissions_time,
+        &report.similar_users_time, &report.similar_permissions_time}) {
+    *t = core::PhaseTiming{};
+  }
+  for (core::FinderWorkStats* w : {&report.same_users_work, &report.same_permissions_work,
+                                   &report.similar_users_work, &report.similar_permissions_work}) {
+    *w = core::FinderWorkStats{};
+  }
+  return report.to_text();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ShardBenchConfig config = ShardBenchConfig::parse(argc, argv);
+
+  std::printf("=== shard sweep: full audit vs user count and shard count ===\n");
+  std::printf("roles=%zu threshold=%zu threads=%zu runs=%zu -> %s\n\n", config.roles,
+              config.threshold, config.threads, config.runs, config.out_path.c_str());
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("shard");
+  w.key("roles");
+  w.value(static_cast<std::uint64_t>(config.roles));
+  w.key("similarity_threshold");
+  w.value(static_cast<std::uint64_t>(config.threshold));
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(config.threads));
+  w.key("sweep");
+  w.begin_array();
+
+  bool ok = true;
+  const std::vector<core::Method> methods{core::Method::kRoleDiet,
+                                          core::Method::kApproxMinhash};
+  for (std::size_t users : config.user_counts) {
+    // Denser rows than the 1k-10k figure (norms 8-64): at 1M+ users the
+    // shard-local pair volume should dwarf the cross-shard candidate set.
+    const gen::GeneratedMatrix workload =
+        fig2_matrix(users, config.roles, /*min_row_norm=*/8, /*max_row_norm=*/64);
+    const linalg::CsrMatrix id_local = cluster_adjacent(workload);
+
+    w.begin_object();
+    w.key("users");
+    w.value(static_cast<std::uint64_t>(users));
+    w.key("edges");
+    w.value(workload.matrix.nnz());
+    w.key("orderings");
+    w.begin_array();
+
+    struct Ordering {
+      const char* name;
+      const linalg::CsrMatrix* matrix;
+    };
+    for (const Ordering& ordering : {Ordering{"shuffled", &workload.matrix},
+                                     Ordering{"id-local", &id_local}}) {
+      const core::RbacDataset dataset = dataset_from_ruam(*ordering.matrix);
+      std::printf("users=%zu (%zu edges, %s role order)\n", users, dataset.ruam().nnz(),
+                  ordering.name);
+
+      w.begin_object();
+      w.key("ordering");
+      w.value(ordering.name);
+      w.key("methods");
+      w.begin_array();
+
+      for (core::Method method : methods) {
+        core::AuditOptions options;
+        options.method = method;
+        options.threads = config.threads;
+        options.similarity_threshold = config.threshold;
+
+        // Unsharded reference findings for the identity assertion.
+        core::AuditEngine reference(dataset, options);
+        const std::string expected = findings_text(reference.reaudit());
+
+        w.begin_object();
+        w.key("method");
+        w.value(core::to_string(method));
+        w.key("cells");
+        w.begin_array();
+
+        for (std::size_t shards : config.shard_counts) {
+          const ShardCell cell = time_sharded_audit(dataset, shards, options, config.runs);
+          core::ShardedEngine check(dataset, shards, options);
+          const bool match = findings_text(check.reaudit()) == expected;
+          ok = ok && match;
+
+          std::uint64_t local_total = 0;
+          for (std::uint64_t pairs : cell.work.users.local_pairs_evaluated)
+            local_total += pairs;
+          const core::ShardSimilarStats& stats = cell.work.users;
+          std::printf(
+              "  %-15s S=%zu  %s  local=%llu exchanged=%llu cross=%llu/%llu tiny=%llu%s\n",
+              std::string(core::to_string(method)).c_str(), shards,
+              cell.cell.to_string().c_str(), static_cast<unsigned long long>(local_total),
+              static_cast<unsigned long long>(stats.exchanged_signatures),
+              static_cast<unsigned long long>(stats.cross_matched),
+              static_cast<unsigned long long>(stats.cross_candidates),
+              static_cast<unsigned long long>(stats.tiny_pairs),
+              match ? "" : "  FINDINGS MISMATCH");
+          std::fflush(stdout);
+
+          w.begin_object();
+          w.key("shards");
+          w.value(static_cast<std::uint64_t>(shards));
+          w.key("seconds_mean");
+          w.value(cell.cell.stats.mean_s);
+          w.key("seconds_stdev");
+          w.value(cell.cell.stats.stdev_s);
+          w.key("same_groups");
+          w.value(static_cast<std::uint64_t>(cell.same_groups));
+          w.key("similar_groups");
+          w.value(static_cast<std::uint64_t>(cell.similar_groups));
+          w.key("local_pairs_per_shard");
+          w.begin_array();
+          for (std::uint64_t pairs : stats.local_pairs_evaluated) w.value(pairs);
+          w.end_array();
+          w.key("local_pairs_total");
+          w.value(local_total);
+          w.key("exchanged_signatures");
+          w.value(stats.exchanged_signatures);
+          w.key("cross_candidates");
+          w.value(stats.cross_candidates);
+          w.key("cross_matched");
+          w.value(stats.cross_matched);
+          w.key("tiny_pairs");
+          w.value(stats.tiny_pairs);
+          w.key("findings_match");
+          w.value(match);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("all_findings_match");
+  w.value(ok);
+  w.end_object();
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  out << w.str() << "\n";
+  std::printf("\nwrote %s\n", config.out_path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "FINDINGS MISMATCH: sharded report diverged from unsharded\n");
+    return 1;
+  }
+  return 0;
+}

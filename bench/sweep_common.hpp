@@ -1,0 +1,74 @@
+// Shared Fig. 2-family sweep harness: duration vs USER COUNT on the paper's
+// clustered-duplicate workload (§IV-A: 1,000 roles fixed, cluster proportion
+// 0.2, at most 10 identical roles per cluster).
+//
+// Two binaries drive it: bench_fig2_users_sweep reproduces the paper's
+// 1k-10k figure (and with --shards N re-times every cell through the
+// range-partitioned ShardedEngine), while bench_shard pushes the same
+// workload to 1M-10M users across a shard-count ladder and records the
+// per-shard work counters (BENCH_shard.json). Sharing the workload builder
+// and cell timer keeps the two series directly comparable.
+#pragma once
+
+#include "bench_common.hpp"
+#include "core/framework.hpp"
+#include "core/sharded_engine.hpp"
+
+namespace rolediet::bench {
+
+/// Fig. 2 workload for one sweep point, seeded by the user count so every
+/// binary sees the same matrix at the same point. The row-norm range
+/// defaults to the figure's; bench_shard widens it (denser roles make the
+/// similar phase's shard-local pair volume realistic at 1M+ users).
+inline gen::GeneratedMatrix fig2_matrix(std::size_t users, std::size_t roles = 1000,
+                                        std::size_t min_row_norm = 1,
+                                        std::size_t max_row_norm = 16) {
+  gen::MatrixGenParams params;
+  params.roles = roles;
+  params.cols = users;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.min_row_norm = min_row_norm;
+  params.max_row_norm = max_row_norm;
+  params.seed = 1000 + users;
+  return gen::generate_matrix(params);
+}
+
+/// The generated RUAM wrapped as a dataset for the engine-based cells. The
+/// RPAM is left empty — this sweep family measures the users axis only.
+inline core::RbacDataset dataset_from_ruam(const linalg::CsrMatrix& ruam) {
+  core::RbacDataset dataset;
+  dataset.add_users(ruam.cols());
+  dataset.add_roles(ruam.rows());
+  for (std::size_t r = 0; r < ruam.rows(); ++r) {
+    for (std::uint32_t u : ruam.row(r)) dataset.assign_user(static_cast<core::Id>(r), u);
+  }
+  return dataset;
+}
+
+/// One timed sharded-audit cell: full reaudit wall time plus the work
+/// counters of the last run's similar phase.
+struct ShardCell {
+  Cell cell;
+  core::ShardWorkSnapshot work;
+  std::size_t same_groups = 0;
+  std::size_t same_roles_in_groups = 0;
+  std::size_t similar_groups = 0;
+};
+
+/// Times `runs` full reaudits of `dataset` split into `shards` shards.
+/// Engine construction (partitioning) is excluded, like workload generation.
+inline ShardCell time_sharded_audit(const core::RbacDataset& dataset, std::size_t shards,
+                                    const core::AuditOptions& options, std::size_t runs) {
+  ShardCell out;
+  core::ShardedEngine engine(dataset, shards, options);
+  core::AuditReport report;
+  out.cell = time_cell(runs, [&] { report = engine.reaudit(); });
+  out.work = engine.last_shard_work();
+  out.same_groups = report.same_user_groups.group_count();
+  out.same_roles_in_groups = report.same_user_groups.roles_in_groups();
+  out.similar_groups = report.similar_user_groups.group_count();
+  return out;
+}
+
+}  // namespace rolediet::bench

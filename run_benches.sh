@@ -55,4 +55,12 @@ echo "" >> "$out"
 echo "############ bench_kernels ############" >> "$out"
 ./build/bench/bench_kernels --out /root/repo/BENCH_kernels.json >> "$out" 2>&1
 echo "" >> "$out"
+# Sharded-engine scale sweep (Fig. 2 workload at 1M-10M users, shuffled vs
+# id-local role orderings, per-shard work counters): BENCH_shard.json is the
+# sixth JSON artifact CI archives per commit. --quick keeps it to the sweep
+# endpoints; drop it for the full 1M/2M/5M/10M x {1,2,4,8}-shard ladder.
+echo "############ bench_shard (threads=$threads) ############" >> "$out"
+./build/bench/bench_shard --quick --threads "$threads" --out /root/repo/BENCH_shard.json \
+  >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

@@ -21,7 +21,9 @@
 #include "io/json_writer.hpp"
 #include "io/report_csv.hpp"
 #include "linalg/kernels/kernels.hpp"
+#include "core/sharded_engine.hpp"
 #include "store/engine_store.hpp"
+#include "store/sharded_store.hpp"
 #include "util/timer.hpp"
 
 namespace rolediet::cli {
@@ -122,6 +124,16 @@ void write_text_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+/// `--shards N` opt-in for store-creating verbs and `audit`. Absent means the
+/// classic single-engine path; present (N >= 1) selects the sharded layout.
+std::optional<std::size_t> parse_shards(Args& args) {
+  const std::optional<std::string> value = args.take_option("--shards");
+  if (!value) return std::nullopt;
+  const std::size_t shards = parse_size(*value, "--shards");
+  if (shards == 0) throw UsageError("--shards must be >= 1");
+  return shards;
+}
+
 // ----------------------------------------------------------------- audit ---
 
 /// Audit-option flags shared by `audit` and `replay`.
@@ -152,6 +164,7 @@ core::AuditOptions parse_audit_options(Args& args) {
 
 int cmd_audit(Args& args, std::ostream& out) {
   const core::AuditOptions options = parse_audit_options(args);
+  const std::optional<std::size_t> shards = parse_shards(args);
   const std::optional<std::string> json_path = args.take_option("--json");
   const std::optional<std::string> csv_path = args.take_option("--csv");
 
@@ -160,7 +173,16 @@ int cmd_audit(Args& args, std::ostream& out) {
   if (!args.done()) throw UsageError("audit: unexpected argument '" + args.peek() + "'");
 
   const core::RbacDataset dataset = io::load_dataset(dir);
-  const core::AuditReport report = core::audit(dataset, options);
+  // --shards runs the range-partitioned engine; findings are byte-identical
+  // to the single-engine audit for every method except approx-hnsw (work
+  // counters legitimately differ — see core/sharded_engine.hpp).
+  core::AuditReport report;
+  if (shards) {
+    core::ShardedEngine engine(dataset, *shards, options);
+    report = engine.reaudit();
+  } else {
+    report = core::audit(dataset, options);
+  }
   out << report.to_text();
 
   if (json_path) write_text_file(*json_path, io::report_to_json(report, dataset));
@@ -200,6 +222,121 @@ void print_recovery(const store::RecoveryInfo& info, std::ostream& out) {
     out << "recover: audit options changed since checkpoint; cached verdicts dropped\n";
 }
 
+void print_recovery(const store::ShardedRecoveryInfo& info, std::size_t shards,
+                    std::ostream& out) {
+  out << "recover: sharded checkpoint " << info.checkpoint_id << " across " << shards
+      << " shards (" << info.manifest_coord_records << " coordinator records baked in)\n";
+  out << "recover: replayed " << info.commits_applied << " commits -> "
+      << info.replayed_interns << " interns + " << info.replayed_edges << " edge records\n";
+  if (info.discarded_records > 0)
+    out << "recover: discarded " << info.discarded_records << " uncommitted tail records\n";
+  if (info.truncated_bytes > 0)
+    out << "recover: truncated " << info.truncated_bytes << " torn tail bytes\n";
+  if (info.dropped_torn_segment) out << "recover: dropped torn-header final segment\n";
+}
+
+/// One durable engine session behind either store layout. All four store
+/// verbs (`replay --store`, `churn`, `checkpoint`, `recover`) funnel through
+/// create()/open() so layout selection, recovery reporting, and error
+/// context stay uniform: create() picks the layout from --shards, open()
+/// auto-detects whatever is on disk, and every StoreError is rethrown with
+/// the store directory attached.
+class StoreSession {
+ public:
+  static StoreSession create(const std::string& dir, const core::RbacDataset& dataset,
+                             std::optional<std::size_t> shards,
+                             const core::AuditOptions& options,
+                             const store::StoreOptions& store_options) {
+    StoreSession session;
+    try {
+      if (shards) {
+        session.sharded_.emplace(
+            store::ShardedEngineStore::create(dir, dataset, *shards, options, store_options));
+      } else {
+        session.flat_.emplace(store::EngineStore::create(dir, dataset, options, store_options));
+      }
+    } catch (const store::StoreError& e) {
+      throw std::runtime_error("store " + dir + ": " + e.what());
+    }
+    return session;
+  }
+
+  static StoreSession open(const std::string& dir, const core::AuditOptions& options,
+                           const store::StoreOptions& store_options, std::ostream& out) {
+    StoreSession session;
+    try {
+      if (store::ShardedEngineStore::is_sharded_store(dir)) {
+        session.sharded_.emplace(store::ShardedEngineStore::open(dir, options, store_options));
+        print_recovery(session.sharded_->recovery(), session.sharded_->num_shards(), out);
+      } else {
+        session.flat_.emplace(store::EngineStore::open(dir, options, store_options));
+        print_recovery(session.flat_->recovery(), out);
+      }
+    } catch (const store::StoreError& e) {
+      throw std::runtime_error("store " + dir + ": " + e.what());
+    }
+    return session;
+  }
+
+  /// "durable store at DIR (...)" suffix describing the layout.
+  [[nodiscard]] std::string layout() const {
+    return sharded_ ? std::to_string(sharded_->num_shards()) + " shards" : "1 engine";
+  }
+
+  void apply(const core::RbacDelta& delta) {
+    if (sharded_) {
+      sharded_->apply(delta);
+    } else {
+      flat_->apply(delta);
+    }
+  }
+
+  /// Durable records so far — WAL records for the flat layout, coordinator +
+  /// shard records for the sharded one (both monotone per committed batch).
+  [[nodiscard]] std::uint64_t records() const {
+    if (!sharded_) return flat_->records();
+    std::uint64_t total = sharded_->records();
+    for (std::size_t s = 0; s < sharded_->num_shards(); ++s)
+      total += sharded_->shard_records(s);
+    return total;
+  }
+
+  /// Checkpoints and returns a printable label of the new generation.
+  std::string checkpoint() {
+    if (sharded_) return "generation " + std::to_string(sharded_->checkpoint());
+    return flat_->checkpoint().filename().string();
+  }
+
+  void print_baseline(std::ostream& out) const {
+    if (sharded_) {
+      out << "checkpoint: baseline generation 0 across " << sharded_->num_shards()
+          << " shards\n";
+    } else {
+      out << "checkpoint: baseline snapshot "
+          << flat_->recovery().snapshot_path.filename().string() << " at record 0\n";
+    }
+  }
+
+  // Engine facade: the handful of calls the verbs actually make.
+  [[nodiscard]] core::AuditReport reaudit() {
+    return sharded_ ? sharded_->engine().reaudit() : flat_->engine().reaudit();
+  }
+  [[nodiscard]] std::uint64_t version() const {
+    return sharded_ ? sharded_->engine().version() : flat_->engine().version();
+  }
+  [[nodiscard]] std::uint64_t audits() const {
+    return sharded_ ? sharded_->engine().audits() : flat_->engine().audits();
+  }
+  [[nodiscard]] core::RbacDataset snapshot() const {
+    return sharded_ ? sharded_->engine().snapshot() : flat_->engine().snapshot();
+  }
+
+ private:
+  StoreSession() = default;
+  std::optional<store::EngineStore> flat_;
+  std::optional<store::ShardedEngineStore> sharded_;
+};
+
 // ---------------------------------------------------------------- replay ---
 
 int cmd_replay(Args& args, std::ostream& out) {
@@ -211,6 +348,8 @@ int cmd_replay(Args& args, std::ostream& out) {
     if (every == 0) throw UsageError("--every must be >= 1");
   }
   const std::optional<std::string> store_dir = args.take_option("--store");
+  const std::optional<std::size_t> shards = parse_shards(args);
+  if (shards && !store_dir) throw UsageError("replay: --shards requires --store");
   std::size_t checkpoint_every = 0;  // 0 = one checkpoint at end of journal
   if (auto value = args.take_option("--checkpoint-every")) {
     if (!store_dir) throw UsageError("--checkpoint-every requires --store");
@@ -229,21 +368,22 @@ int cmd_replay(Args& args, std::ostream& out) {
 
   // With --store the engine lives inside a durable store: every batch is
   // WAL-logged before it is applied, and checkpoints collapse the log.
-  std::optional<store::EngineStore> durable;
+  std::optional<StoreSession> durable;
   std::optional<core::AuditEngine> local;
   if (store_dir) {
-    durable.emplace(store::EngineStore::create(*store_dir, dataset, options, store_options));
-    out << "replay: durable store at " << *store_dir << " (fsync "
+    durable.emplace(StoreSession::create(*store_dir, dataset, shards, options, store_options));
+    out << "replay: durable store at " << *store_dir << " (" << durable->layout() << ", fsync "
         << store::to_string(store_options.fsync) << ")\n";
   } else {
     local.emplace(dataset, options);
   }
-  core::AuditEngine& engine = durable ? durable->engine() : *local;
+  auto reaudit = [&] { return durable ? durable->reaudit() : local->reaudit(); };
+  auto version = [&] { return durable ? durable->version() : local->version(); };
 
   // Baseline pass: the engine's first reaudit is the full batch audit of the
   // starting snapshot; later passes reuse its artifacts.
-  core::AuditReport report = engine.reaudit();
-  out << "replay: baseline audit of " << dir << " (version " << engine.version() << ")\n";
+  core::AuditReport report = reaudit();
+  out << "replay: baseline audit of " << dir << " (version " << version() << ")\n";
   out << report.to_text();
 
   std::ifstream journal(journal_path, std::ios::binary);
@@ -257,17 +397,17 @@ int cmd_replay(Args& args, std::ostream& out) {
     if (durable) {
       durable->apply(batch);
     } else {
-      engine.apply(batch);
+      local->apply(batch);
     }
     applied += batch.size();
     batch.mutations.clear();
     util::Stopwatch watch;
-    report = engine.reaudit();
-    out << "replay: " << applied << " mutations applied, version " << engine.version()
+    report = reaudit();
+    out << "replay: " << applied << " mutations applied, version " << version()
         << ", dirty frontier re-audited in " << util::format_duration(watch.seconds()) << "\n";
     if (durable && checkpoint_every != 0 &&
         durable->records() - last_checkpoint >= checkpoint_every) {
-      durable->checkpoint();
+      (void)durable->checkpoint();
       last_checkpoint = durable->records();
       out << "replay: checkpoint at " << last_checkpoint << " records\n";
     }
@@ -278,15 +418,18 @@ int cmd_replay(Args& args, std::ostream& out) {
   }
   if (!batch.empty() || applied == 0) reaudit_batch();
 
-  out << "replay: journal exhausted after " << applied << " mutations (" << engine.audits()
+  const std::uint64_t audits = durable ? durable->audits() : local->audits();
+  out << "replay: journal exhausted after " << applied << " mutations (" << audits
       << " audits)\n";
   if (durable) {
-    const std::filesystem::path snapshot = durable->checkpoint();
-    out << "replay: final checkpoint " << snapshot.filename().string() << " ("
-        << durable->records() << " records)\n";
+    out << "replay: final checkpoint " << durable->checkpoint() << " (" << durable->records()
+        << " records)\n";
   }
   out << report.to_text();
-  if (json_path) write_text_file(*json_path, io::report_to_json(report, engine.snapshot()));
+  if (json_path) {
+    const core::RbacDataset snap = durable ? durable->snapshot() : local->snapshot();
+    write_text_file(*json_path, io::report_to_json(report, snap));
+  }
   return 0;
 }
 
@@ -313,6 +456,7 @@ std::string findings_summary(const core::AuditReport& r) {
 int cmd_churn(Args& args, std::ostream& out) {
   const core::AuditOptions options = parse_audit_options(args);
   const store::StoreOptions store_options = parse_store_options(args);
+  const std::optional<std::size_t> shards = parse_shards(args);
 
   gen::ChurnConfig config;
   if (auto seed = args.take_option("--seed")) config.seed = parse_size(*seed, "--seed");
@@ -364,10 +508,11 @@ int cmd_churn(Args& args, std::ostream& out) {
   // The stream starts from an empty dataset (day 0 bootstraps the org), so
   // the store's baseline snapshot is empty and the whole history is WAL.
   gen::ChurnSimulator sim(config);
-  store::EngineStore durable =
-      store::EngineStore::create(store_dir, core::RbacDataset{}, options, store_options);
+  StoreSession durable =
+      StoreSession::create(store_dir, core::RbacDataset{}, shards, options, store_options);
   out << "churn: simulating " << config.initial_employees << " employees over "
-      << config.years << " years (seed " << config.seed << ") into " << store_dir << "\n";
+      << config.years << " years (seed " << config.seed << ") into " << store_dir << " ("
+      << durable.layout() << ")\n";
 
   core::AuditReport report;
   while (!sim.done()) {
@@ -378,16 +523,15 @@ int cmd_churn(Args& args, std::ostream& out) {
     const bool last = sim.done();
     if (day % reaudit_days == 0 || last) {
       util::Stopwatch watch;
-      report = durable.engine().reaudit();
+      report = durable.reaudit();
       out << "churn: day " << day << " (" << gen::to_string(sim.phase_of(day)) << "), "
-          << durable.records() << " records, version " << durable.engine().version()
+          << durable.records() << " records, version " << durable.version()
           << ", re-audit " << util::format_duration(watch.seconds()) << ": "
           << findings_summary(report) << "\n";
     }
     if (day % checkpoint_days == 0 || last) {
-      const std::filesystem::path snapshot = durable.checkpoint();
-      out << "churn: checkpoint " << snapshot.filename().string() << " ("
-          << durable.records() << " records)\n";
+      out << "churn: checkpoint " << durable.checkpoint() << " (" << durable.records()
+          << " records)\n";
     }
   }
   const gen::ChurnStats& stats = sim.stats();
@@ -404,6 +548,7 @@ int cmd_churn(Args& args, std::ostream& out) {
 int cmd_checkpoint(Args& args, std::ostream& out) {
   const core::AuditOptions options = parse_audit_options(args);
   const store::StoreOptions store_options = parse_store_options(args);
+  const std::optional<std::size_t> shards = parse_shards(args);
   if (args.done()) throw UsageError("checkpoint: missing dataset directory");
   const std::string dir = args.take();
   if (args.done()) throw UsageError("checkpoint: missing store directory");
@@ -411,13 +556,12 @@ int cmd_checkpoint(Args& args, std::ostream& out) {
   if (!args.done()) throw UsageError("checkpoint: unexpected argument '" + args.peek() + "'");
 
   const core::RbacDataset dataset = io::load_dataset(dir);
-  const store::EngineStore durable =
-      store::EngineStore::create(store_dir, dataset, options, store_options);
+  const StoreSession durable =
+      StoreSession::create(store_dir, dataset, shards, options, store_options);
   out << "checkpoint: initialized store " << store_dir << " from " << dir << " ("
       << dataset.num_users() << " users, " << dataset.num_roles() << " roles, "
       << dataset.num_permissions() << " permissions)\n";
-  out << "checkpoint: baseline snapshot "
-      << durable.recovery().snapshot_path.filename().string() << " at record 0\n";
+  durable.print_baseline(out);
   return 0;
 }
 
@@ -429,12 +573,10 @@ int cmd_recover(Args& args, std::ostream& out) {
   const std::string store_dir = args.take();
   if (!args.done()) throw UsageError("recover: unexpected argument '" + args.peek() + "'");
 
-  store::EngineStore durable = store::EngineStore::open(store_dir, options, store_options);
-  print_recovery(durable.recovery(), out);
-  const core::AuditReport report = durable.engine().reaudit();
+  StoreSession durable = StoreSession::open(store_dir, options, store_options, out);
+  const core::AuditReport report = durable.reaudit();
   out << report.to_text();
-  if (json_path)
-    write_text_file(*json_path, io::report_to_json(report, durable.engine().snapshot()));
+  if (json_path) write_text_file(*json_path, io::report_to_json(report, durable.snapshot()));
   return 0;
 }
 
@@ -708,6 +850,9 @@ int cmd_help(std::ostream& out) {
          "                 groups are identical at every thread count)\n"
          "                 --backend auto|dense|sparse (row-kernel backend;\n"
          "                 reports are identical for every choice)\n"
+         "                 --shards N (range-partitioned sharded engine;\n"
+         "                 findings are identical to the unsharded audit for\n"
+         "                 every method except approx-hnsw)\n"
          "  replay DIR JOURNAL\n"
          "                 stream a mutation journal into a steady-state\n"
          "                 audit engine: baseline audit of DIR, then delta\n"
@@ -719,14 +864,18 @@ int cmd_help(std::ostream& out) {
          "                 --checkpoint-every N (snapshot + prune the WAL\n"
          "                 every N logged records; default: once at end)\n"
          "                 --fsync record|batch|none (WAL durability)\n"
+         "                 --shards N (create a sharded store: per-shard WAL\n"
+         "                 streams + mmap'd bodies behind one manifest)\n"
          "  checkpoint DIR STORE\n"
          "                 initialize a durable store at STORE from dataset\n"
          "                 DIR (baseline snapshot + empty WAL); audit\n"
-         "                 options fix the engine configuration\n"
+         "                 options fix the engine configuration;\n"
+         "                 --shards N selects the sharded layout\n"
          "  recover STORE  rebuild the engine from the newest valid snapshot\n"
          "                 plus the WAL tail (truncating a torn final\n"
          "                 record), report what recovery did, and re-audit;\n"
-         "                 --json FILE plus all audit options\n"
+         "                 the store layout (flat or sharded) is\n"
+         "                 auto-detected; --json FILE plus all audit options\n"
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
@@ -739,7 +888,7 @@ int cmd_help(std::ostream& out) {
          "                 --journal FILE (tee the mutation stream)\n"
          "                 --journal-only (write the stream, skip the store;\n"
          "                 STORE positional not needed) plus audit + fsync\n"
-         "                 options\n"
+         "                 options and --shards N (sharded store layout)\n"
          "  generate org DIR     [--paper-scale] [--seed N]\n"
          "  generate matrix DIR  [--roles N] [--users N] [--seed N]\n"
          "  generate adversarial SCENARIO DIR  [--scale N] [--seed N]\n"

@@ -67,10 +67,11 @@ std::vector<std::vector<std::size_t>> all_region_queries(const linalg::RowStore&
 class InvertedIndexQuerier {
  public:
   InvertedIndexQuerier(const linalg::RowStore& points, std::size_t eps)
-      // A sparse store is used in place; a dense store converts once here
-      // (the same conversion the old BitMatrix-only path always paid).
-      : owned_(points.is_sparse() ? linalg::CsrMatrix() : points.to_csr()),
-        sparse_(points.is_sparse() ? *points.sparse_matrix() : owned_),
+      // A CsrMatrix-backed store is used in place; dense and view-backed
+      // stores convert/copy once here (the same conversion the old
+      // BitMatrix-only path always paid).
+      : owned_(points.sparse_matrix() != nullptr ? linalg::CsrMatrix() : points.to_csr()),
+        sparse_(points.sparse_matrix() != nullptr ? *points.sparse_matrix() : owned_),
         transpose_(sparse_.transpose()),
         eps_(eps),
         count_(points.rows(), 0) {

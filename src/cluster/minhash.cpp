@@ -52,6 +52,21 @@ std::uint64_t band_digest(const std::vector<std::uint64_t>& sig, std::size_t ban
 
 }  // namespace
 
+MinHashSigner::MinHashSigner(MinHashParams params)
+    : params_(params), slot_keys_(draw_slot_keys(params)) {}
+
+std::vector<std::uint64_t> MinHashSigner::band_digests(const linalg::RowStore& rows,
+                                                       std::size_t r) const {
+  if (rows.row_size(r) == 0) return {};  // empty rows are never banded
+  std::vector<std::uint64_t> sig;
+  sign_row(rows, r, slot_keys_, sig);
+  std::vector<std::uint64_t> digests(params_.bands);
+  for (std::size_t band = 0; band < params_.bands; ++band) {
+    digests[band] = band_digest(sig, band, params_.rows_per_band);
+  }
+  return digests;
+}
+
 MinHashLsh::MinHashLsh(const linalg::RowStore& rows, MinHashParams params,
                        const util::ExecutionContext& ctx)
     : params_(params) {

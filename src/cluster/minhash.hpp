@@ -46,6 +46,29 @@ struct MinHashParams {
   [[nodiscard]] std::size_t signature_size() const noexcept { return bands * rows_per_band; }
 };
 
+/// Stateless signer exposing the shared hash family: per-row LSH band
+/// digests, computed with exactly the formulas MinHashLsh/MinHashBandIndex
+/// bucket by. The sharded engine's cross-shard candidate exchange ships these
+/// digests between shards — two rows land in the same (band, digest) bucket
+/// here iff they would share that band bucket in a global MinHashLsh over the
+/// union of the rows, which is what makes the exchanged candidate set exactly
+/// the global LSH candidate set restricted to cross-shard pairs.
+class MinHashSigner {
+ public:
+  explicit MinHashSigner(MinHashParams params);
+
+  [[nodiscard]] const MinHashParams& params() const noexcept { return params_; }
+
+  /// One digest per band for row r of `rows`; empty for empty rows (which
+  /// MinHashLsh never bands — empty roles are type-2 findings).
+  [[nodiscard]] std::vector<std::uint64_t> band_digests(const linalg::RowStore& rows,
+                                                        std::size_t r) const;
+
+ private:
+  MinHashParams params_;
+  std::vector<std::uint64_t> slot_keys_;
+};
+
 /// MinHash/LSH index over the rows of a row store (either matrix backend —
 /// a BitMatrix or CsrMatrix converts implicitly; signatures depend only on
 /// the column *sets*, so both backends build identical indexes).

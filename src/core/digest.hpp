@@ -10,12 +10,43 @@
 // IncrementalAuditor — pinned by a round-trip test.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/incremental.hpp"
 #include "core/model.hpp"
 
 namespace rolediet::core {
+
+/// FNV-1a with length-prefixed fields, so ("ab", "c") and ("a", "bc") feed
+/// different byte streams. Same constants as the io/binary checksum. Public
+/// so any holder of the canonical state — RbacDataset, IncrementalAuditor,
+/// or the sharded engine streaming rows out of per-shard storage — can fold
+/// the exact same byte stream and land on the same digest.
+class ContentDigest {
+ public:
+  void bytes(const void* data, std::size_t size) noexcept {
+    const auto* b = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= b[i];
+      state_ *= 0x100000001B3ULL;
+    }
+  }
+  void u64(std::uint64_t v) noexcept {
+    unsigned char buf[8];
+    for (std::size_t i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(buf, sizeof(buf));
+  }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ULL;
+};
 
 [[nodiscard]] std::uint64_t dataset_content_digest(const RbacDataset& dataset);
 [[nodiscard]] std::uint64_t dataset_content_digest(const IncrementalAuditor& state);

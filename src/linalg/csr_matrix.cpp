@@ -7,6 +7,40 @@
 
 namespace rolediet::linalg {
 
+std::size_t csr_intersection(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b) noexcept {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool csr_rows_equal(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) noexcept {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::uint64_t csr_row_digest(std::span<const std::uint32_t> row) noexcept {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  for (std::uint32_t c : row) {
+    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+    h *= 0x100000001B3ULL;
+  }
+  // Fold the length so prefix sets do not collide trivially.
+  h ^= util::mix64(row.size());
+  return h;
+}
+
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
     : cols_(cols), row_ptr_(rows + 1, 0) {}
 
@@ -34,47 +68,49 @@ CsrMatrix CsrMatrix::from_pairs(std::size_t rows, std::size_t cols,
   return m;
 }
 
+CsrMatrix CsrMatrix::from_csr(std::size_t cols, std::vector<std::size_t> row_ptr,
+                              std::vector<std::uint32_t> cols_idx) {
+  if (row_ptr.empty() || row_ptr.front() != 0 || row_ptr.back() != cols_idx.size())
+    throw std::invalid_argument("CsrMatrix::from_csr: row_ptr does not frame the index array");
+  for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    if (row_ptr[r] > row_ptr[r + 1])
+      throw std::invalid_argument("CsrMatrix::from_csr: row_ptr not monotone at row " +
+                                  std::to_string(r));
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (cols_idx[k] >= cols || (k > row_ptr[r] && cols_idx[k - 1] >= cols_idx[k]))
+        throw std::invalid_argument("CsrMatrix::from_csr: row " + std::to_string(r) +
+                                    " is not strictly increasing within bounds");
+    }
+  }
+  CsrMatrix m;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.cols_idx_ = std::move(cols_idx);
+  return m;
+}
+
+CsrMatrix CsrMatrix::copy_of(const CsrView& view, std::size_t cols_override) {
+  CsrMatrix m(view.rows(), cols_override != 0 ? cols_override : view.cols);
+  m.row_ptr_.assign(view.row_ptr.begin(), view.row_ptr.end());
+  if (m.row_ptr_.empty()) m.row_ptr_.push_back(0);
+  m.cols_idx_.assign(view.cols_idx.begin(), view.cols_idx.end());
+  return m;
+}
+
 bool CsrMatrix::get(std::size_t r, std::size_t c) const noexcept {
   const auto cells = row(r);
   return std::binary_search(cells.begin(), cells.end(), static_cast<std::uint32_t>(c));
 }
 
 std::size_t CsrMatrix::row_intersection(std::size_t a, std::size_t b) const noexcept {
-  const auto ra = row(a);
-  const auto rb = row(b);
-  std::size_t count = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < ra.size() && j < rb.size()) {
-    if (ra[i] < rb[j]) {
-      ++i;
-    } else if (ra[i] > rb[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return csr_intersection(row(a), row(b));
 }
 
 bool CsrMatrix::rows_equal(std::size_t a, std::size_t b) const noexcept {
-  const auto ra = row(a);
-  const auto rb = row(b);
-  return ra.size() == rb.size() && std::equal(ra.begin(), ra.end(), rb.begin());
+  return csr_rows_equal(row(a), row(b));
 }
 
-std::uint64_t CsrMatrix::row_hash(std::size_t r) const noexcept {
-  std::uint64_t h = 0x243F6A8885A308D3ULL;
-  for (std::uint32_t c : row(r)) {
-    h ^= util::mix64(static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
-    h *= 0x100000001B3ULL;
-  }
-  // Fold the length so prefix sets do not collide trivially.
-  h ^= util::mix64(row_size(r));
-  return h;
-}
+std::uint64_t CsrMatrix::row_hash(std::size_t r) const noexcept { return csr_row_digest(row(r)); }
 
 CsrMatrix CsrMatrix::gather_rows(const CsrMatrix& source, std::span<const std::size_t> selected) {
   CsrMatrix out(selected.size(), source.cols());

@@ -22,6 +22,48 @@
 
 namespace rolediet::linalg {
 
+// ---- span-level CSR row kernels --------------------------------------------
+//
+// The merge kernels over sorted index runs, factored out of CsrMatrix so any
+// CSR-shaped storage — an owning CsrMatrix, an mmap'd read-only dataset body
+// (store/body.hpp), a scratch view — computes the same integers through the
+// same code. CsrMatrix and the RowStore view backend both delegate here.
+
+/// Co-occurrence count |a ∩ b| of two strictly-increasing index runs.
+[[nodiscard]] std::size_t csr_intersection(std::span<const std::uint32_t> a,
+                                           std::span<const std::uint32_t> b) noexcept;
+
+/// Exact set equality of two strictly-increasing index runs.
+[[nodiscard]] bool csr_rows_equal(std::span<const std::uint32_t> a,
+                                  std::span<const std::uint32_t> b) noexcept;
+
+/// 64-bit digest of a strictly-increasing index run (the CsrMatrix::row_hash
+/// fold: order-sensitive over the sorted indices + length, so equal sets hash
+/// equal on every storage backend).
+[[nodiscard]] std::uint64_t csr_row_digest(std::span<const std::uint32_t> row) noexcept;
+
+/// Non-owning view of CSR arrays: the storage-agnostic face of a sparse
+/// boolean matrix. Everything RowStore's sparse kernels need — row extents
+/// and sorted column indices — without requiring the arrays to live in a
+/// CsrMatrix's vectors; the mmap'd dataset body serves its pages through
+/// exactly this shape. Invariants mirror CsrMatrix (see file comment).
+struct CsrView {
+  std::span<const std::size_t> row_ptr;     ///< rows()+1 offsets, front()==0
+  std::span<const std::uint32_t> cols_idx;  ///< nnz sorted-per-row indices
+  std::size_t cols = 0;
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return row_ptr.empty() ? 0 : row_ptr.size() - 1;
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return cols_idx.size(); }
+  [[nodiscard]] std::span<const std::uint32_t> row(std::size_t r) const noexcept {
+    return cols_idx.subspan(row_ptr[r], row_ptr[r + 1] - row_ptr[r]);
+  }
+  [[nodiscard]] std::size_t row_size(std::size_t r) const noexcept {
+    return row_ptr[r + 1] - row_ptr[r];
+  }
+};
+
 class CsrMatrix {
  public:
   /// Empty 0x0 matrix.
@@ -34,6 +76,21 @@ class CsrMatrix {
   /// pairs throw std::out_of_range. The input need not be sorted.
   [[nodiscard]] static CsrMatrix from_pairs(std::size_t rows, std::size_t cols,
                                             std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs);
+
+  /// Adopts already-built CSR arrays (row_ptr.size() == rows+1, sorted unique
+  /// indices per row). Validates the structural invariants and throws
+  /// std::invalid_argument on violation — the O(rows + nnz) check is cheap
+  /// next to anything a caller will do with the matrix.
+  [[nodiscard]] static CsrMatrix from_csr(std::size_t cols, std::vector<std::size_t> row_ptr,
+                                          std::vector<std::uint32_t> cols_idx);
+
+  /// Deep copy of a view (e.g. rows served from an mmap'd body) with an
+  /// optional wider column count — sharded audits stamp the *current* global
+  /// entity count onto matrices rebuilt from an older body image.
+  [[nodiscard]] static CsrMatrix copy_of(const CsrView& view, std::size_t cols_override = 0);
+
+  /// Non-owning view of this matrix's arrays (valid until the next mutation).
+  [[nodiscard]] CsrView view() const noexcept { return {row_ptr_, cols_idx_, cols_}; }
 
   [[nodiscard]] std::size_t rows() const noexcept { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }

@@ -10,10 +10,13 @@
 // few hundred stored indices — the sparse path wins exactly where the paper
 // says real data lives.
 //
-// RowStore is a non-owning *view* (two pointers) selecting one backend. Both
-// backends compute identical integer values for every kernel, so groups,
-// reports, and FinderWorkStats are byte-identical whichever backend runs —
-// the differential suite locks this down.
+// RowStore is a non-owning *view* selecting one backend. The sparse backend
+// runs off a CsrView — raw row_ptr/cols_idx spans — so the same merge kernels
+// serve an owning CsrMatrix, an mmap'd read-only dataset body (store/body.hpp)
+// paging rows in on demand, or any other CSR-shaped storage. All backends
+// compute identical integer values for every kernel, so groups, reports, and
+// FinderWorkStats are byte-identical whichever backend runs — the
+// differential suite locks this down.
 #pragma once
 
 #include <cstddef>
@@ -59,30 +62,41 @@ class RowStore {
   RowStore(const BitMatrix& dense) noexcept : dense_(&dense) {}  // NOLINT(google-explicit-constructor)
 
   /// View over a sparse matrix. Non-owning: `sparse` must outlive the view.
+  /// Reads go through the pointer on every access, so the view stays valid
+  /// across mutations of the matrix (the HNSW artifact copy-assigns its
+  /// points matrix under a live index view and relies on this).
   RowStore(const CsrMatrix& sparse) noexcept : sparse_(&sparse) {}  // NOLINT(google-explicit-constructor)
+
+  /// View over raw CSR arrays (e.g. an mmap'd dataset body). Non-owning: the
+  /// storage behind the spans must outlive the view.
+  explicit RowStore(const CsrView& view) noexcept : span_(view) {}
 
   // A view over a temporary would dangle immediately.
   RowStore(BitMatrix&&) = delete;
   RowStore(CsrMatrix&&) = delete;
 
-  [[nodiscard]] bool is_sparse() const noexcept { return sparse_ != nullptr; }
+  [[nodiscard]] bool is_sparse() const noexcept {
+    return dense_ == nullptr && (sparse_ != nullptr || !span_.row_ptr.empty());
+  }
 
   [[nodiscard]] std::size_t rows() const noexcept {
-    return sparse_ != nullptr ? sparse_->rows() : (dense_ != nullptr ? dense_->rows() : 0);
+    return dense_ != nullptr ? dense_->rows() : sview().rows();
   }
 
   [[nodiscard]] std::size_t cols() const noexcept {
-    return sparse_ != nullptr ? sparse_->cols() : (dense_ != nullptr ? dense_->cols() : 0);
+    return dense_ != nullptr ? dense_->cols() : sview().cols;
   }
 
   /// Role norm |R^r|: popcount (dense) or stored-entry count (sparse, O(1)).
   [[nodiscard]] std::size_t row_size(std::size_t r) const noexcept {
-    return sparse_ != nullptr ? sparse_->row_size(r) : dense_->row_popcount(r);
+    return dense_ != nullptr ? dense_->row_popcount(r) : sview().row_size(r);
   }
 
   /// Hamming distance between rows a and b.
   [[nodiscard]] std::size_t hamming(std::size_t a, std::size_t b) const noexcept {
-    return sparse_ != nullptr ? sparse_->row_hamming(a, b) : dense_->row_hamming(a, b);
+    if (dense_ != nullptr) return dense_->row_hamming(a, b);
+    const CsrView v = sview();
+    return v.row_size(a) + v.row_size(b) - 2 * csr_intersection(v.row(a), v.row(b));
   }
 
   /// BOUNDED Hamming distance (util::hamming_words_bounded contract): the
@@ -94,11 +108,15 @@ class RowStore {
 
   /// Co-occurrence count g(Ra, Rb).
   [[nodiscard]] std::size_t intersection(std::size_t a, std::size_t b) const noexcept {
-    return sparse_ != nullptr ? sparse_->row_intersection(a, b) : dense_->row_intersection(a, b);
+    if (dense_ != nullptr) return dense_->row_intersection(a, b);
+    const CsrView v = sview();
+    return csr_intersection(v.row(a), v.row(b));
   }
 
   [[nodiscard]] bool rows_equal(std::size_t a, std::size_t b) const noexcept {
-    return sparse_ != nullptr ? sparse_->rows_equal(a, b) : dense_->rows_equal(a, b);
+    if (dense_ != nullptr) return dense_->rows_equal(a, b);
+    const CsrView v = sview();
+    return csr_rows_equal(v.row(a), v.row(b));
   }
 
   /// Backend-invariant 64-bit digest of row r's column *set* (the CsrMatrix
@@ -151,8 +169,8 @@ class RowStore {
   /// Calls `fn(col)` for every set column of row r in ascending order.
   template <typename Fn>
   void for_each_set(std::size_t r, Fn&& fn) const {
-    if (sparse_ != nullptr) {
-      for (std::uint32_t c : sparse_->row(r)) fn(c);
+    if (dense_ == nullptr) {
+      for (std::uint32_t c : sview().row(r)) fn(c);
       return;
     }
     const auto words = dense_->row(r);
@@ -170,8 +188,8 @@ class RowStore {
   /// (dense) or stored indices (sparse). The density-sweep bench multiplies
   /// this by the evaluation count instead of instrumenting the hot path.
   [[nodiscard]] std::size_t row_bytes(std::size_t r) const noexcept {
-    return sparse_ != nullptr ? sparse_->row_size(r) * sizeof(std::uint32_t)
-                              : dense_->words_per_row() * sizeof(std::uint64_t);
+    return dense_ != nullptr ? dense_->words_per_row() * sizeof(std::uint64_t)
+                             : sview().row_size(r) * sizeof(std::uint32_t);
   }
 
   /// Total row-payload bytes across the store (excludes row_ptr overhead).
@@ -186,17 +204,31 @@ class RowStore {
   [[nodiscard]] std::size_t hamming_with_packed(std::span<const std::uint64_t> q,
                                                 std::size_t b) const noexcept;
 
-  /// CSR copy of the viewed matrix (conversion when dense). Lets consumers
-  /// that are natively sparse (inverted indexes) run off either backend.
+  /// CSR copy of the viewed matrix (conversion when dense, deep copy when
+  /// view-backed). Lets consumers that are natively sparse (inverted indexes)
+  /// run off any backend.
   [[nodiscard]] CsrMatrix to_csr() const;
 
-  /// Underlying matrices; null for the backend not in use.
+  /// Underlying matrices; null for the backend not in use. A view-backed
+  /// store has no CsrMatrix, so sparse_matrix() is null there — use
+  /// csr_view() (or to_csr()) when the raw arrays are all that's needed.
   [[nodiscard]] const BitMatrix* dense_matrix() const noexcept { return dense_; }
   [[nodiscard]] const CsrMatrix* sparse_matrix() const noexcept { return sparse_; }
 
+  /// Raw CSR spans of the sparse backend (empty spans on the dense backend).
+  /// Valid only until the next mutation of the underlying storage.
+  [[nodiscard]] CsrView csr_view() const noexcept { return dense_ != nullptr ? CsrView{} : sview(); }
+
  private:
+  /// Sparse-shaped arrays: re-derived through the matrix pointer on every
+  /// access (mutation-tolerant), or the captured spans for view backends.
+  [[nodiscard]] CsrView sview() const noexcept {
+    return sparse_ != nullptr ? sparse_->view() : span_;
+  }
+
   const BitMatrix* dense_ = nullptr;
-  const CsrMatrix* sparse_ = nullptr;
+  const CsrMatrix* sparse_ = nullptr;  // set only when constructed from one
+  CsrView span_;                       // engaged for view-backed stores
 };
 
 }  // namespace rolediet::linalg

@@ -1,0 +1,244 @@
+#include "store/body.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/digest.hpp"
+
+namespace rolediet::store {
+
+namespace {
+
+// Row pointers are served straight out of the mapping as size_t spans.
+static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+              "mmap body requires 64-bit size_t");
+static_assert(sizeof(core::Id) == sizeof(std::uint32_t));
+
+constexpr char kBodyMagic[8] = {'R', 'D', 'B', 'O', 'D', 'Y', '1', '\0'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 5 * 8;  // 56, already 8-aligned
+
+void append_bytes(std::vector<char>& out, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+void append_u32(std::vector<char>& out, std::uint32_t v) { append_bytes(out, &v, sizeof(v)); }
+void append_u64(std::vector<char>& out, std::uint64_t v) { append_bytes(out, &v, sizeof(v)); }
+
+[[noreturn]] void fail(const std::string& what) { throw BodyError("body: " + what); }
+
+[[nodiscard]] std::uint64_t read_u64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+[[nodiscard]] std::uint32_t read_u32(const char* p) noexcept {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void check_axis(const BodyAxisData& axis, std::size_t roles) {
+  if (axis.row_ptr.size() != roles + 1 || axis.row_ptr.front() != 0 ||
+      axis.row_ptr.back() != axis.cols_idx.size()) {
+    fail("inconsistent axis arrays");
+  }
+}
+
+void fsync_fd(int fd, const std::filesystem::path& path) {
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    fail("fsync " + path.string() + ": " + std::strerror(err));
+  }
+}
+
+void fsync_dir(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort; rename already happened
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_body_file(const std::filesystem::path& path, std::span<const core::Id> roles,
+                     const BodyAxisData& users, const BodyAxisData& perms) {
+  check_axis(users, roles.size());
+  check_axis(perms, roles.size());
+
+  std::vector<char> buf;
+  const std::size_t k = roles.size();
+  buf.reserve(kHeaderBytes + (k + 1) * 16 + k * 4 +
+              (users.cols_idx.size() + perms.cols_idx.size()) * 4 + 16);
+  append_bytes(buf, kBodyMagic, sizeof(kBodyMagic));
+  append_u32(buf, kBodyFormatVersion);
+  append_u32(buf, 2);
+  append_u64(buf, k);
+  append_u64(buf, users.cols);
+  append_u64(buf, users.cols_idx.size());
+  append_u64(buf, perms.cols);
+  append_u64(buf, perms.cols_idx.size());
+  for (const std::size_t v : users.row_ptr) append_u64(buf, v);
+  for (const std::size_t v : perms.row_ptr) append_u64(buf, v);
+  append_bytes(buf, roles.data(), roles.size_bytes());
+  append_bytes(buf, users.cols_idx.data(), users.cols_idx.size_bytes());
+  append_bytes(buf, perms.cols_idx.data(), perms.cols_idx.size_bytes());
+  while (buf.size() % 8 != 0) buf.push_back(0);
+  core::ContentDigest digest;
+  digest.bytes(buf.data(), buf.size());
+  append_u64(buf, digest.value());
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    const int err = errno;
+    fail("open " + tmp.string() + ": " + std::strerror(err));
+  }
+  std::size_t written = 0;
+  while (written < buf.size()) {
+    const ::ssize_t n = ::write(fd, buf.data() + written, buf.size() - written);
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      fail("write " + tmp.string() + ": " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  fsync_fd(fd, tmp);
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) fail("rename " + tmp.string() + " -> " + path.string() + ": " + ec.message());
+  fsync_dir(path.parent_path());
+}
+
+MmapBody::MmapBody(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    const int err = errno;
+    fail("open " + path.string() + ": " + std::strerror(err));
+  }
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("stat " + path.string() + ": " + std::strerror(err));
+  }
+  map_size_ = static_cast<std::size_t>(st.st_size);
+  if (map_size_ < kHeaderBytes + 8) {
+    ::close(fd);
+    fail("truncated body " + path.string());
+  }
+  map_ = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    fail("mmap " + path.string());
+  }
+
+  const char* base = static_cast<const char*>(map_);
+  if (std::memcmp(base, kBodyMagic, sizeof(kBodyMagic)) != 0) {
+    unmap();
+    fail("bad magic in " + path.string());
+  }
+  if (read_u32(base + 8) != kBodyFormatVersion || read_u32(base + 12) != 2) {
+    unmap();
+    fail("unsupported body format in " + path.string());
+  }
+  const std::uint64_t k = read_u64(base + 16);
+  const std::uint64_t users_cols = read_u64(base + 24);
+  const std::uint64_t users_nnz = read_u64(base + 32);
+  const std::uint64_t perms_cols = read_u64(base + 40);
+  const std::uint64_t perms_nnz = read_u64(base + 48);
+
+  std::size_t payload = kHeaderBytes + (k + 1) * 16 + k * 4 + (users_nnz + perms_nnz) * 4;
+  payload = (payload + 7) / 8 * 8;
+  if (payload + 8 != map_size_) {
+    unmap();
+    fail("size mismatch in " + path.string());
+  }
+  core::ContentDigest digest;
+  digest.bytes(base, payload);
+  if (digest.value() != read_u64(base + payload)) {
+    unmap();
+    fail("checksum mismatch in " + path.string());
+  }
+
+  const auto* users_ptr = reinterpret_cast<const std::size_t*>(base + kHeaderBytes);
+  const auto* perms_ptr = users_ptr + (k + 1);
+  const auto* roles_ptr = reinterpret_cast<const core::Id*>(perms_ptr + (k + 1));
+  const auto* users_idx = roles_ptr + k;
+  const auto* perms_idx = users_idx + users_nnz;
+
+  // Framing checks: monotone row pointers ending at nnz, increasing gids.
+  // Content validity of the column runs is re-checked by CsrMatrix::from_csr
+  // whenever the engine rebuilds a matrix from these rows.
+  auto check_ptrs = [&](const std::size_t* p, std::uint64_t nnz) {
+    if (p[0] != 0 || p[k] != nnz) return false;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      if (p[i] > p[i + 1]) return false;
+    }
+    return true;
+  };
+  if (!check_ptrs(users_ptr, users_nnz) || !check_ptrs(perms_ptr, perms_nnz)) {
+    unmap();
+    fail("bad row pointers in " + path.string());
+  }
+  for (std::uint64_t i = 1; i < k; ++i) {
+    if (roles_ptr[i] <= roles_ptr[i - 1]) {
+      unmap();
+      fail("role ids not increasing in " + path.string());
+    }
+  }
+
+  roles_ = {roles_ptr, static_cast<std::size_t>(k)};
+  users_ = {{users_ptr, static_cast<std::size_t>(k + 1)},
+            {users_idx, static_cast<std::size_t>(users_nnz)},
+            static_cast<std::size_t>(users_cols)};
+  perms_ = {{perms_ptr, static_cast<std::size_t>(k + 1)},
+            {perms_idx, static_cast<std::size_t>(perms_nnz)},
+            static_cast<std::size_t>(perms_cols)};
+}
+
+void MmapBody::unmap() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+  roles_ = {};
+  users_ = {};
+  perms_ = {};
+}
+
+MmapBody::~MmapBody() { unmap(); }
+
+MmapBody::MmapBody(MmapBody&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      roles_(std::exchange(other.roles_, {})),
+      users_(std::exchange(other.users_, {})),
+      perms_(std::exchange(other.perms_, {})) {}
+
+MmapBody& MmapBody::operator=(MmapBody&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    roles_ = std::exchange(other.roles_, {});
+    users_ = std::exchange(other.users_, {});
+    perms_ = std::exchange(other.perms_, {});
+  }
+  return *this;
+}
+
+}  // namespace rolediet::store

@@ -1,0 +1,827 @@
+#include "store/sharded_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "core/digest.hpp"
+#include "store/snapshot.hpp"
+
+namespace rolediet::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'R', 'D', 'M', 'A', 'N', '1', '\0', '\0'};
+constexpr char kNamesMagic[8] = {'R', 'D', 'N', 'A', 'M', 'E', '1', '\0'};
+constexpr std::uint32_t kManifestFormatVersion = 1;
+constexpr std::uint32_t kNamesFormatVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) { throw StoreError("sharded store: " + what); }
+
+// ------------------------------------------------------------- file naming --
+
+[[nodiscard]] std::string generation_suffix(std::uint64_t id) {
+  std::string digits = std::to_string(id);
+  return std::string(20 - std::min<std::size_t>(20, digits.size()), '0') + digits;
+}
+
+[[nodiscard]] std::string shard_dir_name(std::size_t s) {
+  std::string digits = std::to_string(s);
+  return "shard-" + std::string(3 - std::min<std::size_t>(3, digits.size()), '0') + digits;
+}
+
+[[nodiscard]] fs::path manifest_path(const fs::path& dir) { return dir / "MANIFEST"; }
+
+[[nodiscard]] fs::path names_path(const fs::path& dir, std::uint64_t id) {
+  return dir / ("names-" + generation_suffix(id) + ".rdnames");
+}
+
+[[nodiscard]] fs::path body_path(const fs::path& dir, std::size_t s, std::uint64_t id) {
+  return dir / shard_dir_name(s) / ("body-" + generation_suffix(id) + ".rdbody");
+}
+
+// --------------------------------------------------- little-endian buffers --
+
+void append_bytes(std::vector<char>& out, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+void append_u32(std::vector<char>& out, std::uint32_t v) { append_bytes(out, &v, sizeof(v)); }
+void append_u64(std::vector<char>& out, std::uint64_t v) { append_bytes(out, &v, sizeof(v)); }
+
+void append_str(std::vector<char>& out, const std::string& s) {
+  append_u64(out, s.size());
+  append_bytes(out, s.data(), s.size());
+}
+
+/// Sequential reader over a digest-verified buffer; every accessor throws
+/// StoreError past the end, so malformed files cannot walk out of bounds.
+struct Cursor {
+  const char* p;
+  const char* end;
+  std::string what;
+
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - p) < n) fail("truncated " + what);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    std::memcpy(&v, p, sizeof(v));
+    p += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, sizeof(v));
+    p += 8;
+    return v;
+  }
+  [[nodiscard]] std::string str() {
+    const std::uint64_t len = u64();
+    need(len);
+    std::string s(p, len);
+    p += len;
+    return s;
+  }
+};
+
+/// tmp + fsync + rename, the same atomic-replace dance body.cpp does.
+void write_file_atomic(const fs::path& path, const std::vector<char>& buf) {
+  const fs::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open " + tmp.string() + ": " + std::strerror(errno));
+  std::size_t written = 0;
+  while (written < buf.size()) {
+    const ::ssize_t n = ::write(fd, buf.data() + written, buf.size() - written);
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      fail("write " + tmp.string() + ": " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("fsync " + tmp.string() + ": " + std::strerror(err));
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fail("rename " + tmp.string() + " -> " + path.string() + ": " + ec.message());
+  const int dir_fd = ::open(path.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+/// Reads the whole file, verifies the trailing FNV digest, and returns the
+/// payload bytes (digest stripped).
+[[nodiscard]] std::vector<char> read_digested_file(const fs::path& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(std::string("cannot open ") + what + " " + path.string());
+  std::vector<char> buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (buf.size() < 8) fail(std::string("truncated ") + what + " " + path.string());
+  core::ContentDigest digest;
+  digest.bytes(buf.data(), buf.size() - 8);
+  std::uint64_t recorded = 0;
+  std::memcpy(&recorded, buf.data() + buf.size() - 8, 8);
+  if (digest.value() != recorded) {
+    fail(std::string("checksum mismatch in ") + what + " " + path.string());
+  }
+  buf.resize(buf.size() - 8);
+  return buf;
+}
+
+// ------------------------------------------------------- manifest + names --
+
+struct Manifest {
+  std::uint32_t shards = 0;
+  std::uint64_t initial_roles = 0;
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t engine_version = 0;
+  std::uint64_t audits = 0;
+  std::uint64_t num_users = 0;
+  std::uint64_t num_roles = 0;
+  std::uint64_t num_perms = 0;
+  std::uint64_t coord_records = 0;
+  std::vector<std::uint64_t> shard_records;
+};
+
+void write_manifest(const fs::path& dir, const Manifest& m) {
+  std::vector<char> buf;
+  append_bytes(buf, kManifestMagic, sizeof(kManifestMagic));
+  append_u32(buf, kManifestFormatVersion);
+  append_u32(buf, m.shards);
+  append_u64(buf, m.initial_roles);
+  append_u64(buf, m.checkpoint_id);
+  append_u64(buf, m.engine_version);
+  append_u64(buf, m.audits);
+  append_u64(buf, m.num_users);
+  append_u64(buf, m.num_roles);
+  append_u64(buf, m.num_perms);
+  append_u64(buf, m.coord_records);
+  for (const std::uint64_t n : m.shard_records) append_u64(buf, n);
+  core::ContentDigest digest;
+  digest.bytes(buf.data(), buf.size());
+  append_u64(buf, digest.value());
+  write_file_atomic(manifest_path(dir), buf);
+}
+
+[[nodiscard]] Manifest read_manifest(const fs::path& dir) {
+  const fs::path path = manifest_path(dir);
+  if (!fs::is_regular_file(path)) fail("no manifest in " + dir.string());
+  const std::vector<char> buf = read_digested_file(path, "manifest");
+  Cursor cur{buf.data(), buf.data() + buf.size(), "manifest " + path.string()};
+  cur.need(sizeof(kManifestMagic));
+  if (std::memcmp(cur.p, kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    fail("bad magic in manifest " + path.string());
+  }
+  cur.p += sizeof(kManifestMagic);
+  if (cur.u32() != kManifestFormatVersion) {
+    fail("unsupported manifest format in " + path.string());
+  }
+  Manifest m;
+  m.shards = cur.u32();
+  if (m.shards == 0) fail("manifest names zero shards in " + path.string());
+  m.initial_roles = cur.u64();
+  m.checkpoint_id = cur.u64();
+  m.engine_version = cur.u64();
+  m.audits = cur.u64();
+  m.num_users = cur.u64();
+  m.num_roles = cur.u64();
+  m.num_perms = cur.u64();
+  m.coord_records = cur.u64();
+  m.shard_records.reserve(m.shards);
+  for (std::uint32_t s = 0; s < m.shards; ++s) m.shard_records.push_back(cur.u64());
+  if (cur.p != cur.end) fail("trailing bytes in manifest " + path.string());
+  return m;
+}
+
+struct Names {
+  std::vector<std::string> users;
+  std::vector<std::string> roles;
+  std::vector<std::string> perms;
+};
+
+void write_names(const fs::path& path, const core::ShardedEngine& engine) {
+  std::vector<char> buf;
+  append_bytes(buf, kNamesMagic, sizeof(kNamesMagic));
+  append_u32(buf, kNamesFormatVersion);
+  append_u32(buf, 0);  // reserved
+  append_u64(buf, engine.num_users());
+  append_u64(buf, engine.num_roles());
+  append_u64(buf, engine.num_permissions());
+  for (const std::string& name : engine.user_names()) append_str(buf, name);
+  for (const std::string& name : engine.role_names()) append_str(buf, name);
+  for (const std::string& name : engine.permission_names()) append_str(buf, name);
+  core::ContentDigest digest;
+  digest.bytes(buf.data(), buf.size());
+  append_u64(buf, digest.value());
+  write_file_atomic(path, buf);
+}
+
+[[nodiscard]] Names read_names(const fs::path& path) {
+  const std::vector<char> buf = read_digested_file(path, "names file");
+  Cursor cur{buf.data(), buf.data() + buf.size(), "names file " + path.string()};
+  cur.need(sizeof(kNamesMagic));
+  if (std::memcmp(cur.p, kNamesMagic, sizeof(kNamesMagic)) != 0) {
+    fail("bad magic in names file " + path.string());
+  }
+  cur.p += sizeof(kNamesMagic);
+  if (cur.u32() != kNamesFormatVersion) {
+    fail("unsupported names format in " + path.string());
+  }
+  (void)cur.u32();  // reserved
+  Names names;
+  const std::uint64_t nu = cur.u64();
+  const std::uint64_t nr = cur.u64();
+  const std::uint64_t np = cur.u64();
+  names.users.reserve(nu);
+  names.roles.reserve(nr);
+  names.perms.reserve(np);
+  for (std::uint64_t i = 0; i < nu; ++i) names.users.push_back(cur.str());
+  for (std::uint64_t i = 0; i < nr; ++i) names.roles.push_back(cur.str());
+  for (std::uint64_t i = 0; i < np; ++i) names.perms.push_back(cur.str());
+  if (cur.p != cur.end) fail("trailing bytes in names file " + path.string());
+  return names;
+}
+
+// ---------------------------------------------------------- record grammar --
+
+[[nodiscard]] bool parse_id(std::string_view text, core::Id* out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+[[nodiscard]] bool parse_u64_field(std::string_view text, std::uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// `c,<n0>,...,<nS-1>` — exactly `shards` absolute per-shard record counts.
+[[nodiscard]] std::vector<std::uint64_t> parse_commit_marker(std::string_view payload,
+                                                             std::size_t shards) {
+  std::vector<std::uint64_t> cuts;
+  cuts.reserve(shards);
+  std::string_view rest = payload.substr(2);  // past "c,"
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view field = rest.substr(0, comma);
+    std::uint64_t value = 0;
+    if (!parse_u64_field(field, &value)) fail("corrupt commit marker: " + std::string(payload));
+    cuts.push_back(value);
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  if (cuts.size() != shards) {
+    fail("commit marker names " + std::to_string(cuts.size()) + " shards, store has " +
+         std::to_string(shards));
+  }
+  return cuts;
+}
+
+struct EdgeRecord {
+  enum class Op { kAssignUser, kRevokeUser, kGrantPermission, kRevokePermission } op;
+  core::Id role = 0;
+  core::Id entity = 0;
+};
+
+[[nodiscard]] EdgeRecord parse_edge_record(std::string_view payload) {
+  EdgeRecord rec;
+  if (payload.size() < 3 || payload[2] != ',') fail("corrupt edge record: " + std::string(payload));
+  const std::string_view op = payload.substr(0, 2);
+  if (op == "au") {
+    rec.op = EdgeRecord::Op::kAssignUser;
+  } else if (op == "ru") {
+    rec.op = EdgeRecord::Op::kRevokeUser;
+  } else if (op == "gp") {
+    rec.op = EdgeRecord::Op::kGrantPermission;
+  } else if (op == "rp") {
+    rec.op = EdgeRecord::Op::kRevokePermission;
+  } else {
+    fail("unknown edge record: " + std::string(payload));
+  }
+  const std::string_view rest = payload.substr(3);
+  const std::size_t comma = rest.find(',');
+  if (comma == std::string_view::npos || !parse_id(rest.substr(0, comma), &rec.role) ||
+      !parse_id(rest.substr(comma + 1), &rec.entity)) {
+    fail("corrupt edge record: " + std::string(payload));
+  }
+  return rec;
+}
+
+// ---------------------------------------------------------------- log scan --
+
+/// One WAL stream's surviving records at/after its manifest cut, plus where
+/// each record starts on disk (for uncommitted-tail truncation) and where a
+/// clean append could resume.
+struct ScannedLog {
+  fs::path dir;
+  std::uint64_t base = 0;  ///< manifest cut: records below are baked into bodies
+  std::uint64_t end = 0;   ///< one past the last surviving record
+  std::vector<std::string> payloads;  ///< records [base, end)
+  std::vector<std::pair<fs::path, std::uint64_t>> starts;  ///< per record: segment, offset
+  std::optional<fs::path> resume;
+  std::uint64_t resume_offset = 0;
+};
+
+/// EngineStore::open's segment walk, generalized: damage is survivable only
+/// at the very tail (torn final record truncated, torn-header final segment
+/// deleted); gaps or damage anywhere else fail the open.
+[[nodiscard]] ScannedLog scan_log(const fs::path& dir, std::uint64_t base,
+                                  ShardedRecoveryInfo& info) {
+  ScannedLog log;
+  log.dir = dir;
+  log.base = base;
+  const std::vector<fs::path> segments = list_wal_segments(dir);
+  std::optional<std::uint64_t> expected;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    std::unique_ptr<WalSegmentReader> reader;
+    try {
+      reader = std::make_unique<WalSegmentReader>(segments[i]);
+    } catch (const WalTornHeader& e) {
+      if (!last) fail("WAL damage before the log tail: " + std::string(e.what()));
+      std::error_code ec;
+      fs::remove(segments[i], ec);
+      if (ec) fail("cannot drop torn segment " + segments[i].string() + ": " + ec.message());
+      info.dropped_torn_segment = true;
+      break;
+    } catch (const WalError& e) {
+      fail(std::string(e.what()));
+    }
+
+    if (expected && reader->start_record() != *expected) {
+      fail("WAL gap: segment " + segments[i].string() + " starts at record " +
+           std::to_string(reader->start_record()) + ", expected " + std::to_string(*expected));
+    }
+    if (!expected && reader->start_record() > base) {
+      fail("WAL in " + dir.string() + " is missing records " + std::to_string(base) + ".." +
+           std::to_string(reader->start_record()) + " needed by the manifest");
+    }
+
+    std::string payload;
+    while (true) {
+      const std::uint64_t record_start = reader->offset();
+      try {
+        if (!reader->next(payload)) break;
+      } catch (const WalTornTail& e) {
+        if (!last) fail("WAL damage before the log tail: " + std::string(e.what()));
+        std::error_code ec;
+        const std::uintmax_t size = fs::file_size(segments[i], ec);
+        if (!ec) fs::resize_file(segments[i], reader->offset(), ec);
+        if (ec) {
+          fail("cannot truncate torn tail of " + segments[i].string() + ": " + ec.message());
+        }
+        info.truncated_bytes += size - reader->offset();
+        break;
+      }
+      if (reader->record_index() - 1 >= base) {
+        log.payloads.push_back(payload);
+        log.starts.emplace_back(segments[i], record_start);
+      }
+    }
+    expected = reader->record_index();
+    log.resume = segments[i];
+    log.resume_offset = reader->offset();
+  }
+  log.end = expected.value_or(base);
+  if (log.end < base) {
+    // The log lost records the bodies already contain (possible only under
+    // FsyncPolicy::kNone); appends restart at the manifest cut.
+    log.payloads.clear();
+    log.starts.clear();
+  }
+  return log;
+}
+
+/// Drops records at/after `cut`: deletes whole segments past the cut point
+/// and resizes the segment holding it. The records were part of batches
+/// whose commit never became durable.
+void truncate_uncommitted(ScannedLog& log, std::uint64_t cut, ShardedRecoveryInfo& info) {
+  if (log.end <= cut) return;
+  const std::size_t i = cut - log.base;
+  const fs::path segment = log.starts[i].first;
+  const std::uint64_t offset = log.starts[i].second;
+  const std::optional<std::uint64_t> keep_start = wal_segment_start(segment);
+  for (const fs::path& other : list_wal_segments(log.dir)) {
+    const std::optional<std::uint64_t> start = wal_segment_start(other);
+    if (!start || !keep_start || *start <= *keep_start) continue;
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(other, ec);
+    if (!ec) info.truncated_bytes += size;
+    fs::remove(other, ec);
+    if (ec) fail("cannot drop uncommitted segment " + other.string() + ": " + ec.message());
+  }
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(segment, ec);
+  if (!ec) fs::resize_file(segment, offset, ec);
+  if (ec) fail("cannot truncate uncommitted tail of " + segment.string() + ": " + ec.message());
+  info.truncated_bytes += size - offset;
+  info.discarded_records += log.end - cut;
+  log.end = cut;
+  log.payloads.resize(i);
+  log.starts.resize(i);
+  log.resume = segment;
+  log.resume_offset = offset;
+}
+
+/// Reopens a stream for appending at record `next`, resuming the surviving
+/// segment when it ends exactly there (else a fresh segment — including the
+/// under-kNone case where the log lost its tail and next > end).
+void start_wal_from(Wal& wal, const ScannedLog& log, std::uint64_t next) {
+  if (log.resume && log.end == next) {
+    wal.start(next, log.resume, log.resume_offset);
+  } else {
+    wal.start(next, std::nullopt, 0);
+  }
+}
+
+// ------------------------------------------------------------------ replay --
+
+void replay_intern(core::ShardedEngine& engine, std::string_view payload,
+                   ShardedRecoveryInfo& info) {
+  if (payload.size() < 3 || payload[2] != ',') {
+    fail("corrupt coordinator record: " + std::string(payload));
+  }
+  std::string name(payload.substr(3));
+  const std::string_view kind = payload.substr(0, 2);
+  bool grew = false;
+  if (kind == "nu") {
+    const std::size_t before = engine.num_users();
+    engine.add_user(std::move(name));
+    grew = engine.num_users() == before + 1;
+  } else if (kind == "nr") {
+    const std::size_t before = engine.num_roles();
+    engine.add_role(std::move(name));
+    grew = engine.num_roles() == before + 1;
+  } else if (kind == "np") {
+    const std::size_t before = engine.num_permissions();
+    engine.add_permission(std::move(name));
+    grew = engine.num_permissions() == before + 1;
+  } else {
+    fail("unknown coordinator record: " + std::string(payload));
+  }
+  // An intern record was only written when the name was new; a collision
+  // means the log and checkpoint disagree about interning history.
+  if (!grew) fail("intern replay collision: " + std::string(payload));
+  ++info.replayed_interns;
+}
+
+void replay_edge(core::ShardedEngine& engine, std::string_view payload,
+                 ShardedRecoveryInfo& info) {
+  const EdgeRecord rec = parse_edge_record(payload);
+  try {
+    switch (rec.op) {
+      case EdgeRecord::Op::kAssignUser:
+        engine.assign_user(rec.role, rec.entity);
+        break;
+      case EdgeRecord::Op::kRevokeUser:
+        engine.revoke_user(rec.role, rec.entity);
+        break;
+      case EdgeRecord::Op::kGrantPermission:
+        engine.grant_permission(rec.role, rec.entity);
+        break;
+      case EdgeRecord::Op::kRevokePermission:
+        engine.revoke_permission(rec.role, rec.entity);
+        break;
+    }
+  } catch (const std::out_of_range&) {
+    fail("edge record references an id the store never interned: " + std::string(payload));
+  }
+  ++info.replayed_edges;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- construction --
+
+ShardedEngineStore::ShardedEngineStore(fs::path dir, StoreOptions store_options,
+                                       std::size_t shards)
+    : dir_(std::move(dir)),
+      store_options_(store_options),
+      coord_(dir_ / "coord", store_options.fsync, store_options.wal_segment_bytes) {
+  shard_wals_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_wals_.emplace_back(dir_ / shard_dir_name(s), store_options.fsync,
+                             store_options.wal_segment_bytes);
+  }
+}
+
+bool ShardedEngineStore::is_sharded_store(const fs::path& dir) {
+  std::error_code ec;
+  return fs::is_regular_file(manifest_path(dir), ec);
+}
+
+ShardedEngineStore ShardedEngineStore::create(const fs::path& dir,
+                                              const core::RbacDataset& dataset,
+                                              std::size_t shards,
+                                              const core::AuditOptions& options,
+                                              StoreOptions store_options) {
+  if (shards == 0) fail("shards must be >= 1");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) fail("cannot create directory " + dir.string() + ": " + ec.message());
+  if (is_sharded_store(dir)) fail(dir.string() + " already holds a sharded store");
+  if (!list_snapshots(dir).empty() || !list_wal_segments(dir).empty()) {
+    fail(dir.string() + " already holds an unsharded store");
+  }
+  fs::create_directories(dir / "coord", ec);
+  if (ec) fail("cannot create " + (dir / "coord").string() + ": " + ec.message());
+  for (std::size_t s = 0; s < shards; ++s) {
+    fs::create_directories(dir / shard_dir_name(s), ec);
+    if (ec) fail("cannot create " + (dir / shard_dir_name(s)).string() + ": " + ec.message());
+  }
+
+  ShardedEngineStore store(dir, store_options, shards);
+  store.engine_ = std::make_unique<core::ShardedEngine>(dataset, shards, options);
+  store.write_checkpoint_files(0);
+  store.checkpoint_id_ = 0;
+  store.recovery_.checkpoint_id = 0;
+  store.recovery_.manifest_shard_records.assign(shards, 0);
+  store.coord_.start(0, std::nullopt, 0);
+  for (Wal& wal : store.shard_wals_) wal.start(0, std::nullopt, 0);
+  return store;
+}
+
+ShardedEngineStore ShardedEngineStore::open(const fs::path& dir,
+                                            const core::AuditOptions& options,
+                                            StoreOptions store_options) {
+  if (!fs::is_directory(dir)) fail("no such directory " + dir.string());
+  const Manifest manifest = read_manifest(dir);
+  ShardedEngineStore store(dir, store_options, manifest.shards);
+  store.checkpoint_id_ = manifest.checkpoint_id;
+  ShardedRecoveryInfo& info = store.recovery_;
+  info.checkpoint_id = manifest.checkpoint_id;
+  info.manifest_coord_records = manifest.coord_records;
+  info.manifest_shard_records = manifest.shard_records;
+
+  // 1. Checkpoint image: names + one mmap'd body per shard.
+  Names names = read_names(names_path(dir, manifest.checkpoint_id));
+  if (names.users.size() != manifest.num_users || names.roles.size() != manifest.num_roles ||
+      names.perms.size() != manifest.num_perms) {
+    fail("names file does not match the manifest's entity counts");
+  }
+  std::vector<core::ShardedEngine::ShardImage> images;
+  images.reserve(manifest.shards);
+  store.bodies_.reserve(manifest.shards);
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    const fs::path body = body_path(dir, s, manifest.checkpoint_id);
+    try {
+      store.bodies_.emplace_back(body);
+    } catch (const BodyError& e) {
+      fail(std::string(e.what()));
+    }
+    const MmapBody& mapped = store.bodies_.back();
+    images.push_back({{mapped.roles().begin(), mapped.roles().end()},
+                      mapped.users(),
+                      mapped.perms()});
+  }
+  try {
+    store.engine_ = std::make_unique<core::ShardedEngine>(
+        std::move(names.users), std::move(names.roles), std::move(names.perms),
+        std::move(images), manifest.initial_roles, manifest.engine_version, manifest.audits,
+        options);
+  } catch (const std::invalid_argument& e) {
+    fail("checkpoint does not restore: " + std::string(e.what()));
+  }
+
+  // 2. Surviving WAL tails of all S+1 streams.
+  ScannedLog coord = scan_log(dir / "coord", manifest.coord_records, info);
+  std::vector<ScannedLog> shards;
+  shards.reserve(manifest.shards);
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    shards.push_back(scan_log(dir / shard_dir_name(s), manifest.shard_records[s], info));
+  }
+
+  // 3. Walk the coordinator log marker by marker. A batch is committed iff
+  // its marker survives and every shard record the marker claims survives
+  // too; cuts are monotone, so the first unsatisfiable marker ends replay.
+  std::vector<std::uint64_t> applied = manifest.shard_records;
+  std::uint64_t coord_applied = manifest.coord_records;
+  std::size_t pending_begin = 0;
+  for (std::size_t i = 0; i < coord.payloads.size(); ++i) {
+    const std::string& payload = coord.payloads[i];
+    if (payload.rfind("c,", 0) != 0) {
+      if (payload.size() < 3 || payload[2] != ',' ||
+          (payload.rfind("nu", 0) != 0 && payload.rfind("nr", 0) != 0 &&
+           payload.rfind("np", 0) != 0)) {
+        fail("unknown coordinator record: " + payload);
+      }
+      continue;  // intern: applied when its batch's marker proves committed
+    }
+    const std::vector<std::uint64_t> cuts = parse_commit_marker(payload, manifest.shards);
+    bool satisfiable = true;
+    for (std::size_t s = 0; s < cuts.size(); ++s) {
+      if (cuts[s] < applied[s]) fail("commit marker cut goes backwards: " + payload);
+      if (cuts[s] != applied[s] && cuts[s] > shards[s].end) {
+        satisfiable = false;  // shard records lost before their marker synced
+        break;
+      }
+    }
+    if (!satisfiable) break;
+    for (std::size_t j = pending_begin; j < i; ++j) {
+      replay_intern(*store.engine_, coord.payloads[j], info);
+    }
+    for (std::size_t s = 0; s < cuts.size(); ++s) {
+      for (std::uint64_t idx = applied[s]; idx < cuts[s]; ++idx) {
+        replay_edge(*store.engine_, shards[s].payloads[idx - shards[s].base], info);
+      }
+      applied[s] = cuts[s];
+    }
+    pending_begin = i + 1;
+    coord_applied = coord.base + i + 1;
+    ++info.commits_applied;
+  }
+
+  // 4. Drop uncommitted tails and reopen every stream for appending.
+  truncate_uncommitted(coord, coord_applied, info);
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    truncate_uncommitted(shards[s], applied[s], info);
+  }
+  start_wal_from(store.coord_, coord, std::max(coord.end, coord_applied));
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    start_wal_from(store.shard_wals_[s], shards[s], std::max(shards[s].end, applied[s]));
+  }
+  return store;
+}
+
+// --------------------------------------------------------------- mutation --
+
+void ShardedEngineStore::apply(const core::RbacDelta& delta) {
+  core::ShardedEngine& engine = *engine_;
+  std::vector<std::string> coord_records;
+  std::vector<std::vector<std::string>> shard_records(shard_wals_.size());
+
+  // The engine runs first so effectiveness (new name? effective edge?) is
+  // decided once, by the engine itself; the captured records replay through
+  // the same mutators, so recovery reaches the identical state and version.
+  const auto intern_user = [&](const std::string& name) {
+    const std::size_t before = engine.num_users();
+    const core::Id id = engine.add_user(name);
+    if (engine.num_users() != before) coord_records.push_back("nu," + name);
+    return id;
+  };
+  const auto intern_role = [&](const std::string& name) {
+    const std::size_t before = engine.num_roles();
+    const core::Id id = engine.add_role(name);
+    if (engine.num_roles() != before) coord_records.push_back("nr," + name);
+    return id;
+  };
+  const auto intern_perm = [&](const std::string& name) {
+    const std::size_t before = engine.num_permissions();
+    const core::Id id = engine.add_permission(name);
+    if (engine.num_permissions() != before) coord_records.push_back("np," + name);
+    return id;
+  };
+  const auto route = [&](const char* op, core::Id role, core::Id entity) {
+    shard_records[engine.owner_shard(role)].push_back(
+        std::string(op) + "," + std::to_string(role) + "," + std::to_string(entity));
+  };
+
+  for (const core::Mutation& m : delta.mutations) {
+    switch (m.kind) {
+      case core::MutationKind::kAddUser:
+        intern_user(m.entity);
+        break;
+      case core::MutationKind::kAddRole:
+        intern_role(m.entity);
+        break;
+      case core::MutationKind::kAddPermission:
+        intern_perm(m.entity);
+        break;
+      case core::MutationKind::kAssignUser: {
+        const core::Id role = intern_role(m.role);
+        const core::Id user = intern_user(m.entity);
+        engine.assign_user(role, user);
+        route("au", role, user);
+        break;
+      }
+      case core::MutationKind::kGrantPermission: {
+        const core::Id role = intern_role(m.role);
+        const core::Id perm = intern_perm(m.entity);
+        engine.grant_permission(role, perm);
+        route("gp", role, perm);
+        break;
+      }
+      case core::MutationKind::kRevokeUser: {
+        const std::optional<core::Id> role = engine.find_role(m.role);
+        const std::optional<core::Id> user = engine.find_user(m.entity);
+        if (role && user) {
+          engine.revoke_user(*role, *user);
+          route("ru", *role, *user);
+        }
+        break;
+      }
+      case core::MutationKind::kRevokePermission: {
+        const std::optional<core::Id> role = engine.find_role(m.role);
+        const std::optional<core::Id> perm = engine.find_permission(m.entity);
+        if (role && perm) {
+          engine.revoke_permission(*role, *perm);
+          route("rp", *role, *perm);
+        }
+        break;
+      }
+    }
+  }
+
+  bool any = !coord_records.empty();
+  for (const auto& records : shard_records) any = any || !records.empty();
+  if (!any) return;  // nothing effective: no durable state to record
+
+  // Shard streams first, marker last: a durable marker implies its shard
+  // records are durable too (append_raw_batch syncs under kEveryBatch).
+  for (std::size_t s = 0; s < shard_records.size(); ++s) {
+    if (!shard_records[s].empty()) shard_wals_[s].append_raw_batch(shard_records[s]);
+  }
+  std::string marker = "c";
+  for (const Wal& wal : shard_wals_) marker += "," + std::to_string(wal.next_record());
+  coord_records.push_back(std::move(marker));
+  coord_.append_raw_batch(coord_records);
+}
+
+// ------------------------------------------------------------- checkpoint --
+
+void ShardedEngineStore::write_checkpoint_files(std::uint64_t id) {
+  for (std::size_t s = 0; s < shard_wals_.size(); ++s) {
+    const core::ShardedEngine::ShardExport exported = engine_->export_shard(s);
+    try {
+      write_body_file(body_path(dir_, s, id), exported.roles,
+                      {exported.users_row_ptr, exported.users_cols, engine_->num_users()},
+                      {exported.perms_row_ptr, exported.perms_cols, engine_->num_permissions()});
+    } catch (const BodyError& e) {
+      fail("checkpoint failed: " + std::string(e.what()));
+    }
+  }
+  write_names(names_path(dir_, id), *engine_);
+
+  Manifest manifest;
+  manifest.shards = static_cast<std::uint32_t>(shard_wals_.size());
+  manifest.initial_roles = engine_->initial_roles();
+  manifest.checkpoint_id = id;
+  manifest.engine_version = engine_->version();
+  manifest.audits = engine_->audits();
+  manifest.num_users = engine_->num_users();
+  manifest.num_roles = engine_->num_roles();
+  manifest.num_perms = engine_->num_permissions();
+  manifest.coord_records = coord_.next_record();
+  manifest.shard_records.reserve(shard_wals_.size());
+  for (const Wal& wal : shard_wals_) manifest.shard_records.push_back(wal.next_record());
+  write_manifest(dir_, manifest);  // rename = the checkpoint's commit point
+}
+
+void ShardedEngineStore::prune_stale_checkpoints(std::uint64_t keep) {
+  const auto prune_dir = [&](const fs::path& dir, const std::string& prefix,
+                             const std::string& suffix) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) != 0) continue;
+      if (name == prefix + generation_suffix(keep) + suffix) continue;
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);  // best effort: stale data only
+    }
+  };
+  prune_dir(dir_, "names-", ".rdnames");
+  for (std::size_t s = 0; s < shard_wals_.size(); ++s) {
+    prune_dir(dir_ / shard_dir_name(s), "body-", ".rdbody");
+  }
+}
+
+std::uint64_t ShardedEngineStore::checkpoint() {
+  // Everything the manifest will claim as "in the log" must be durable
+  // before the manifest that supersedes older checkpoints exists.
+  for (Wal& wal : shard_wals_) wal.sync();
+  coord_.sync();
+  const std::uint64_t id = checkpoint_id_ + 1;
+  write_checkpoint_files(id);
+  checkpoint_id_ = id;
+
+  coord_.rotate();
+  coord_.prune_below(coord_.next_record());
+  for (Wal& wal : shard_wals_) {
+    wal.rotate();
+    wal.prune_below(wal.next_record());
+  }
+  prune_stale_checkpoints(id);
+  return id;
+}
+
+}  // namespace rolediet::store

@@ -284,6 +284,16 @@ void Wal::append_batch(const core::RbacDelta& delta) {
   if (policy_ == FsyncPolicy::kEveryBatch && !delta.empty()) sync();
 }
 
+void Wal::append_raw(const std::string& payload) {
+  append_payload(payload, policy_ != FsyncPolicy::kNone);
+}
+
+void Wal::append_raw_batch(std::span<const std::string> payloads) {
+  for (const std::string& payload : payloads)
+    append_payload(payload, policy_ == FsyncPolicy::kEveryRecord);
+  if (policy_ == FsyncPolicy::kEveryBatch && !payloads.empty()) sync();
+}
+
 void Wal::sync() {
   if (fd_ >= 0) fsync_fd(fd_, active_path_);
 }

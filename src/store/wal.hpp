@@ -33,6 +33,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -136,6 +137,16 @@ class Wal {
 
   /// Appends the whole delta, syncing once at the end under kEveryBatch.
   void append_batch(const core::RbacDelta& delta);
+
+  /// Appends one raw payload under the same CRC framing. The sharded store
+  /// streams its own record grammar (shard-local id records, commit markers)
+  /// through the identical segment format; the frame does not care what the
+  /// payload says. Fsync policy applies as in append().
+  void append_raw(const std::string& payload);
+
+  /// Appends raw payloads as one batch: one fsync at the end under
+  /// kEveryBatch, per-record under kEveryRecord.
+  void append_raw_batch(std::span<const std::string> payloads);
 
   /// Explicit flush to stable storage regardless of policy.
   void sync();

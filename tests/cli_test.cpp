@@ -390,6 +390,62 @@ TEST(Cli, ReplayWithStorePersistsAcrossRecover) {
   EXPECT_NE(rec.out.find("replayed 0 WAL records -> 4 committed records"), std::string::npos);
 }
 
+TEST(Cli, ShardedStoreRoundTripsThroughAutoDetectingRecover) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  const CliResult init =
+      run_cli({"checkpoint", "--shards", "2", dir.path("data"), dir.path("store")});
+  ASSERT_EQ(init.code, 0) << init.err;
+  EXPECT_NE(init.out.find("baseline generation 0 across 2 shards"), std::string::npos);
+  EXPECT_TRUE(fs::is_regular_file(dir.path("store/MANIFEST")));
+
+  // recover auto-detects the sharded layout from the MANIFEST.
+  const CliResult rec = run_cli({"recover", dir.path("store")});
+  ASSERT_EQ(rec.code, 0) << rec.err;
+  EXPECT_NE(rec.out.find("recover: sharded checkpoint 0 across 2 shards"), std::string::npos);
+  EXPECT_NE(rec.out.find("replayed 0 commits"), std::string::npos);
+  EXPECT_NE(rec.out.find("dataset digest"), std::string::npos);
+
+  // churn streams into a sharded store and recover replays it back.
+  const CliResult churn = run_cli({"churn", "--shards", "3", "--employees", "20", "--years",
+                                   "1", "--fsync", "none", dir.path("churnstore")});
+  ASSERT_EQ(churn.code, 0) << churn.err;
+  EXPECT_NE(churn.out.find("3 shards"), std::string::npos);
+  EXPECT_NE(churn.out.find("churn: checkpoint generation"), std::string::npos);
+  const CliResult rec2 = run_cli({"recover", dir.path("churnstore")});
+  ASSERT_EQ(rec2.code, 0) << rec2.err;
+  EXPECT_NE(rec2.out.find("recover: sharded checkpoint"), std::string::npos);
+}
+
+TEST(Cli, ShardedAuditMatchesUnshardedFindings) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  const CliResult unsharded = run_cli({"audit", dir.path("data")});
+  const CliResult sharded = run_cli({"audit", "--shards", "2", dir.path("data")});
+  ASSERT_EQ(unsharded.code, 0) << unsharded.err;
+  ASSERT_EQ(sharded.code, 0) << sharded.err;
+  // Finding lines are identical; timings and work counters legitimately
+  // differ, so drop those before comparing.
+  const auto strip = [](const std::string& text) {
+    std::istringstream in(text);
+    std::ostringstream kept;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("finder work:") != std::string::npos ||
+          line.find("total detection time") != std::string::npos) {
+        continue;
+      }
+      const std::size_t open = line.find(" (");
+      if (open != std::string::npos && line.find(" groups / ") != std::string::npos)
+        line.resize(open);
+      kept << line << "\n";
+    }
+    return kept.str();
+  };
+  EXPECT_EQ(strip(sharded.out), strip(unsharded.out));
+  EXPECT_EQ(run_cli({"audit", "--shards", "0", dir.path("data")}).code, 2);
+}
+
 TEST(Cli, StoreCommandsRejectBadArguments) {
   CliDir dir;
   io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
@@ -397,8 +453,9 @@ TEST(Cli, StoreCommandsRejectBadArguments) {
   EXPECT_EQ(run_cli({"recover"}).code, 2);                       // missing store dir
   EXPECT_EQ(run_cli({"recover", dir.path("nostore")}).code, 1);  // no snapshot there
   EXPECT_EQ(run_cli({"replay", "--fsync", "sometimes", dir.path("data"), "j.csv"}).code, 2);
-  // --checkpoint-every without --store makes no sense.
+  // --checkpoint-every / --shards without --store make no sense.
   EXPECT_EQ(run_cli({"replay", "--checkpoint-every", "2", dir.path("data"), "j.csv"}).code, 2);
+  EXPECT_EQ(run_cli({"replay", "--shards", "2", dir.path("data"), "j.csv"}).code, 2);
 }
 
 TEST(Cli, DeterministicGenerate) {
