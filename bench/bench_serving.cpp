@@ -1,0 +1,359 @@
+// Serving bench: closed-loop reader fleets against the writer/reader split
+// (BENCH_serving.json).
+//
+// The AuditService claim is that reads never wait on the writer: a reaudit
+// that takes hundreds of milliseconds publishes a fresh immutable version at
+// the end, and every read in between answers from the previous version in
+// microseconds. This bench drives a fixed delta trace through the writer
+// while closed-loop reader fleets of increasing size hammer begin_read() +
+// group_of(), recording per-read latency. For each fleet size it reports
+// p50/p99 read latency and read throughput next to the writer's stall time
+// (reaudit + checkpoint seconds) and versions/sec.
+//
+// Proof obligation (exit 1 if unmet): at least one read must start AND
+// complete while a reaudit is demonstrably in flight — a dedicated prober
+// thread waits for reaudit_in_flight(), runs a full read, and re-checks the
+// flag afterwards. A blocking design (readers behind the writer's lock)
+// cannot pass this on any machine; snapshot isolation passes it even on one
+// core, because the writer thread is *inside* reaudit() while the prober
+// runs.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "gen/matrix_generator.hpp"
+#include "io/json_writer.hpp"
+#include "service/audit_service.hpp"
+#include "util/latch.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+using namespace rolediet;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct ServingConfig {
+  std::size_t roles = 2000;
+  std::size_t batches = 48;
+  std::size_t batch_size = 24;
+  std::size_t reaudit_every = 2;
+  std::vector<std::size_t> fleets{1, 2, 4};
+  std::string out_path = "BENCH_serving.json";
+
+  static ServingConfig parse(int argc, char** argv) {
+    ServingConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        config.roles = 600;
+        config.batches = 24;
+        config.fleets = {1, 2};
+      } else if (std::strcmp(argv[i], "--roles") == 0 && i + 1 < argc) {
+        config.roles = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+        config.batches = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        config.out_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--quick] [--roles N] [--batches N] [--out F]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return config;
+  }
+};
+
+/// Fig. 3 shape (§IV-A), same generator seeds as bench_pipeline/bench_reaudit.
+core::RbacDataset fig3_dataset(std::size_t roles) {
+  gen::MatrixGenParams params;
+  params.roles = roles;
+  params.cols = 1000;
+  params.clustered_fraction = 0.2;
+  params.max_cluster_size = 10;
+  params.seed = 3000 + roles;
+  const linalg::CsrMatrix ruam = gen::generate_matrix(params).matrix;
+  params.seed = 7000 + roles;
+  const linalg::CsrMatrix rpam = gen::generate_matrix(params).matrix;
+
+  core::RbacDataset dataset;
+  dataset.add_users(ruam.cols());
+  dataset.add_permissions(rpam.cols());
+  dataset.add_roles(roles);
+  for (std::size_t r = 0; r < roles; ++r) {
+    for (std::uint32_t u : ruam.row(r)) dataset.assign_user(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : rpam.row(r)) dataset.grant_permission(static_cast<core::Id>(r), p);
+  }
+  return dataset;
+}
+
+/// Effective name-based mutation trace (bench_recovery's recipe).
+std::vector<core::Mutation> build_trace(const core::RbacDataset& base, std::size_t count,
+                                        util::Xoshiro256& rng) {
+  std::vector<std::pair<core::Id, core::Id>> user_edges, perm_edges;
+  for (std::size_t r = 0; r < base.num_roles(); ++r) {
+    for (std::uint32_t u : base.ruam().row(r))
+      user_edges.emplace_back(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : base.rpam().row(r))
+      perm_edges.emplace_back(static_cast<core::Id>(r), p);
+  }
+  const auto users = static_cast<core::Id>(base.num_users());
+  const auto perms = static_cast<core::Id>(base.num_permissions());
+  const auto roles = static_cast<core::Id>(base.num_roles());
+
+  core::AuditEngine scratch(base, {});
+  std::vector<core::Mutation> trace;
+  while (trace.size() < count) {
+    const std::uint64_t before = scratch.version();
+    core::RbacDelta one;
+    switch (trace.size() % 4) {
+      case 0: {
+        const auto& [r, u] = user_edges[rng.bounded(user_edges.size())];
+        one.revoke_user(base.role_name(r), base.user_name(u));
+        break;
+      }
+      case 1:
+        one.assign_user(base.role_name(static_cast<core::Id>(rng.bounded(roles))),
+                        base.user_name(static_cast<core::Id>(rng.bounded(users))));
+        break;
+      case 2: {
+        const auto& [r, p] = perm_edges[rng.bounded(perm_edges.size())];
+        one.revoke_permission(base.role_name(r), base.permission_name(p));
+        break;
+      }
+      default:
+        one.grant_permission(base.role_name(static_cast<core::Id>(rng.bounded(roles))),
+                             base.permission_name(static_cast<core::Id>(rng.bounded(perms))));
+        break;
+    }
+    scratch.apply(one);
+    if (scratch.version() != before) trace.push_back(std::move(one.mutations.front()));
+  }
+  return trace;
+}
+
+/// Nearest-rank percentile of a sorted sample (index ceil(p*n) - 1).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+struct LoadPoint {
+  std::size_t readers = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t reads_during_reaudit = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double reads_per_sec = 0.0;
+  double writer_seconds = 0.0;
+  double writer_stall_seconds = 0.0;
+  std::uint64_t versions_published = 0;
+  double versions_per_sec = 0.0;
+};
+
+LoadPoint run_load_point(const fs::path& dir, const core::RbacDataset& dataset,
+                         const std::vector<core::Mutation>& trace, const ServingConfig& config,
+                         std::size_t readers) {
+  core::AuditOptions options;  // role-diet defaults: the cheap exact method
+  service::ServiceOptions service_options;
+  service_options.reaudit_every = config.reaudit_every;
+  service_options.checkpoint_every = 0;  // measure serving, not checkpoint I/O
+  service_options.max_readers = readers + 1;  // fleet + prober
+  store::StoreOptions store_options;
+  store_options.fsync = store::FsyncPolicy::kNone;  // measure CPU, not the disk
+
+  service::AuditService svc(dir, dataset, options, service_options, store_options);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> during{0};
+  util::Latch start_line(readers + 2);  // fleet + prober + writer(main)
+
+  // Closed-loop fleet: each reader issues the next request the moment the
+  // previous one completes — offered load == fleet size.
+  std::vector<std::vector<double>> latencies(readers);
+  std::vector<std::thread> fleet;
+  fleet.reserve(readers);
+  for (std::size_t t = 0; t < readers; ++t) {
+    fleet.emplace_back([&, t] {
+      util::Xoshiro256 rng(0xF1EE7 + t);
+      start_line.arrive_and_wait();
+      while (!done.load(std::memory_order_acquire)) {
+        util::Stopwatch watch;
+        const service::ReadSession session = svc.begin_read();
+        const auto role =
+            static_cast<core::Id>(rng.bounded(session.version().dataset->num_roles()));
+        (void)session.group_of(session.version().dataset->role_name(role));
+        latencies[t].push_back(watch.seconds());
+      }
+    });
+  }
+
+  // Prober: a full read that starts and ends inside one reaudit window is
+  // the non-blocking proof; the fleet alone could in principle always land
+  // between reaudits on one core.
+  std::thread prober([&] {
+    util::Xoshiro256 rng(0x9120BE);
+    start_line.arrive_and_wait();
+    while (!done.load(std::memory_order_acquire)) {
+      if (!svc.reaudit_in_flight()) {
+        std::this_thread::yield();
+        continue;
+      }
+      const service::ReadSession session = svc.begin_read();
+      const auto role =
+          static_cast<core::Id>(rng.bounded(session.version().dataset->num_roles()));
+      (void)session.group_of(session.version().dataset->role_name(role));
+      if (svc.reaudit_in_flight()) during.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  start_line.arrive_and_wait();
+  util::Stopwatch writer_watch;
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < config.batches; ++b) {
+    core::RbacDelta delta;
+    for (std::size_t m = 0; m < config.batch_size && cursor < trace.size(); ++m)
+      delta.mutations.push_back(trace[cursor++]);
+    if (!svc.submit(std::move(delta))) break;
+  }
+  svc.stop();
+  const double writer_seconds = writer_watch.seconds();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : fleet) t.join();
+  prober.join();
+  if (svc.writer_error()) std::rethrow_exception(svc.writer_error());
+
+  std::vector<double> all;
+  for (const auto& sample : latencies) all.insert(all.end(), sample.begin(), sample.end());
+  std::sort(all.begin(), all.end());
+
+  LoadPoint point;
+  point.readers = readers;
+  point.reads = all.size();
+  point.reads_during_reaudit = during.load();
+  point.p50_us = percentile(all, 0.50) * 1e6;
+  point.p99_us = percentile(all, 0.99) * 1e6;
+  point.reads_per_sec =
+      writer_seconds > 0.0 ? static_cast<double>(all.size()) / writer_seconds : 0.0;
+  point.writer_seconds = writer_seconds;
+  point.writer_stall_seconds = svc.stats().writer_stall_seconds.load();
+  point.versions_published = svc.stats().versions_published.load();
+  point.versions_per_sec =
+      writer_seconds > 0.0 ? static_cast<double>(point.versions_published) / writer_seconds
+                           : 0.0;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServingConfig config = ServingConfig::parse(argc, argv);
+
+  std::printf("=== serving bench: snapshot-isolated reads vs offered load ===\n");
+  std::printf("roles=%zu batches=%zu x %zu mutations, reaudit every %zu -> %s\n\n", config.roles,
+              config.batches, config.batch_size, config.reaudit_every, config.out_path.c_str());
+
+  const core::RbacDataset dataset = fig3_dataset(config.roles);
+  util::Xoshiro256 rng(0x5E12E + config.roles);
+  const std::vector<core::Mutation> trace =
+      build_trace(dataset, config.batches * config.batch_size, rng);
+
+  const fs::path root =
+      fs::temp_directory_path() / ("rolediet_bench_serving_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("serving");
+  w.key("workload");
+  w.begin_object();
+  w.key("figure");
+  w.value("fig3");
+  w.key("roles");
+  w.value(static_cast<std::uint64_t>(config.roles));
+  w.key("batches");
+  w.value(static_cast<std::uint64_t>(config.batches));
+  w.key("batch_size");
+  w.value(static_cast<std::uint64_t>(config.batch_size));
+  w.key("reaudit_every");
+  w.value(static_cast<std::uint64_t>(config.reaudit_every));
+  w.end_object();
+  w.key("load_points");
+  w.begin_array();
+
+  std::uint64_t total_during = 0;
+  for (std::size_t readers : config.fleets) {
+    const LoadPoint point = run_load_point(root / ("readers-" + std::to_string(readers)),
+                                           dataset, trace, config, readers);
+    total_during += point.reads_during_reaudit;
+
+    w.begin_object();
+    w.key("readers");
+    w.value(static_cast<std::uint64_t>(point.readers));
+    w.key("reads");
+    w.value(point.reads);
+    w.key("reads_during_reaudit");
+    w.value(point.reads_during_reaudit);
+    w.key("read_latency_p50_us");
+    w.value(point.p50_us);
+    w.key("read_latency_p99_us");
+    w.value(point.p99_us);
+    w.key("reads_per_sec");
+    w.value(point.reads_per_sec);
+    w.key("writer_seconds");
+    w.value(point.writer_seconds);
+    w.key("writer_stall_seconds");
+    w.value(point.writer_stall_seconds);
+    w.key("versions_published");
+    w.value(point.versions_published);
+    w.key("versions_per_sec");
+    w.value(point.versions_per_sec);
+    w.end_object();
+
+    std::printf("readers=%zu  reads=%8llu  p50 %8.1f us  p99 %8.1f us  %9.0f reads/s"
+                "  versions/s %6.2f  stall %6.3f s  during-reaudit %llu\n",
+                point.readers, static_cast<unsigned long long>(point.reads), point.p50_us,
+                point.p99_us, point.reads_per_sec, point.versions_per_sec,
+                point.writer_stall_seconds,
+                static_cast<unsigned long long>(point.reads_during_reaudit));
+    std::fflush(stdout);
+  }
+
+  // The non-blocking proof: some read completed while a reaudit was in
+  // flight. See the prober comment — a lock-coupled design cannot pass.
+  const bool ok = total_during > 0;
+  if (!ok)
+    std::fprintf(stderr, "PROOF FAILED: no read completed during an in-flight reaudit\n");
+
+  w.end_array();
+  w.key("reads_during_reaudit_total");
+  w.value(total_during);
+  w.key("ok");
+  w.value(ok);
+  w.end_object();
+
+  fs::remove_all(root);
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::printf("\nwrote %s\n", config.out_path.c_str());
+  return ok ? 0 : 1;
+}

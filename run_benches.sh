@@ -63,4 +63,13 @@ echo "############ bench_shard (threads=$threads) ############" >> "$out"
 ./build/bench/bench_shard --quick --threads "$threads" --out /root/repo/BENCH_shard.json \
   >> "$out" 2>&1
 echo "" >> "$out"
+# Writer/reader split under closed-loop reader fleets: read-latency
+# percentiles vs offered load, writer stall time, versions/sec.
+# BENCH_serving.json is the seventh JSON artifact CI archives per commit;
+# the bench fails unless reads completed during an in-flight reaudit
+# (the non-blocking-readers property). --quick keeps the fleet ladder to
+# {1,2} readers; drop it for {1,2,4} at the full scale.
+echo "############ bench_serving ############" >> "$out"
+./build/bench/bench_serving --quick --out /root/repo/BENCH_serving.json >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

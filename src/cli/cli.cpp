@@ -1,10 +1,12 @@
 #include "cli/cli.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <thread>
 
 #include "core/consolidation.hpp"
 #include "core/engine.hpp"
@@ -22,8 +24,10 @@
 #include "io/report_csv.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "core/sharded_engine.hpp"
+#include "service/audit_service.hpp"
 #include "store/engine_store.hpp"
 #include "store/sharded_store.hpp"
+#include "util/prng.hpp"
 #include "util/timer.hpp"
 
 namespace rolediet::cli {
@@ -317,9 +321,11 @@ class StoreSession {
     }
   }
 
-  // Engine facade: the handful of calls the verbs actually make.
+  // Engine facade: the handful of calls the verbs actually make. Reaudits go
+  // through the *store* wrappers so versions are published and checkpoints
+  // snapshot the published version (engine_store.hpp), not the live writer.
   [[nodiscard]] core::AuditReport reaudit() {
-    return sharded_ ? sharded_->engine().reaudit() : flat_->engine().reaudit();
+    return sharded_ ? sharded_->reaudit() : flat_->reaudit();
   }
   [[nodiscard]] std::uint64_t version() const {
     return sharded_ ? sharded_->engine().version() : flat_->engine().version();
@@ -577,6 +583,157 @@ int cmd_recover(Args& args, std::ostream& out) {
   const core::AuditReport report = durable.reaudit();
   out << report.to_text();
   if (json_path) write_text_file(*json_path, io::report_to_json(report, durable.snapshot()));
+  return 0;
+}
+
+// ----------------------------------------------------------------- serve ---
+
+/// A name-based trace of `count` effective single mutations (alternating
+/// revocations of existing edges and fresh additions), validated against a
+/// scratch engine so no-ops don't count. Same recipe as bench_recovery's.
+std::vector<core::Mutation> build_serve_trace(const core::RbacDataset& base, std::size_t count,
+                                              util::Xoshiro256& rng) {
+  std::vector<std::pair<core::Id, core::Id>> user_edges, perm_edges;
+  for (std::size_t r = 0; r < base.num_roles(); ++r) {
+    for (std::uint32_t u : base.ruam().row(r))
+      user_edges.emplace_back(static_cast<core::Id>(r), u);
+    for (std::uint32_t p : base.rpam().row(r))
+      perm_edges.emplace_back(static_cast<core::Id>(r), p);
+  }
+  const auto users = static_cast<core::Id>(base.num_users());
+  const auto perms = static_cast<core::Id>(base.num_permissions());
+  const auto roles = static_cast<core::Id>(base.num_roles());
+  if (roles == 0 || users == 0 || perms == 0)
+    throw UsageError("serve: dataset needs at least one user, role, and permission");
+
+  core::AuditEngine scratch(base, {});
+  std::vector<core::Mutation> trace;
+  while (trace.size() < count) {
+    const std::uint64_t before = scratch.version();
+    core::RbacDelta one;
+    switch (trace.size() % 4) {
+      case 0:
+        if (!user_edges.empty()) {
+          const auto& [r, u] = user_edges[rng.bounded(user_edges.size())];
+          one.revoke_user(base.role_name(r), base.user_name(u));
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+        one.assign_user(base.role_name(static_cast<core::Id>(rng.bounded(roles))),
+                        base.user_name(static_cast<core::Id>(rng.bounded(users))));
+        break;
+      case 2:
+        if (!perm_edges.empty()) {
+          const auto& [r, p] = perm_edges[rng.bounded(perm_edges.size())];
+          one.revoke_permission(base.role_name(r), base.permission_name(p));
+          break;
+        }
+        [[fallthrough]];
+      default:
+        one.grant_permission(base.role_name(static_cast<core::Id>(rng.bounded(roles))),
+                             base.permission_name(static_cast<core::Id>(rng.bounded(perms))));
+        break;
+    }
+    scratch.apply(one);
+    if (scratch.version() != before) trace.push_back(std::move(one.mutations.front()));
+  }
+  return trace;
+}
+
+int cmd_serve(Args& args, std::ostream& out) {
+  const core::AuditOptions options = parse_audit_options(args);
+  const store::StoreOptions store_options = parse_store_options(args);
+  const std::optional<std::size_t> shards = parse_shards(args);
+
+  service::ServiceOptions service_options;
+  if (shards) service_options.shards = *shards;
+  if (auto value = args.take_option("--reaudit-every")) {
+    service_options.reaudit_every = parse_size(*value, "--reaudit-every");
+    if (service_options.reaudit_every == 0) throw UsageError("--reaudit-every must be >= 1");
+  }
+  if (auto value = args.take_option("--checkpoint-every"))
+    service_options.checkpoint_every = parse_size(*value, "--checkpoint-every");
+  std::size_t batches = 32;
+  if (auto value = args.take_option("--batches")) {
+    batches = parse_size(*value, "--batches");
+    if (batches == 0) throw UsageError("--batches must be >= 1");
+  }
+  std::size_t batch_size = 16;
+  if (auto value = args.take_option("--batch-size")) {
+    batch_size = parse_size(*value, "--batch-size");
+    if (batch_size == 0) throw UsageError("--batch-size must be >= 1");
+  }
+  std::size_t readers = 2;
+  if (auto value = args.take_option("--readers")) readers = parse_size(*value, "--readers");
+
+  if (args.done()) throw UsageError("serve: missing dataset directory");
+  const std::string dir = args.take();
+  if (args.done()) throw UsageError("serve: missing store directory");
+  const std::string store_dir = args.take();
+  if (!args.done()) throw UsageError("serve: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset dataset = io::load_dataset(dir);
+  util::Xoshiro256 rng(0x5E12E);
+  const std::vector<core::Mutation> trace =
+      build_serve_trace(dataset, batches * batch_size, rng);
+
+  service::AuditService svc(store_dir, dataset, options, service_options, store_options);
+  out << "serve: store " << store_dir << " ("
+      << (service_options.shards == 0 ? std::string("1 engine")
+                                      : std::to_string(service_options.shards) + " shards")
+      << "), baseline version published\n";
+
+  // Closed-loop reader fleet: each reader pins a version, asks about a
+  // random role, and immediately comes back — running until the writer has
+  // drained the whole trace. Snapshot isolation means none of them ever
+  // waits on the writer's reaudits.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads_total{0};
+  std::atomic<std::uint64_t> reads_during_reaudit{0};
+  std::vector<std::thread> fleet;
+  fleet.reserve(readers);
+  for (std::size_t t = 0; t < readers; ++t) {
+    fleet.emplace_back([&, t] {
+      util::Xoshiro256 reader_rng(0xF1EE7 + t);
+      while (!done.load(std::memory_order_acquire)) {
+        const bool during = svc.reaudit_in_flight();
+        try {
+          const service::ReadSession session = svc.begin_read();
+          const core::Id role =
+              static_cast<core::Id>(reader_rng.bounded(session.version().dataset->num_roles()));
+          (void)session.group_of(session.version().dataset->role_name(role));
+          reads_total.fetch_add(1, std::memory_order_relaxed);
+          if (during) reads_during_reaudit.fetch_add(1, std::memory_order_relaxed);
+        } catch (const service::Overloaded&) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    core::RbacDelta delta;
+    for (std::size_t m = 0; m < batch_size && cursor < trace.size(); ++m)
+      delta.mutations.push_back(trace[cursor++]);
+    if (!svc.submit(std::move(delta))) break;
+  }
+  svc.stop();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : fleet) t.join();
+  if (svc.writer_error()) std::rethrow_exception(svc.writer_error());
+
+  const service::ServiceStats& stats = svc.stats();
+  const std::shared_ptr<const core::EngineVersion> last = svc.current_version();
+  out << "serve: applied " << stats.batches_applied.load() << " batches ("
+      << stats.mutations_applied.load() << " mutations), published "
+      << stats.versions_published.load() << " versions, " << stats.checkpoints.load()
+      << " checkpoints\n";
+  out << "serve: served " << reads_total.load() << " reads (" << reads_during_reaudit.load()
+      << " during a reaudit), rejected " << stats.reads_rejected.load() << "\n";
+  out << "serve: final version " << last->version << " (" << last->audits << " audits), writer"
+      << " stall " << stats.writer_stall_seconds.load() << " s\n";
   return 0;
 }
 
@@ -876,6 +1033,16 @@ int cmd_help(std::ostream& out) {
          "                 record), report what recovery did, and re-audit;\n"
          "                 the store layout (flat or sharded) is\n"
          "                 auto-detected; --json FILE plus all audit options\n"
+         "  serve DIR STORE\n"
+         "                 writer/reader split demo: create a store at STORE\n"
+         "                 from dataset DIR, run a writer thread applying a\n"
+         "                 synthetic delta stream, and serve snapshot-\n"
+         "                 isolated reads from published versions while the\n"
+         "                 writer keeps re-auditing; --shards N (sharded\n"
+         "                 store)  --reaudit-every N (batches per reaudit)\n"
+         "                 --checkpoint-every N (reaudits per checkpoint;\n"
+         "                 0 = final only)  --batches N  --batch-size N\n"
+         "                 --readers N plus audit + fsync options\n"
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
@@ -948,6 +1115,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (command == "churn") return cmd_churn(cursor, out);
     if (command == "checkpoint") return cmd_checkpoint(cursor, out);
     if (command == "recover") return cmd_recover(cursor, out);
+    if (command == "serve") return cmd_serve(cursor, out);
     if (command == "version" || command == "--version" || command == "-v") return cmd_version(out);
     if (command == "help" || command == "--help" || command == "-h") return cmd_help(out);
     throw UsageError("unknown subcommand '" + command + "'");

@@ -39,6 +39,32 @@ HnswIndex::HnswIndex(linalg::RowStore points, HnswParams params)
   nodes_.reserve(points.rows());
 }
 
+HnswIndex::HnswIndex(HnswIndex&& other) noexcept
+    : points_(other.points_),
+      params_(other.params_),
+      level_mult_(other.level_mult_),
+      rng_(other.rng_),
+      nodes_(std::move(other.nodes_)),
+      slot_of_id_(std::move(other.slot_of_id_)),
+      entry_point_(other.entry_point_),
+      max_level_(other.max_level_),
+      distance_evals_(other.distance_evals_.load(std::memory_order_relaxed)) {}
+
+HnswIndex& HnswIndex::operator=(HnswIndex&& other) noexcept {
+  if (this == &other) return *this;
+  points_ = other.points_;
+  params_ = other.params_;
+  level_mult_ = other.level_mult_;
+  rng_ = other.rng_;
+  nodes_ = std::move(other.nodes_);
+  slot_of_id_ = std::move(other.slot_of_id_);
+  entry_point_ = other.entry_point_;
+  max_level_ = other.max_level_;
+  distance_evals_.store(other.distance_evals_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return *this;
+}
+
 int HnswIndex::draw_level() noexcept {
   // Exponential distribution truncated to a sane ceiling; matches the
   // -ln(U) * mult draw from the paper.

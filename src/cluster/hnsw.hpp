@@ -69,6 +69,14 @@ class HnswIndex {
  public:
   HnswIndex(linalg::RowStore points, HnswParams params);
 
+  // Movable (the engine's HNSW artifact moves with its engine; the viewed
+  // matrix is external, so the view survives). The distance counter is the
+  // one non-default member: it carries over, single-owner at move time.
+  HnswIndex(HnswIndex&& other) noexcept;
+  HnswIndex& operator=(HnswIndex&& other) noexcept;
+  HnswIndex(const HnswIndex&) = delete;
+  HnswIndex& operator=(const HnswIndex&) = delete;
+
   /// Inserts point `id` (a row of the matrix). Each id may be added once;
   /// use reinsert() to refresh an id whose row contents changed, and
   /// remove() to retire one. If the viewed matrix has grown since the last

@@ -25,6 +25,8 @@ struct StructuralFindings {
   std::vector<Id> roles_without_permissions;///< type 2 (has users, no permissions)
   std::vector<Id> single_user_roles;        ///< type 3
   std::vector<Id> single_permission_roles;  ///< type 3
+
+  [[nodiscard]] bool operator==(const StructuralFindings&) const noexcept = default;
 };
 
 /// Runs all type-1/2/3 detectors in one pass over the compiled matrices.

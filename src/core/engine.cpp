@@ -250,13 +250,13 @@ void AuditEngine::restore_persistent_state(EnginePersistentState state) {
     axis.similar.pairs =
         axis.similar.valid ? std::move(s.similar_pairs) : methods::MatchedPairs{};
     // Candidate artifacts are rebuild-marked: the next delta pass re-derives
-    // them from the restored matrices. (Field-wise reset: HnswIndex pins
-    // itself by address, so the artifact is not assignable.)
+    // them from the restored matrices. The index is dropped before its
+    // viewed matrix handle.
     axis.minhash.built = false;
     axis.minhash.index.reset();
     axis.hnsw.built = false;
     axis.hnsw.index.reset();
-    axis.hnsw.points = linalg::CsrMatrix{};
+    axis.hnsw.points.reset();
     axis.hnsw.slotted.clear();
   };
   unpack(users_axis_, std::move(state.users));
@@ -495,13 +495,14 @@ RoleGroups AuditEngine::hnsw_delta_similar(Axis& axis, const linalg::CsrMatrix& 
       jaccard_mode ? cluster::MetricKind::kJaccard : cluster::MetricKind::kHamming;
 
   HnswArtifact& art = axis.hnsw;
-  art.points = matrix;  // copy-assign under the index's live view
+  if (!art.points) art.points = std::make_shared<linalg::CsrMatrix>();
+  *art.points = matrix;  // copy-assign into the stable handle the index views
   if (art.slotted.size() < matrix.rows()) art.slotted.resize(matrix.rows(), 0);
   if (!art.built) {
-    art.index.emplace(linalg::RowStore(art.points), engine_hnsw_params(metric));
+    art.index.emplace(linalg::RowStore(*art.points), engine_hnsw_params(metric));
     std::fill(art.slotted.begin(), art.slotted.end(), std::uint8_t{0});
     for (std::size_t r = 0; r < matrix.rows(); ++r) {
-      if (art.points.row_size(r) > 0) {
+      if (art.points->row_size(r) > 0) {
         art.index->add(r);
         art.slotted[r] = 1;
       }
@@ -509,7 +510,7 @@ RoleGroups AuditEngine::hnsw_delta_similar(Axis& axis, const linalg::CsrMatrix& 
     art.built = true;
   } else {
     for (std::size_t d : dirty) {
-      const bool nonempty = art.points.row_size(d) > 0;
+      const bool nonempty = art.points->row_size(d) > 0;
       if (art.slotted[d] == 0) {
         if (nonempty) {
           art.index->add(d);
@@ -531,7 +532,7 @@ RoleGroups AuditEngine::hnsw_delta_similar(Axis& axis, const linalg::CsrMatrix& 
       [&] {
         return [&](std::size_t d_slot, auto&& emit) {
           const std::size_t d = dirty[d_slot];
-          if (art.slotted[d] == 0 || art.points.row_size(d) == 0) return;
+          if (art.slotted[d] == 0 || art.points->row_size(d) == 0) return;
           for (const cluster::Neighbor& nb : index.range_search(d, thr)) {
             if (nb.id == d) continue;
             if (is_dirty(nb.id) && nb.id < d) continue;
@@ -693,7 +694,21 @@ AuditReport AuditEngine::reaudit() {
   std::fill(perms_axis_.dirty.begin(), perms_axis_.dirty.end(), std::uint8_t{0});
   audited_once_ = true;
   ++audits_;
+  if (publish_versions_) publish_version(report);
   return report;
+}
+
+void AuditEngine::publish_version(const AuditReport& report) {
+  auto version = std::make_shared<EngineVersion>();
+  version->version = version_;
+  version->audits = audits_;
+  version->dataset = state_.snapshot_shared();
+  // Many reader threads will share this dataset; compile its lazy matrix
+  // caches while we are still the sole owner (RbacDataset::warm_caches).
+  version->dataset->warm_caches();
+  version->report = report;
+  version->state = persistent_state();
+  published_.publish(std::move(version));
 }
 
 }  // namespace rolediet::core

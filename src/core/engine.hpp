@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +46,7 @@
 
 #include "cluster/hnsw.hpp"
 #include "cluster/minhash.hpp"
+#include "core/engine_version.hpp"
 #include "core/framework.hpp"
 #include "core/incremental.hpp"
 #include "core/methods/method_common.hpp"
@@ -93,25 +95,8 @@ struct RbacDelta {
   [[nodiscard]] bool operator==(const RbacDelta&) const = default;
 };
 
-/// The engine state a durable checkpoint must carry beyond the dataset
-/// itself: version counters, the pending dirty frontier, and the cached
-/// type-5 matched-pair verdicts. The maintained candidate artifacts (MinHash
-/// band index, HNSW graph) are deliberately NOT part of it — they are
-/// rebuild-marked on restore and the next reaudit() reconstructs them from
-/// the restored matrices, which keeps snapshots small and the on-disk format
-/// independent of artifact internals (store/snapshot.hpp serializes this).
-struct EnginePersistentState {
-  struct AxisState {
-    std::vector<std::uint8_t> dirty;  ///< per-role "mutated since last reaudit"
-    bool similar_valid = false;       ///< pair cache usable for a delta pass
-    methods::MatchedPairs similar_pairs;  ///< sorted unique matched pairs
-  };
-  std::uint64_t version = 0;
-  std::uint64_t audits = 0;
-  bool audited_once = false;
-  AxisState users;
-  AxisState perms;
-};
+// EnginePersistentState and EngineVersion moved to core/engine_version.hpp
+// (the published read view shares them with the service and store layers).
 
 class AuditEngine {
  public:
@@ -120,10 +105,15 @@ class AuditEngine {
   /// std::invalid_argument on invalid options (validate_audit_options).
   explicit AuditEngine(const RbacDataset& snapshot, AuditOptions options = {});
 
-  // The HNSW artifact's index views a matrix member by address, so the
-  // engine is pinned in memory.
+  // Single-writer object: copying would fork the mutation history, so copy
+  // stays deleted. Moves are fine — the HNSW artifact's matrix lives on the
+  // heap behind a stable handle (HnswArtifact::points), so nothing views
+  // engine members by address anymore; share findings via published()
+  // instead of copying the engine.
   AuditEngine(const AuditEngine&) = delete;
   AuditEngine& operator=(const AuditEngine&) = delete;
+  AuditEngine(AuditEngine&&) noexcept = default;
+  AuditEngine& operator=(AuditEngine&&) noexcept = default;
 
   // ---- mutations ----------------------------------------------------------
   // Every effective (state-changing) mutation bumps version() and marks the
@@ -157,7 +147,28 @@ class AuditEngine {
   /// budget-stopped phase reports partial groups and invalidates the
   /// affected artifacts, so the next reaudit() falls back to the full pass
   /// for that phase instead of trusting a half-updated cache.
+  ///
+  /// With publishing enabled, a completed reaudit() additionally captures
+  /// the audited dataset + this report + the persistent state as an
+  /// immutable EngineVersion and swaps it into published() — see
+  /// core/engine_version.hpp.
   [[nodiscard]] AuditReport reaudit();
+
+  // ---- publication --------------------------------------------------------
+
+  /// Opt into version publication (off by default: capturing a version costs
+  /// one O(dataset) copy per reaudit, which the one-shot audit() and batch
+  /// benches must not pay). The store/service layers enable it.
+  void set_publish_versions(bool enabled) noexcept { publish_versions_ = enabled; }
+  [[nodiscard]] bool publish_versions() const noexcept { return publish_versions_; }
+
+  /// The last published version — one tiny spin-locked pointer copy any
+  /// thread may make; null before the
+  /// first published reaudit(). The returned handle keeps the version alive
+  /// for as long as the caller holds it, independent of the engine.
+  [[nodiscard]] std::shared_ptr<const EngineVersion> published() const {
+    return published_.load();
+  }
 
   /// Materializes the current version as an immutable dataset.
   [[nodiscard]] RbacDataset snapshot() const { return state_.snapshot(); }
@@ -217,11 +228,13 @@ class AuditEngine {
   };
 
   /// Maintained HNSW graph (kApproxHnsw only). `points` is the engine's own
-  /// stable-address copy of the axis matrix — the index views it, and
-  /// copy-assigning the next version's matrix into it keeps the view live.
+  /// copy of the axis matrix on the heap — a stable handle the index views,
+  /// so moving the engine (or the artifact) never invalidates the view, and
+  /// copy-assigning the next version's matrix *into* it (same allocation,
+  /// same address) keeps the view live across re-audits.
   struct HnswArtifact {
     bool built = false;
-    linalg::CsrMatrix points;
+    std::shared_ptr<linalg::CsrMatrix> points;
     std::optional<cluster::HnswIndex> index;
     std::vector<std::uint8_t> slotted;  ///< row has a graph node (live or tombstone)
   };
@@ -253,6 +266,8 @@ class AuditEngine {
                                         const util::ExecutionContext& ctx,
                                         FinderWorkStats& work);
 
+  void publish_version(const AuditReport& report);
+
   AuditOptions options_;
   IncrementalAuditor state_;
   linalg::CsrMatrix ruam_;  ///< rebuilt from state_ at each reaudit()
@@ -262,6 +277,8 @@ class AuditEngine {
   bool audited_once_ = false;
   std::uint64_t version_ = 0;
   std::uint64_t audits_ = 0;
+  bool publish_versions_ = false;
+  VersionSlot published_;
 };
 
 }  // namespace rolediet::core

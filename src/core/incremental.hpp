@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -105,6 +106,13 @@ class IncrementalAuditor {
   /// Materializes the current state as an immutable dataset (for batch
   /// type-5 detection, consolidation, or export).
   [[nodiscard]] RbacDataset snapshot() const;
+
+  /// snapshot() behind a stable shared handle — the dataset half of a
+  /// published EngineVersion (core/engine_version.hpp): readers keep the
+  /// copy alive independent of this auditor's lifetime.
+  [[nodiscard]] std::shared_ptr<const RbacDataset> snapshot_shared() const {
+    return std::make_shared<const RbacDataset>(snapshot());
+  }
 
  private:
   struct RoleState {

@@ -123,6 +123,12 @@ const linalg::CsrMatrix& RbacDataset::rpam() const {
   return *rpam_cache_;
 }
 
+void RbacDataset::warm_caches() const {
+  (void)ruam();
+  (void)rpam();
+  if (!user_roles_cache_) user_roles_cache_ = ruam().transpose();
+}
+
 std::vector<Id> RbacDataset::permissions_of_user(Id user) const {
   if (user >= num_users()) throw std::out_of_range("permissions_of_user: unknown user id");
   if (!user_roles_cache_) user_roles_cache_ = ruam().transpose();

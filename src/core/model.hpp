@@ -98,6 +98,13 @@ class RbacDataset {
   /// Role-Permission Assignment Matrix: rows = roles, cols = permissions.
   [[nodiscard]] const linalg::CsrMatrix& rpam() const;
 
+  /// Compiles every lazy matrix cache now. The lazy compilation makes the
+  /// const accessors non-thread-safe on a cold dataset; a dataset that will
+  /// be read from multiple threads (a published EngineVersion's snapshot)
+  /// must be warmed by its single owner first — after that, all const
+  /// access is genuinely read-only.
+  void warm_caches() const;
+
   /// Users assigned to `role` (sorted ids).
   [[nodiscard]] std::span<const std::uint32_t> users_of_role(Id role) const {
     return ruam().row(role);

@@ -821,7 +821,25 @@ AuditReport ShardedEngine::reaudit() {
   }
 
   ++audits_;
+  if (publish_versions_) publish_version(report);
   return report;
+}
+
+void ShardedEngine::publish_version(const AuditReport& report) {
+  auto version = std::make_shared<EngineVersion>();
+  version->version = version_;
+  version->audits = audits_;
+  version->dataset = std::make_shared<const RbacDataset>(snapshot());
+  // Many reader threads will share this dataset; compile its lazy matrix
+  // caches while we are still the sole owner (RbacDataset::warm_caches).
+  version->dataset->warm_caches();
+  version->report = report;
+  // The sharded engine keeps no cross-reaudit pair caches, so the persistent
+  // state is counters only; similar_valid stays false on both axes.
+  version->state.version = version_;
+  version->state.audits = audits_;
+  version->state.audited_once = true;
+  published_.publish(std::move(version));
 }
 
 }  // namespace rolediet::core

@@ -135,6 +135,17 @@ class ShardedEngine {
   /// options().time_budget_s exactly like AuditEngine::reaudit().
   [[nodiscard]] AuditReport reaudit();
 
+  // ---- version publication (core/engine_version.hpp) ----------------------
+  // Same contract as AuditEngine: when enabled, each completed reaudit()
+  // captures an immutable EngineVersion (dataset copy + report) and swaps it
+  // into the slot; readers pin it concurrently while this writer mutates.
+
+  void set_publish_versions(bool enabled) noexcept { publish_versions_ = enabled; }
+  [[nodiscard]] bool publish_versions() const noexcept { return publish_versions_; }
+  [[nodiscard]] std::shared_ptr<const EngineVersion> published() const {
+    return published_.load();
+  }
+
   /// Materializes the current state as an immutable dataset.
   [[nodiscard]] RbacDataset snapshot() const;
 
@@ -240,9 +251,13 @@ class ShardedEngine {
 
   std::vector<Shard> shards_;
 
+  void publish_version(const AuditReport& report);
+
   std::uint64_t version_ = 0;
   std::uint64_t audits_ = 0;
   ShardWorkSnapshot shard_work_;
+  bool publish_versions_ = false;
+  VersionSlot published_;
 };
 
 }  // namespace rolediet::core

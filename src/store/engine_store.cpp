@@ -168,14 +168,28 @@ void EngineStore::apply(const core::RbacDelta& delta) {
   engine_->apply(delta);
 }
 
+core::AuditReport EngineStore::reaudit() {
+  engine_->set_publish_versions(true);
+  // Snapshot the position first: the version about to be published reflects
+  // exactly the records applied so far (single writer, nothing lands during
+  // the reaudit itself).
+  const std::uint64_t records = wal_.next_record();
+  core::AuditReport report = engine_->reaudit();
+  published_records_ = records;
+  return report;
+}
+
 fs::path EngineStore::checkpoint() {
   // Make sure everything the snapshot will claim as "in the log" is durable
   // before the snapshot that supersedes older segments exists.
   wal_.sync();
-  const std::uint64_t records = wal_.next_record();
+  const std::shared_ptr<const core::EngineVersion> version = engine_->published();
+  const std::uint64_t records = version ? published_records_ : wal_.next_record();
   fs::path path;
   try {
-    path = SnapshotWriter(dir_).write(capture_snapshot(*engine_, records));
+    path = SnapshotWriter(dir_).write(version
+                                          ? capture_snapshot(*version, engine_->options(), records)
+                                          : capture_snapshot(*engine_, records));
   } catch (const SnapshotError& e) {
     throw StoreError("store: checkpoint failed: " + std::string(e.what()));
   }

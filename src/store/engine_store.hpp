@@ -97,10 +97,27 @@ class EngineStore {
   /// tail — then recovery yields the surviving prefix).
   void apply(const core::RbacDelta& delta);
 
-  /// Writes an atomic snapshot at the current WAL position, rotates the log,
-  /// and prunes snapshots/segments no retained snapshot needs. Returns the
-  /// snapshot path. On failure the store is still readable from the previous
-  /// snapshot (nothing is pruned before the new snapshot is durable).
+  /// Full audit of the live engine with version publication enabled: the
+  /// completed reaudit() publishes an immutable core::EngineVersion readers
+  /// can pin concurrently (engine().published()), and the store remembers the
+  /// WAL position the version corresponds to — the position checkpoint()
+  /// snapshots from. Single-writer like every other mutation entry point.
+  core::AuditReport reaudit();
+
+  /// Writes an atomic snapshot, rotates the log, and prunes snapshots /
+  /// segments no retained snapshot needs. Returns the snapshot path. On
+  /// failure the store is still readable from the previous snapshot (nothing
+  /// is pruned before the new snapshot is durable).
+  ///
+  /// Once reaudit() has published a version, the snapshot is captured from
+  /// that *published* version at its publish-time WAL position — never from
+  /// the live engine. That keeps checkpointing correct while a delta batch
+  /// is in flight on the writer: capturing the live engine at the current
+  /// WAL position would bake a half-applied batch into an image that claims
+  /// the full log prefix, and recovery would resurrect the torn state. The
+  /// WAL tail past the published position is replayed by open() as usual.
+  /// Before any reaudit() (no version yet) the snapshot captures the live
+  /// engine at the current position — the single-threaded bootstrap path.
   std::filesystem::path checkpoint();
 
   /// The live engine. Mutating it directly bypasses the WAL — use apply()
@@ -108,8 +125,12 @@ class EngineStore {
   [[nodiscard]] core::AuditEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] const core::AuditEngine& engine() const noexcept { return *engine_; }
 
-  /// Committed WAL records so far (the position checkpoint() would use).
+  /// Committed WAL records so far.
   [[nodiscard]] std::uint64_t records() const noexcept { return wal_.next_record(); }
+
+  /// WAL position of the last published version (what checkpoint() uses once
+  /// a version exists); 0 before the first reaudit().
+  [[nodiscard]] std::uint64_t published_records() const noexcept { return published_records_; }
 
   [[nodiscard]] const RecoveryInfo& recovery() const noexcept { return recovery_; }
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
@@ -119,9 +140,10 @@ class EngineStore {
 
   std::filesystem::path dir_;
   StoreOptions store_options_;
-  std::unique_ptr<core::AuditEngine> engine_;  // non-movable (HNSW view pins it)
+  std::unique_ptr<core::AuditEngine> engine_;  // heap-held: stable address across store moves
   Wal wal_;
   RecoveryInfo recovery_;
+  std::uint64_t published_records_ = 0;  ///< WAL position of engine().published()
 };
 
 }  // namespace rolediet::store

@@ -805,6 +805,11 @@ void ShardedEngineStore::prune_stale_checkpoints(std::uint64_t keep) {
   }
 }
 
+core::AuditReport ShardedEngineStore::reaudit() {
+  engine_->set_publish_versions(true);
+  return engine_->reaudit();
+}
+
 std::uint64_t ShardedEngineStore::checkpoint() {
   // Everything the manifest will claim as "in the log" must be durable
   // before the manifest that supersedes older checkpoints exists.

@@ -102,8 +102,21 @@ class ShardedEngineStore {
   /// again to get back to the last committed batch.
   void apply(const core::RbacDelta& delta);
 
+  /// Full sharded audit with version publication enabled: the completed
+  /// reaudit() publishes an immutable core::EngineVersion readers can pin
+  /// concurrently via engine().published(). Single-writer like apply().
+  core::AuditReport reaudit();
+
   /// Freezes the current state as the next checkpoint generation and prunes
   /// everything it supersedes. Returns the new checkpoint id.
+  ///
+  /// Asymmetry with EngineStore::checkpoint(): bodies are frozen from the
+  /// *live* shard rows, not from a published version — rebuilding per-shard
+  /// mmap bodies out of a flat dataset copy would forfeit the zero-copy
+  /// recovery path. The consistency obligation moves to the caller instead:
+  /// checkpoint() must run on the writer thread strictly between apply()
+  /// batches (service::AuditService guarantees exactly that), where the live
+  /// rows equal the committed WAL prefix by construction.
   std::uint64_t checkpoint();
 
   /// The live sharded engine. Mutating it directly bypasses the WALs — use

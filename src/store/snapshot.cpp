@@ -111,6 +111,16 @@ EngineSnapshot capture_snapshot(const core::AuditEngine& engine, std::uint64_t w
   return snapshot;
 }
 
+EngineSnapshot capture_snapshot(const core::EngineVersion& version,
+                                const core::AuditOptions& options, std::uint64_t wal_records) {
+  EngineSnapshot snapshot;
+  snapshot.wal_records = wal_records;
+  snapshot.fingerprint = OptionFingerprint::of(options);
+  snapshot.dataset = *version.dataset;
+  snapshot.engine = version.state;
+  return snapshot;
+}
+
 std::string snapshot_name(std::uint64_t wal_records) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "snap-%020llu.rdsnap",

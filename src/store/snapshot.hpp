@@ -67,7 +67,16 @@ struct EngineSnapshot {
 };
 
 /// Captures the live engine as a snapshot positioned at `wal_records`.
+/// Single-writer only: the engine must not be mutated concurrently.
 [[nodiscard]] EngineSnapshot capture_snapshot(const core::AuditEngine& engine,
+                                              std::uint64_t wal_records);
+
+/// Builds a snapshot from a published immutable version (engine_version.hpp).
+/// Safe while the writer keeps mutating: the version is frozen, and
+/// `wal_records` must be the WAL position the version was published at —
+/// claiming a later position would overclaim records the image never saw.
+[[nodiscard]] EngineSnapshot capture_snapshot(const core::EngineVersion& version,
+                                              const core::AuditOptions& options,
                                               std::uint64_t wal_records);
 
 /// Builds the snapshot file name for a WAL record count.

@@ -1,0 +1,117 @@
+// Bounded MPMC queue with close semantics — the writer-side backpressure
+// primitive of the audit service.
+//
+// A BoundedQueue is a mutex + two condition variables around a deque with a
+// hard capacity. push() blocks while the queue is full (backpressure: a
+// producer that outruns the consumer slows down instead of growing an
+// unbounded backlog), try_push() refuses instead of blocking (admission
+// control: the caller turns the refusal into an Overloaded error). close()
+// ends the stream: producers fail fast, consumers drain what was accepted
+// and then see end-of-stream. Every accepted element is delivered exactly
+// once, close() never drops queued work.
+//
+// Thread-safety: all members may be called concurrently from any number of
+// producers and consumers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace rolediet::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Throws std::invalid_argument on zero capacity (a zero-capacity queue
+  /// would deadlock every push against every pop).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("BoundedQueue: capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full; true once the value is queued, false when the queue
+  /// was closed (the value is dropped — nothing after close() is accepted).
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    std::unique_lock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; true with a dequeued value, false once the queue is
+  /// closed *and* drained (end of stream — elements queued before close()
+  /// are always delivered first).
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when nothing is queued (closed or not).
+  bool try_pop(T& out) {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: wakes every blocked producer (which then return false)
+  /// and every blocked consumer (which drain, then return false). Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rolediet::util

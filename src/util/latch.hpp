@@ -1,0 +1,71 @@
+// One-shot countdown latch for fleet-style thread coordination.
+//
+// The thread pool's wait_idle() and the test harnesses each re-implement the
+// same "wait until N events happened" shape with an ad-hoc mutex + condition
+// variable; Latch is that shape as a reusable primitive. A latch starts at a
+// count, threads count_down() as they finish (or arrive), and wait() blocks
+// until the count reaches zero. The count never goes back up — a latch is
+// single-use, which is what makes it trivially correct to reason about
+// (unlike a barrier, there is no reuse generation to get wrong).
+//
+// The audit service uses latches to line up reader fleets: every reader
+// arrives before the measured window opens, so the first sample is not a
+// thread-startup artifact.
+//
+// Thread-safety: all members may be called concurrently. count_down() past
+// zero throws std::logic_error (a latch bug is a programming error, not a
+// runtime condition to swallow).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+namespace rolediet::util {
+
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the count by `n`; wakes all waiters when it reaches zero.
+  /// Throws std::logic_error when the decrement would drop below zero.
+  void count_down(std::size_t n = 1) {
+    std::unique_lock lock(mutex_);
+    if (n > count_) throw std::logic_error("Latch::count_down below zero");
+    count_ -= n;
+    if (count_ == 0) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  /// Blocks until the count reaches zero (returns immediately if it already
+  /// has).
+  void wait() const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// Non-blocking: has the count reached zero?
+  [[nodiscard]] bool try_wait() const {
+    std::lock_guard lock(mutex_);
+    return count_ == 0;
+  }
+
+  /// count_down(1) then wait() — the barrier-style arrival point.
+  void arrive_and_wait() {
+    count_down();
+    wait();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::size_t count_;
+};
+
+}  // namespace rolediet::util

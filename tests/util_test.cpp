@@ -7,9 +7,12 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/bitops.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/latch.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -279,6 +282,137 @@ TEST(ThreadPool, DefaultPoolSingleton) {
   ThreadPool& b = default_pool();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.thread_count(), 1u);
+}
+
+// ---------------------------------------------------------------- Latch ----
+
+TEST(Latch, ZeroCountIsImmediatelyReady) {
+  Latch latch(0);
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();  // must not block
+}
+
+TEST(Latch, CountDownReleasesWaiters) {
+  Latch latch(2);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();
+}
+
+TEST(Latch, CountDownBelowZeroThrows) {
+  Latch latch(1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), std::logic_error);
+}
+
+TEST(Latch, ArriveAndWaitLinesUpThreadsT8) {
+  constexpr std::size_t kThreads = 8;
+  Latch latch(kThreads);
+  std::atomic<std::size_t> arrived{0};
+  std::atomic<std::size_t> released{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      arrived.fetch_add(1);
+      latch.arrive_and_wait();
+      // Every thread observes the full arrival count after release: nobody
+      // got through before the last arrival.
+      EXPECT_EQ(arrived.load(), kThreads);
+      released.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), kThreads);
+}
+
+// --------------------------------------------------------- BoundedQueue ----
+
+TEST(BoundedQueue, ZeroCapacityThrows) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, FifoOrderWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(int{i}));
+  EXPECT_FALSE(queue.try_push(99));  // full
+  EXPECT_EQ(queue.size(), 4u);
+  int value = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.try_pop(value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_FALSE(queue.try_pop(value));  // empty
+}
+
+TEST(BoundedQueue, CloseDrainsThenReportsClosed) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(3));      // rejected after close
+  EXPECT_FALSE(queue.try_push(3));  // ditto
+  int value = 0;
+  EXPECT_TRUE(queue.pop(value));  // close still drains what was accepted
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.pop(value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.pop(value));  // closed + empty
+}
+
+TEST(BoundedQueue, BlockedPopWakesOnPush) {
+  BoundedQueue<int> queue(2);
+  int value = 0;
+  std::thread consumer([&] { EXPECT_TRUE(queue.pop(value)); });
+  EXPECT_TRUE(queue.push(42));
+  consumer.join();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(BoundedQueue, BlockedPushWakesOnPop) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::thread producer([&] { EXPECT_TRUE(queue.push(2)); });  // blocks: full
+  int value = 0;
+  EXPECT_TRUE(queue.pop(value));
+  producer.join();
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.try_pop(value));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumerT8) {
+  // 4 producers hammer a tiny queue while 4 consumers drain it; close() must
+  // wake everyone and every accepted item must come out exactly once.
+  BoundedQueue<std::size_t> queue(2);
+  constexpr std::size_t kPerProducer = 200;
+  std::atomic<std::size_t> produced{0};
+  std::atomic<std::size_t> consumed{0};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        if (!queue.push(p * kPerProducer + i)) return;  // closed mid-run is fine
+        produced.fetch_add(1);
+      }
+    });
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      std::size_t value = 0;
+      while (queue.pop(value)) consumed.fetch_add(1);
+    });
+  }
+  threads[0].join();  // let at least one producer finish before closing
+  queue.close();
+  for (std::size_t t = 1; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(consumed.load(), produced.load());
+  EXPECT_TRUE(queue.closed());
 }
 
 }  // namespace
