@@ -72,4 +72,13 @@ echo "" >> "$out"
 echo "############ bench_serving ############" >> "$out"
 ./build/bench/bench_serving --quick --out /root/repo/BENCH_serving.json >> "$out" 2>&1
 echo "" >> "$out"
+# Role mining vs the duplicate-merge baseline on org / Fig. 3-scale / churn /
+# planted workloads: BENCH_mining.json is the eighth JSON artifact CI
+# archives per commit. The bench exits non-zero unless every plan verifies,
+# mining beats the baseline, and planted recovery stays within its bound.
+# --quick trims the Fig. 3 ladder and the churn/planted scale.
+echo "############ bench_mining (threads=$threads) ############" >> "$out"
+./build/bench/bench_mining --quick --threads "$threads" --out /root/repo/BENCH_mining.json \
+  >> "$out" 2>&1
+echo "" >> "$out"
 echo "ALL BENCHES DONE" >> "$out"

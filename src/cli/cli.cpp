@@ -23,6 +23,7 @@
 #include "io/json_writer.hpp"
 #include "io/report_csv.hpp"
 #include "linalg/kernels/kernels.hpp"
+#include "mining/miner.hpp"
 #include "core/sharded_engine.hpp"
 #include "service/audit_service.hpp"
 #include "store/engine_store.hpp"
@@ -821,6 +822,164 @@ int cmd_diet(Args& args, std::ostream& out) {
   return 0;
 }
 
+// ------------------------------------------------------------------ mine ---
+
+/// Serializes a mining outcome: options, counters, and the mined roles
+/// (permission names in full, users as a count — the migrated dataset itself
+/// is what `mine DIR OUT` writes).
+std::string mining_plan_to_json(const mining::MiningOutcome& outcome,
+                                const core::RbacDataset& dataset) {
+  const mining::MiningPlan& plan = outcome.plan;
+  const mining::MiningStats& s = plan.stats;
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("options");
+  w.begin_object();
+  w.key("max_roles_per_user");
+  w.value(plan.options.max_roles_per_user);
+  w.key("max_perms_per_role");
+  w.value(plan.options.max_perms_per_role);
+  w.key("role_weight");
+  w.value(plan.options.role_weight);
+  w.key("edge_weight");
+  w.value(plan.options.edge_weight);
+  w.key("max_candidates");
+  w.value(plan.options.max_candidates);
+  w.key("time_budget_s");
+  w.value(plan.options.time_budget_s);
+  w.key("threads");
+  w.value(plan.options.threads);
+  w.key("backend");
+  w.value(linalg::to_string(plan.options.backend));
+  w.end_object();
+  w.key("stats");
+  w.begin_object();
+  w.key("users");
+  w.value(s.users);
+  w.key("permissions");
+  w.value(s.permissions);
+  w.key("user_classes");
+  w.value(s.user_classes);
+  w.key("upa_cells");
+  w.value(s.upa_cells);
+  w.key("roles_before");
+  w.value(s.roles_before);
+  w.key("roles_after");
+  w.value(s.roles_after);
+  w.key("role_reduction");
+  w.value(s.role_reduction());
+  w.key("assignments_before");
+  w.value(s.assignments_before);
+  w.key("assignments_after");
+  w.value(s.assignments_after);
+  w.key("grants_before");
+  w.value(s.grants_before);
+  w.key("grants_after");
+  w.value(s.grants_after);
+  w.key("candidates");
+  w.value(s.candidates);
+  w.key("candidate_pool");
+  w.value(s.candidate_pool);
+  w.key("enumeration_rounds");
+  w.value(s.enumeration_rounds);
+  w.key("enumeration_truncated");
+  w.value(s.enumeration_truncated);
+  w.key("selection_truncated");
+  w.value(s.selection_truncated);
+  w.key("portfolio_plans");
+  w.value(s.portfolio_plans);
+  w.key("used_duplicate_merge_fallback");
+  w.value(s.used_duplicate_merge_fallback);
+  w.key("selected_candidates");
+  w.value(s.selected_candidates);
+  w.key("mopup_roles");
+  w.value(s.mopup_roles);
+  w.key("pruned_assignments");
+  w.value(s.pruned_assignments);
+  w.key("pruned_roles");
+  w.value(s.pruned_roles);
+  w.key("enumerate_seconds");
+  w.value(s.enumerate_seconds);
+  w.key("select_seconds");
+  w.value(s.select_seconds);
+  w.key("verify_seconds");
+  w.value(s.verify_seconds);
+  w.end_object();
+  w.key("verified");
+  w.value(outcome.verified);
+  w.key("roles");
+  w.begin_array();
+  for (const mining::MinedRole& role : plan.roles) {
+    w.begin_object();
+    w.key("name");
+    w.value(role.name);
+    w.key("users");
+    w.value(role.users.size());
+    w.key("permissions");
+    w.begin_array();
+    for (const core::Id perm : role.permissions) w.value(dataset.permission_name(perm));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+int cmd_mine(Args& args, std::ostream& out) {
+  mining::MiningOptions options;
+  if (auto cap = args.take_option("--max-roles-per-user")) {
+    options.max_roles_per_user = parse_size(*cap, "--max-roles-per-user");
+  }
+  if (auto cap = args.take_option("--max-perms-per-role")) {
+    options.max_perms_per_role = parse_size(*cap, "--max-perms-per-role");
+  }
+  if (auto cost = args.take_option("--mine-cost")) {
+    const std::size_t colon = cost->find(':');
+    if (colon == std::string::npos)
+      throw UsageError("--mine-cost expects W_ROLES:W_EDGES (e.g. 1:0.5)");
+    options.role_weight = parse_double(cost->substr(0, colon), "--mine-cost roles weight");
+    options.edge_weight = parse_double(cost->substr(colon + 1), "--mine-cost edges weight");
+    if (options.role_weight < 0.0 || options.edge_weight < 0.0 ||
+        options.role_weight + options.edge_weight <= 0.0) {
+      throw UsageError("--mine-cost weights must be >= 0 and not both 0");
+    }
+  }
+  if (auto cap = args.take_option("--max-candidates")) {
+    options.max_candidates = parse_size(*cap, "--max-candidates");
+  }
+  if (auto budget = args.take_option("--budget")) {
+    options.time_budget_s = parse_double(*budget, "--budget");
+    if (options.time_budget_s < 0.0)
+      throw UsageError("--budget must be >= 0 seconds (0 = unlimited; got '" + *budget + "')");
+  }
+  if (auto threads = args.take_option("--threads"))
+    options.threads = parse_size(*threads, "--threads");
+  if (auto backend = args.take_option("--backend")) options.backend = parse_backend(*backend);
+  const std::optional<std::string> json_path = args.take_option("--json");
+
+  if (args.done()) throw UsageError("mine: missing dataset directory");
+  const std::string dir = args.take();
+  std::optional<std::string> out_dir;
+  if (!args.done()) out_dir = args.take();
+  if (!args.done()) throw UsageError("mine: unexpected argument '" + args.peek() + "'");
+
+  const core::RbacDataset dataset = io::load_dataset(dir);
+  const mining::MiningOutcome outcome = mining::mine(dataset, options);
+  out << outcome.plan.to_text();
+  if (json_path) write_text_file(*json_path, mining_plan_to_json(outcome, dataset));
+  if (!outcome.verified) {
+    out << "equivalence verification FAILED; plan rejected\n";
+    return 1;
+  }
+  out << "equivalence verified: every user keeps their exact permission set\n";
+  if (out_dir) {
+    io::save_dataset(outcome.migrated, *out_dir);
+    out << "migrated dataset written to " << *out_dir << "\n";
+  }
+  return 0;
+}
+
 // -------------------------------------------------------------- generate ---
 
 int cmd_generate(Args& args, std::ostream& out) {
@@ -1046,6 +1205,17 @@ int cmd_help(std::ostream& out) {
          "  diet DIR OUT   apply safe cleanup (remediation + consolidation);\n"
          "                 --dry-run  --remove-standalone-entities\n"
          "                 --skip-remediation  --skip-consolidation\n"
+         "  mine DIR [OUT] mine a minimal equivalent role decomposition\n"
+         "                 (maximal-biclique candidates + constrained greedy\n"
+         "                 set cover) and verify it preserves every user's\n"
+         "                 exact permission set; OUT writes the migrated\n"
+         "                 dataset; --max-roles-per-user N\n"
+         "                 --max-perms-per-role N (0 = unlimited)\n"
+         "                 --mine-cost W_ROLES:W_EDGES (bi-objective cost;\n"
+         "                 default 1:0 minimizes role count alone)\n"
+         "                 --max-candidates N  --budget SECONDS (plans stay\n"
+         "                 complete + verified, just less optimized)\n"
+         "                 --json FILE  --threads N  --backend B\n"
          "  churn STORE    simulate a multi-year org lifecycle (hiring,\n"
          "                 reorg bursts, tenant onboarding, sprawl, layoffs)\n"
          "                 and replay it through a durable engine store;\n"
@@ -1109,6 +1279,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (command == "audit") return cmd_audit(cursor, out);
     if (command == "replay") return cmd_replay(cursor, out);
     if (command == "diet") return cmd_diet(cursor, out);
+    if (command == "mine") return cmd_mine(cursor, out);
     if (command == "generate") return cmd_generate(cursor, out);
     if (command == "compare") return cmd_compare(cursor, out);
     if (command == "convert") return cmd_convert(cursor, out);

@@ -14,6 +14,14 @@
 //       consolidation), verify equivalence, and write the slimmed dataset.
 //       --dry-run prints the plan without writing anything.
 //
+//   rolediet mine DIR [OUT_DIR] [--max-roles-per-user N]
+//                     [--max-perms-per-role N] [--mine-cost W_ROLES:W_EDGES]
+//                     [--max-candidates N] [--budget SECONDS] [--json FILE]
+//       Mine a minimal equivalent role decomposition: maximal-biclique
+//       candidates over the user-permission graph, constrained greedy set
+//       cover (caps + bi-objective cost), equivalence-verified migration
+//       plan. OUT_DIR writes the migrated dataset.
+//
 //   rolediet generate org DIR [--paper-scale] [--seed N]
 //   rolediet generate matrix DIR [--roles N] [--users N] [--seed N]
 //   rolediet generate adversarial SCENARIO DIR [--scale N] [--seed N]

@@ -1,0 +1,85 @@
+#include "gen/planted.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace rolediet::gen {
+
+PlantedDataset generate_planted(const PlantedParams& params) {
+  if (params.roles == 0 || params.perms_per_role == 0 || params.roles_per_user == 0 ||
+      params.duplicates_per_role == 0) {
+    throw std::invalid_argument("generate_planted: size parameters must be >= 1");
+  }
+  if (params.users < params.roles) {
+    throw std::invalid_argument("generate_planted: need users >= roles (one seed user per role)");
+  }
+  if (params.noise_users > params.users - params.roles) {
+    throw std::invalid_argument(
+        "generate_planted: noise users must fit outside the seed users");
+  }
+
+  PlantedDataset out;
+  out.planted_roles = params.roles;
+  out.noise_roles = params.noise_users;
+  core::RbacDataset& dataset = out.dataset;
+  util::Xoshiro256 rng(params.seed);
+
+  dataset.add_users(params.users);
+  const core::Id perm_base = dataset.add_permissions(params.roles * params.perms_per_role);
+
+  // K * duplicates_per_role dataset roles; copy d of true role k carries
+  // exactly block k's permissions.
+  const std::size_t dup = params.duplicates_per_role;
+  std::vector<core::Id> role_copy(params.roles * dup);
+  for (std::size_t k = 0; k < params.roles; ++k) {
+    for (std::size_t d = 0; d < dup; ++d) {
+      const core::Id role =
+          dataset.add_role("role-" + std::to_string(k) + "-" + std::to_string(d));
+      role_copy[k * dup + d] = role;
+      for (std::size_t p = 0; p < params.perms_per_role; ++p) {
+        dataset.grant_permission(role,
+                                 perm_base + static_cast<core::Id>(k * params.perms_per_role + p));
+      }
+    }
+  }
+  const auto assign = [&](core::Id user, std::size_t true_role) {
+    dataset.assign_user(role_copy[true_role * dup + user % dup], user);
+  };
+
+  // Seed users: user k holds exactly true role k, so its effective row IS
+  // block k — the closed set the enumerator needs, at the lowest user ids.
+  for (std::size_t k = 0; k < params.roles; ++k) {
+    assign(static_cast<core::Id>(k), k);
+  }
+
+  // Remaining users draw 1..roles_per_user distinct true roles.
+  for (std::size_t u = params.roles; u < params.users; ++u) {
+    const std::size_t count = 1 + rng.bounded(params.roles_per_user);
+    std::vector<std::size_t> chosen;
+    chosen.reserve(count);
+    while (chosen.size() < count && chosen.size() < params.roles) {
+      const std::size_t k = rng.bounded(params.roles);
+      bool seen = false;
+      for (const std::size_t c : chosen) seen = seen || c == k;
+      if (!seen) chosen.push_back(k);
+    }
+    for (const std::size_t k : chosen) assign(static_cast<core::Id>(u), k);
+  }
+
+  // Noise: the top noise_users user ids each get one personal permission
+  // through one personal role — unavoidable extra roles in any equivalent
+  // decomposition, and exactly countable.
+  for (std::size_t j = 0; j < params.noise_users; ++j) {
+    const core::Id user = static_cast<core::Id>(params.users - params.noise_users + j);
+    const core::Id perm = dataset.add_permission("noise-perm-" + std::to_string(j));
+    const core::Id role = dataset.add_role("noise-" + std::to_string(j));
+    dataset.grant_permission(role, perm);
+    dataset.assign_user(role, user);
+  }
+  return out;
+}
+
+}  // namespace rolediet::gen

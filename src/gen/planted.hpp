@@ -1,0 +1,63 @@
+// Planted-decomposition generator: a dataset synthesized from a known
+// ground-truth role set, for asserting miner recovery bounds.
+//
+// The generator builds K "true" roles over pairwise-disjoint permission
+// blocks and assigns every user a random subset of them, then re-encodes
+// those memberships as the dataset's roles — optionally inflated with
+// duplicate and fragmented role copies so the *dataset* role count is far
+// above K while the underlying decomposition stays exactly K roles.
+//
+// Recoverability by construction:
+//  - each true role k has one exclusive seed user (the K lowest user ids)
+//    whose effective permission set is exactly role k's block, so every true
+//    role's permission set is a user row — a closed set the biclique
+//    enumerator emits as a seed candidate, ordered before any mixed row;
+//  - noise users carry one personal noise permission each on top of their
+//    role blocks, so each noise permission needs one extra (deduplicated
+//    single-permission) role in any equivalent decomposition.
+//
+// The documented slack: a miner run with an untruncated candidate pool
+// recovers at most `planted_roles + noise_roles` roles on these datasets
+// (the tests and bench_mining assert exactly this bound).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/model.hpp"
+
+namespace rolediet::gen {
+
+struct PlantedParams {
+  std::size_t roles = 20;           ///< K ground-truth roles
+  std::size_t users = 500;          ///< total users (>= roles)
+  std::size_t perms_per_role = 8;   ///< block size of each true role
+  std::size_t roles_per_user = 3;   ///< each non-seed user draws 1..this many roles
+  /// Users that additionally hold one personal noise permission (each adds
+  /// exactly one unavoidable role to any equivalent decomposition).
+  std::size_t noise_users = 0;
+  /// Dataset-side inflation: every true-role membership is re-encoded as one
+  /// of `duplicates_per_role` identical role copies (round-robin per user),
+  /// so the dataset carries K * duplicates_per_role roles that all collapse
+  /// to the same K-role ground truth. 1 = no inflation.
+  std::size_t duplicates_per_role = 4;
+  std::uint64_t seed = 1;
+};
+
+struct PlantedDataset {
+  core::RbacDataset dataset;
+  std::size_t planted_roles = 0;  ///< K
+  std::size_t noise_roles = 0;    ///< one per noise user
+
+  /// The documented recovery bound: an untruncated mining run emits at most
+  /// this many roles.
+  [[nodiscard]] std::size_t recoverable_bound() const noexcept {
+    return planted_roles + noise_roles;
+  }
+};
+
+/// Deterministic for a fixed seed. Throws std::invalid_argument when
+/// users < roles or a size parameter is zero where the construction needs it.
+[[nodiscard]] PlantedDataset generate_planted(const PlantedParams& params);
+
+}  // namespace rolediet::gen

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "core/consolidation.hpp"
+#include "core/remediation.hpp"
 
 namespace rolediet::io {
 
@@ -279,6 +283,46 @@ std::string report_to_json(const core::AuditReport& report, const core::RbacData
 
   w.key("reducible_roles");
   w.value(report.reducible_roles());
+
+  // Reduction counters: the plan sizes the standard cleanup passes would
+  // produce from this report, so `consolidate`/`diet` and `mine` output are
+  // comparable against one audit without re-deriving the plans downstream.
+  {
+    const core::ConsolidationPlan same_users = core::plan_consolidation(
+        dataset, report.same_user_groups, core::MergeKind::kSameUsers);
+    const core::ConsolidationPlan same_perms = core::plan_consolidation(
+        dataset, report.same_permission_groups, core::MergeKind::kSamePermissions);
+    std::unordered_set<core::Id> absorbed;
+    for (const auto& merge : same_users.merges)
+      absorbed.insert(merge.absorbed.begin(), merge.absorbed.end());
+    for (const auto& merge : same_perms.merges)
+      absorbed.insert(merge.absorbed.begin(), merge.absorbed.end());
+    const core::RemediationPlan remediation = core::plan_remediation(dataset, report);
+    w.key("reduction");
+    w.begin_object();
+    w.key("consolidation");
+    w.begin_object();
+    w.key("same_users_merge_groups");
+    w.value(same_users.merges.size());
+    w.key("same_permissions_merge_groups");
+    w.value(same_perms.merges.size());
+    // A role can be absorbable along both axes; it is counted once.
+    w.key("roles_removed");
+    w.value(absorbed.size());
+    w.end_object();
+    w.key("remediation");
+    w.begin_object();
+    w.key("removed_roles");
+    w.value(remediation.remove_roles.size());
+    w.key("merge_by_permission_groups");
+    w.value(remediation.merge_by_permission.size());
+    w.key("merge_by_user_groups");
+    w.value(remediation.merge_by_user.size());
+    w.key("roles_removed");
+    w.value(remediation.roles_removed());
+    w.end_object();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }

@@ -1,0 +1,132 @@
+#include "mining/biclique.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "linalg/csr_matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rolediet::mining {
+
+namespace {
+
+/// Content intersection of two strictly-increasing id runs.
+std::vector<core::Id> intersect_sorted(std::span<const core::Id> a, std::span<const core::Id> b) {
+  std::vector<core::Id> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+/// Deadline checks happen once per this many pairs inside a worker chunk.
+constexpr std::size_t kPairBatch = 256;
+
+/// Pairs materialized per slab. A round can hold quadratically many pairs, so
+/// slabs bound both the scratch memory and the latency until the next cap /
+/// deadline check; the fixed (f, j) order is preserved across slabs.
+constexpr std::size_t kSlabPairs = 1u << 20;
+
+}  // namespace
+
+CandidateSet enumerate_closed_sets(const UpaClasses& upa, const BicliqueOptions& options,
+                                   const util::ExecutionContext& ctx) {
+  CandidateSet result;
+  const std::size_t num_seeds = upa.num_classes();
+  result.num_seeds = num_seeds;
+  result.permission_sets.reserve(num_seeds);
+  for (std::size_t cls = 0; cls < num_seeds; ++cls) {
+    const auto row = upa.rows.row(cls);
+    result.permission_sets.emplace_back(row.begin(), row.end());
+  }
+  const std::size_t cap =
+      options.max_candidates == 0 ? 0 : std::max(options.max_candidates, num_seeds);
+
+  // Dedup index: digest -> candidate indices with that digest.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  index.reserve(num_seeds * 2);
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const std::uint64_t digest = linalg::csr_row_digest(result.permission_sets[i]);
+    index[digest].push_back(static_cast<std::uint32_t>(i));
+  }
+  auto insert_if_new = [&](std::vector<core::Id>&& set) {
+    const std::uint64_t digest = linalg::csr_row_digest(set);
+    std::vector<std::uint32_t>& bucket = index[digest];
+    for (const std::uint32_t idx : bucket) {
+      if (linalg::csr_rows_equal(result.permission_sets[idx], set)) return;
+    }
+    bucket.push_back(static_cast<std::uint32_t>(result.permission_sets.size()));
+    result.permission_sets.push_back(std::move(set));
+  };
+
+  util::Parallelism exec(options.threads);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::vector<core::Id>> computed;
+
+  // Frontier = sets discovered in the previous round; a round pairs each
+  // frontier set f with every set j < f that existed at round start. Pairs
+  // between pre-frontier sets were handled by earlier rounds, and pairs
+  // within the frontier appear exactly once (at the larger index).
+  std::size_t frontier_begin = 0;
+  std::size_t frontier_end = num_seeds;
+  while (frontier_begin < frontier_end && !result.truncated) {
+    if (ctx.expired()) {
+      result.truncated = true;
+      break;
+    }
+    ++result.rounds;
+    // Slab cursor over the round's fixed (f ascending, j ascending) order.
+    std::size_t cursor_f = std::max<std::size_t>(frontier_begin, 1);
+    std::size_t cursor_j = 0;
+    bool did_pairs = false;
+    while (cursor_f < frontier_end && !result.truncated) {
+      pairs.clear();
+      while (cursor_f < frontier_end && pairs.size() < kSlabPairs) {
+        pairs.emplace_back(static_cast<std::uint32_t>(cursor_f),
+                           static_cast<std::uint32_t>(cursor_j));
+        if (++cursor_j == cursor_f) {
+          ++cursor_f;
+          cursor_j = 0;
+        }
+      }
+      if (pairs.empty()) break;
+      did_pairs = true;
+
+      computed.assign(pairs.size(), {});
+      exec.parallel_for(
+          pairs.size(),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+              if ((k - begin) % kPairBatch == 0 && ctx.expired()) return;  // leave rest empty
+              const auto [f, j] = pairs[k];
+              const std::vector<core::Id>& a = result.permission_sets[f];
+              const std::vector<core::Id>& b = result.permission_sets[j];
+              std::vector<core::Id> meet = intersect_sorted(a, b);
+              // An intersection equal to an operand is never new; the empty
+              // set is not a candidate. Skip the dedup work for both.
+              if (meet.empty() || meet.size() == a.size() || meet.size() == b.size()) continue;
+              computed[k] = std::move(meet);
+            }
+          },
+          /*grain=*/1024);
+      result.intersections += pairs.size();
+
+      // Sequential merge in pair order: identical at every thread count.
+      for (std::size_t k = 0; k < pairs.size(); ++k) {
+        if (computed[k].empty()) continue;
+        if (cap != 0 && result.permission_sets.size() >= cap) {
+          result.truncated = true;
+          break;
+        }
+        insert_if_new(std::move(computed[k]));
+      }
+      if (ctx.expired()) result.truncated = true;
+    }
+    if (!did_pairs) break;
+    frontier_begin = frontier_end;
+    frontier_end = result.permission_sets.size();
+  }
+  return result;
+}
+
+}  // namespace rolediet::mining

@@ -1,0 +1,67 @@
+#include "mining/upa.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "util/bitops.hpp"
+
+namespace rolediet::mining {
+
+UpaClasses build_upa_classes(const core::RbacDataset& dataset, linalg::RowBackend requested) {
+  UpaClasses upa;
+  upa.num_users = dataset.num_users();
+  upa.num_permissions = dataset.num_permissions();
+
+  // Group users by permission-set content: digest buckets, exact compare
+  // within a bucket. Users are visited in id order, so each class's first
+  // member is its smallest user id and classes come out ordered by it.
+  std::vector<std::vector<core::Id>> class_rows;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  std::size_t nnz = 0;
+  for (core::Id user = 0; user < static_cast<core::Id>(upa.num_users); ++user) {
+    std::vector<core::Id> perms = dataset.permissions_of_user(user);
+    if (perms.empty()) continue;  // permissionless users need no role at all
+    ++upa.covered_users;
+    upa.cells += perms.size();
+    const std::uint64_t digest = linalg::csr_row_digest(perms);
+    std::vector<std::uint32_t>& bucket = buckets[digest];
+    bool found = false;
+    for (const std::uint32_t cls : bucket) {
+      if (linalg::csr_rows_equal(class_rows[cls], perms)) {
+        upa.members[cls].push_back(user);
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    bucket.push_back(static_cast<std::uint32_t>(class_rows.size()));
+    nnz += perms.size();
+    class_rows.push_back(std::move(perms));
+    upa.members.push_back({user});
+  }
+
+  std::vector<std::size_t> row_ptr;
+  row_ptr.reserve(class_rows.size() + 1);
+  row_ptr.push_back(0);
+  std::vector<std::uint32_t> cols_idx;
+  cols_idx.reserve(nnz);
+  for (const std::vector<core::Id>& row : class_rows) {
+    cols_idx.insert(cols_idx.end(), row.begin(), row.end());
+    row_ptr.push_back(cols_idx.size());
+  }
+  upa.rows = linalg::CsrMatrix::from_csr(upa.num_permissions, std::move(row_ptr),
+                                         std::move(cols_idx));
+
+  upa.backend = linalg::choose_backend(requested, upa.rows.rows(), upa.num_permissions,
+                                       upa.rows.nnz());
+  if (upa.backend == linalg::RowBackend::kDense) {
+    linalg::BitMatrix dense(upa.rows.rows(), upa.num_permissions);
+    for (std::size_t cls = 0; cls < upa.rows.rows(); ++cls) {
+      for (const std::uint32_t perm : upa.rows.row(cls)) dense.set(cls, perm);
+    }
+    upa.dense = std::move(dense);
+  }
+  return upa;
+}
+
+}  // namespace rolediet::mining

@@ -1,0 +1,74 @@
+// User-permission access (UPA) matrix, deduplicated into user classes.
+//
+// Role mining works on the *effective* user-permission relation — which
+// permissions each user can reach through any role — not on the role
+// decomposition that happens to encode it today. The model never materializes
+// that relation (the tripartite graph stores RUAM and RPAM only), so mining
+// starts by computing each user's reachable permission set and collapsing
+// users with identical sets into one weighted *class*: real organizations
+// assign whole teams the same access, so the class count is typically orders
+// of magnitude below the user count, and every algorithm downstream of this
+// header runs on classes, never raw users.
+//
+// The class rows are stored CSR-first with an optional packed-dense mirror,
+// selected by the same density rule as every detection method
+// (linalg::choose_backend), and served to the mining kernels through the
+// shared RowStore view — the biclique enumerator and the set-cover support
+// checks run the identical batch kernels the finders use.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/bit_matrix.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/row_store.hpp"
+
+namespace rolediet::mining {
+
+/// Distinct user permission sets ("classes") with their member users.
+struct UpaClasses {
+  /// Class rows: class index -> sorted permission ids. Rows are pairwise
+  /// distinct and non-empty; classes are ordered by their smallest member
+  /// user id (ascending), which makes every consumer deterministic.
+  linalg::CsrMatrix rows;
+
+  /// Member user ids per class, ascending. Parallel to `rows`.
+  std::vector<std::vector<core::Id>> members;
+
+  /// Dense mirror of `rows`, engaged when the resolved backend is dense.
+  std::optional<linalg::BitMatrix> dense;
+
+  /// The backend `store()` serves (resolved, never kAuto).
+  linalg::RowBackend backend = linalg::RowBackend::kSparse;
+
+  std::size_t num_users = 0;        ///< dataset user count (incl. permissionless)
+  std::size_t num_permissions = 0;  ///< dataset permission count
+  std::size_t covered_users = 0;    ///< users with at least one permission
+  std::size_t cells = 0;            ///< UPA cells: sum over classes of |members| * |row|
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return members.size(); }
+
+  /// Class weight: how many users share this permission set.
+  [[nodiscard]] std::size_t weight(std::size_t cls) const noexcept {
+    return members[cls].size();
+  }
+
+  /// RowStore view over the class rows on the resolved backend. Non-owning:
+  /// valid while this object is alive and unmoved.
+  [[nodiscard]] linalg::RowStore store() const noexcept {
+    if (dense.has_value()) return linalg::RowStore(*dense);
+    return linalg::RowStore(rows);
+  }
+};
+
+/// Computes every user's effective permission set and groups users with
+/// identical sets. `requested` follows the RowBackend convention (kAuto picks
+/// by class-matrix density); the choice affects kernel throughput only, never
+/// the classes.
+[[nodiscard]] UpaClasses build_upa_classes(const core::RbacDataset& dataset,
+                                           linalg::RowBackend requested = linalg::RowBackend::kAuto);
+
+}  // namespace rolediet::mining

@@ -85,6 +85,11 @@ TEST(Cli, AuditWritesJsonAndCsv) {
   ASSERT_EQ(r.code, 0) << r.err;
   const std::string json = slurp(dir.path("report.json"));
   EXPECT_NE(json.find("\"method\":\"role-diet\""), std::string::npos);
+  // The reduction block surfaces the cleanup plan sizes next to the findings.
+  EXPECT_NE(json.find("\"reduction\":"), std::string::npos);
+  EXPECT_NE(json.find("\"consolidation\":"), std::string::npos);
+  EXPECT_NE(json.find("\"remediation\":"), std::string::npos);
+  EXPECT_NE(json.find("\"roles_removed\":"), std::string::npos);
   const std::string csv = slurp(dir.path("findings.csv"));
   EXPECT_NE(csv.find("same-user-roles,0,R02"), std::string::npos);
 }
@@ -266,6 +271,65 @@ TEST(Cli, DietRemoveEntitiesFlag) {
   ASSERT_EQ(r.code, 0) << r.err;
   const core::RbacDataset slim = io::load_dataset(dir.path("out"));
   EXPECT_EQ(slim.find_permission("P01"), std::nullopt);  // the standalone permission
+}
+
+TEST(Cli, MineWritesVerifiedPlanJsonAndMigratedDataset) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  const CliResult r = run_cli({"mine", "--json", dir.path("plan.json"), dir.path("data"),
+                               dir.path("out")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("role mining plan:"), std::string::npos);
+  EXPECT_NE(r.out.find("equivalence verified"), std::string::npos);
+  EXPECT_NE(r.out.find("migrated dataset written to"), std::string::npos);
+
+  const std::string json = slurp(dir.path("plan.json"));
+  EXPECT_NE(json.find("\"roles_before\":"), std::string::npos);
+  EXPECT_NE(json.find("\"roles_after\":"), std::string::npos);
+  EXPECT_NE(json.find("\"used_duplicate_merge_fallback\":"), std::string::npos);
+  EXPECT_NE(json.find("\"verified\":true"), std::string::npos);
+
+  // Users and permissions survive the migration verbatim; only roles change.
+  const core::RbacDataset migrated = io::load_dataset(dir.path("out"));
+  const core::RbacDataset original = rolediet::testing::figure1_dataset();
+  EXPECT_EQ(migrated.num_users(), original.num_users());
+  EXPECT_EQ(migrated.num_permissions(), original.num_permissions());
+  EXPECT_LE(migrated.num_roles(), original.num_roles());
+}
+
+TEST(Cli, MineHonorsCostAndCapOptions) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  const CliResult r = run_cli({"mine", "--mine-cost", "1:0.5", "--max-roles-per-user", "4",
+                               "--max-perms-per-role", "8", dir.path("data")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("roles/user <= 4"), std::string::npos);
+  EXPECT_NE(r.out.find("perms/role <= 8"), std::string::npos);
+  EXPECT_NE(r.out.find("equivalence verified"), std::string::npos);
+}
+
+TEST(Cli, MineRejectsBadArguments) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  EXPECT_EQ(run_cli({"mine"}).code, 2);  // missing dataset directory
+  EXPECT_EQ(run_cli({"mine", dir.path("data"), "out", "extra"}).code, 2);
+  // --mine-cost must be W_ROLES:W_EDGES, both >= 0, not both zero.
+  EXPECT_EQ(run_cli({"mine", "--mine-cost", "1", dir.path("data")}).code, 2);
+  EXPECT_EQ(run_cli({"mine", "--mine-cost", "0:0", dir.path("data")}).code, 2);
+  EXPECT_EQ(run_cli({"mine", "--mine-cost", "-1:1", dir.path("data")}).code, 2);
+  EXPECT_EQ(run_cli({"mine", "--mine-cost", "nan:1", dir.path("data")}).code, 2);
+  EXPECT_EQ(run_cli({"mine", "--budget", "-1", dir.path("data")}).code, 2);
+}
+
+TEST(Cli, MineInfeasibleCapsFailCleanly) {
+  CliDir dir;
+  io::save_dataset(rolediet::testing::figure1_dataset(), dir.path("data"));
+  // Fig. 1 has a user holding two effective permissions; one role of one
+  // permission cannot cover it, so plan_mining throws and the CLI exits 1.
+  const CliResult r = run_cli({"mine", "--max-roles-per-user", "1", "--max-perms-per-role",
+                               "1", dir.path("data")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
 }
 
 TEST(Cli, GenerateMatrix) {
